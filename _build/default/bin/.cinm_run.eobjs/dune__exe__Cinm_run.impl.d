@@ -1,0 +1,1 @@
+bin/cinm_run.ml: Arg Backend Benchmark Cinm_benchmarks Cinm_core Cinm_dialects Cinm_ir Cmd Cmdliner Driver List Printf Report Suites Term

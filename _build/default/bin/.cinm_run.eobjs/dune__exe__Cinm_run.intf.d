@@ -1,0 +1,1 @@
+bin/cinm_run.mli:

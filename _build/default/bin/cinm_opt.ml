@@ -1,0 +1,107 @@
+(* cinm-opt: the mlir-opt equivalent of this repository. Reads textual IR,
+   applies a named pass pipeline, prints the result.
+
+   Example:
+     cinm_opt --passes linalg-to-cinm,cinm-target-select input.mlir
+     echo '...' | cinm_opt --passes tosa-to-linalg -
+*)
+
+open Cinm_ir
+open Cinm_transforms
+open Cmdliner
+
+let () = Cinm_dialects.Registry.ensure_all ()
+
+let available_passes () : (string * Pass.t) list =
+  [
+    ("torch-to-tosa", Torch_to_tosa.pass);
+    ("tosa-to-linalg", Tosa_to_linalg.pass);
+    ("canonicalize", Canonicalize.pass);
+    ("linalg-to-cinm", Linalg_to_cinm.pass);
+    ("cinm-target-select", Target_select.pass ());
+    ("cinm-target-cnm",
+     Target_select.pass
+       ~policy:{ Target_select.default_policy with forced_target = Some "cnm" } ());
+    ("cinm-target-cim",
+     Target_select.pass
+       ~policy:{ Target_select.default_policy with forced_target = Some "cim" } ());
+    ("cinm-ew-fusion", Ew_fusion.pass);
+    ("cinm-to-cnm", Cinm_to_cnm.pass ());
+    ("cinm-to-scf", Cinm_to_scf.pass);
+    ("cinm-to-cim", Cinm_to_cim.pass ());
+    ("cinm-to-cam", Cinm_to_cam.pass);
+    ("cinm-to-rtm", Cinm_to_rtm.pass ());
+    ("cnm-to-upmem", Cnm_to_upmem.pass ());
+    ("loop-unroll", Loop_unroll.pass);
+    ("cim-assign-tiles", Cim_to_memristor.assign_pass ~tiles:4);
+    ("cim-to-memristor", Cim_to_memristor.pass);
+    ("licm", Licm.pass);
+    ("dce", Dce.pass);
+  ]
+
+let read_input = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let run passes_arg verify_only list_passes input =
+  if list_passes then begin
+    List.iter (fun (name, _) -> print_endline name) (available_passes ());
+    0
+  end
+  else begin
+    let text = read_input input in
+    match Parser.parse_module_text text with
+    | exception Parser.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      1
+    | m -> (
+      match Verifier.verify_module m with
+      | (_ :: _) as errs ->
+        List.iter (fun e -> Printf.eprintf "error: %s\n" (Verifier.error_to_string e)) errs;
+        1
+      | [] ->
+        if verify_only then begin
+          print_endline "module verified";
+          0
+        end
+        else begin
+          let passes =
+            List.filter_map
+              (fun name ->
+                match List.assoc_opt name (available_passes ()) with
+                | Some p -> Some p
+                | None ->
+                  Printf.eprintf "unknown pass %S (use --list-passes)\n" name;
+                  exit 1)
+              (if passes_arg = "" then []
+               else String.split_on_char ',' passes_arg)
+          in
+          match Pass.run_pipeline passes m with
+          | () ->
+            print_endline (Printer.module_to_string m);
+            0
+          | exception Pass.Pass_failed { pass; message } ->
+            Printf.eprintf "pass %s failed: %s\n" pass message;
+            1
+        end)
+  end
+
+let passes_arg =
+  Arg.(value & opt string "" & info [ "passes"; "p" ] ~docv:"P1,P2,..."
+         ~doc:"Comma-separated pass pipeline to apply.")
+
+let verify_only =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Only verify the input module.")
+
+let list_passes =
+  Arg.(value & flag & info [ "list-passes" ] ~doc:"List available passes and exit.")
+
+let input =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Input IR file ('-' for stdin).")
+
+let cmd =
+  let doc = "apply CINM compiler passes to textual IR" in
+  Cmd.v (Cmd.info "cinm_opt" ~doc)
+    Term.(const run $ passes_arg $ verify_only $ list_passes $ input)
+
+let () = exit (Cmd.eval' cmd)

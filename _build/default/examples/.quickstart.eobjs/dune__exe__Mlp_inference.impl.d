@@ -1,0 +1,1 @@
+examples/mlp_inference.ml: Attr Backend Benchmark Cinm_benchmarks Cinm_core Cinm_dialects Cinm_ir Cinm_transforms Driver Func Hashtbl Ir List Ml_kernels Option Pass Printer Printf Report

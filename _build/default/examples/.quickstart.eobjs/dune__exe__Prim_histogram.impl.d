@@ -1,0 +1,1 @@
+examples/prim_histogram.ml: Backend Benchmark Cinm_benchmarks Cinm_core Cinm_dialects Driver List Prim_baseline Prim_kernels Printf Report

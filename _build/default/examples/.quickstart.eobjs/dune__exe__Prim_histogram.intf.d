@@ -1,0 +1,1 @@
+examples/prim_histogram.mli:

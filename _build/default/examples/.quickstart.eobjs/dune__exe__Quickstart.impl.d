@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backend Builder Cinm_core Cinm_dialects Cinm_interp Cinm_ir Driver Func Func_d Linalg_d List Printer Registry Report Rtval String Tensor Types

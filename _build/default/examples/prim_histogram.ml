@@ -1,0 +1,49 @@
+(* PrIM-workload example: the hst-l histogram benchmark — the paper's
+   best case vs the hand-written baseline (Fig. 12: ~3.7x faster).
+
+   Runs both the CINM-compiled histogram and the hand-written PrIM-style
+   kernel on the same simulated UPMEM machine and explains where the
+   difference comes from (WRAM block sizes and the merge strategy).
+
+   Run with:  dune exec examples/prim_histogram.exe *)
+
+open Cinm_core
+open Cinm_benchmarks
+
+let () = Cinm_dialects.Registry.ensure_all ()
+
+let config = Backend.default_upmem ~dimms:1 ~dpus_per_dimm:8 ~tasklets:16 ~optimize:true ()
+let n = 32768
+let bins = 256
+
+let () =
+  Printf.printf "histogram of %d values into %d bins on a %d-DPU machine\n\n" n bins
+    (config.Backend.dimms * config.Backend.dpus_per_dimm);
+
+  (* CINM-compiled version: device-independent cinm.histogram, lowered to
+     per-PU private histograms with large WRAM blocks, merged on the host
+     with cinm.merge_partial. *)
+  let bench = Prim_kernels.hst_l ~n ~bins () in
+  let compiled = Driver.compile_func (Backend.Upmem config) (bench.Benchmark.build ()) in
+  let results, cinm_report = Driver.run compiled (bench.Benchmark.inputs ()) in
+  assert (Benchmark.results_match bench results);
+  Printf.printf "cinm (compiled):     %s\n" (Report.to_string cinm_report);
+
+  (* Hand-written PrIM-style version: small input blocks (WRAM shared with
+     the histogram), chunked MRAM merge with barriers. *)
+  let baseline = Prim_baseline.hst_l config ~n ~bins () in
+  let _, prim_report =
+    Driver.run_upmem_func ~backend_name:"prim"
+      ~sim_config:(Driver.upmem_sim_config config)
+      (baseline.Benchmark.build ())
+      (baseline.Benchmark.inputs ())
+  in
+  Printf.printf "prim (hand-written): %s\n" (Report.to_string prim_report);
+
+  let kernel r = List.assoc "kernel" r.Report.breakdown in
+  Printf.printf "\nkernel speedup of the compiled code: %.1fx (paper reports ~3.7x)\n"
+    (kernel prim_report /. kernel cinm_report);
+  print_endline
+    "why: the compiler sizes DMA blocks to the per-tasklet WRAM budget and keeps\n\
+     per-PU histograms private (merged on the host); the PrIM kernel uses small\n\
+     fixed blocks and synchronizes tasklets while merging through MRAM."

@@ -1,0 +1,1 @@
+lib/benchmarks/benchmark.ml: Cinm_interp Cinm_ir Func Interp List Rtval Tensor

@@ -1,0 +1,1 @@
+lib/benchmarks/benchmark.mli: Cinm_interp Cinm_ir Func Rtval

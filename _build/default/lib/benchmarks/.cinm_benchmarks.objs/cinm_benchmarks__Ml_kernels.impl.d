@@ -1,0 +1,1 @@
+lib/benchmarks/ml_kernels.ml: Benchmark Builder Cinm_d Cinm_dialects Cinm_interp Cinm_ir Func Func_d Linalg_d Printf Rtval Tosa_d Types Workloads

@@ -1,0 +1,1 @@
+lib/benchmarks/prim_kernels.ml: Arith Benchmark Builder Cinm_d Cinm_dialects Cinm_interp Cinm_ir Func Func_d Linalg_d Rtval Tensor_d Types Workloads

@@ -1,0 +1,1 @@
+lib/benchmarks/suites.ml: Benchmark List Ml_kernels Prim_baseline Prim_kernels

@@ -1,0 +1,1 @@
+lib/benchmarks/suites.mli: Backend Benchmark Cinm_core

@@ -1,0 +1,1 @@
+lib/benchmarks/workloads.ml: Cinm_interp Cinm_ir Tensor

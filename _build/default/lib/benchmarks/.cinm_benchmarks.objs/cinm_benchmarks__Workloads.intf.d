@@ -1,0 +1,1 @@
+lib/benchmarks/workloads.mli: Cinm_interp Tensor

@@ -1,0 +1,34 @@
+(* Benchmark descriptor: a device-independent program (built fresh for
+   each compilation so pipelines can mutate it) plus deterministic input
+   data. *)
+
+open Cinm_ir
+open Cinm_interp
+
+type t = {
+  name : string;
+  category : string;  (** paper benchmark-suite category *)
+  description : string;
+  build : unit -> Func.t;
+  inputs : unit -> Rtval.t list;
+}
+
+let make ~name ~category ~description ~build ~inputs =
+  { name; category; description; build; inputs }
+
+(* Reference output, computed on the host interpreter. *)
+let reference (b : t) =
+  let results, _ = Interp.run_func (b.build ()) (b.inputs ()) in
+  results
+
+(* Check a backend's results against the host reference. *)
+let results_match (b : t) (actual : Rtval.t list) =
+  let expected = reference b in
+  List.length expected = List.length actual
+  && List.for_all2
+       (fun e a ->
+         match (e, a) with
+         | Rtval.Tensor te, Rtval.Tensor ta -> Tensor.equal te ta
+         | Rtval.Int ie, Rtval.Int ia -> ie = ia
+         | _ -> e = a)
+       expected actual

@@ -1,0 +1,26 @@
+(** Benchmark descriptor: a device-independent program (built fresh per
+    compilation, since pipelines mutate it) plus deterministic inputs. *)
+
+open Cinm_ir
+open Cinm_interp
+
+type t = {
+  name : string;
+  category : string;  (** paper benchmark-suite category *)
+  description : string;
+  build : unit -> Func.t;
+  inputs : unit -> Rtval.t list;
+}
+
+val make :
+  name:string ->
+  category:string ->
+  description:string ->
+  build:(unit -> Func.t) ->
+  inputs:(unit -> Rtval.t list) ->
+  t
+
+(** Host-interpreter reference output. *)
+val reference : t -> Rtval.t list
+
+val results_match : t -> Rtval.t list -> bool

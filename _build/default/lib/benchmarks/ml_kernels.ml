@@ -1,0 +1,184 @@
+(* The ML-side benchmarks of the paper's evaluation (§4.1.1): mm, 2mm,
+   3mm, conv, the three tensor contractions from OCC, and the 3-layer MLP
+   entering through the tosa front-end. Sizes are scaled so the functional
+   simulation stays tractable; they can be overridden. *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_interp
+
+let tensor shape = Types.Tensor (shape, Types.I32)
+
+(* mm: C = A x B *)
+let mm ?(m = 256) ?(k = 32) ?(n = 32) () =
+  Benchmark.make ~name:"mm" ~category:"linear algebra"
+    ~description:(Printf.sprintf "matmul %dx%d * %dx%d" m k k n)
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"mm" ~arg_tys:[ tensor [| m; k |]; tensor [| k; n |] ]
+          ~result_tys:[ tensor [| m; n |] ]
+      in
+      let b = Builder.for_func f in
+      Func_d.return b [ Linalg_d.matmul b (Func.param f 0) (Func.param f 1) ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:1 [| m; k |]);
+        Rtval.Tensor (Workloads.tensor ~seed:2 [| k; n |]);
+      ])
+
+(* 2mm: E = (A x B) x C — the second gemm depends on the first *)
+let mm2 ?(m = 128) ?(k = 32) ?(n = 32) ?(p = 32) () =
+  Benchmark.make ~name:"2mm" ~category:"linear algebra"
+    ~description:"two dependent matmuls"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"mm2"
+          ~arg_tys:[ tensor [| m; k |]; tensor [| k; n |]; tensor [| n; p |] ]
+          ~result_tys:[ tensor [| m; p |] ]
+      in
+      let b = Builder.for_func f in
+      let d = Linalg_d.matmul b (Func.param f 0) (Func.param f 1) in
+      Func_d.return b [ Linalg_d.matmul b d (Func.param f 2) ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:3 [| m; k |]);
+        Rtval.Tensor (Workloads.tensor ~seed:4 [| k; n |]);
+        Rtval.Tensor (Workloads.tensor ~seed:5 [| n; p |]);
+      ])
+
+(* 3mm: G = (A x B) x (C x D) — the third gemm waits on the first two
+   (the synchronization-barrier case discussed in §4.2.2) *)
+let mm3 ?(m = 128) ?(k = 32) ?(n = 32) ?(p = 32) ?(q = 32) () =
+  Benchmark.make ~name:"3mm" ~category:"linear algebra"
+    ~description:"two independent matmuls feeding a third"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"mm3"
+          ~arg_tys:
+            [ tensor [| m; k |]; tensor [| k; n |]; tensor [| n; p |]; tensor [| p; q |] ]
+          ~result_tys:[ tensor [| m; q |] ]
+      in
+      let b = Builder.for_func f in
+      let e = Linalg_d.matmul b (Func.param f 0) (Func.param f 1) in
+      let g = Linalg_d.matmul b (Func.param f 2) (Func.param f 3) in
+      Func_d.return b [ Linalg_d.matmul b e g ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:6 [| m; k |]);
+        Rtval.Tensor (Workloads.tensor ~seed:7 [| k; n |]);
+        Rtval.Tensor (Workloads.tensor ~seed:8 [| n; p |]);
+        Rtval.Tensor (Workloads.tensor ~seed:9 [| p; q |]);
+      ])
+
+(* conv: 2D convolution (compute-bound ML kernel) *)
+let conv ?(h = 64) ?(w = 64) ?(kh = 3) ?(kw = 3) () =
+  Benchmark.make ~name:"conv" ~category:"image processing"
+    ~description:(Printf.sprintf "2D convolution %dx%d image, %dx%d kernel" h w kh kw)
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"conv" ~arg_tys:[ tensor [| h; w |]; tensor [| kh; kw |] ]
+          ~result_tys:[ tensor [| h - kh + 1; w - kw + 1 |] ]
+      in
+      let b = Builder.for_func f in
+      Func_d.return b [ Linalg_d.conv_2d b (Func.param f 0) (Func.param f 1) ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:10 [| h; w |]);
+        Rtval.Tensor (Workloads.tensor ~seed:11 [| kh; kw |]);
+      ])
+
+(* Multi-filter convolution, expressed the way the paper's Fig. 5 compiles
+   it: im2col of the image against a bank of [filters] flattened kernels.
+   This is the conv the CIM evaluation uses (the crossbar needs K x N
+   tiles that actually fill the array). *)
+let conv_multi ?(h = 64) ?(w = 64) ?(kh = 8) ?(kw = 8) ?(filters = 64) () =
+  let oh = h - kh + 1 and ow = w - kw + 1 in
+  Benchmark.make ~name:"conv" ~category:"image processing"
+    ~description:
+      (Printf.sprintf "multi-filter conv %dx%d image, %d %dx%d kernels" h w filters kh kw)
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"conv_multi"
+          ~arg_tys:[ tensor [| h; w |]; tensor [| kh * kw; filters |] ]
+          ~result_tys:[ tensor [| oh * ow; filters |] ]
+      in
+      let b = Builder.for_func f in
+      let cols = Cinm_d.im2col b (Func.param f 0) ~kh ~kw in
+      Func_d.return b [ Cinm_d.gemm b cols (Func.param f 1) ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:10 [| h; w |]);
+        Rtval.Tensor (Workloads.tensor ~seed:11 [| kh * kw; filters |]);
+      ])
+
+let einsum_bench ~name ~spec ~a_shape ~b_shape ~out_shape =
+  Benchmark.make ~name ~category:"tensor contraction"
+    ~description:("einsum " ^ spec)
+    ~build:(fun () ->
+      let f =
+        Func.create ~name ~arg_tys:[ tensor a_shape; tensor b_shape ]
+          ~result_tys:[ tensor out_shape ]
+      in
+      let b = Builder.for_func f in
+      Func_d.return b [ Linalg_d.einsum b ~spec (Func.param f 0) (Func.param f 1) ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:12 a_shape);
+        Rtval.Tensor (Workloads.tensor ~seed:13 b_shape);
+      ])
+
+(* contrl: C_abcd = A_aebf B_dfce (two reductions, §4.1.1) *)
+let contrl ?(a = 8) ?(b = 8) ?(c = 8) ?(d = 8) ?(e = 6) ?(f = 6) () =
+  einsum_bench ~name:"contrl" ~spec:"aebf,dfce->abcd" ~a_shape:[| a; e; b; f |]
+    ~b_shape:[| d; f; c; e |] ~out_shape:[| a; b; c; d |]
+
+(* contrs1: C_ab = A_acd B_dbc *)
+let contrs1 ?(a = 32) ?(b = 32) ?(c = 8) ?(d = 8) () =
+  einsum_bench ~name:"contrs1" ~spec:"acd,dbc->ab" ~a_shape:[| a; c; d |]
+    ~b_shape:[| d; b; c |] ~out_shape:[| a; b |]
+
+(* contrs2: C_abc = A_acd B_db *)
+let contrs2 ?(a = 16) ?(b = 16) ?(c = 16) ?(d = 8) () =
+  einsum_bench ~name:"contrs2" ~spec:"acd,db->abc" ~a_shape:[| a; c; d |]
+    ~b_shape:[| d; b |] ~out_shape:[| a; b; c |]
+
+(* mlp: 3 fully connected layers with ReLU, entering via tosa *)
+let mlp ?(batch = 64) ?(d_in = 32) ?(d_hidden = 32) ?(d_out = 16) () =
+  Benchmark.make ~name:"mlp" ~category:"machine learning"
+    ~description:"3-layer MLP (tosa.fully_connected + clamp)"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"mlp"
+          ~arg_tys:
+            [
+              tensor [| batch; d_in |];
+              tensor [| d_hidden; d_in |]; tensor [| d_hidden |];
+              tensor [| d_hidden; d_hidden |]; tensor [| d_hidden |];
+              tensor [| d_out; d_hidden |]; tensor [| d_out |];
+            ]
+          ~result_tys:[ tensor [| batch; d_out |] ]
+      in
+      let b = Builder.for_func f in
+      let l1 = Tosa_d.fully_connected b (Func.param f 0) (Func.param f 1) (Func.param f 2) in
+      let r1 = Tosa_d.relu b l1 in
+      let l2 = Tosa_d.fully_connected b r1 (Func.param f 3) (Func.param f 4) in
+      let r2 = Tosa_d.relu b l2 in
+      let l3 = Tosa_d.fully_connected b r2 (Func.param f 5) (Func.param f 6) in
+      Func_d.return b [ l3 ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:14 ~lo:(-8) ~hi:8 [| batch; d_in |]);
+        Rtval.Tensor (Workloads.tensor ~seed:15 ~lo:(-4) ~hi:4 [| d_hidden; d_in |]);
+        Rtval.Tensor (Workloads.tensor ~seed:16 ~lo:(-4) ~hi:4 [| d_hidden |]);
+        Rtval.Tensor (Workloads.tensor ~seed:17 ~lo:(-4) ~hi:4 [| d_hidden; d_hidden |]);
+        Rtval.Tensor (Workloads.tensor ~seed:18 ~lo:(-4) ~hi:4 [| d_hidden |]);
+        Rtval.Tensor (Workloads.tensor ~seed:19 ~lo:(-4) ~hi:4 [| d_out; d_hidden |]);
+        Rtval.Tensor (Workloads.tensor ~seed:20 ~lo:(-4) ~hi:4 [| d_out |]);
+      ])

@@ -1,0 +1,516 @@
+(* Hand-written UPMEM baselines mirroring the published PrIM kernels
+   (Gómez-Luna et al., the paper's §4.3 comparison target). These are
+   written directly at the upmem dialect level — the moral equivalent of
+   PrIM's hand-optimized C — and run on the same machine simulator as the
+   CINM-generated code.
+
+   Structural properties carried over from the PrIM sources:
+   - DMA blocks are fixed at 2048 bytes (512 INT32 elements), PrIM's
+     BLOCK_SIZE, regardless of the per-tasklet working set;
+   - hst-l keeps small input blocks (WRAM is shared with the histogram)
+     and merges per-tasklet histograms through MRAM in chunks with
+     barriers;
+   - mv stages the vector per tasklet and one matrix row at a time;
+   - ts hand-unrolls the inner dot-product loop (x4);
+   - bfs traverses the adjacency structure with small irregular DMA reads
+     (CSR-style access), where CINM's gemv rewrite gets bulk transfers. *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_transforms
+open Cinm_interp
+open Cinm_core
+
+let tensor shape = Types.Tensor (shape, Types.I32)
+
+let prim_block = 512  (* elements: PrIM's 2048-byte BLOCK_SIZE *)
+
+let grid_of (c : Backend.upmem_config) =
+  (c.Backend.dimms * c.Backend.dpus_per_dimm, c.Backend.tasklets)
+
+let block_of l = Cnm_to_upmem.largest_divisor_leq l prim_block
+
+let check_divisible name total p =
+  if total mod p <> 0 then
+    invalid_arg
+      (Printf.sprintf "prim %s: %d elements not divisible by %d PUs" name total p)
+
+(* ----- va ----- *)
+
+let va (config : Backend.upmem_config) ?(n = 65536) () =
+  let dpus, tasklets = grid_of config in
+  let p = dpus * tasklets in
+  check_divisible "va" n p;
+  let l = n / p in
+  Benchmark.make ~name:"va" ~category:"prim-baseline" ~description:"PrIM vector add"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"prim_va" ~arg_tys:[ tensor [| n |]; tensor [| n |] ]
+          ~result_tys:[ tensor [| n |] ]
+      in
+      let b = Builder.for_func f in
+      let wg = Upmem_d.alloc_dpus b ~dimms:config.Backend.dimms ~dpus ~tasklets in
+      let a_buf = Upmem_d.alloc b wg ~shape:[| l |] ~dtype:Types.I32 ~level:0 in
+      let b_buf = Upmem_d.alloc b wg ~shape:[| l |] ~dtype:Types.I32 ~level:0 in
+      let c_buf = Upmem_d.alloc b wg ~shape:[| l |] ~dtype:Types.I32 ~level:0 in
+      let t1 = Upmem_d.scatter b (Func.param f 0) a_buf wg ~map:"block" in
+      let t2 = Upmem_d.scatter b (Func.param f 1) b_buf wg ~map:"block" in
+      let bs = block_of l in
+      let tl =
+        Upmem_d.launch b wg ~tasklets ~ins:[ a_buf; b_buf ] ~outs:[ c_buf ]
+          (fun bb args ->
+            let a_m = args.(0) and b_m = args.(1) and c_m = args.(2) in
+            let wram_a = Upmem_d.wram_alloc bb [| bs |] Types.I32 in
+            let wram_b = Upmem_d.wram_alloc bb [| bs |] Types.I32 in
+            let wram_c = Upmem_d.wram_alloc bb [| bs |] Types.I32 in
+            let c0 = Arith.const_index bb 0 in
+            let c1 = Arith.const_index bb 1 in
+            Cnm_to_upmem.foreach_block bb ~l ~bs (fun bb ~off ->
+                Upmem_d.mram_read bb ~mram:a_m ~wram:wram_a ~mram_off:off ~wram_off:c0
+                  ~count:bs;
+                Upmem_d.mram_read bb ~mram:b_m ~wram:wram_b ~mram_off:off ~wram_off:c0
+                  ~count:bs;
+                Scf_d.for0 bb ~lb:c0 ~ub:(Arith.const_index bb bs) ~step:c1 (fun bb i ->
+                    let x = Memref_d.load bb wram_a [ i ] in
+                    let y = Memref_d.load bb wram_b [ i ] in
+                    Memref_d.store bb (Arith.addi bb x y) wram_c [ i ]);
+                Upmem_d.mram_write bb ~wram:wram_c ~mram:c_m ~mram_off:off ~wram_off:c0
+                  ~count:bs))
+      in
+      let out, tg = Upmem_d.gather b c_buf wg ~result_shape:[| n |] in
+      Cnm_d.wait b [ t1; t2; tl; tg ];
+      Func_d.return b [ out ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:21 [| n |]);
+        Rtval.Tensor (Workloads.tensor ~seed:22 [| n |]);
+      ])
+
+(* ----- mv ----- *)
+
+let mv (config : Backend.upmem_config) ?(m = 512) ?(n = 64) () =
+  let dpus, tasklets = grid_of config in
+  let p = dpus * tasklets in
+  check_divisible "mv" m p;
+  let rows = m / p in
+  Benchmark.make ~name:"mv" ~category:"prim-baseline" ~description:"PrIM matrix-vector"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"prim_mv" ~arg_tys:[ tensor [| m; n |]; tensor [| n |] ]
+          ~result_tys:[ tensor [| m |] ]
+      in
+      let b = Builder.for_func f in
+      let wg = Upmem_d.alloc_dpus b ~dimms:config.Backend.dimms ~dpus ~tasklets in
+      let a_buf = Upmem_d.alloc b wg ~shape:[| rows; n |] ~dtype:Types.I32 ~level:0 in
+      let x_buf = Upmem_d.alloc b wg ~shape:[| n |] ~dtype:Types.I32 ~level:1 in
+      let y_buf = Upmem_d.alloc b wg ~shape:[| rows |] ~dtype:Types.I32 ~level:0 in
+      let t1 = Upmem_d.scatter b (Func.param f 0) a_buf wg ~map:"block" in
+      let t2 = Upmem_d.scatter b (Func.param f 1) x_buf wg ~map:"broadcast" in
+      let tl =
+        Upmem_d.launch b wg ~tasklets ~ins:[ a_buf; x_buf ] ~outs:[ y_buf ]
+          (fun bb args ->
+            let a_m = args.(0) and x_m = args.(1) and y_m = args.(2) in
+            let wram_x = Upmem_d.wram_alloc bb [| n |] Types.I32 in
+            let wram_row = Upmem_d.wram_alloc bb [| n |] Types.I32 in
+            let wram_y = Upmem_d.wram_alloc bb [| rows |] Types.I32 in
+            let c0 = Arith.const_index bb 0 in
+            let c1 = Arith.const_index bb 1 in
+            let cn = Arith.const_index bb n in
+            let zero = Arith.constant bb 0 in
+            Upmem_d.mram_read bb ~mram:x_m ~wram:wram_x ~mram_off:c0 ~wram_off:c0 ~count:n;
+            Scf_d.for0 bb ~lb:c0 ~ub:(Arith.const_index bb rows) ~step:c1 (fun bb i ->
+                let row_off = Arith.muli bb i cn in
+                Upmem_d.mram_read bb ~mram:a_m ~wram:wram_row ~mram_off:row_off
+                  ~wram_off:c0 ~count:n;
+                let acc =
+                  Scf_d.for_ bb ~lb:c0 ~ub:cn ~step:c1 ~init:[ zero ] (fun bb j iters ->
+                      let a = Memref_d.load bb wram_row [ j ] in
+                      let x = Memref_d.load bb wram_x [ j ] in
+                      [ Arith.addi bb iters.(0) (Arith.muli bb a x) ])
+                in
+                Memref_d.store bb (List.hd acc) wram_y [ i ]);
+            Upmem_d.mram_write bb ~wram:wram_y ~mram:y_m ~mram_off:c0 ~wram_off:c0
+              ~count:rows)
+      in
+      let out, tg = Upmem_d.gather b y_buf wg ~result_shape:[| m |] in
+      Cnm_d.wait b [ t1; t2; tl; tg ];
+      Func_d.return b [ out ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:23 [| m; n |]);
+        Rtval.Tensor (Workloads.tensor ~seed:24 [| n |]);
+      ])
+
+(* ----- hst-l ----- *)
+
+let hst_l (config : Backend.upmem_config) ?(n = 65536) ?(bins = 256) () =
+  let dpus, tasklets = grid_of config in
+  let p = dpus * tasklets in
+  check_divisible "hst-l" n p;
+  let l = n / p in
+  Benchmark.make ~name:"hst-l" ~category:"prim-baseline" ~description:"PrIM histogram (large)"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"prim_hst" ~arg_tys:[ tensor [| n |] ]
+          ~result_tys:[ tensor [| bins |] ]
+      in
+      let b = Builder.for_func f in
+      let wg = Upmem_d.alloc_dpus b ~dimms:config.Backend.dimms ~dpus ~tasklets in
+      let a_buf = Upmem_d.alloc b wg ~shape:[| l |] ~dtype:Types.I32 ~level:0 in
+      let h_buf = Upmem_d.alloc b wg ~shape:[| bins |] ~dtype:Types.I32 ~level:0 in
+      let t1 = Upmem_d.scatter b (Func.param f 0) a_buf wg ~map:"block" in
+      (* small input blocks: WRAM is shared with the histogram tables *)
+      let bs = Cnm_to_upmem.largest_divisor_leq l 96 in
+      let merge_chunk = 16 in
+      let tl =
+        Upmem_d.launch b wg ~tasklets ~ins:[ a_buf ] ~outs:[ h_buf ] (fun bb args ->
+            let a_m = args.(0) and h_m = args.(1) in
+            let wram_a = Upmem_d.wram_alloc bb [| bs |] Types.I32 in
+            let wram_h = Upmem_d.wram_alloc bb [| bins |] Types.I32 in
+            let c0 = Arith.const_index bb 0 in
+            let c1 = Arith.const_index bb 1 in
+            let one = Arith.constant bb 1 in
+            let zero = Arith.constant bb 0 in
+            Scf_d.for0 bb ~lb:c0 ~ub:(Arith.const_index bb bins) ~step:c1 (fun bb i ->
+                Memref_d.store bb zero wram_h [ i ]);
+            Cnm_to_upmem.foreach_block bb ~l ~bs (fun bb ~off ->
+                Upmem_d.mram_read bb ~mram:a_m ~wram:wram_a ~mram_off:off ~wram_off:c0
+                  ~count:bs;
+                Scf_d.for0 bb ~lb:c0 ~ub:(Arith.const_index bb bs) ~step:c1 (fun bb i ->
+                    let v = Memref_d.load bb wram_a [ i ] in
+                    let slot = Arith.index_cast bb v ~to_ty:Types.Index in
+                    let cur = Memref_d.load bb wram_h [ slot ] in
+                    Memref_d.store bb (Arith.addi bb cur one) wram_h [ slot ]));
+            (* chunked merge into MRAM with synchronization, as in PrIM's
+               cross-tasklet histogram merge *)
+            Scf_d.for0 bb ~lb:c0 ~ub:(Arith.const_index bb (bins / merge_chunk)) ~step:c1
+              (fun bb chunk ->
+                Upmem_d.barrier_wait bb;
+                let off = Arith.muli bb chunk (Arith.const_index bb merge_chunk) in
+                Upmem_d.mram_write bb ~wram:wram_h ~mram:h_m ~mram_off:off ~wram_off:off
+                  ~count:merge_chunk))
+      in
+      let partials, tg = Upmem_d.gather b h_buf wg ~result_shape:[| p * bins |] in
+      Cnm_d.wait b [ t1; tl; tg ];
+      (* host merge of per-PU histograms *)
+      let zero = Arith.constant b 0 in
+      let acc0 =
+        Builder.build1 b "tensor.splat" ~operands:[ zero ] ~result_tys:[ tensor [| bins |] ]
+      in
+      let c0 = Arith.const_index b 0 in
+      let c1 = Arith.const_index b 1 in
+      let cp = Arith.const_index b p in
+      let c_bins = Arith.const_index b bins in
+      let merged =
+        Scf_d.for_ b ~lb:c0 ~ub:cp ~step:c1 ~init:[ acc0 ] (fun bb pi iters ->
+            let off = Arith.muli bb pi c_bins in
+            let part =
+              Tensor_d.extract_slice bb partials ~offsets:[| 0 |] ~sizes:[| bins |]
+                ~dyn_offsets:[ off ]
+            in
+            [ Cinm_d.merge_partial bb ~op:"add" iters.(0) part ])
+      in
+      Func_d.return b [ List.hd merged ];
+      f)
+    ~inputs:(fun () -> [ Rtval.Tensor (Workloads.tensor_mod ~seed:26 [| n |] ~bins) ])
+
+(* ----- sel ----- *)
+
+let sel (config : Backend.upmem_config) ?(n = 65536) ?(threshold = 0) () =
+  let dpus, tasklets = grid_of config in
+  let p = dpus * tasklets in
+  check_divisible "sel" n p;
+  let l = n / p in
+  Benchmark.make ~name:"sel" ~category:"prim-baseline"
+    ~description:"PrIM select (fused predicate + local scan, host offsets)"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"prim_sel" ~arg_tys:[ tensor [| n |] ]
+          ~result_tys:[ tensor [| n |]; Types.Scalar Types.I32 ]
+      in
+      let b = Builder.for_func f in
+      let wg = Upmem_d.alloc_dpus b ~dimms:config.Backend.dimms ~dpus ~tasklets in
+      let x_buf = Upmem_d.alloc b wg ~shape:[| l |] ~dtype:Types.I32 ~level:0 in
+      let s_buf = Upmem_d.alloc b wg ~shape:[| l |] ~dtype:Types.I32 ~level:0 in
+      let t_buf = Upmem_d.alloc b wg ~shape:[| 1 |] ~dtype:Types.I32 ~level:0 in
+      let t1 = Upmem_d.scatter b (Func.param f 0) x_buf wg ~map:"block" in
+      let bs = block_of l in
+      (* kernel 1: fused predicate + local inclusive scan + total *)
+      let tl1 =
+        Upmem_d.launch b wg ~tasklets ~ins:[ x_buf ] ~outs:[ s_buf; t_buf ]
+          (fun bb args ->
+            let x_m = args.(0) and s_m = args.(1) and t_m = args.(2) in
+            let wram_x = Upmem_d.wram_alloc bb [| bs |] Types.I32 in
+            let wram_t = Upmem_d.wram_alloc bb [| 1 |] Types.I32 in
+            let c0 = Arith.const_index bb 0 in
+            let c1 = Arith.const_index bb 1 in
+            let zero = Arith.constant bb 0 in
+            let one = Arith.constant bb 1 in
+            let thr = Arith.constant bb threshold in
+            Memref_d.store bb zero wram_t [ c0 ];
+            Cnm_to_upmem.foreach_block bb ~l ~bs (fun bb ~off ->
+                Upmem_d.mram_read bb ~mram:x_m ~wram:wram_x ~mram_off:off ~wram_off:c0
+                  ~count:bs;
+                Scf_d.for0 bb ~lb:c0 ~ub:(Arith.const_index bb bs) ~step:c1 (fun bb i ->
+                    let v = Memref_d.load bb wram_x [ i ] in
+                    let pred = Arith.cmpi bb Arith.Slt v thr in
+                    let flag = Arith.select bb pred one zero in
+                    let carry = Memref_d.load bb wram_t [ c0 ] in
+                    let acc = Arith.addi bb carry flag in
+                    Memref_d.store bb acc wram_x [ i ];
+                    Memref_d.store bb acc wram_t [ c0 ]);
+                Upmem_d.mram_write bb ~wram:wram_x ~mram:s_m ~mram_off:off ~wram_off:c0
+                  ~count:bs);
+            Upmem_d.mram_write bb ~wram:wram_t ~mram:t_m ~mram_off:c0 ~wram_off:c0
+              ~count:1)
+      in
+      let totals, tg1 = Upmem_d.gather b t_buf wg ~result_shape:[| p |] in
+      Cnm_d.wait b [ t1; tl1; tg1 ];
+      let inclusive = Cinm_d.scan b ~op:"add" totals in
+      let offsets = Cinm_d.sub b inclusive totals in
+      let o_buf = Upmem_d.alloc b wg ~shape:[| 1 |] ~dtype:Types.I32 ~level:0 in
+      let t2 = Upmem_d.scatter b offsets o_buf wg ~map:"block" in
+      let f_buf = Upmem_d.alloc b wg ~shape:[| l |] ~dtype:Types.I32 ~level:0 in
+      (* kernel 2: add the per-PU offsets *)
+      let tl2 =
+        Upmem_d.launch b wg ~tasklets ~ins:[ s_buf; o_buf ] ~outs:[ f_buf ]
+          (fun bb args ->
+            Cnm_to_upmem.scan_add_kernel
+              { Cnm_to_upmem.default_options with naive_block = prim_block }
+              ~style:"naive" ~tasklets ~opname:"add" ~l ~dt:Types.I32 bb args)
+      in
+      let final, tg2 = Upmem_d.gather b f_buf wg ~result_shape:[| n |] in
+      Cnm_d.wait b [ t2; tl2; tg2 ];
+      let n_idx = Arith.const_index b (n - 1) in
+      let count = Tensor_d.extract b final [ n_idx ] in
+      Func_d.return b [ final; count ];
+      f)
+    ~inputs:(fun () -> [ Rtval.Tensor (Workloads.tensor ~seed:27 [| n |]) ])
+
+(* ----- ts ----- *)
+
+let ts (config : Backend.upmem_config) ?(n = 65543) ?(m = 8) ?(k = 8) () =
+  let dpus, tasklets = grid_of config in
+  let p = dpus * tasklets in
+  let windows = n - m + 1 in
+  check_divisible "ts" windows p;
+  let l = windows / p in
+  if m mod 4 <> 0 then invalid_arg "prim ts: query length must be a multiple of 4";
+  Benchmark.make ~name:"ts" ~category:"prim-baseline"
+    ~description:"PrIM time series (hand-unrolled inner loop)"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"prim_ts" ~arg_tys:[ tensor [| n |]; tensor [| m |] ]
+          ~result_tys:[ tensor [| k |]; tensor [| k |] ]
+      in
+      let b = Builder.for_func f in
+      let wg = Upmem_d.alloc_dpus b ~dimms:config.Backend.dimms ~dpus ~tasklets in
+      let db_buf = Upmem_d.alloc b wg ~shape:[| l + m - 1 |] ~dtype:Types.I32 ~level:0 in
+      let q_buf = Upmem_d.alloc b wg ~shape:[| m |] ~dtype:Types.I32 ~level:1 in
+      let base_buf = Upmem_d.alloc b wg ~shape:[| 1 |] ~dtype:Types.I32 ~level:0 in
+      let v_buf = Upmem_d.alloc b wg ~shape:[| k |] ~dtype:Types.I32 ~level:0 in
+      let i_buf = Upmem_d.alloc b wg ~shape:[| k |] ~dtype:Types.I32 ~level:0 in
+      let t1 = Upmem_d.scatter b (Func.param f 0) db_buf wg ~halo:(m - 1) ~map:"overlap" in
+      let t2 = Upmem_d.scatter b (Func.param f 1) q_buf wg ~map:"broadcast" in
+      let bases =
+        let idx = Builder.build1 b "tensor.empty" ~result_tys:[ tensor [| p |] ] in
+        let c0 = Arith.const_index b 0 in
+        let c1 = Arith.const_index b 1 in
+        let cp = Arith.const_index b p in
+        let cl = Arith.constant b l in
+        List.hd
+          (Scf_d.for_ b ~lb:c0 ~ub:cp ~step:c1 ~init:[ idx ] (fun bb pi iters ->
+               let pi32 = Arith.index_cast bb pi ~to_ty:(Types.Scalar Types.I32) in
+               [ Tensor_d.insert bb (Arith.muli bb pi32 cl) iters.(0) [ pi ] ]))
+      in
+      let t3 = Upmem_d.scatter b bases base_buf wg ~map:"block" in
+      let tl =
+        Upmem_d.launch b wg ~tasklets
+          ~ins:[ db_buf; q_buf; base_buf ]
+          ~outs:[ v_buf; i_buf ]
+          (fun bb args ->
+            let db_m = args.(0) and q_m = args.(1) and base_m = args.(2) in
+            let v_m = args.(3) and i_m = args.(4) in
+            let c0 = Arith.const_index bb 0 in
+            let c1 = Arith.const_index bb 1 in
+            let zero = Arith.constant bb 0 in
+            let min_int32 = Arith.constant bb (-0x80000000) in
+            let wram_db = Upmem_d.wram_alloc bb [| l + m - 1 |] Types.I32 in
+            let wram_q = Upmem_d.wram_alloc bb [| m |] Types.I32 in
+            let wram_base = Upmem_d.wram_alloc bb [| 1 |] Types.I32 in
+            let scores = Upmem_d.wram_alloc bb [| l |] Types.I32 in
+            let wram_v = Upmem_d.wram_alloc bb [| k |] Types.I32 in
+            let wram_i = Upmem_d.wram_alloc bb [| k |] Types.I32 in
+            Upmem_d.mram_read bb ~mram:db_m ~wram:wram_db ~mram_off:c0 ~wram_off:c0
+              ~count:(l + m - 1);
+            Upmem_d.mram_read bb ~mram:q_m ~wram:wram_q ~mram_off:c0 ~wram_off:c0 ~count:m;
+            Upmem_d.mram_read bb ~mram:base_m ~wram:wram_base ~mram_off:c0 ~wram_off:c0
+              ~count:1;
+            (* hand-unrolled x4 inner loop: one loop iteration handles four
+               query positions, saving induction overhead *)
+            Scf_d.for0 bb ~lb:c0 ~ub:(Arith.const_index bb l) ~step:c1 (fun bb w ->
+                let score =
+                  Scf_d.for_ bb ~lb:c0 ~ub:(Arith.const_index bb m)
+                    ~step:(Arith.const_index bb 4) ~init:[ zero ] (fun bb j iters ->
+                      let contrib_at jj =
+                        let d = Memref_d.load bb wram_db [ Arith.addi bb w jj ] in
+                        let q = Memref_d.load bb wram_q [ jj ] in
+                        let diff = Arith.subi bb d q in
+                        Arith.muli bb diff diff
+                      in
+                      let j1 = Arith.addi bb j c1 in
+                      let j2 = Arith.addi bb j1 c1 in
+                      let j3 = Arith.addi bb j2 c1 in
+                      let s01 = Arith.addi bb (contrib_at j) (contrib_at j1) in
+                      let s23 = Arith.addi bb (contrib_at j2) (contrib_at j3) in
+                      [ Arith.addi bb iters.(0) (Arith.addi bb s01 s23) ])
+                in
+                (* negate so larger = more similar, as in the CINM kernel *)
+                Memref_d.store bb (Arith.subi bb zero (List.hd score)) scores [ w ]);
+            let base = Memref_d.load bb wram_base [ c0 ] in
+            Scf_d.for0 bb ~lb:c0 ~ub:(Arith.const_index bb k) ~step:c1 (fun bb j ->
+                let best =
+                  Scf_d.for_ bb ~lb:c0 ~ub:(Arith.const_index bb l) ~step:c1
+                    ~init:[ min_int32; zero ] (fun bb w iters ->
+                      let s = Memref_d.load bb scores [ w ] in
+                      let better = Arith.cmpi bb Arith.Sgt s iters.(0) in
+                      let w_i32 = Arith.index_cast bb w ~to_ty:(Types.Scalar Types.I32) in
+                      [
+                        Arith.select bb better s iters.(0);
+                        Arith.select bb better w_i32 iters.(1);
+                      ])
+                in
+                match best with
+                | [ best_v; best_w ] ->
+                  Memref_d.store bb best_v wram_v [ j ];
+                  Memref_d.store bb (Arith.addi bb best_w base) wram_i [ j ];
+                  let w_idx = Arith.index_cast bb best_w ~to_ty:Types.Index in
+                  Memref_d.store bb min_int32 scores [ w_idx ]
+                | _ -> assert false);
+            Upmem_d.mram_write bb ~wram:wram_v ~mram:v_m ~mram_off:c0 ~wram_off:c0 ~count:k;
+            Upmem_d.mram_write bb ~wram:wram_i ~mram:i_m ~mram_off:c0 ~wram_off:c0 ~count:k)
+      in
+      let all_v, tg1 = Upmem_d.gather b v_buf wg ~result_shape:[| p * k |] in
+      let all_i, tg2 = Upmem_d.gather b i_buf wg ~result_shape:[| p * k |] in
+      Cnm_d.wait b [ t1; t2; t3; tl; tg1; tg2 ];
+      let top_v, top_pos = Cinm_d.topk b all_v ~k in
+      let final_idx0 = Builder.build1 b "tensor.empty" ~result_tys:[ tensor [| k |] ] in
+      let c0 = Arith.const_index b 0 in
+      let c1 = Arith.const_index b 1 in
+      let ck = Arith.const_index b k in
+      let final_idx =
+        Scf_d.for_ b ~lb:c0 ~ub:ck ~step:c1 ~init:[ final_idx0 ] (fun bb j iters ->
+            let pos = Tensor_d.extract bb top_pos [ j ] in
+            let pos_idx = Arith.index_cast bb pos ~to_ty:Types.Index in
+            let global = Tensor_d.extract bb all_i [ pos_idx ] in
+            [ Tensor_d.insert bb global iters.(0) [ j ] ])
+      in
+      Func_d.return b [ top_v; List.hd final_idx ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:28 ~lo:0 ~hi:60 [| n |]);
+        Rtval.Tensor (Workloads.tensor ~seed:29 ~lo:0 ~hi:60 [| m |]);
+      ])
+
+(* ----- bfs ----- *)
+
+let bfs (config : Backend.upmem_config) ?(v = 256) ?(levels = 4) ?(density_pct = 6) () =
+  let dpus, tasklets = grid_of config in
+  let p = dpus * tasklets in
+  let rows = Cinm_support.Util.ceil_div v p in
+  let v_pad = rows * p in
+  Benchmark.make ~name:"bfs" ~category:"prim-baseline"
+    ~description:"PrIM BFS (irregular adjacency access)"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"prim_bfs" ~arg_tys:[ tensor [| v; v |]; tensor [| v |] ]
+          ~result_tys:[ tensor [| v |] ]
+      in
+      let b = Builder.for_func f in
+      let wg = Upmem_d.alloc_dpus b ~dimms:config.Backend.dimms ~dpus ~tasklets in
+      (* per-PU adjacency rows stay resident in MRAM across levels *)
+      let adj_buf = Upmem_d.alloc b wg ~shape:[| rows; v |] ~dtype:Types.I32 ~level:0 in
+      let adj_pad =
+        if v_pad = v then Func.param f 0
+        else Tensor_d.pad b (Func.param f 0) ~low:[| 0; 0 |] ~high:[| v_pad - v; 0 |]
+      in
+      let t0 = Upmem_d.scatter b adj_pad adj_buf wg ~map:"block" in
+      Cnm_d.wait b [ t0 ];
+      let one_splat =
+        Builder.build1 b "tensor.splat" ~operands:[ Arith.constant b 1 ]
+          ~result_tys:[ tensor [| v |] ]
+      in
+      let rec level_loop lvl frontier visited =
+        if lvl = 0 then visited
+        else begin
+          let fr_buf = Upmem_d.alloc b wg ~shape:[| v |] ~dtype:Types.I32 ~level:1 in
+          let t1 = Upmem_d.scatter b frontier fr_buf wg ~map:"broadcast" in
+          let out_buf = Upmem_d.alloc b wg ~shape:[| rows |] ~dtype:Types.I32 ~level:0 in
+          let tl =
+            Upmem_d.launch b wg ~tasklets ~ins:[ adj_buf; fr_buf ] ~outs:[ out_buf ]
+              (fun bb args ->
+                let adj_m = args.(0) and fr_m = args.(1) and out_m = args.(2) in
+                let wram_fr = Upmem_d.wram_alloc bb [| v |] Types.I32 in
+                let wram_e = Upmem_d.wram_alloc bb [| 2 |] Types.I32 in
+                let wram_out = Upmem_d.wram_alloc bb [| rows |] Types.I32 in
+                let c0 = Arith.const_index bb 0 in
+                let c1 = Arith.const_index bb 1 in
+                let cv = Arith.const_index bb v in
+                let zero = Arith.constant bb 0 in
+                let one = Arith.constant bb 1 in
+                Upmem_d.mram_read bb ~mram:fr_m ~wram:wram_fr ~mram_off:c0 ~wram_off:c0
+                  ~count:v;
+                Scf_d.for0 bb ~lb:c0 ~ub:(Arith.const_index bb rows) ~step:c1 (fun bb i ->
+                    Memref_d.store bb zero wram_out [ i ];
+                    let row_off = Arith.muli bb i cv in
+                    (* irregular per-edge reads: each adjacency cell comes
+                       in through its own small DMA, as in PrIM's CSR walk *)
+                    Scf_d.for0 bb ~lb:c0 ~ub:cv ~step:c1 (fun bb j ->
+                        let fr = Memref_d.load bb wram_fr [ j ] in
+                        let active = Arith.cmpi bb Arith.Ne fr zero in
+                        ignore
+                          (Scf_d.if_ bb active
+                             ~then_:(fun bb ->
+                               Upmem_d.mram_read bb ~mram:adj_m ~wram:wram_e
+                                 ~mram_off:(Arith.addi bb row_off j) ~wram_off:c0 ~count:1;
+                               let a = Memref_d.load bb wram_e [ c0 ] in
+                               let hit = Arith.cmpi bb Arith.Ne a zero in
+                               let cur = Memref_d.load bb wram_out [ i ] in
+                               Memref_d.store bb (Arith.select bb hit one cur) wram_out [ i ];
+                               [])
+                             ~else_:(fun _ -> [])
+                             ~result_tys:[]));
+                    ());
+                Upmem_d.mram_write bb ~wram:wram_out ~mram:out_m ~mram_off:c0 ~wram_off:c0
+                  ~count:rows)
+          in
+          let raw_pad, tg = Upmem_d.gather b out_buf wg ~result_shape:[| v_pad |] in
+          Cnm_d.wait b [ t1; tl; tg ];
+          let raw =
+            if v_pad = v then raw_pad
+            else
+              Tensor_d.extract_slice b raw_pad ~offsets:[| 0 |] ~sizes:[| v |]
+                ~dyn_offsets:[]
+          in
+          (* host: fresh = max(raw - visited, 0); visited' = min(visited + fresh, 1) *)
+          let unvisited = Cinm_d.sub b raw visited in
+          let zero_splat =
+            Builder.build1 b "tensor.splat" ~operands:[ Arith.constant b 0 ]
+              ~result_tys:[ tensor [| v |] ]
+          in
+          let fresh = Cinm_d.max_ b unvisited zero_splat in
+          let visited' = Cinm_d.min_ b (Cinm_d.add b visited fresh) one_splat in
+          level_loop (lvl - 1) fresh visited'
+        end
+      in
+      let result = level_loop levels (Func.param f 1) (Func.param f 1) in
+      Func_d.return b [ result ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.adjacency ~seed:30 v ~density_pct);
+        Rtval.Tensor (Workloads.one_hot v 0);
+      ])

@@ -1,0 +1,171 @@
+(* The PrIM-suite benchmarks the paper evaluates on UPMEM (§4.1.1): vector
+   addition (va), matrix-vector multiplication (mv), large histogram
+   (hst-l), breadth-first search (bfs), database select (sel), time-series
+   analysis (ts), plus reduction (red, Table 4). Expressed device-
+   independently at the linalg/cinm level; the CINM pipeline offloads
+   them. *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_interp
+
+let tensor shape = Types.Tensor (shape, Types.I32)
+
+let va ?(n = 65536) () =
+  Benchmark.make ~name:"va" ~category:"linear algebra" ~description:"vector addition"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"va" ~arg_tys:[ tensor [| n |]; tensor [| n |] ]
+          ~result_tys:[ tensor [| n |] ]
+      in
+      let b = Builder.for_func f in
+      Func_d.return b [ Linalg_d.add b (Func.param f 0) (Func.param f 1) ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:21 [| n |]);
+        Rtval.Tensor (Workloads.tensor ~seed:22 [| n |]);
+      ])
+
+let mv ?(m = 512) ?(n = 64) () =
+  Benchmark.make ~name:"mv" ~category:"linear algebra"
+    ~description:"matrix-vector multiplication"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"mv" ~arg_tys:[ tensor [| m; n |]; tensor [| n |] ]
+          ~result_tys:[ tensor [| m |] ]
+      in
+      let b = Builder.for_func f in
+      Func_d.return b [ Linalg_d.matvec b (Func.param f 0) (Func.param f 1) ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:23 [| m; n |]);
+        Rtval.Tensor (Workloads.tensor ~seed:24 [| n |]);
+      ])
+
+let red ?(n = 65536) () =
+  Benchmark.make ~name:"red" ~category:"reduction" ~description:"sum reduction"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"red" ~arg_tys:[ tensor [| n |] ]
+          ~result_tys:[ Types.Scalar Types.I32 ]
+      in
+      let b = Builder.for_func f in
+      Func_d.return b [ Linalg_d.reduce b ~op:"add" (Func.param f 0) ];
+      f)
+    ~inputs:(fun () -> [ Rtval.Tensor (Workloads.tensor ~seed:25 [| n |]) ])
+
+let hst_l ?(n = 65536) ?(bins = 256) () =
+  Benchmark.make ~name:"hst-l" ~category:"image processing"
+    ~description:"large histogram"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"hst_l" ~arg_tys:[ tensor [| n |] ]
+          ~result_tys:[ tensor [| bins |] ]
+      in
+      let b = Builder.for_func f in
+      Func_d.return b [ Cinm_d.histogram b (Func.param f 0) ~bins ];
+      f)
+    ~inputs:(fun () -> [ Rtval.Tensor (Workloads.tensor_mod ~seed:26 [| n |] ~bins) ])
+
+(* sel: database select. flags = (x < t) built from Table-1 elementwise
+   ops: max(min(t - x, 1), 0); the offloaded kernel is flags + inclusive
+   scan (write positions); the host reads the count from the scan's last
+   element. Mirrors PrIM's predicate + prefix-sum structure. *)
+let sel ?(n = 65536) ?(threshold = 0) () =
+  Benchmark.make ~name:"sel" ~category:"database" ~description:"select (predicate + scan)"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"sel" ~arg_tys:[ tensor [| n |] ]
+          ~result_tys:[ tensor [| n |]; Types.Scalar Types.I32 ]
+      in
+      let b = Builder.for_func f in
+      let x = Func.param f 0 in
+      let t_splat =
+        Builder.build1 b "tensor.splat"
+          ~operands:[ Arith.constant b threshold ]
+          ~result_tys:[ tensor [| n |] ]
+      in
+      let one_splat =
+        Builder.build1 b "tensor.splat" ~operands:[ Arith.constant b 1 ]
+          ~result_tys:[ tensor [| n |] ]
+      in
+      let zero_splat =
+        Builder.build1 b "tensor.splat" ~operands:[ Arith.constant b 0 ]
+          ~result_tys:[ tensor [| n |] ]
+      in
+      let diff = Linalg_d.sub b t_splat x in
+      let capped = Builder.build1 b "linalg.min" ~operands:[ diff; one_splat ] ~result_tys:[ tensor [| n |] ] in
+      let flags = Builder.build1 b "linalg.max" ~operands:[ capped; zero_splat ] ~result_tys:[ tensor [| n |] ] in
+      let positions = Cinm_d.scan b ~op:"add" flags in
+      let n_idx = Arith.const_index b (n - 1) in
+      let count = Tensor_d.extract b positions [ n_idx ] in
+      Func_d.return b [ positions; count ];
+      f)
+    ~inputs:(fun () -> [ Rtval.Tensor (Workloads.tensor ~seed:27 [| n |]) ])
+
+(* ts: time-series analysis — find the k windows of the series most
+   similar to the query (cinm.simSearch, Table 1). The window count is
+   sized to divide the PU grid. *)
+let ts ?(n = 65543) ?(m = 8) ?(k = 8) () =
+  Benchmark.make ~name:"ts" ~category:"time series" ~description:"similarity search"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"ts" ~arg_tys:[ tensor [| n |]; tensor [| m |] ]
+          ~result_tys:[ tensor [| k |]; tensor [| k |] ]
+      in
+      let b = Builder.for_func f in
+      let v, i = Cinm_d.sim_search b ~metric:"l2" ~k (Func.param f 0) (Func.param f 1) in
+      Func_d.return b [ v; i ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.tensor ~seed:28 ~lo:0 ~hi:60 [| n |]);
+        Rtval.Tensor (Workloads.tensor ~seed:29 ~lo:0 ~hi:60 [| m |]);
+      ])
+
+(* bfs: level-synchronous BFS expressed as gemv + elementwise saturation
+   over a dense adjacency matrix (frontier' = clamp(Adj x frontier) and
+   not visited), iterated for a fixed number of levels. *)
+let bfs ?(v = 256) ?(levels = 4) ?(density_pct = 6) () =
+  Benchmark.make ~name:"bfs" ~category:"graph processing"
+    ~description:"level-synchronous BFS (gemv formulation)"
+    ~build:(fun () ->
+      let f =
+        Func.create ~name:"bfs" ~arg_tys:[ tensor [| v; v |]; tensor [| v |] ]
+          ~result_tys:[ tensor [| v |] ]
+      in
+      let b = Builder.for_func f in
+      let adj = Func.param f 0 in
+      let one_splat =
+        Builder.build1 b "tensor.splat" ~operands:[ Arith.constant b 1 ]
+          ~result_tys:[ tensor [| v |] ]
+      in
+      let zero_splat =
+        Builder.build1 b "tensor.splat" ~operands:[ Arith.constant b 0 ]
+          ~result_tys:[ tensor [| v |] ]
+      in
+      let rec step level frontier visited =
+        if level = 0 then visited
+        else begin
+          let raw = Linalg_d.matvec b adj frontier in
+          let reach = Builder.build1 b "linalg.min" ~operands:[ raw; one_splat ] ~result_tys:[ tensor [| v |] ] in
+          let unvisited = Linalg_d.sub b reach visited in
+          let fresh = Builder.build1 b "linalg.max" ~operands:[ unvisited; zero_splat ] ~result_tys:[ tensor [| v |] ] in
+          let visited' =
+            let sum = Linalg_d.add b visited fresh in
+            Builder.build1 b "linalg.min" ~operands:[ sum; one_splat ] ~result_tys:[ tensor [| v |] ]
+          in
+          step (level - 1) fresh visited'
+        end
+      in
+      let frontier0 = Func.param f 1 in
+      let visited = step levels frontier0 frontier0 in
+      Func_d.return b [ visited ];
+      f)
+    ~inputs:(fun () ->
+      [
+        Rtval.Tensor (Workloads.adjacency ~seed:30 v ~density_pct);
+        Rtval.Tensor (Workloads.one_hot v 0);
+      ])

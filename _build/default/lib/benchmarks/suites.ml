@@ -1,0 +1,70 @@
+(* Benchmark suites, grouped the way the evaluation section uses them. *)
+
+(* ML workloads (Fig. 10 CIM + Fig. 11 UPMEM optimizations). *)
+let ml_suite ?(scale = 1) () =
+  let s = max 1 scale in
+  [
+    Ml_kernels.mm ~m:(128 * s) ~k:32 ~n:32 ();
+    Ml_kernels.mm2 ~m:(64 * s) ~k:32 ~n:32 ~p:32 ();
+    Ml_kernels.mm3 ~m:(64 * s) ~k:32 ~n:32 ~p:32 ~q:32 ();
+    Ml_kernels.conv ~h:(32 * s) ~w:64 ();
+    Ml_kernels.contrl ();
+    Ml_kernels.contrs1 ();
+    Ml_kernels.contrs2 ();
+    Ml_kernels.mlp ~batch:(32 * s) ();
+  ]
+
+(* PrIM workloads (Fig. 12), sized so the PU grids of every DIMM
+   configuration divide the element counts. *)
+type prim_sizes = {
+  va_n : int;
+  mv_m : int;
+  mv_n : int;
+  red_n : int;
+  hst_n : int;
+  hst_bins : int;
+  sel_n : int;
+  ts_n : int;
+  ts_m : int;
+  ts_k : int;
+  bfs_v : int;
+}
+
+let default_prim_sizes =
+  {
+    va_n = 65536;
+    mv_m = 2048;
+    mv_n = 64;
+    red_n = 65536;
+    hst_n = 65536;
+    hst_bins = 256;
+    sel_n = 65536;
+    ts_n = 65536 + 7;
+    ts_m = 8;
+    ts_k = 8;
+    bfs_v = 256;
+  }
+
+let prim_suite ?(sizes = default_prim_sizes) () =
+  [
+    Prim_kernels.va ~n:sizes.va_n ();
+    Prim_kernels.mv ~m:sizes.mv_m ~n:sizes.mv_n ();
+    Prim_kernels.hst_l ~n:sizes.hst_n ~bins:sizes.hst_bins ();
+    Prim_kernels.bfs ~v:sizes.bfs_v ();
+    Prim_kernels.sel ~n:sizes.sel_n ();
+    Prim_kernels.ts ~n:sizes.ts_n ~m:sizes.ts_m ~k:sizes.ts_k ();
+    Prim_kernels.red ~n:sizes.red_n ();
+  ]
+
+(* Matching hand-written PrIM baselines for a given UPMEM grid. *)
+let prim_baselines ?(sizes = default_prim_sizes) config =
+  [
+    Prim_baseline.va config ~n:sizes.va_n ();
+    Prim_baseline.mv config ~m:sizes.mv_m ~n:sizes.mv_n ();
+    Prim_baseline.hst_l config ~n:sizes.hst_n ~bins:sizes.hst_bins ();
+    Prim_baseline.bfs config ~v:sizes.bfs_v ();
+    Prim_baseline.sel config ~n:sizes.sel_n ();
+    Prim_baseline.ts config ~n:sizes.ts_n ~m:sizes.ts_m ~k:sizes.ts_k ();
+  ]
+
+let find name benches = List.find (fun b -> b.Benchmark.name = name) benches

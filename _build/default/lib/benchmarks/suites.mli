@@ -1,0 +1,28 @@
+(** Benchmark suites, grouped the way the evaluation section uses them. *)
+
+open Cinm_core
+
+val ml_suite : ?scale:int -> unit -> Benchmark.t list
+
+type prim_sizes = {
+  va_n : int;
+  mv_m : int;
+  mv_n : int;
+  red_n : int;
+  hst_n : int;
+  hst_bins : int;
+  sel_n : int;
+  ts_n : int;
+  ts_m : int;
+  ts_k : int;
+  bfs_v : int;
+}
+
+val default_prim_sizes : prim_sizes
+val prim_suite : ?sizes:prim_sizes -> unit -> Benchmark.t list
+
+(** Hand-written PrIM baselines for a given UPMEM grid. *)
+val prim_baselines : ?sizes:prim_sizes -> Backend.upmem_config -> Benchmark.t list
+
+(** @raise Not_found when the benchmark is absent. *)
+val find : string -> Benchmark.t list -> Benchmark.t

@@ -1,0 +1,46 @@
+(* Deterministic synthetic workload data. The paper's UPMEM/CIM inputs are
+   random INT32 tensors (PrIM generates uniform random inputs); we use a
+   seeded xorshift PRNG so every run and every backend sees identical
+   data. *)
+
+open Cinm_interp
+
+type rng = { mutable state : int }
+
+let rng ~seed = { state = (if seed = 0 then 0x9E3779B9 else seed) }
+
+let next r =
+  (* xorshift64* truncated to 30 bits, always non-negative *)
+  let s = r.state in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  r.state <- s land max_int;
+  r.state land 0x3FFFFFFF
+
+let tensor ?(seed = 42) ?(lo = -50) ?(hi = 50) shape =
+  let r = rng ~seed in
+  let span = max 1 (hi - lo + 1) in
+  Tensor.init shape (fun _ -> lo + (next r mod span))
+
+(* values in [0, bins): histogram inputs *)
+let tensor_mod ?(seed = 7) shape ~bins =
+  let r = rng ~seed in
+  Tensor.init shape (fun _ -> next r mod bins)
+
+(* random 0/1 adjacency matrix with given edge probability (percent),
+   symmetric-ish, zero diagonal: bfs input *)
+let adjacency ?(seed = 11) v ~density_pct =
+  let r = rng ~seed in
+  let t = Tensor.zeros [| v; v |] Cinm_ir.Types.I32 in
+  for i = 0 to v - 1 do
+    for j = 0 to v - 1 do
+      if i <> j && next r mod 100 < density_pct then Tensor.set_int t ((i * v) + j) 1
+    done
+  done;
+  t
+
+let one_hot n i =
+  let t = Tensor.zeros [| n |] Cinm_ir.Types.I32 in
+  Tensor.set_int t i 1;
+  t

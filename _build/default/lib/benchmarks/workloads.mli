@@ -1,0 +1,18 @@
+(** Deterministic synthetic workload data (seeded xorshift: every run and
+    every backend sees identical inputs). *)
+
+open Cinm_interp
+
+type rng
+
+val rng : seed:int -> rng
+val next : rng -> int
+val tensor : ?seed:int -> ?lo:int -> ?hi:int -> int array -> Tensor.t
+
+(** Values in [0, bins): histogram inputs. *)
+val tensor_mod : ?seed:int -> int array -> bins:int -> Tensor.t
+
+(** 0/1 adjacency matrix with ~[density_pct]% edges, zero diagonal. *)
+val adjacency : ?seed:int -> int -> density_pct:int -> Tensor.t
+
+val one_hot : int -> int -> Tensor.t

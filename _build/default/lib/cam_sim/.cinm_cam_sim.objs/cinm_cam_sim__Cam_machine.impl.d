@@ -1,0 +1,1 @@
+lib/cam_sim/cam_machine.ml: Array Cinm_interp Cinm_ir Func Hashtbl Interp Ir Printf Rtval Tensor

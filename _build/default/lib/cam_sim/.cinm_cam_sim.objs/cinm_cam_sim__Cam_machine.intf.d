@@ -1,0 +1,1 @@
+lib/cam_sim/cam_machine.mli: Cinm_interp Cinm_ir Func Hashtbl Interp Rtval

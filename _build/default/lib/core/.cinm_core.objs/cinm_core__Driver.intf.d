@@ -1,0 +1,1 @@
+lib/core/driver.mli: Backend Cinm_cpu_sim Cinm_interp Cinm_ir Cinm_upmem_sim Func Pass Report Rtval

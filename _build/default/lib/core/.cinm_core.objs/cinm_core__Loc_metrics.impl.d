@@ -1,0 +1,1 @@
+lib/core/loc_metrics.ml: Backend Cinm_ir Cinm_transforms Driver Func Linalg_to_cinm List Pass Printer String Tosa_to_linalg

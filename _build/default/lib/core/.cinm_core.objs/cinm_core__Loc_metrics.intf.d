@@ -1,0 +1,1 @@
+lib/core/loc_metrics.mli: Backend Cinm_ir Func

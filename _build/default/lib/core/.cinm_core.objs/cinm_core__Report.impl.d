@@ -1,0 +1,1 @@
+lib/core/report.ml: List Option Printf String

@@ -1,0 +1,44 @@
+(* Compilation targets of the CINM flow (paper §4.1.2's configurations). *)
+
+type upmem_config = {
+  dimms : int;
+  dpus_per_dimm : int;
+      (** 128 on the real machine; benchmarks may scale this down so the
+          functional simulation stays tractable — ratios are preserved *)
+  tasklets : int;
+  optimize : bool;  (** cinm-opt-nd: WRAM-aware tiling + loop interchange *)
+  max_rows_per_launch : int;
+}
+
+type cim_config = {
+  rows : int;
+  cols : int;
+  tiles : int;
+  input_chunk : int;
+  min_writes : bool;  (** cim-min-writes: loop interchange *)
+  parallel : bool;  (** cim-parallel: tile-level loop unrolling *)
+}
+
+type t =
+  | Host_xeon  (** cpu-opt: vectorized/parallel host baseline *)
+  | Host_arm  (** the in-order ARM baseline of the OCC/gem5 setup *)
+  | Upmem of upmem_config
+  | Cim of cim_config
+
+let default_upmem ?(dimms = 16) ?(dpus_per_dimm = 128) ?(tasklets = 16) ?(optimize = false)
+    ?(max_rows_per_launch = 64) () =
+  { dimms; dpus_per_dimm; tasklets; optimize; max_rows_per_launch }
+
+let default_cim ?(rows = 64) ?(cols = 64) ?(tiles = 4) ?(input_chunk = 128)
+    ?(min_writes = false) ?(parallel = false) () =
+  { rows; cols; tiles; input_chunk; min_writes; parallel }
+
+let to_string = function
+  | Host_xeon -> "cpu-opt"
+  | Host_arm -> "arm"
+  | Upmem c ->
+    Printf.sprintf "upmem-%dd%s" c.dimms (if c.optimize then "-opt" else "")
+  | Cim c ->
+    Printf.sprintf "cim%s%s"
+      (if c.min_writes then "-min-writes" else "")
+      (if c.parallel then "-parallel" else "")

@@ -1,0 +1,210 @@
+(* The end-to-end CINM compiler driver: assembles the progressive-lowering
+   pipeline of paper Fig. 4 for a chosen backend, compiles a module, and
+   executes it on the corresponding simulator, producing a Report.
+
+   Pipelines:
+     host:   tosa -> linalg                     (reference interpreter)
+     upmem:  tosa -> linalg -> cinm -> cnm -> upmem   (machine simulator)
+     cim:    tosa -> linalg -> cinm -> cim [-> unroll] -> memristor -> licm
+*)
+
+open Cinm_ir
+open Cinm_transforms
+open Cinm_interp
+module Usim = Cinm_upmem_sim
+module Msim = Cinm_memristor_sim
+module Camsim = Cinm_cam_sim
+module Cpu = Cinm_cpu_sim
+
+let () = Cinm_dialects.Registry.ensure_all ()
+
+(* ----- pipeline construction ----- *)
+
+let force_target t =
+  Target_select.pass
+    ~policy:{ Target_select.default_policy with forced_target = Some t }
+    ()
+
+let cim_target =
+  (* greedy policy with a low threshold: every matmul-like op offloads to
+     the crossbar, everything else is host-orchestrated (as in OCC) *)
+  Target_select.pass
+    ~policy:{ Target_select.default_policy with cim_gemm_threshold = 2 }
+    ()
+
+let pipeline (backend : Backend.t) : Pass.t list =
+  match backend with
+  | Backend.Host_xeon | Backend.Host_arm -> [ Torch_to_tosa.pass; Tosa_to_linalg.pass ]
+  | Backend.Upmem c ->
+    let cnm_opts =
+      {
+        Cinm_to_cnm.dpus = c.Backend.dimms * c.Backend.dpus_per_dimm;
+        tasklets = c.Backend.tasklets;
+        optimize = c.Backend.optimize;
+        max_rows_per_launch = c.Backend.max_rows_per_launch;
+      }
+    in
+    let up_opts =
+      { Cnm_to_upmem.default_options with dpus_per_dimm = c.Backend.dpus_per_dimm }
+    in
+    [
+      Torch_to_tosa.pass; Tosa_to_linalg.pass; Linalg_to_cinm.pass;
+      force_target "cnm"; Ew_fusion.pass;
+      Cinm_to_cnm.pass ~options:cnm_opts (); Cnm_to_upmem.pass ~options:up_opts ();
+      Canonicalize.pass;
+    ]
+  | Backend.Cim c ->
+    let cim_opts =
+      {
+        Cinm_to_cim.rows = c.Backend.rows;
+        cols = c.Backend.cols;
+        tiles = c.Backend.tiles;
+        input_chunk = c.Backend.input_chunk;
+        interchange = c.Backend.min_writes;
+        parallel = c.Backend.parallel;
+      }
+    in
+    [
+      Torch_to_tosa.pass; Tosa_to_linalg.pass; Linalg_to_cinm.pass; cim_target;
+      Cinm_to_cam.pass; Cinm_to_rtm.pass ();
+      Cinm_to_cim.pass ~options:cim_opts (); Loop_unroll.pass;
+      Cim_to_memristor.assign_pass ~tiles:c.Backend.tiles; Cim_to_memristor.pass;
+      Licm.pass; Licm.pass; Canonicalize.pass;
+    ]
+
+type compiled = { modul : Func.modul; backend : Backend.t }
+
+let compile ?(verify = true) backend (m : Func.modul) : compiled =
+  Pass.run_pipeline ~verify (pipeline backend) m;
+  { modul = m; backend }
+
+let compile_func ?verify backend (f : Func.t) : compiled =
+  let m = Func.create_module () in
+  Func.add_func m f;
+  compile ?verify backend m
+
+(* ----- execution ----- *)
+
+let upmem_sim_config (c : Backend.upmem_config) =
+  {
+    (Usim.Config.default ~dimms:c.Backend.dimms ()) with
+    Usim.Config.dpus_per_dimm = c.Backend.dpus_per_dimm;
+  }
+
+(* Run an already-lowered upmem-level function on the machine simulator
+   (used both by the driver and by the hand-written PrIM baselines). *)
+let run_upmem_func ?(backend_name = "upmem") ?host_model ?modul ~sim_config f args =
+  let machine = Usim.Machine.create sim_config in
+  let profile = Profile.create () in
+  let results, _ =
+    Interp.run_func ~hooks:[ Usim.Machine.hook machine ] ~profile ?modul f args
+  in
+  let stats = machine.Usim.Machine.stats in
+  let host_model = Option.value host_model ~default:Cpu.Model.xeon_opt in
+  let host = Cpu.Model.estimate host_model profile in
+  let device_s = Usim.Stats.total_s stats in
+  ( results,
+    {
+      Report.backend = backend_name;
+      total_s = host.Cpu.Model.time_s +. device_s;
+      host_s = host.Cpu.Model.time_s;
+      device_s;
+      breakdown =
+        [
+          ("cpu->dpu", stats.Usim.Stats.host_to_device_s);
+          ("kernel", stats.Usim.Stats.kernel_s);
+          ("dpu->cpu", stats.Usim.Stats.device_to_host_s);
+        ];
+      energy_j = stats.Usim.Stats.energy_j +. host.Cpu.Model.energy_j;
+      counters =
+        [
+          ("launches", stats.Usim.Stats.launches);
+          ("dpu_instructions", stats.Usim.Stats.dpu_instructions);
+          ("dma_bytes", stats.Usim.Stats.dma_bytes);
+          ("transferred_bytes", stats.Usim.Stats.transferred_bytes);
+        ];
+    } )
+
+let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
+    Rtval.t list * Report.t =
+  let f =
+    match fname with
+    | "" -> List.hd compiled.modul.Func.funcs
+    | name -> Func.find_func_exn compiled.modul name
+  in
+  let backend_name = Backend.to_string compiled.backend in
+  match compiled.backend with
+  | Backend.Host_xeon | Backend.Host_arm ->
+    let model =
+      match (host_model, compiled.backend) with
+      | Some m, _ -> m
+      | None, Backend.Host_xeon -> Cpu.Model.xeon_opt
+      | None, _ -> Cpu.Model.arm_inorder
+    in
+    let results, profile = Interp.run_func ~modul:compiled.modul f args in
+    let est = Cpu.Model.estimate model profile in
+    ( results,
+      {
+        Report.backend = backend_name;
+        total_s = est.Cpu.Model.time_s;
+        host_s = est.Cpu.Model.time_s;
+        device_s = 0.0;
+        breakdown =
+          [ ("compute", est.Cpu.Model.compute_s); ("memory", est.Cpu.Model.memory_s) ];
+        energy_j = est.Cpu.Model.energy_j;
+        counters = [ ("ops", Profile.total_scalar_ops profile) ];
+      } )
+  | Backend.Upmem c ->
+    run_upmem_func ~backend_name ?host_model ~modul:compiled.modul
+      ~sim_config:(upmem_sim_config c) f args
+  | Backend.Cim c ->
+    let machine =
+      Msim.Machine.create
+        {
+          (Msim.Config.default ~tiles:c.Backend.tiles ()) with
+          Msim.Config.rows = c.Backend.rows;
+          cols = c.Backend.cols;
+        }
+    in
+    let cam = Camsim.Cam_machine.create (Camsim.Cam_machine.default_config ()) in
+    let profile = Profile.create () in
+    let results, _ =
+      Interp.run_func
+        ~hooks:[ Msim.Machine.hook machine; Camsim.Cam_machine.hook cam ]
+        ~profile ~modul:compiled.modul f args
+    in
+    let stats = machine.Msim.Machine.stats in
+    let cam_stats = cam.Camsim.Cam_machine.stats in
+    (* the ARM core orchestrates the accelerator and runs everything that
+       is not matmul-like (paper §4.1) *)
+    let host = Cpu.Model.estimate Cpu.Model.arm_inorder profile in
+    let device_s = Msim.Stats.total_s stats +. cam_stats.Camsim.Cam_machine.busy_s in
+    ( results,
+      {
+        Report.backend = backend_name;
+        total_s = host.Cpu.Model.time_s +. device_s;
+        host_s = host.Cpu.Model.time_s;
+        device_s;
+        breakdown =
+          [
+            ("program", stats.Msim.Stats.program_s);
+            ("mvm", stats.Msim.Stats.compute_s);
+            ("io", stats.Msim.Stats.io_s);
+          ];
+        energy_j =
+          stats.Msim.Stats.energy_j +. cam_stats.Camsim.Cam_machine.energy_j
+          +. host.Cpu.Model.energy_j;
+        counters =
+          [
+            ("crossbar_writes", stats.Msim.Stats.store_ops);
+            ("cells_written", stats.Msim.Stats.cells_written);
+            ("mvms", stats.Msim.Stats.mvms);
+            ("cam_searches", cam_stats.Camsim.Cam_machine.cam_searches);
+            ("rtm_reads", cam_stats.Camsim.Cam_machine.rtm_reads);
+          ];
+      } )
+
+(* Compile and run in one step (used by examples and the bench harness). *)
+let compile_and_run ?verify ?host_model backend f args =
+  let compiled = compile_func ?verify backend (Func.clone f) in
+  run ?host_model compiled args

@@ -1,0 +1,52 @@
+(** The end-to-end CINM compiler driver: assembles the progressive-lowering
+    pipeline of paper Fig. 4 for a chosen backend, compiles modules, and
+    executes them on the corresponding simulator. *)
+
+open Cinm_ir
+open Cinm_interp
+module Usim = Cinm_upmem_sim
+module Cpu = Cinm_cpu_sim
+
+(** The pass pipeline for a backend (host: front-end only; upmem:
+    tosa→linalg→cinm→cnm→upmem; cim: …→cim→memristor with unroll/LICM). *)
+val pipeline : Backend.t -> Pass.t list
+
+type compiled = { modul : Func.modul; backend : Backend.t }
+
+(** Lower a module in place; verification (default on) raises
+    {!Pass.Pass_failed} when a pass breaks an invariant. *)
+val compile : ?verify:bool -> Backend.t -> Func.modul -> compiled
+
+val compile_func : ?verify:bool -> Backend.t -> Func.t -> compiled
+
+(** UPMEM simulator configuration corresponding to a backend config. *)
+val upmem_sim_config : Backend.upmem_config -> Usim.Config.t
+
+(** Run an already-lowered upmem-level function on the machine simulator
+    (also used directly by the hand-written PrIM baselines). *)
+val run_upmem_func :
+  ?backend_name:string ->
+  ?host_model:Cpu.Model.t ->
+  ?modul:Func.modul ->
+  sim_config:Usim.Config.t ->
+  Func.t ->
+  Rtval.t list ->
+  Rtval.t list * Report.t
+
+(** Execute a compiled module's function ([fname] defaults to the first)
+    on the backend's simulator; returns results and the report. *)
+val run :
+  ?fname:string ->
+  ?host_model:Cpu.Model.t ->
+  compiled ->
+  Rtval.t list ->
+  Rtval.t list * Report.t
+
+(** Compile a clone of the function and run it in one step. *)
+val compile_and_run :
+  ?verify:bool ->
+  ?host_model:Cpu.Model.t ->
+  Backend.t ->
+  Func.t ->
+  Rtval.t list ->
+  Rtval.t list * Report.t

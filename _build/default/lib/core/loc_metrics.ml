@@ -1,0 +1,39 @@
+(* Lines-of-code productivity metric (paper Table 4): the paper compares
+   the cinm-level MLIR representation of each application against its
+   hand-written UPMEM C/C++ implementation (host + DPU code).
+
+   Reproduction: "CINM (MLIR)" is the printed cinm-level IR of the
+   application (after linalg->cinm); "UPMEM (C/C++)" is modeled as the
+   printed upmem-level IR after full lowering — the host orchestration
+   plus the generated per-tasklet kernels, which is the code a programmer
+   would otherwise write by hand — plus the fixed host boilerplate every
+   UPMEM program needs (allocation, binary loading, argument marshalling;
+   ~40 lines in the PrIM codebase). *)
+
+open Cinm_ir
+open Cinm_transforms
+
+let upmem_host_boilerplate_lines = 40
+
+let count_lines text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let cinm_level_loc (f : Func.t) =
+  let m = Func.create_module () in
+  Func.add_func m (Func.clone f);
+  Pass.run_pipeline [ Tosa_to_linalg.pass; Linalg_to_cinm.pass ] m;
+  count_lines (Printer.func_to_string (List.hd m.Func.funcs))
+
+let upmem_level_loc ?(backend = Backend.default_upmem ~dimms:1 ~dpus_per_dimm:4 ~tasklets:4 ())
+    (f : Func.t) =
+  let compiled = Driver.compile_func (Backend.Upmem backend) (Func.clone f) in
+  let text = Printer.func_to_string (List.hd compiled.Driver.modul.Func.funcs) in
+  count_lines text + upmem_host_boilerplate_lines
+
+type row = { app : string; cinm_loc : int; upmem_loc : int }
+
+let reduction r = float_of_int r.upmem_loc /. float_of_int (max 1 r.cinm_loc)
+
+let row ~app f = { app; cinm_loc = cinm_level_loc f; upmem_loc = upmem_level_loc f }

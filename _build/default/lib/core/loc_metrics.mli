@@ -1,0 +1,20 @@
+(** Lines-of-code productivity metric (paper Table 4): the cinm-level IR of
+    an application vs its device-level (upmem) representation — the model
+    of the C/C++ a programmer would otherwise write by hand. *)
+
+open Cinm_ir
+
+val upmem_host_boilerplate_lines : int
+val count_lines : string -> int
+
+(** Printed cinm-level IR line count (after tosa/linalg lowering). *)
+val cinm_level_loc : Func.t -> int
+
+(** Printed fully-lowered upmem IR line count plus the fixed host
+    boilerplate. *)
+val upmem_level_loc : ?backend:Backend.upmem_config -> Func.t -> int
+
+type row = { app : string; cinm_loc : int; upmem_loc : int }
+
+val reduction : row -> float
+val row : app:string -> Func.t -> row

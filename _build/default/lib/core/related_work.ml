@@ -1,0 +1,75 @@
+(* Paper Table 5: comparison of CI/NM compilers and software frameworks.
+   Static capability matrix, reproduced so the bench harness can regenerate
+   the table. *)
+
+type entry = {
+  name : string;  (** citation key in the paper *)
+  cim_logic : bool;
+  cim_crossbar : bool;
+  cim_cam : bool;
+  cnm : bool;
+  cost_model : bool;
+  device_agnostic_input : bool;
+  domain_specific_opt : bool;
+  device_specific_opt : bool;
+  reusable : bool;
+  hierarchical : bool;
+}
+
+let mk name (cl, cx, cc, cn, cm, da, dso, dvo, ru, hi) =
+  {
+    name;
+    cim_logic = cl;
+    cim_crossbar = cx;
+    cim_cam = cc;
+    cnm = cn;
+    cost_model = cm;
+    device_agnostic_input = da;
+    domain_specific_opt = dso;
+    device_specific_opt = dvo;
+    reusable = ru;
+    hierarchical = hi;
+  }
+
+(* Columns of Table 5, in paper order. *)
+let entries =
+  [
+    mk "XLA-NDP [55]" (false, false, false, true, true, true, true, true, false, true);
+    mk "[30]" (true, true, false, false, true, true, false, false, true, false);
+    mk "PRIMO [5]" (true, false, false, false, false, true, false, true, true, false);
+    mk "[26]" (false, true, false, false, false, true, true, true, true, false);
+    mk "ComPRIMe [22]" (true, false, false, false, false, false, false, true, false, false);
+    mk "[80]" (true, true, true, false, false, true, false, false, true, false);
+    mk "TDO-CIM [74]" (false, true, false, false, false, true, false, true, true, true);
+    mk "[7]" (false, true, false, false, false, true, true, true, true, true);
+    mk "TC-CIM [18]" (false, true, false, false, false, true, false, false, true, true);
+    mk "PIMFlow [68]" (false, false, false, true, true, true, true, true, true, true);
+    mk "Infinity Stream [77]" (true, false, false, true, true, true, false, true, false, false);
+    mk "CHOPPER [59]" (true, false, false, false, false, true, true, true, true, false);
+    mk "OCC [61,69]" (false, true, false, false, false, true, true, true, true, true);
+    mk "CINM (ours)" (true, true, true, true, true, true, true, true, true, true);
+  ]
+
+let metrics =
+  [
+    ("CIM-Logic", fun e -> e.cim_logic);
+    ("CIM-Crossbar", fun e -> e.cim_crossbar);
+    ("CIM-CAM", fun e -> e.cim_cam);
+    ("CNM", fun e -> e.cnm);
+    ("Cost model", fun e -> e.cost_model);
+    ("Device-agnostic input", fun e -> e.device_agnostic_input);
+    ("Domain-specific optimization", fun e -> e.domain_specific_opt);
+    ("Device-specific optimization", fun e -> e.device_specific_opt);
+    ("Reusable", fun e -> e.reusable);
+    ("Hierarchical", fun e -> e.hierarchical);
+  ]
+
+let to_table () =
+  let header = "Metric" :: List.map (fun e -> e.name) entries in
+  let rows =
+    List.map
+      (fun (metric, get) ->
+        metric :: List.map (fun e -> if get e then "yes" else "no") entries)
+      metrics
+  in
+  header :: rows

@@ -1,0 +1,18 @@
+(** Execution report of one compiled benchmark run. *)
+
+type t = {
+  backend : string;
+  total_s : float;
+  host_s : float;  (** host-side orchestration (interpreted profile) *)
+  device_s : float;
+  breakdown : (string * float) list;  (** named sub-phases, seconds *)
+  energy_j : float;
+  counters : (string * int) list;  (** e.g. crossbar writes, DPU launches *)
+}
+
+val total_ms : t -> float
+
+(** A named counter's value, 0 when absent. *)
+val counter : t -> string -> int
+
+val to_string : t -> string

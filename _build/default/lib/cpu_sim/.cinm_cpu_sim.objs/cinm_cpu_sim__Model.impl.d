@@ -1,0 +1,1 @@
+lib/cpu_sim/model.ml: Cinm_interp Float Interp Printf Profile

@@ -1,0 +1,1 @@
+lib/cpu_sim/model.mli: Cinm_interp Cinm_ir Profile Rtval

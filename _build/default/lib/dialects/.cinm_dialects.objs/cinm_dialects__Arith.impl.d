@@ -1,0 +1,1 @@
+lib/dialects/arith.ml: Attr Builder Cinm_ir Dialect Ir List Types

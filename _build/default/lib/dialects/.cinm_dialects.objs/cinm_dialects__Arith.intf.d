@@ -1,0 +1,1 @@
+lib/dialects/arith.mli: Builder Cinm_ir Ir Types

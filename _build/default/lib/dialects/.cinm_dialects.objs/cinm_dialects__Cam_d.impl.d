@@ -1,0 +1,1 @@
+lib/dialects/cam_d.ml: Attr Builder Cinm_ir Dialect Ir Types

@@ -1,0 +1,1 @@
+lib/dialects/cam_d.mli: Builder Cinm_ir Ir

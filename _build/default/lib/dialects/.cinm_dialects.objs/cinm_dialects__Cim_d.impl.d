@@ -1,0 +1,1 @@
+lib/dialects/cim_d.ml: Array Attr Builder Cinm_ir Dialect Ir List Types

@@ -1,0 +1,1 @@
+lib/dialects/cim_d.mli: Builder Cinm_ir Ir Types

@@ -1,0 +1,1 @@
+lib/dialects/cinm_d.ml: Arith Array Attr Builder Cinm_ir Dialect Ir Linalg_d List Option String Types

@@ -1,0 +1,1 @@
+lib/dialects/cinm_d.mli: Builder Cinm_ir Ir

@@ -1,0 +1,1 @@
+lib/dialects/cnm_d.ml: Array Attr Builder Cinm_ir Cinm_support Dialect Ir List Printf Types

@@ -1,0 +1,1 @@
+lib/dialects/func_d.ml: Attr Builder Cinm_ir Dialect

@@ -1,0 +1,1 @@
+lib/dialects/linalg_d.ml: Arith Array Attr Builder Cinm_ir Dialect Ir List Option String Types

@@ -1,0 +1,1 @@
+lib/dialects/linalg_d.mli: Builder Cinm_ir Ir Types

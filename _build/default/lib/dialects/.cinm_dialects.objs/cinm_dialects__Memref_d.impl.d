@@ -1,0 +1,1 @@
+lib/dialects/memref_d.ml: Builder Cinm_ir Dialect Ir Option Types

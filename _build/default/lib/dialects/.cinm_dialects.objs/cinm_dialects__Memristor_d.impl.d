@@ -1,0 +1,1 @@
+lib/dialects/memristor_d.ml: Attr Builder Cinm_ir Dialect Ir Types

@@ -1,0 +1,1 @@
+lib/dialects/registry.ml: Arith Cam_d Cim_d Cinm_d Cnm_d Func_d Linalg_d Memref_d Memristor_d Rtm_d Scf_d Tensor_d Torch_d Tosa_d Upmem_d

@@ -1,0 +1,1 @@
+lib/dialects/rtm_d.mli: Builder Cinm_ir Ir

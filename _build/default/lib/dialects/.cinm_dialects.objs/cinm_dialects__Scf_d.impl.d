@@ -1,0 +1,1 @@
+lib/dialects/scf_d.ml: Array Builder Cinm_ir Dialect Ir List Types

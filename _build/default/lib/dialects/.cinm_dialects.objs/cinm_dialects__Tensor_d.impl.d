@@ -1,0 +1,1 @@
+lib/dialects/tensor_d.ml: Array Attr Builder Cinm_ir Dialect Ir Option Types

@@ -1,0 +1,1 @@
+lib/dialects/tensor_d.mli: Builder Cinm_ir Ir Types

@@ -1,0 +1,1 @@
+lib/dialects/torch_d.ml: Arith Builder Cinm_ir Dialect Ir Linalg_d Option Types

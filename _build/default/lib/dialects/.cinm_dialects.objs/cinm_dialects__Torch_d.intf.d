@@ -1,0 +1,1 @@
+lib/dialects/torch_d.mli: Builder Cinm_ir Ir

@@ -1,0 +1,1 @@
+lib/dialects/tosa_d.ml: Arith Attr Builder Cinm_ir Dialect Ir Linalg_d Option Types

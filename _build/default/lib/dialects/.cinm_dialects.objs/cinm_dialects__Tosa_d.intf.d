@@ -1,0 +1,1 @@
+lib/dialects/tosa_d.mli: Builder Cinm_ir Ir

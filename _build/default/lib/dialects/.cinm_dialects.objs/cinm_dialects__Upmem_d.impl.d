@@ -1,0 +1,1 @@
+lib/dialects/upmem_d.ml: Attr Builder Cinm_ir Dialect Ir List Types

@@ -1,0 +1,34 @@
+(** arith dialect: scalar integer/float arithmetic and comparisons (the
+    MLIR arith subset the CINM pipeline uses). *)
+
+open Cinm_ir
+
+(** Shared verifier: two same-typed operands, result of the same type. *)
+val same_operands_and_result : Ir.op -> (unit, string) result
+
+val binary_ops : string list
+val ensure : unit -> unit
+
+val constant : Builder.t -> ?ty:Types.t -> int -> Ir.value
+val constant_f : Builder.t -> ?ty:Types.t -> float -> Ir.value
+val const_index : Builder.t -> int -> Ir.value
+val addi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val subi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val muli : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val divsi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val remsi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val minsi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val maxsi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val andi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val ori : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val xori : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val shli : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val shrsi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+
+type cmp_pred = Eq | Ne | Slt | Sle | Sgt | Sge
+
+val pred_to_string : cmp_pred -> string
+val pred_of_string : string -> cmp_pred
+val cmpi : Builder.t -> cmp_pred -> Ir.value -> Ir.value -> Ir.value
+val select : Builder.t -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+val index_cast : Builder.t -> Ir.value -> to_ty:Types.t -> Ir.value

@@ -1,0 +1,72 @@
+(* cam device dialect: content-addressable-memory accelerators (paper
+   §3.2.2/§3.2.4: "search operations suited to CAMs can be detected using
+   the analysis algorithm from C4CAM"; Table 5 claims CIM-CAM support).
+   Entries are programmed once; a search compares the query against every
+   entry in parallel and returns the best matches. *)
+
+open Cinm_ir
+
+let dialect =
+  Dialect.register ~name:"cam" ~description:"content-addressable memory device dialect"
+
+let is_id (v : Ir.value) = Types.equal v.Ir.ty Types.Cim_id
+
+let _ =
+  Dialect.add_op dialect "alloc" ~summary:"acquire a CAM array (entries x width)"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 0 >>= fun () ->
+      expect_results op 1 >>= fun () ->
+      expect_attr op "entries" >>= fun () ->
+      expect_attr op "width" >>= fun () ->
+      expect (is_id (Ir.result op 0)) "cam.alloc: result must be !cim.id")
+
+let _ =
+  Dialect.add_op dialect "write_entries" ~summary:"program the entry rows"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 2 >>= fun () ->
+      expect_results op 0 >>= fun () ->
+      expect (is_id (Ir.operand op 0)) "cam.write_entries: operand 0 must be !cim.id"
+      >>= fun () ->
+      match Types.shape_of (Ir.operand op 1).Ir.ty with
+      | Some [| _; _ |] -> Ok ()
+      | _ -> Error "cam.write_entries: entries must be rank-2 (entries x width)")
+
+let _ =
+  Dialect.add_op dialect "search_best"
+    ~summary:"parallel match: indices of the k best entries for the query"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 2 >>= fun () ->
+      expect_results op 1 >>= fun () ->
+      expect_attr op "k" >>= fun () ->
+      expect_attr op "metric" >>= fun () ->
+      expect (is_id (Ir.operand op 0)) "cam.search_best: operand 0 must be !cim.id"
+      >>= fun () ->
+      match Types.shape_of (Ir.result op 0).Ir.ty with
+      | Some [| k |] -> expect (k = Ir.int_attr op "k") "cam.search_best: result dim <> k"
+      | _ -> Error "cam.search_best: result must be rank-1 indices")
+
+let _ =
+  Dialect.add_op dialect "release" ~summary:"release the CAM" ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 1 >>= fun () -> expect_results op 0)
+
+let ensure () = ignore dialect
+
+(* ----- constructors ----- *)
+
+let alloc b ~entries ~width =
+  Builder.build1 b "cam.alloc"
+    ~attrs:[ ("entries", Attr.Int entries); ("width", Attr.Int width) ]
+    ~result_tys:[ Types.Cim_id ]
+
+let write_entries b id entries = Builder.build0 b "cam.write_entries" ~operands:[ id; entries ]
+
+let search_best b id query ~metric ~k =
+  Builder.build1 b "cam.search_best" ~operands:[ id; query ]
+    ~attrs:[ ("k", Attr.Int k); ("metric", Attr.Str metric) ]
+    ~result_tys:[ Types.Tensor ([| k |], Types.I32) ]
+
+let release b id = Builder.build0 b "cam.release" ~operands:[ id ]

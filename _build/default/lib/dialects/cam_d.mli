@@ -1,0 +1,14 @@
+(** cam device dialect: content-addressable memory accelerators (C4CAM
+    class; Table 5's CIM-CAM row). *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+val alloc : Builder.t -> entries:int -> width:int -> Ir.value
+val write_entries : Builder.t -> Ir.value -> Ir.value -> unit
+
+(** One parallel match of the query against every entry; returns the
+    indices of the [k] best entries under [metric]. *)
+val search_best : Builder.t -> Ir.value -> Ir.value -> metric:string -> k:int -> Ir.value
+
+val release : Builder.t -> Ir.value -> unit

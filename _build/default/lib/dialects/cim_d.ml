@@ -1,0 +1,108 @@
+(* cim dialect: abstraction over compute-in-memory accelerators (paper
+   §3.2.4, Table 3). Device handles are acquired/released explicitly
+   because most CIM devices are non-volatile and need locking. *)
+
+open Cinm_ir
+
+let dialect =
+  Dialect.register ~name:"cim" ~description:"compute-in-memory paradigm abstraction"
+
+let is_cim_id (v : Ir.value) = Types.equal v.Ir.ty Types.Cim_id
+
+let _ =
+  Dialect.add_op dialect "acquire" ~summary:"acquire + set up a CIM device (Table 3)"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 0 >>= fun () ->
+      expect_results op 1 >>= fun () ->
+      expect (is_cim_id (Ir.result op 0)) "cim.acquire: result must be !cim.id")
+
+let _ =
+  Dialect.add_op dialect "write" ~summary:"program tensor into the device (Table 3)"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 2 >>= fun () ->
+      expect_results op 0 >>= fun () ->
+      expect (is_cim_id (Ir.operand op 0)) "cim.write: operand 0 must be !cim.id")
+
+let _ =
+  Dialect.add_op dialect "execute" ~summary:"launch execution on the device (Table 3)"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_regions op 1 >>= fun () ->
+      expect (Ir.num_operands op >= 1) "cim.execute: missing device id" >>= fun () ->
+      expect (is_cim_id (Ir.operand op 0)) "cim.execute: operand 0 must be !cim.id"
+      >>= fun () ->
+      let body = Ir.entry_block (Ir.region op 0) in
+      expect
+        (Array.length body.Ir.args = Ir.num_operands op - 1)
+        "cim.execute: body takes one arg per tensor operand"
+      >>= fun () ->
+      match List.rev body.Ir.ops with
+      | last :: _ when last.Ir.name = "cim.yield" ->
+        expect
+          (Ir.num_operands last = Ir.num_results op)
+          "cim.execute: yield arity must match results"
+      | _ -> Error "cim.execute: body must end with cim.yield")
+
+let _ =
+  Dialect.add_op dialect "yield" ~summary:"execute body terminator" ~verify:(fun op ->
+      Dialect.expect_results op 0)
+
+let _ =
+  Dialect.add_op dialect "read" ~summary:"read results from the device (Table 3)"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 1 >>= fun () ->
+      expect_results op 1 >>= fun () ->
+      expect (is_cim_id (Ir.operand op 0)) "cim.read: operand 0 must be !cim.id")
+
+let _ =
+  Dialect.add_op dialect "barrier" ~summary:"wait for device completion (Table 3)"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 1 >>= fun () ->
+      expect (is_cim_id (Ir.operand op 0)) "cim.barrier: operand 0 must be !cim.id")
+
+let _ =
+  Dialect.add_op dialect "release" ~summary:"release the device (Table 3)"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 1 >>= fun () ->
+      expect_results op 0 >>= fun () ->
+      expect (is_cim_id (Ir.operand op 0)) "cim.release: operand 0 must be !cim.id")
+
+let ensure () = ignore dialect
+
+(* ----- constructors ----- *)
+
+(* Device setup parameters (paper §3.2.4: crossbar size, #tiles, ADC
+   sharing, write mode are fixed at acquire time). *)
+let acquire b ~rows ~cols ~tiles =
+  Builder.build1 b "cim.acquire"
+    ~attrs:
+      [ ("rows", Attr.Int rows); ("cols", Attr.Int cols); ("tiles", Attr.Int tiles) ]
+    ~result_tys:[ Types.Cim_id ]
+
+let write b id tensor = Builder.build0 b "cim.write" ~operands:[ id; tensor ]
+
+let yield b values = Builder.build0 b "cim.yield" ~operands:values
+
+(* [body] receives a builder and the region views of [inputs]; it must
+   return the values to yield. *)
+let execute b id ~inputs ~result_tys (body : Builder.t -> Ir.value array -> Ir.value list) =
+  let arg_tys = List.map (fun (v : Ir.value) -> v.Ir.ty) inputs in
+  let region =
+    Builder.build_region ~arg_tys (fun bb args -> yield bb (body bb args))
+  in
+  let op =
+    Builder.build b "cim.execute" ~operands:(id :: inputs) ~result_tys ~regions:[ region ]
+  in
+  Array.to_list op.Ir.results
+
+let read b id ~result_ty =
+  Builder.build1 b "cim.read" ~operands:[ id ] ~result_tys:[ result_ty ]
+
+let barrier b id = Builder.build0 b "cim.barrier" ~operands:[ id ]
+
+let release b id = Builder.build0 b "cim.release" ~operands:[ id ]

@@ -1,0 +1,28 @@
+(** cim dialect: abstraction over compute-in-memory accelerators (paper
+    §3.2.4, Table 3). Devices are acquired/released explicitly (most CIM
+    devices are non-volatile and need locking). *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+
+(** Acquire + set up a device; crossbar geometry is fixed at acquire time. *)
+val acquire : Builder.t -> rows:int -> cols:int -> tiles:int -> Ir.value
+
+val write : Builder.t -> Ir.value -> Ir.value -> unit
+val yield : Builder.t -> Ir.value list -> unit
+
+(** [execute b id ~inputs ~result_tys body]: launch a computation on the
+    device; [body] receives the region views of [inputs] and returns the
+    values to yield. *)
+val execute :
+  Builder.t ->
+  Ir.value ->
+  inputs:Ir.value list ->
+  result_tys:Types.t list ->
+  (Builder.t -> Ir.value array -> Ir.value list) ->
+  Ir.value list
+
+val read : Builder.t -> Ir.value -> result_ty:Types.t -> Ir.value
+val barrier : Builder.t -> Ir.value -> unit
+val release : Builder.t -> Ir.value -> unit

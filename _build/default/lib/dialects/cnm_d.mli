@@ -1,0 +1,48 @@
+(** cnm dialect: abstraction over compute-near-memory architectures (paper
+    §3.2.3, Table 2). A workgroup is a logical grid of processing units
+    with tree-shaped memory (Fig. 7); buffers are opaque and only
+    materialize as memrefs inside launch bodies, which are isolated from
+    above. *)
+
+open Cinm_ir
+
+val scatter_maps : string list
+
+(** Number of buffer instances of a level-[l] buffer: a level-l buffer is
+    shared across the last [l] workgroup dimensions.
+    @raise Invalid_argument when the level exceeds the workgroup rank. *)
+val buffers_at_level : int array -> int -> int
+
+(** The buffer instance a linear PU index sees at a given level. *)
+val buffer_index_of_pu : int array -> int -> int -> int
+
+val ensure : unit -> unit
+
+(** {1 Constructors} (Table 2) *)
+
+val workgroup : Builder.t -> shape:int array -> physical_dims:string list -> Ir.value
+
+val alloc :
+  Builder.t -> Ir.value -> shape:int array -> dtype:Types.dtype -> level:int -> Ir.value
+
+(** [scatter b t buf wg ~map] distributes [t] ("block", "broadcast",
+    "cyclic", or "overlap" with [halo]); returns a token. *)
+val scatter :
+  Builder.t -> ?halo:int -> Ir.value -> Ir.value -> Ir.value -> map:string -> Ir.value
+
+(** Returns (tensor, token). *)
+val gather : Builder.t -> Ir.value -> Ir.value -> result_shape:int array -> Ir.value * Ir.value
+
+val terminator : Builder.t -> unit
+
+(** [launch b wg ~ins ~outs body]: [body] receives the memref views of
+    [ins @ outs]; returns the launch token. *)
+val launch :
+  Builder.t ->
+  Ir.value ->
+  ins:Ir.value list ->
+  outs:Ir.value list ->
+  (Builder.t -> Ir.value array -> unit) ->
+  Ir.value
+
+val wait : Builder.t -> Ir.value list -> unit

@@ -1,0 +1,21 @@
+(* func dialect: return and call. *)
+
+open Cinm_ir
+
+let dialect = Dialect.register ~name:"func" ~description:"functions, calls, returns"
+
+let _ =
+  Dialect.add_op dialect "return" ~summary:"function terminator"
+    ~verify:(fun op -> Dialect.expect_results op 0)
+
+let _ =
+  Dialect.add_op dialect "call" ~summary:"direct call"
+    ~verify:(fun op -> Dialect.expect_attr op "callee")
+
+let ensure () = ignore dialect
+
+let return b values = Builder.build0 b "func.return" ~operands:values
+
+let call b ~callee ~result_tys args =
+  Builder.build b "func.call" ~operands:args ~result_tys
+    ~attrs:[ ("callee", Attr.Str callee) ]

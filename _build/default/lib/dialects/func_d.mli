@@ -1,0 +1,7 @@
+(** func dialect: returns and direct calls. *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+val return : Builder.t -> Ir.value list -> unit
+val call : Builder.t -> callee:string -> result_tys:Types.t list -> Ir.value list -> Ir.op

@@ -1,0 +1,28 @@
+(** linalg dialect: the device-independent front-end abstraction of the
+    CINM flow (paper Fig. 3b) — named linear-algebra ops plus a
+    generalized einsum for the contraction benchmarks. *)
+
+open Cinm_ir
+
+val matmul_verify : Ir.op -> (unit, string) result
+val matvec_verify : Ir.op -> (unit, string) result
+val conv_2d_verify : Ir.op -> (unit, string) result
+val ensure : unit -> unit
+
+val add : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val sub : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val mul : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val matmul : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val matvec : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val conv_2d : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val dot : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val fill : Builder.t -> Ir.value -> int array -> Types.dtype -> Ir.value
+val transpose : Builder.t -> Ir.value -> perms:int array -> Ir.value
+val reduce : Builder.t -> op:string -> Ir.value -> Ir.value
+val broadcast : Builder.t -> Ir.value -> to_shape:int array -> Ir.value
+
+(** Split an einsum spec into (lhs indices, rhs indices, out indices).
+    @raise Invalid_argument on malformed specs. *)
+val parse_einsum_spec : string -> string * string * string
+
+val einsum : Builder.t -> spec:string -> Ir.value -> Ir.value -> Ir.value

@@ -1,0 +1,62 @@
+(* memref dialect: mutable buffers. Used inside device kernels (cnm.launch
+   bodies turn opaque buffers into memrefs, cf. paper §3.2.3). *)
+
+open Cinm_ir
+
+let dialect = Dialect.register ~name:"memref" ~description:"mutable buffer accesses"
+
+let is_memref (v : Ir.value) = match v.Ir.ty with Types.MemRef _ -> true | _ -> false
+
+let _ =
+  Dialect.add_op dialect "alloc" ~summary:"allocate a buffer" ~verify:(fun op ->
+      let open Dialect in
+      expect_results op 1 >>= fun () ->
+      expect (is_memref (Ir.result op 0)) "memref.alloc: result must be a memref")
+
+let _ =
+  Dialect.add_op dialect "load" ~summary:"load one element" ~verify:(fun op ->
+      let open Dialect in
+      expect_results op 1 >>= fun () ->
+      expect (Ir.num_operands op >= 1) "memref.load: missing memref operand" >>= fun () ->
+      expect (is_memref (Ir.operand op 0)) "memref.load: operand 0 must be a memref"
+      >>= fun () ->
+      expect
+        (Ir.num_operands op = 1 + Types.rank (Ir.operand op 0).Ir.ty)
+        "memref.load: needs one index per dimension")
+
+let _ =
+  Dialect.add_op dialect "store" ~summary:"store one element" ~verify:(fun op ->
+      let open Dialect in
+      expect_results op 0 >>= fun () ->
+      expect (Ir.num_operands op >= 2) "memref.store: missing operands" >>= fun () ->
+      expect (is_memref (Ir.operand op 1)) "memref.store: operand 1 must be a memref"
+      >>= fun () ->
+      expect
+        (Ir.num_operands op = 2 + Types.rank (Ir.operand op 1).Ir.ty)
+        "memref.store: needs one index per dimension")
+
+let _ =
+  Dialect.add_op dialect "copy" ~summary:"copy between buffers" ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 2 >>= fun () -> expect_results op 0)
+
+let _ =
+  Dialect.add_op dialect "dealloc" ~summary:"free a buffer" ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 1 >>= fun () -> expect_results op 0)
+
+let ensure () = ignore dialect
+
+let alloc b shape dt =
+  Builder.build1 b "memref.alloc" ~result_tys:[ Types.MemRef (shape, dt) ]
+
+let load b mem indices =
+  let dt = Option.get (Types.element_dtype mem.Ir.ty) in
+  Builder.build1 b "memref.load" ~operands:(mem :: indices) ~result_tys:[ Types.Scalar dt ]
+
+let store b scalar mem indices =
+  Builder.build0 b "memref.store" ~operands:(scalar :: mem :: indices)
+
+let copy b src dst = Builder.build0 b "memref.copy" ~operands:[ src; dst ]
+
+let dealloc b mem = Builder.build0 b "memref.dealloc" ~operands:[ mem ]

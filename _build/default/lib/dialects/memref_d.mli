@@ -1,0 +1,11 @@
+(** memref dialect: mutable buffers (the form cnm.launch bodies compute
+    on). *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+val alloc : Builder.t -> int array -> Types.dtype -> Ir.value
+val load : Builder.t -> Ir.value -> Ir.value list -> Ir.value
+val store : Builder.t -> Ir.value -> Ir.value -> Ir.value list -> unit
+val copy : Builder.t -> Ir.value -> Ir.value -> unit
+val dealloc : Builder.t -> Ir.value -> unit

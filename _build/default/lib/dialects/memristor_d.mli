@@ -1,0 +1,14 @@
+(** memristor device dialect (paper §3.2.5, extending OCC): program
+    weights into a crossbar tile (slow NVM writes), stream inputs through
+    as analog MVMs, read results behind the ADCs. *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+val alloc : Builder.t -> rows:int -> cols:int -> tiles:int -> Ir.value
+val store_tile : Builder.t -> Ir.value -> tile:int -> Ir.value -> unit
+val copy_tile : Builder.t -> Ir.value -> tile:int -> Ir.value -> unit
+val gemm_tile : Builder.t -> Ir.value -> tile:int -> result_ty:Types.t -> Ir.value
+val read_result : Builder.t -> Ir.value -> result_ty:Types.t -> Ir.value
+val barrier : Builder.t -> Ir.value -> unit
+val release : Builder.t -> Ir.value -> unit

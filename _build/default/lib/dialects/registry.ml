@@ -1,0 +1,19 @@
+(* Forces registration of every dialect. OCaml only initializes modules
+   that are referenced; call [ensure_all] before verifying or parsing IR. *)
+
+let ensure_all () =
+  Arith.ensure ();
+  Func_d.ensure ();
+  Tensor_d.ensure ();
+  Memref_d.ensure ();
+  Scf_d.ensure ();
+  Linalg_d.ensure ();
+  Tosa_d.ensure ();
+  Cinm_d.ensure ();
+  Cnm_d.ensure ();
+  Cim_d.ensure ();
+  Torch_d.ensure ();
+  Upmem_d.ensure ();
+  Memristor_d.ensure ();
+  Cam_d.ensure ();
+  Rtm_d.ensure ()

@@ -1,0 +1,4 @@
+(** Forces registration of every dialect: call before verifying or parsing
+    IR (OCaml only initializes modules that are referenced). *)
+
+val ensure_all : unit -> unit

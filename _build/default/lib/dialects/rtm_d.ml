@@ -1,0 +1,58 @@
+(* rtm device dialect: racetrack-memory logic CIM (paper §2.3: RTM's
+   transverse reads give efficient population count and majority; Table 5
+   claims CIM-Logic support). Data is written into nanowire tracks; a
+   transverse read senses across the domains of all tracks at once. *)
+
+open Cinm_ir
+
+let dialect =
+  Dialect.register ~name:"rtm" ~description:"racetrack-memory logic-CIM device dialect"
+
+let is_id (v : Ir.value) = Types.equal v.Ir.ty Types.Cim_id
+
+let _ =
+  Dialect.add_op dialect "alloc" ~summary:"acquire tracks (tracks x domains per track)"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 0 >>= fun () ->
+      expect_results op 1 >>= fun () ->
+      expect_attr op "tracks" >>= fun () ->
+      expect_attr op "domains" >>= fun () ->
+      expect (is_id (Ir.result op 0)) "rtm.alloc: result must be !cim.id")
+
+let _ =
+  Dialect.add_op dialect "write" ~summary:"shift data into the tracks"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 2 >>= fun () ->
+      expect_results op 0 >>= fun () ->
+      expect (is_id (Ir.operand op 0)) "rtm.write: operand 0 must be !cim.id")
+
+let _ =
+  Dialect.add_op dialect "pop_count" ~summary:"transverse-read population count"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 1 >>= fun () ->
+      expect_results op 1 >>= fun () ->
+      expect (is_id (Ir.operand op 0)) "rtm.pop_count: operand 0 must be !cim.id")
+
+let _ =
+  Dialect.add_op dialect "release" ~summary:"release the tracks" ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 1 >>= fun () -> expect_results op 0)
+
+let ensure () = ignore dialect
+
+(* ----- constructors ----- *)
+
+let alloc b ~tracks ~domains =
+  Builder.build1 b "rtm.alloc"
+    ~attrs:[ ("tracks", Attr.Int tracks); ("domains", Attr.Int domains) ]
+    ~result_tys:[ Types.Cim_id ]
+
+let write b id data = Builder.build0 b "rtm.write" ~operands:[ id; data ]
+
+let pop_count b id =
+  Builder.build1 b "rtm.pop_count" ~operands:[ id ] ~result_tys:[ Types.Scalar Types.I32 ]
+
+let release b id = Builder.build0 b "rtm.release" ~operands:[ id ]

@@ -1,0 +1,10 @@
+(** rtm device dialect: racetrack-memory logic CIM (transverse-read
+    popcount; Table 5's CIM-Logic row). *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+val alloc : Builder.t -> tracks:int -> domains:int -> Ir.value
+val write : Builder.t -> Ir.value -> Ir.value -> unit
+val pop_count : Builder.t -> Ir.value -> Ir.value
+val release : Builder.t -> Ir.value -> unit

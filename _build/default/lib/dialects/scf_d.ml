@@ -1,0 +1,112 @@
+(* scf dialect: structured control flow. scf.for carries loop-carried
+   values (iter_args) exactly like MLIR; the CIM/CNM tiling passes emit
+   these loops (cf. the IR in paper Fig. 6). *)
+
+open Cinm_ir
+
+let dialect = Dialect.register ~name:"scf" ~description:"structured control flow"
+
+let _ =
+  Dialect.add_op dialect "for" ~summary:"counted loop with iter_args"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_regions op 1 >>= fun () ->
+      expect (Ir.num_operands op >= 3) "scf.for: needs lb, ub, step" >>= fun () ->
+      let n_iter = Ir.num_operands op - 3 in
+      expect (Ir.num_results op = n_iter) "scf.for: one result per iter_arg"
+      >>= fun () ->
+      let body = Ir.entry_block (Ir.region op 0) in
+      expect
+        (Array.length body.Ir.args = 1 + n_iter)
+        "scf.for: body must take induction variable plus iter_args"
+      >>= fun () ->
+      expect
+        (Types.equal body.Ir.args.(0).Ir.ty Types.Index)
+        "scf.for: induction variable must be index"
+      >>= fun () ->
+      match List.rev body.Ir.ops with
+      | last :: _ when last.Ir.name = "scf.yield" ->
+        expect (Ir.num_operands last = n_iter) "scf.for: yield arity must match iter_args"
+      | _ -> Error "scf.for: body must end with scf.yield")
+
+let _ =
+  Dialect.add_op dialect "yield" ~summary:"region terminator" ~verify:(fun op ->
+      Dialect.expect_results op 0)
+
+let _ =
+  Dialect.add_op dialect "if" ~summary:"conditional with optional results"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operand_type op 0 (Types.Scalar Types.I1) >>= fun () ->
+      expect
+        (Array.length op.Ir.regions = 1 || Array.length op.Ir.regions = 2)
+        "scf.if: one or two regions")
+
+let _ =
+  Dialect.add_op dialect "parallel" ~summary:"parallel loop nest (no iter_args)"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_regions op 1 >>= fun () ->
+      expect (Ir.num_operands op mod 3 = 0) "scf.parallel: operands are (lb, ub, step)*")
+
+let ensure () = ignore dialect
+
+(* ----- constructors ----- *)
+
+let yield b values = Builder.build0 b "scf.yield" ~operands:values
+
+(* Counted loop. [body] receives a builder, the induction variable and the
+   iter_args; it must return the values to yield. *)
+let for_ b ~lb ~ub ~step ~init (body : Builder.t -> Ir.value -> Ir.value array -> Ir.value list) =
+  let iter_tys = List.map (fun (v : Ir.value) -> v.Ir.ty) init in
+  let region =
+    Builder.build_region ~arg_tys:(Types.Index :: iter_tys) (fun bb args ->
+        let iv = args.(0) in
+        let iters = Array.sub args 1 (Array.length args - 1) in
+        let results = body bb iv iters in
+        yield bb results)
+  in
+  let op =
+    Builder.build b "scf.for"
+      ~operands:([ lb; ub; step ] @ init)
+      ~result_tys:iter_tys ~regions:[ region ]
+  in
+  Array.to_list op.Ir.results
+
+(* Simple loop without iter_args. *)
+let for0 b ~lb ~ub ~step (body : Builder.t -> Ir.value -> unit) =
+  ignore
+    (for_ b ~lb ~ub ~step ~init:[] (fun bb iv _ ->
+         body bb iv;
+         []))
+
+let if_ b cond ~then_ ~else_ ~result_tys =
+  let then_region = Builder.build_region (fun bb _ -> yield bb (then_ bb)) in
+  let else_region = Builder.build_region (fun bb _ -> yield bb (else_ bb)) in
+  let op =
+    Builder.build b "scf.if" ~operands:[ cond ] ~result_tys
+      ~regions:[ then_region; else_region ]
+  in
+  Array.to_list op.Ir.results
+
+(* Multi-dimensional parallel loop; bounds given as (lb, ub, step) triples. *)
+let parallel b ~bounds (body : Builder.t -> Ir.value array -> unit) =
+  let operands = List.concat_map (fun (lb, ub, step) -> [ lb; ub; step ]) bounds in
+  let arg_tys = List.map (fun _ -> Types.Index) bounds in
+  let region =
+    Builder.build_region ~arg_tys (fun bb args ->
+        body bb args;
+        yield bb [])
+  in
+  ignore (Builder.build b "scf.parallel" ~operands ~regions:[ region ])
+
+(* ----- accessors used by lowerings and the interpreter ----- *)
+
+let for_lb op = Ir.operand op 0
+let for_ub op = Ir.operand op 1
+let for_step op = Ir.operand op 2
+
+let for_inits op =
+  Array.to_list (Array.sub op.Ir.operands 3 (Ir.num_operands op - 3))
+
+let for_body op = Ir.entry_block (Ir.region op 0)

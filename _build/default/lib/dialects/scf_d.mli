@@ -1,0 +1,42 @@
+(** scf dialect: structured control flow. scf.for carries loop-carried
+    values (iter_args) like MLIR; the tiling passes emit these loops. *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+val yield : Builder.t -> Ir.value list -> unit
+
+(** Counted loop: [body] receives a builder, the induction variable and the
+    iter_args; it returns the values to yield. Returns the loop results. *)
+val for_ :
+  Builder.t ->
+  lb:Ir.value ->
+  ub:Ir.value ->
+  step:Ir.value ->
+  init:Ir.value list ->
+  (Builder.t -> Ir.value -> Ir.value array -> Ir.value list) ->
+  Ir.value list
+
+(** Loop without iter_args. *)
+val for0 :
+  Builder.t -> lb:Ir.value -> ub:Ir.value -> step:Ir.value -> (Builder.t -> Ir.value -> unit) -> unit
+
+val if_ :
+  Builder.t ->
+  Ir.value ->
+  then_:(Builder.t -> Ir.value list) ->
+  else_:(Builder.t -> Ir.value list) ->
+  result_tys:Types.t list ->
+  Ir.value list
+
+(** Multi-dimensional parallel loop; bounds are (lb, ub, step) triples. *)
+val parallel :
+  Builder.t -> bounds:(Ir.value * Ir.value * Ir.value) list -> (Builder.t -> Ir.value array -> unit) -> unit
+
+(** Accessors used by lowerings and the interpreter. *)
+
+val for_lb : Ir.op -> Ir.value
+val for_ub : Ir.op -> Ir.value
+val for_step : Ir.op -> Ir.value
+val for_inits : Ir.op -> Ir.value list
+val for_body : Ir.op -> Ir.block

@@ -1,0 +1,26 @@
+(** tensor dialect: value-semantics tensor creation and slicing — the glue
+    between linalg kernels and the tiling transformations (paper §3.2.6). *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+val empty : Builder.t -> int array -> Types.dtype -> Ir.value
+val splat : Builder.t -> Ir.value -> int array -> Types.dtype -> Ir.value
+
+(** Static [offsets]/[sizes] as attributes; [dyn_offsets] (one index per
+    dimension, added to the static offsets) for tiled loops. *)
+val extract_slice :
+  Builder.t ->
+  Ir.value ->
+  offsets:int array ->
+  sizes:int array ->
+  dyn_offsets:Ir.value list ->
+  Ir.value
+
+val insert_slice :
+  Builder.t -> Ir.value -> Ir.value -> offsets:int array -> dyn_offsets:Ir.value list -> Ir.value
+
+val extract : Builder.t -> Ir.value -> Ir.value list -> Ir.value
+val insert : Builder.t -> Ir.value -> Ir.value -> Ir.value list -> Ir.value
+val reshape : Builder.t -> Ir.value -> int array -> Ir.value
+val pad : Builder.t -> Ir.value -> low:int array -> high:int array -> Ir.value

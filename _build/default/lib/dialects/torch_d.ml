@@ -1,0 +1,86 @@
+(* torch dialect: the third front-end the paper names (§3.2.1, via
+   torch-mlir). A small aten-op subset sufficient for the MLP/matmul
+   benchmarks; Torch_to_tosa lowers it into the tosa/linalg path. *)
+
+open Cinm_ir
+
+let dialect =
+  Dialect.register ~name:"torch" ~description:"PyTorch aten ops (torch-mlir front-end)"
+
+let _ =
+  Dialect.add_op dialect "torch.aten.mm" ~summary:"matrix multiply"
+    ~verify:Linalg_d.matmul_verify
+
+let _ =
+  Dialect.add_op dialect "torch.aten.linear" ~summary:"x W^T + b (dense layer)"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 3 >>= fun () -> expect_results op 1)
+
+let _ =
+  Dialect.add_op dialect "torch.aten.relu" ~summary:"rectified linear unit"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 1 >>= fun () ->
+      expect_results op 1 >>= fun () ->
+      expect
+        (Types.equal (Ir.operand op 0).Ir.ty (Ir.result op 0).Ir.ty)
+        "torch.aten.relu: result type must match operand")
+
+let _ =
+  Dialect.add_op dialect "torch.aten.add_tensor" ~summary:"elementwise add"
+    ~verify:Arith.same_operands_and_result
+
+let _ =
+  Dialect.add_op dialect "torch.aten.mul_tensor" ~summary:"elementwise multiply"
+    ~verify:Arith.same_operands_and_result
+
+let _ =
+  Dialect.add_op dialect "torch.aten.conv2d" ~summary:"2D convolution (single channel)"
+    ~verify:Linalg_d.conv_2d_verify
+
+let _ =
+  Dialect.add_op dialect "torch.aten.sum" ~summary:"sum of all elements"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 1 >>= fun () -> expect_results op 1)
+
+let ensure () = ignore dialect
+
+(* ----- constructors ----- *)
+
+let mm b x y =
+  let dt = Option.get (Types.element_dtype x.Ir.ty) in
+  match (Types.shape_of x.Ir.ty, Types.shape_of y.Ir.ty) with
+  | Some [| m; _ |], Some [| _; n |] ->
+    Builder.build1 b "torch.aten.mm" ~operands:[ x; y ]
+      ~result_tys:[ Types.Tensor ([| m; n |], dt) ]
+  | _ -> invalid_arg "Torch_d.mm"
+
+let linear b input weight bias =
+  let dt = Option.get (Types.element_dtype input.Ir.ty) in
+  match (Types.shape_of input.Ir.ty, Types.shape_of weight.Ir.ty) with
+  | Some [| n; _k |], Some [| f; _ |] ->
+    Builder.build1 b "torch.aten.linear" ~operands:[ input; weight; bias ]
+      ~result_tys:[ Types.Tensor ([| n; f |], dt) ]
+  | _ -> invalid_arg "Torch_d.linear"
+
+let relu b x = Builder.build1 b "torch.aten.relu" ~operands:[ x ] ~result_tys:[ x.Ir.ty ]
+
+let add b x y =
+  Builder.build1 b "torch.aten.add_tensor" ~operands:[ x; y ] ~result_tys:[ x.Ir.ty ]
+
+let mul b x y =
+  Builder.build1 b "torch.aten.mul_tensor" ~operands:[ x; y ] ~result_tys:[ x.Ir.ty ]
+
+let conv2d b img kernel =
+  let dt = Option.get (Types.element_dtype img.Ir.ty) in
+  match (Types.shape_of img.Ir.ty, Types.shape_of kernel.Ir.ty) with
+  | Some [| h; w |], Some [| kh; kw |] ->
+    Builder.build1 b "torch.aten.conv2d" ~operands:[ img; kernel ]
+      ~result_tys:[ Types.Tensor ([| h - kh + 1; w - kw + 1 |], dt) ]
+  | _ -> invalid_arg "Torch_d.conv2d"
+
+let sum b x =
+  let dt = Option.get (Types.element_dtype x.Ir.ty) in
+  Builder.build1 b "torch.aten.sum" ~operands:[ x ] ~result_tys:[ Types.Scalar dt ]

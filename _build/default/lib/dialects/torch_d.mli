@@ -1,0 +1,13 @@
+(** torch dialect: aten-op subset, the third front-end the paper names
+    (torch-mlir route). *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+val mm : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val linear : Builder.t -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+val relu : Builder.t -> Ir.value -> Ir.value
+val add : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val mul : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val conv2d : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val sum : Builder.t -> Ir.value -> Ir.value

@@ -1,0 +1,63 @@
+(* tosa dialect: higher-level ML front-end ops (paper §3.2.1). The
+   tosa-to-linalg decomposition mirrors the paper's MLP example:
+   tosa.fully_connected -> transpose + matmul + bias add. *)
+
+open Cinm_ir
+
+let dialect = Dialect.register ~name:"tosa" ~description:"tensor operator set (ML front-end)"
+
+let _ =
+  Dialect.add_op dialect "fully_connected" ~summary:"dense layer: x*W^T + bias"
+    ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 3 >>= fun () ->
+      expect_results op 1 >>= fun () ->
+      match
+        ( Types.shape_of (Ir.operand op 0).Ir.ty,
+          Types.shape_of (Ir.operand op 1).Ir.ty,
+          Types.shape_of (Ir.operand op 2).Ir.ty )
+      with
+      | Some [| _n; k |], Some [| f; k' |], Some [| f' |] ->
+        expect (k = k' && f = f') "tosa.fully_connected: dimension mismatch"
+      | _ -> Error "tosa.fully_connected: (input NxK, weight FxK, bias F)")
+
+let _ =
+  Dialect.add_op dialect "matmul" ~summary:"batched/plain matmul"
+    ~verify:Linalg_d.matmul_verify
+
+let _ =
+  Dialect.add_op dialect "add" ~summary:"elementwise add" ~verify:Arith.same_operands_and_result
+
+let _ =
+  Dialect.add_op dialect "clamp" ~summary:"clamp (covers ReLU)" ~verify:(fun op ->
+      let open Dialect in
+      expect_operands op 1 >>= fun () ->
+      expect_results op 1 >>= fun () ->
+      expect_attr op "min" >>= fun () -> expect_attr op "max")
+
+let ensure () = ignore dialect
+
+let fully_connected b input weight bias =
+  let dt = Option.get (Types.element_dtype input.Ir.ty) in
+  match (Types.shape_of input.Ir.ty, Types.shape_of weight.Ir.ty) with
+  | Some [| n; _k |], Some [| f; _ |] ->
+    Builder.build1 b "tosa.fully_connected" ~operands:[ input; weight; bias ]
+      ~result_tys:[ Types.Tensor ([| n; f |], dt) ]
+  | _ -> invalid_arg "Tosa_d.fully_connected"
+
+let matmul b x y =
+  let dt = Option.get (Types.element_dtype x.Ir.ty) in
+  match (Types.shape_of x.Ir.ty, Types.shape_of y.Ir.ty) with
+  | Some [| m; _ |], Some [| _; n |] ->
+    Builder.build1 b "tosa.matmul" ~operands:[ x; y ]
+      ~result_tys:[ Types.Tensor ([| m; n |], dt) ]
+  | _ -> invalid_arg "Tosa_d.matmul"
+
+let add b x y = Builder.build1 b "tosa.add" ~operands:[ x; y ] ~result_tys:[ x.Ir.ty ]
+
+let clamp b x ~min_v ~max_v =
+  Builder.build1 b "tosa.clamp" ~operands:[ x ]
+    ~attrs:[ ("min", Attr.Int min_v); ("max", Attr.Int max_v) ]
+    ~result_tys:[ x.Ir.ty ]
+
+let relu b x = clamp b x ~min_v:0 ~max_v:max_int

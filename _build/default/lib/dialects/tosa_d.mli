@@ -1,0 +1,11 @@
+(** tosa dialect: ML front-end ops (paper §3.2.1); tosa.fully_connected is
+    the op the paper's MLP decomposition example uses. *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+val fully_connected : Builder.t -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+val matmul : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val add : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val clamp : Builder.t -> Ir.value -> min_v:int -> max_v:int -> Ir.value
+val relu : Builder.t -> Ir.value -> Ir.value

@@ -1,0 +1,42 @@
+(** upmem device dialect (paper §3.2.5): DPU grids, tasklets, explicit
+    MRAM<->WRAM DMA, and barriers. Produced by cnm-to-upmem; executed by
+    the UPMEM machine simulator. *)
+
+open Cinm_ir
+
+val ensure : unit -> unit
+val alloc_dpus : Builder.t -> dimms:int -> dpus:int -> tasklets:int -> Ir.value
+
+val scatter :
+  Builder.t -> ?halo:int -> Ir.value -> Ir.value -> Ir.value -> map:string -> Ir.value
+
+val gather : Builder.t -> Ir.value -> Ir.value -> result_shape:int array -> Ir.value * Ir.value
+
+val launch :
+  Builder.t ->
+  Ir.value ->
+  tasklets:int ->
+  ins:Ir.value list ->
+  outs:Ir.value list ->
+  (Builder.t -> Ir.value array -> unit) ->
+  Ir.value
+
+val free_dpus : Builder.t -> Ir.value -> unit
+val tasklet_id : Builder.t -> Ir.value
+val wram_alloc : Builder.t -> int array -> Types.dtype -> Ir.value
+
+(** One WRAM buffer per DPU, shared by its tasklets. *)
+val wram_shared_alloc : Builder.t -> int array -> Types.dtype -> Ir.value
+
+val alloc :
+  Builder.t -> Ir.value -> shape:int array -> dtype:Types.dtype -> level:int -> Ir.value
+
+(** DMA [count] contiguous elements from mram\[mram_off..\] into
+    wram\[wram_off..\]. *)
+val mram_read :
+  Builder.t -> mram:Ir.value -> wram:Ir.value -> mram_off:Ir.value -> wram_off:Ir.value -> count:int -> unit
+
+val mram_write :
+  Builder.t -> wram:Ir.value -> mram:Ir.value -> mram_off:Ir.value -> wram_off:Ir.value -> count:int -> unit
+
+val barrier_wait : Builder.t -> unit

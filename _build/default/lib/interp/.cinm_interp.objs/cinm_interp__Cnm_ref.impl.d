@@ -1,0 +1,1 @@
+lib/interp/cnm_ref.ml: Array Attr Cinm_dialects Cinm_ir Cinm_support Distrib Hashtbl Interp Ir List Printf Profile Rtval Tensor Types

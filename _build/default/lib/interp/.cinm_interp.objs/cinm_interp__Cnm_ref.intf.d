@@ -1,0 +1,1 @@
+lib/interp/cnm_ref.mli: Interp Profile

@@ -1,0 +1,1 @@
+lib/interp/distrib.ml: Array Tensor

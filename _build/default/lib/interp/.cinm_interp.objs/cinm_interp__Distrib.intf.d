@@ -1,0 +1,1 @@
+lib/interp/distrib.mli: Cinm_ir Tensor

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Attr Cinm_dialects Cinm_ir Cinm_support Func Hashtbl Ir List Printf Profile Rtval Tensor Types

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Cinm_ir Func Hashtbl Ir Profile Rtval

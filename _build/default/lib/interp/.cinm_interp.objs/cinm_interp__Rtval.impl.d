@@ -1,0 +1,1 @@
+lib/interp/rtval.ml: Printf Tensor

@@ -1,0 +1,1 @@
+lib/interp/tensor.ml: Array Cinm_dialects Cinm_ir Cinm_support Hashtbl List Printf String Types

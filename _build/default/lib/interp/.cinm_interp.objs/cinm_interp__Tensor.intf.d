@@ -1,0 +1,1 @@
+lib/interp/tensor.mli: Cinm_ir Types

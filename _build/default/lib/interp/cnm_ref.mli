@@ -1,0 +1,11 @@
+(** Reference (functional, untimed) executor for the paradigm-level cnm and
+    cim dialects; the correctness oracle for the cinm-to-cnm / cinm-to-cim
+    lowerings, independent of any device timing model. *)
+
+type state
+
+val create_state : unit -> state
+
+(** Interpreter hook implementing cnm.* and cim.* semantics. [on_launch]
+    receives the per-PU execution profiles of each launch. *)
+val hook : ?on_launch:(Profile.t list -> unit) -> state -> Interp.hook

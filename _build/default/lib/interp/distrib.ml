@@ -1,0 +1,49 @@
+(* Data distribution between a host tensor and per-PU buffers, shared by
+   the reference CNM executor and the UPMEM simulator. The "map" names
+   match the cnm.scatter attribute. *)
+
+let scatter ?(halo = 0) ~map (t : Tensor.t) (per_pu : Tensor.t array) =
+  let pus = Array.length per_pu in
+  if pus = 0 then invalid_arg "Distrib.scatter: no PUs";
+  let per_pu_elems = Tensor.num_elements per_pu.(0) in
+  match map with
+  | "overlap" ->
+    (* block distribution with [halo] elements of overlap between
+       neighbouring buffers (sliding-window kernels) *)
+    let chunk = per_pu_elems - halo in
+    for p = 0 to pus - 1 do
+      for i = 0 to per_pu_elems - 1 do
+        Tensor.set_int per_pu.(p) i (Tensor.get_int t ((p * chunk) + i))
+      done
+    done
+  | "broadcast" ->
+    for p = 0 to pus - 1 do
+      for i = 0 to per_pu_elems - 1 do
+        Tensor.set_int per_pu.(p) i (Tensor.get_int t i)
+      done
+    done
+  | "block" ->
+    for p = 0 to pus - 1 do
+      for i = 0 to per_pu_elems - 1 do
+        Tensor.set_int per_pu.(p) i (Tensor.get_int t ((p * per_pu_elems) + i))
+      done
+    done
+  | "cyclic" ->
+    for p = 0 to pus - 1 do
+      for i = 0 to per_pu_elems - 1 do
+        Tensor.set_int per_pu.(p) i (Tensor.get_int t ((i * pus) + p))
+      done
+    done
+  | m -> invalid_arg ("Distrib.scatter: unknown map " ^ m)
+
+let gather (per_pu : Tensor.t array) ~result_shape ~dtype =
+  let pus = Array.length per_pu in
+  if pus = 0 then invalid_arg "Distrib.gather: no PUs";
+  let per_pu_elems = Tensor.num_elements per_pu.(0) in
+  let out = Tensor.zeros result_shape dtype in
+  for p = 0 to pus - 1 do
+    for i = 0 to per_pu_elems - 1 do
+      Tensor.set_int out ((p * per_pu_elems) + i) (Tensor.get_int per_pu.(p) i)
+    done
+  done;
+  out

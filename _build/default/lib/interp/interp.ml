@@ -1,0 +1,492 @@
+(* Reference interpreter for the CINM IR. Executes host-level dialects
+   (arith, scf, tensor, memref, linalg, tosa, cinm) directly; device
+   dialects (cnm, cim, upmem, memristor) are delegated to hooks installed
+   by the simulators. Every executed operation is accounted in a
+   [Profile.t], from which the timing models derive simulated time. *)
+
+open Cinm_ir
+module Util = Cinm_support.Util
+
+type ctx = {
+  env : (int, Rtval.t) Hashtbl.t;
+  profile : Profile.t;
+  hooks : hook list;
+  modul : Func.modul option;  (** for func.call *)
+}
+
+and hook = ctx -> Ir.op -> Rtval.t list option
+
+exception Interp_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Interp_error s)) fmt
+
+let lookup ctx (v : Ir.value) =
+  match Hashtbl.find_opt ctx.env v.Ir.vid with
+  | Some rv -> rv
+  | None -> err "use of unbound value %%%d : %s" v.Ir.vid (Types.to_string v.Ir.ty)
+
+let bind ctx (v : Ir.value) rv = Hashtbl.replace ctx.env v.Ir.vid rv
+
+let operand ctx op i = lookup ctx (Ir.operand op i)
+let t_operand ctx op i = Rtval.as_tensor (operand ctx op i)
+let i_operand ctx op i = Rtval.as_int (operand ctx op i)
+
+let terminators = [ "scf.yield"; "func.return"; "cim.yield"; "cnm.terminator" ]
+
+(* ----- profile accounting for bulk (tensor-level) ops ----- *)
+
+let account_elementwise p n =
+  p.Profile.alu_ops <- p.Profile.alu_ops + n;
+  p.Profile.loads <- p.Profile.loads + (2 * n);
+  p.Profile.stores <- p.Profile.stores + n
+
+let account_matmul p m n k =
+  p.Profile.mul_ops <- p.Profile.mul_ops + (m * n * k);
+  p.Profile.alu_ops <- p.Profile.alu_ops + (m * n * k);
+  p.Profile.loads <- p.Profile.loads + (2 * m * n * k);
+  p.Profile.stores <- p.Profile.stores + (m * n)
+
+let account_move p n =
+  p.Profile.loads <- p.Profile.loads + n;
+  p.Profile.stores <- p.Profile.stores + n
+
+(* ----- evaluation ----- *)
+
+let binop_arith_names =
+  [
+    ("arith.addi", "add"); ("arith.subi", "sub"); ("arith.muli", "mul");
+    ("arith.divsi", "div"); ("arith.remsi", "rem"); ("arith.minsi", "min");
+    ("arith.maxsi", "max"); ("arith.andi", "and"); ("arith.ori", "or");
+    ("arith.xori", "xor"); ("arith.shli", "shl"); ("arith.shrsi", "shr");
+  ]
+
+let binop_float_names =
+  [ ("arith.addf", "add"); ("arith.subf", "sub"); ("arith.mulf", "mul");
+    ("arith.divf", "div") ]
+
+let elementwise_names prefix =
+  List.map
+    (fun n -> (prefix ^ "." ^ n, n))
+    [ "add"; "sub"; "mul"; "div"; "min"; "max"; "and"; "or"; "xor" ]
+
+let cinm_elementwise = elementwise_names "cinm"
+let linalg_elementwise = elementwise_names "linalg"
+
+let scalar_result_dtype (op : Ir.op) =
+  match (Ir.result op 0).Ir.ty with
+  | Types.Scalar dt -> dt
+  | Types.Index -> Types.I64
+  | ty -> err "expected scalar result, got %s" (Types.to_string ty)
+
+let rec eval_block ctx (block : Ir.block) : Rtval.t list =
+  let rec loop = function
+    | [] -> []
+    | [ last ] when List.mem last.Ir.name terminators ->
+      List.map (lookup ctx) (Array.to_list last.Ir.operands)
+    | op :: rest ->
+      eval_op ctx op;
+      loop rest
+  in
+  loop block.Ir.ops
+
+and eval_region ctx (region : Ir.region) args : Rtval.t list =
+  let block = Ir.entry_block region in
+  if Array.length block.Ir.args <> List.length args then
+    err "region arity mismatch: %d args for %d params" (List.length args)
+      (Array.length block.Ir.args);
+  List.iteri (fun i rv -> bind ctx block.Ir.args.(i) rv) args;
+  eval_block ctx block
+
+and eval_op ctx (op : Ir.op) : unit =
+  let p = ctx.profile in
+  p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+  let set_results vals =
+    if List.length vals <> Array.length op.Ir.results then
+      err "%s: produced %d values for %d results" op.Ir.name (List.length vals)
+        (Array.length op.Ir.results);
+    List.iteri (fun i rv -> bind ctx op.Ir.results.(i) rv) vals
+  in
+  let name = op.Ir.name in
+  match name with
+  (* ----- arith ----- *)
+  | "arith.constant" -> (
+    match Ir.attr_exn op "value" with
+    | Attr.Int i -> set_results [ Rtval.Int (Tensor.wrap (scalar_result_dtype op) i) ]
+    | Attr.Float f -> set_results [ Rtval.Float f ]
+    | a -> err "arith.constant: bad value %s" (Attr.to_string a))
+  | _ when List.mem_assoc name binop_arith_names ->
+    let f = Tensor.int_binop (List.assoc name binop_arith_names) in
+    (match List.assoc name binop_arith_names with
+    | "mul" -> p.Profile.mul_ops <- p.Profile.mul_ops + 1
+    | "div" | "rem" -> p.Profile.div_ops <- p.Profile.div_ops + 1
+    | _ -> p.Profile.alu_ops <- p.Profile.alu_ops + 1);
+    let dt = scalar_result_dtype op in
+    set_results
+      [ Rtval.Int (Tensor.wrap dt (f (i_operand ctx op 0) (i_operand ctx op 1))) ]
+  | _ when List.mem_assoc name binop_float_names ->
+    let f = Tensor.float_binop (List.assoc name binop_float_names) in
+    p.Profile.alu_ops <- p.Profile.alu_ops + 1;
+    set_results
+      [
+        Rtval.Float
+          (f (Rtval.as_float (operand ctx op 0)) (Rtval.as_float (operand ctx op 1)));
+      ]
+  | "arith.cmpi" ->
+    let a = i_operand ctx op 0 and b = i_operand ctx op 1 in
+    p.Profile.alu_ops <- p.Profile.alu_ops + 1;
+    let r =
+      match Ir.str_attr op "predicate" with
+      | "eq" -> a = b
+      | "ne" -> a <> b
+      | "slt" -> a < b
+      | "sle" -> a <= b
+      | "sgt" -> a > b
+      | "sge" -> a >= b
+      | s -> err "arith.cmpi: predicate %s" s
+    in
+    set_results [ Rtval.Bool r ]
+  | "arith.select" ->
+    p.Profile.alu_ops <- p.Profile.alu_ops + 1;
+    let c = Rtval.as_bool (operand ctx op 0) in
+    set_results [ (if c then operand ctx op 1 else operand ctx op 2) ]
+  | "arith.index_cast" -> set_results [ Rtval.Int (i_operand ctx op 0) ]
+  (* ----- scf ----- *)
+  | "scf.for" ->
+    let lb = i_operand ctx op 0 and ub = i_operand ctx op 1 and step = i_operand ctx op 2 in
+    if step <= 0 then err "scf.for: non-positive step %d" step;
+    let inits = List.map (lookup ctx) (Cinm_dialects.Scf_d.for_inits op) in
+    let region = Ir.region op 0 in
+    let rec iterate i acc =
+      if i >= ub then acc
+      else begin
+        p.Profile.alu_ops <- p.Profile.alu_ops + 1 (* induction update/compare *);
+        let out = eval_region ctx region (Rtval.Int i :: acc) in
+        iterate (i + step) out
+      end
+    in
+    set_results (iterate lb inits)
+  | "scf.if" ->
+    let c = Rtval.as_bool (operand ctx op 0) in
+    let region_idx = if c then 0 else 1 in
+    if region_idx >= Array.length op.Ir.regions then set_results []
+    else set_results (eval_region ctx (Ir.region op region_idx) [])
+  | "scf.parallel" ->
+    let n_dims = Ir.num_operands op / 3 in
+    let bounds =
+      List.init n_dims (fun d ->
+          (i_operand ctx op (3 * d), i_operand ctx op ((3 * d) + 1),
+           i_operand ctx op ((3 * d) + 2)))
+    in
+    let region = Ir.region op 0 in
+    let rec loop_dims acc = function
+      | [] -> ignore (eval_region ctx region (List.rev_map (fun i -> Rtval.Int i) acc))
+      | (lb, ub, step) :: rest ->
+        let i = ref lb in
+        while !i < ub do
+          loop_dims (!i :: acc) rest;
+          i := !i + step
+        done
+    in
+    loop_dims [] bounds;
+    set_results []
+  (* ----- func ----- *)
+  | "func.call" -> (
+    match ctx.modul with
+    | None -> err "func.call outside a module context"
+    | Some m ->
+      let callee = Ir.str_attr op "callee" in
+      let f = Func.find_func_exn m callee in
+      let args = List.map (lookup ctx) (Array.to_list op.Ir.operands) in
+      set_results (eval_region ctx f.Func.body args))
+  (* ----- tensor ----- *)
+  | "tensor.empty" -> (
+    match (Ir.result op 0).Ir.ty with
+    | Types.Tensor (shape, dt) -> set_results [ Rtval.Tensor (Tensor.zeros shape dt) ]
+    | ty -> err "tensor.empty: %s" (Types.to_string ty))
+  | "tensor.splat" | "linalg.fill" -> (
+    match (Ir.result op 0).Ir.ty with
+    | Types.Tensor (shape, dt) ->
+      let v = i_operand ctx op 0 in
+      account_move p (Util.product_of_shape shape);
+      set_results [ Rtval.Tensor (Tensor.fill_scalar shape dt v) ]
+    | ty -> err "%s: %s" name (Types.to_string ty))
+  | "tensor.extract_slice" ->
+    let src = t_operand ctx op 0 in
+    let offsets = Ir.ints_attr op "offsets" in
+    let sizes = Ir.ints_attr op "sizes" in
+    let offsets = add_dyn_offsets ctx op ~skip:1 offsets in
+    account_move p (Util.product_of_shape sizes);
+    set_results [ Rtval.Tensor (Tensor.extract_slice src ~offsets ~sizes) ]
+  | "tensor.insert_slice" ->
+    let src = t_operand ctx op 0 and dst = t_operand ctx op 1 in
+    let offsets = Ir.ints_attr op "offsets" in
+    let offsets = add_dyn_offsets ctx op ~skip:2 offsets in
+    account_move p (Tensor.num_elements src);
+    set_results [ Rtval.Tensor (Tensor.insert_slice src dst ~offsets) ]
+  | "tensor.extract" ->
+    let src = t_operand ctx op 0 in
+    let idx = Array.init (Ir.num_operands op - 1) (fun i -> i_operand ctx op (i + 1)) in
+    p.Profile.loads <- p.Profile.loads + 1;
+    set_results [ Rtval.Int (Tensor.get src idx) ]
+  | "tensor.insert" ->
+    let v = i_operand ctx op 0 and dst = t_operand ctx op 1 in
+    let idx = Array.init (Ir.num_operands op - 2) (fun i -> i_operand ctx op (i + 2)) in
+    p.Profile.stores <- p.Profile.stores + 1;
+    let out = Tensor.copy dst in
+    Tensor.set out idx v;
+    set_results [ Rtval.Tensor out ]
+  | "tensor.reshape" | "cinm.expand" -> (
+    let src = t_operand ctx op 0 in
+    match Types.shape_of (Ir.result op 0).Ir.ty with
+    | Some shape -> set_results [ Rtval.Tensor (Tensor.reshape src shape) ]
+    | None -> err "%s: unshaped result" name)
+  | "tensor.pad" ->
+    let src = t_operand ctx op 0 in
+    let low = Ir.ints_attr op "low" and high = Ir.ints_attr op "high" in
+    account_move p (Tensor.num_elements src);
+    set_results [ Rtval.Tensor (Tensor.pad src ~low ~high) ]
+  (* ----- memref ----- *)
+  | "memref.alloc" | "upmem.wram_alloc" -> (
+    match (Ir.result op 0).Ir.ty with
+    | Types.MemRef (shape, dt) -> set_results [ Rtval.Memref (Tensor.zeros shape dt) ]
+    | ty -> err "%s: %s" name (Types.to_string ty))
+  | "memref.load" ->
+    let m = t_operand ctx op 0 in
+    let idx = Array.init (Ir.num_operands op - 1) (fun i -> i_operand ctx op (i + 1)) in
+    p.Profile.loads <- p.Profile.loads + 1;
+    set_results [ Rtval.Int (Tensor.get m idx) ]
+  | "memref.store" ->
+    let v = i_operand ctx op 0 and m = t_operand ctx op 1 in
+    let idx = Array.init (Ir.num_operands op - 2) (fun i -> i_operand ctx op (i + 2)) in
+    p.Profile.stores <- p.Profile.stores + 1;
+    Tensor.set m idx v;
+    set_results []
+  | "memref.copy" ->
+    let src = t_operand ctx op 0 and dst = t_operand ctx op 1 in
+    let n = Tensor.num_elements src in
+    account_move p n;
+    for i = 0 to n - 1 do
+      Tensor.set_int dst i (Tensor.get_int src i)
+    done;
+    set_results []
+  | "memref.dealloc" -> set_results []
+  (* ----- elementwise cinm / linalg / tosa ----- *)
+  | _ when List.mem_assoc name cinm_elementwise ->
+    eval_elementwise ctx op (List.assoc name cinm_elementwise)
+  | _ when List.mem_assoc name linalg_elementwise ->
+    eval_elementwise ctx op (List.assoc name linalg_elementwise)
+  | "tosa.add" -> eval_elementwise ctx op "add"
+  | "cinm.not" ->
+    let a = t_operand ctx op 0 in
+    account_elementwise p (Tensor.num_elements a);
+    set_results [ Rtval.Tensor (Tensor.map_not a) ]
+  (* ----- matmul family ----- *)
+  | "cinm.gemm" | "linalg.matmul" | "tosa.matmul" ->
+    let a = t_operand ctx op 0 and bt = t_operand ctx op 1 in
+    (match (a.Tensor.shape, bt.Tensor.shape) with
+    | [| m; k |], [| _; n |] -> account_matmul p m n k
+    | _ -> ());
+    set_results [ Rtval.Tensor (Tensor.matmul a bt) ]
+  | "cinm.gemv" | "linalg.matvec" ->
+    let a = t_operand ctx op 0 and v = t_operand ctx op 1 in
+    (match a.Tensor.shape with [| m; n |] -> account_matmul p m 1 n | _ -> ());
+    set_results [ Rtval.Tensor (Tensor.matvec a v) ]
+  | "linalg.dot" ->
+    let a = t_operand ctx op 0 and bt = t_operand ctx op 1 in
+    account_matmul p 1 1 (Tensor.num_elements a);
+    set_results [ Rtval.Int (Tensor.dot a bt) ]
+  | "linalg.conv_2d" ->
+    let img = t_operand ctx op 0 and k = t_operand ctx op 1 in
+    (match (img.Tensor.shape, k.Tensor.shape) with
+    | [| h; w |], [| kh; kw |] ->
+      account_matmul p ((h - kh + 1) * (w - kw + 1)) 1 (kh * kw)
+    | _ -> ());
+    set_results [ Rtval.Tensor (Tensor.conv_2d img k) ]
+  | "linalg.einsum" ->
+    let a = t_operand ctx op 0 and bt = t_operand ctx op 1 in
+    let spec = Ir.str_attr op "spec" in
+    let out = Tensor.einsum ~spec a bt in
+    (* MACs = |out| * K where, for a pure contraction with M/N/K index
+       groups, |A|*|B| = M*K * K*N = |out| * K^2 *)
+    let red =
+      let n_a = Tensor.num_elements a
+      and n_b = Tensor.num_elements bt
+      and n_out = Tensor.num_elements out in
+      max 1 (int_of_float (sqrt (float_of_int n_a *. float_of_int n_b /. float_of_int (max 1 n_out))))
+    in
+    account_matmul p (Tensor.num_elements out) 1 red;
+    set_results [ Rtval.Tensor out ]
+  | "linalg.broadcast" -> (
+    let src = t_operand ctx op 0 in
+    match Types.shape_of (Ir.result op 0).Ir.ty with
+    | Some dst_shape ->
+      let out = Tensor.zeros dst_shape src.Tensor.dtype in
+      let n = Tensor.num_elements out and m = Tensor.num_elements src in
+      account_move p n;
+      for i = 0 to n - 1 do
+        Tensor.set_int out i (Tensor.get_int src (i mod m))
+      done;
+      set_results [ Rtval.Tensor out ]
+    | None -> err "linalg.broadcast: unshaped result")
+  (* ----- shape ops ----- *)
+  | "cinm.transpose" | "linalg.transpose" ->
+    let a = t_operand ctx op 0 in
+    let perms = Ir.ints_attr op "perms" in
+    account_move p (Tensor.num_elements a);
+    set_results [ Rtval.Tensor (Tensor.transpose a perms) ]
+  | "cinm.im2col" ->
+    let img = t_operand ctx op 0 in
+    let kernel = Ir.ints_attr op "kernel" in
+    let out = Tensor.im2col img ~kh:kernel.(0) ~kw:kernel.(1) in
+    account_move p (Tensor.num_elements out);
+    set_results [ Rtval.Tensor out ]
+  (* ----- reductions / analytics ----- *)
+  | "cinm.reduce" | "linalg.reduce" ->
+    let a = t_operand ctx op 0 in
+    let red = Ir.str_attr op "op" in
+    account_elementwise p (Tensor.num_elements a);
+    set_results [ Rtval.Int (Tensor.reduce red a) ]
+  | "cinm.scan" ->
+    let a =
+      match Ir.attr op "pre_expr" with
+      | None -> t_operand ctx op 0
+      | Some (Attr.Strs tokens) ->
+        (* fused elementwise chain evaluated on the fly *)
+        let inputs = Array.init (Ir.num_operands op) (fun i -> t_operand ctx op i) in
+        let n = Tensor.num_elements inputs.(0) in
+        let out = Tensor.zeros inputs.(0).Tensor.shape inputs.(0).Tensor.dtype in
+        p.Profile.alu_ops <- p.Profile.alu_ops + (n * List.length tokens / 2);
+        for i = 0 to n - 1 do
+          Tensor.set_int out i
+            (Cinm_dialects.Cinm_d.eval_rpn ~tokens
+               ~input:(fun k -> Tensor.get_int inputs.(k) i)
+               ~const:(fun c -> c)
+               ~apply:(fun name x y ->
+                 Tensor.wrap out.Tensor.dtype (Tensor.int_binop name x y)))
+        done;
+        out
+      | Some a -> err "cinm.scan: bad pre_expr %s" (Attr.to_string a)
+    in
+    account_elementwise p (Tensor.num_elements a);
+    set_results [ Rtval.Tensor (Tensor.scan (Ir.str_attr op "op") a) ]
+  | "cinm.histogram" ->
+    let a = t_operand ctx op 0 in
+    account_elementwise p (Tensor.num_elements a);
+    set_results [ Rtval.Tensor (Tensor.histogram ~bins:(Ir.int_attr op "bins") a) ]
+  | "cinm.pop_count" ->
+    let a = t_operand ctx op 0 in
+    account_elementwise p (Tensor.num_elements a);
+    set_results [ Rtval.Int (Tensor.pop_count a) ]
+  | "cinm.majority" ->
+    let a = t_operand ctx op 0 in
+    account_elementwise p (Tensor.num_elements a);
+    set_results [ Rtval.Tensor (Tensor.majority a) ]
+  | "cinm.topk" ->
+    let a = t_operand ctx op 0 in
+    let n = Tensor.num_elements a in
+    (* comparison-sort cost model *)
+    p.Profile.alu_ops <-
+      p.Profile.alu_ops + (n * max 1 (int_of_float (log (float_of_int (max 2 n)))));
+    let values, indices = Tensor.topk ~k:(Ir.int_attr op "k") a in
+    set_results [ Rtval.Tensor values; Rtval.Tensor indices ]
+  | "cinm.sim_search" ->
+    let db = t_operand ctx op 0 and q = t_operand ctx op 1 in
+    let k = Ir.int_attr op "k" and metric = Ir.str_attr op "metric" in
+    let n = Tensor.num_elements db and m = Tensor.num_elements q in
+    account_matmul p (max 1 (n - m + 1)) 1 m;
+    let values, indices = Tensor.sim_search ~metric ~k db q in
+    set_results [ Rtval.Tensor values; Rtval.Tensor indices ]
+  | "cinm.merge_partial" ->
+    eval_elementwise ctx op (Ir.str_attr op "op")
+  | "cinm.ew_expr" ->
+    let tokens =
+      match Ir.attr_exn op "expr" with
+      | Attr.Strs l -> l
+      | a -> err "cinm.ew_expr: bad expr attr %s" (Attr.to_string a)
+    in
+    let inputs = Array.init (Ir.num_operands op) (fun i -> t_operand ctx op i) in
+    let n = Tensor.num_elements inputs.(0) in
+    let out = Tensor.zeros inputs.(0).Tensor.shape inputs.(0).Tensor.dtype in
+    p.Profile.alu_ops <- p.Profile.alu_ops + (n * List.length tokens / 2);
+    p.Profile.loads <- p.Profile.loads + (n * Array.length inputs);
+    p.Profile.stores <- p.Profile.stores + n;
+    for i = 0 to n - 1 do
+      let v =
+        Cinm_dialects.Cinm_d.eval_rpn ~tokens
+          ~input:(fun k -> Tensor.get_int inputs.(k) i)
+          ~const:(fun c -> c)
+          ~apply:(fun name a bv ->
+            Tensor.wrap out.Tensor.dtype (Tensor.int_binop name a bv))
+      in
+      Tensor.set_int out i v
+    done;
+    set_results [ Rtval.Tensor out ]
+  (* ----- tosa ----- *)
+  | "tosa.fully_connected" ->
+    let input = t_operand ctx op 0
+    and weight = t_operand ctx op 1
+    and bias = t_operand ctx op 2 in
+    let wt = Tensor.transpose weight [| 1; 0 |] in
+    let mm = Tensor.matmul input wt in
+    (match (input.Tensor.shape, wt.Tensor.shape) with
+    | [| m; k |], [| _; n |] -> account_matmul p m n k
+    | _ -> ());
+    let out = Tensor.copy mm in
+    (match out.Tensor.shape with
+    | [| n; f |] ->
+      for i = 0 to n - 1 do
+        for j = 0 to f - 1 do
+          Tensor.set_int out ((i * f) + j) (Tensor.get_int out ((i * f) + j) + Tensor.get_int bias j)
+        done
+      done
+    | _ -> err "tosa.fully_connected: bad output shape");
+    set_results [ Rtval.Tensor out ]
+  | "tosa.clamp" ->
+    let a = t_operand ctx op 0 in
+    let min_v = Ir.int_attr op "min" and max_v = Ir.int_attr op "max" in
+    account_elementwise p (Tensor.num_elements a);
+    let out = Tensor.copy a in
+    for i = 0 to Tensor.num_elements out - 1 do
+      Tensor.set_int out i (min max_v (max min_v (Tensor.get_int out i)))
+    done;
+    set_results [ Rtval.Tensor out ]
+  (* ----- device ops: delegate to hooks ----- *)
+  | _ ->
+    let rec try_hooks = function
+      | [] -> err "no interpreter semantics for %s" name
+      | h :: rest -> (
+        match h ctx op with Some vals -> set_results vals | None -> try_hooks rest)
+    in
+    try_hooks ctx.hooks
+
+and add_dyn_offsets ctx op ~skip offsets =
+  let n_dyn = Ir.num_operands op - skip in
+  if n_dyn = 0 then offsets
+  else begin
+    if n_dyn <> Array.length offsets then
+      err "%s: %d dynamic offsets for rank %d" op.Ir.name n_dyn (Array.length offsets);
+    Array.mapi (fun i off -> off + i_operand ctx op (skip + i)) offsets
+  end
+
+and eval_elementwise ctx op opname =
+  let a = t_operand ctx op 0 and b = t_operand ctx op 1 in
+  account_elementwise ctx.profile (Tensor.num_elements a);
+  List.iteri
+    (fun i rv -> bind ctx op.Ir.results.(i) rv)
+    [ Rtval.Tensor (Tensor.map2 opname a b) ]
+
+(* ----- entry points ----- *)
+
+let create_ctx ?(hooks = []) ?profile ?modul () =
+  let profile = match profile with Some p -> p | None -> Profile.create () in
+  { env = Hashtbl.create 256; profile; hooks; modul }
+
+let run_func ?(hooks = []) ?profile ?modul (f : Func.t) (args : Rtval.t list) :
+    Rtval.t list * Profile.t =
+  let ctx = create_ctx ~hooks ?profile ?modul () in
+  let results = eval_region ctx f.Func.body args in
+  (results, ctx.profile)
+
+let run_in_module ?(hooks = []) ?profile (m : Func.modul) name args =
+  let f = Func.find_func_exn m name in
+  run_func ~hooks ?profile ~modul:m f args

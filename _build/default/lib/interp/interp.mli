@@ -1,0 +1,54 @@
+(** Reference interpreter for the CINM IR. Executes host-level dialects
+    directly; device dialects are delegated to hooks installed by the
+    simulators. Every executed op is accounted in a {!Profile.t}, from
+    which the timing models derive simulated time. *)
+
+open Cinm_ir
+
+type ctx = {
+  env : (int, Rtval.t) Hashtbl.t;
+  profile : Profile.t;
+  hooks : hook list;
+  modul : Func.modul option;  (** for func.call *)
+}
+
+and hook = ctx -> Ir.op -> Rtval.t list option
+(** A hook returns [Some results] when it implements the op, [None] to let
+    the next hook (or the error path) handle it. *)
+
+exception Interp_error of string
+
+(** Look up an SSA value's runtime binding.
+    @raise Interp_error when unbound. *)
+val lookup : ctx -> Ir.value -> Rtval.t
+
+val bind : ctx -> Ir.value -> Rtval.t -> unit
+
+(** Evaluate a block; returns the operands of its terminator. *)
+val eval_block : ctx -> Ir.block -> Rtval.t list
+
+(** Evaluate a single-entry region with the given block-argument values. *)
+val eval_region : ctx -> Ir.region -> Rtval.t list -> Rtval.t list
+
+val eval_op : ctx -> Ir.op -> unit
+
+val create_ctx :
+  ?hooks:hook list -> ?profile:Profile.t -> ?modul:Func.modul -> unit -> ctx
+
+(** Run a function; returns its results and the accumulated profile. *)
+val run_func :
+  ?hooks:hook list ->
+  ?profile:Profile.t ->
+  ?modul:Func.modul ->
+  Func.t ->
+  Rtval.t list ->
+  Rtval.t list * Profile.t
+
+(** Run a named function of a module (callees resolvable via func.call). *)
+val run_in_module :
+  ?hooks:hook list ->
+  ?profile:Profile.t ->
+  Func.modul ->
+  string ->
+  Rtval.t list ->
+  Rtval.t list * Profile.t

@@ -1,0 +1,50 @@
+(* Execution profile: dynamic operation counts accumulated by the
+   interpreter. The timing models of the CPU and device simulators are
+   functions of these counts, so "time" is always derived from work the
+   generated code actually performed. *)
+
+type t = {
+  mutable alu_ops : int;  (** adds, subs, logic, compares, selects *)
+  mutable mul_ops : int;
+  mutable div_ops : int;
+  mutable loads : int;  (** scalar element reads *)
+  mutable stores : int;  (** scalar element writes *)
+  mutable dma_bytes : int;  (** explicit DMA'd bytes (MRAM<->WRAM) *)
+  mutable dma_transfers : int;
+  mutable barriers : int;
+  mutable launched_ops : int;  (** total ops dispatched (control overhead) *)
+}
+
+let create () =
+  {
+    alu_ops = 0;
+    mul_ops = 0;
+    div_ops = 0;
+    loads = 0;
+    stores = 0;
+    dma_bytes = 0;
+    dma_transfers = 0;
+    barriers = 0;
+    launched_ops = 0;
+  }
+
+let copy p = { p with alu_ops = p.alu_ops }
+
+let add ~into p =
+  into.alu_ops <- into.alu_ops + p.alu_ops;
+  into.mul_ops <- into.mul_ops + p.mul_ops;
+  into.div_ops <- into.div_ops + p.div_ops;
+  into.loads <- into.loads + p.loads;
+  into.stores <- into.stores + p.stores;
+  into.dma_bytes <- into.dma_bytes + p.dma_bytes;
+  into.dma_transfers <- into.dma_transfers + p.dma_transfers;
+  into.barriers <- into.barriers + p.barriers;
+  into.launched_ops <- into.launched_ops + p.launched_ops
+
+let total_scalar_ops p = p.alu_ops + p.mul_ops + p.div_ops
+
+let to_string p =
+  Printf.sprintf
+    "alu=%d mul=%d div=%d loads=%d stores=%d dma=%dB/%d barriers=%d ops=%d" p.alu_ops
+    p.mul_ops p.div_ops p.loads p.stores p.dma_bytes p.dma_transfers p.barriers
+    p.launched_ops

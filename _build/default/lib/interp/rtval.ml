@@ -1,0 +1,42 @@
+(* Runtime values flowing through the interpreter. *)
+
+type t =
+  | Int of int  (** scalars of any integer type and index *)
+  | Float of float
+  | Bool of bool
+  | Tensor of Tensor.t  (** immutable (value semantics) *)
+  | Memref of Tensor.t  (** shared, mutable *)
+  | Token
+  | Handle of int  (** workgroup / CIM device handles, simulator-owned *)
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+  | Tensor t -> Tensor.to_string t
+  | Memref t -> "memref " ^ Tensor.to_string t
+  | Token -> "token"
+  | Handle h -> Printf.sprintf "handle#%d" h
+
+let as_int = function
+  | Int i -> i
+  | Bool b -> if b then 1 else 0
+  | v -> invalid_arg ("Rtval.as_int: " ^ to_string v)
+
+let as_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> invalid_arg ("Rtval.as_float: " ^ to_string v)
+
+let as_bool = function
+  | Bool b -> b
+  | Int i -> i <> 0
+  | v -> invalid_arg ("Rtval.as_bool: " ^ to_string v)
+
+let as_tensor = function
+  | Tensor t | Memref t -> t
+  | v -> invalid_arg ("Rtval.as_tensor: " ^ to_string v)
+
+let as_handle = function
+  | Handle h -> h
+  | v -> invalid_arg ("Rtval.as_handle: " ^ to_string v)

@@ -1,0 +1,21 @@
+(** Runtime values flowing through the interpreter. *)
+
+type t =
+  | Int of int  (** scalars of any integer type and index *)
+  | Float of float
+  | Bool of bool
+  | Tensor of Tensor.t  (** immutable (value semantics) *)
+  | Memref of Tensor.t  (** shared, mutable *)
+  | Token
+  | Handle of int  (** workgroup / CIM device handles, simulator-owned *)
+
+val to_string : t -> string
+
+(** Coercing accessors.
+    @raise Invalid_argument on a kind mismatch. *)
+
+val as_int : t -> int
+val as_float : t -> float
+val as_bool : t -> bool
+val as_tensor : t -> Tensor.t
+val as_handle : t -> int

@@ -1,0 +1,434 @@
+(* Runtime tensors: the data the compiled programs compute on. Integer
+   tensors use wrap-around semantics at their declared bit width (the
+   paper's workloads are all INT32); float tensors are supported for
+   completeness. This module doubles as the reference ("host CPU")
+   implementation of every compute op in the cinm/linalg dialects. *)
+
+open Cinm_ir
+module Util = Cinm_support.Util
+
+type payload = I of int array | F of float array
+
+type t = { shape : int array; dtype : Types.dtype; data : payload }
+
+let num_elements t = Util.product_of_shape t.shape
+
+let is_int t = not (Types.is_float_dtype t.dtype)
+
+(* wrap an integer to the dtype's width, signed *)
+let wrap dtype x =
+  match dtype with
+  | Types.I64 -> x
+  | Types.I1 -> x land 1
+  | dt ->
+    let bits = Types.dtype_bits dt in
+    let m = x land ((1 lsl bits) - 1) in
+    if m >= 1 lsl (bits - 1) then m - (1 lsl bits) else m
+
+let zeros shape dtype =
+  let n = Util.product_of_shape shape in
+  let data = if Types.is_float_dtype dtype then F (Array.make n 0.0) else I (Array.make n 0) in
+  { shape; dtype; data }
+
+let of_int_array ?(dtype = Types.I32) shape arr =
+  if Array.length arr <> Util.product_of_shape shape then
+    invalid_arg "Tensor.of_int_array: size mismatch";
+  { shape; dtype; data = I (Array.map (wrap dtype) arr) }
+
+let of_float_array ?(dtype = Types.F32) shape arr =
+  if Array.length arr <> Util.product_of_shape shape then
+    invalid_arg "Tensor.of_float_array: size mismatch";
+  { shape; dtype; data = F arr }
+
+let init ?(dtype = Types.I32) shape f =
+  let n = Util.product_of_shape shape in
+  { shape; dtype; data = I (Array.init n (fun i -> wrap dtype (f i))) }
+
+let copy t =
+  let data = match t.data with I a -> I (Array.copy a) | F a -> F (Array.copy a) in
+  { t with data }
+
+let get_int t i =
+  match t.data with I a -> a.(i) | F a -> int_of_float a.(i)
+
+let get_float t i =
+  match t.data with I a -> float_of_int a.(i) | F a -> a.(i)
+
+let set_int t i v =
+  match t.data with
+  | I a -> a.(i) <- wrap t.dtype v
+  | F a -> a.(i) <- float_of_int v
+
+let set_float t i v =
+  match t.data with I a -> a.(i) <- wrap t.dtype (int_of_float v) | F a -> a.(i) <- v
+
+let get t idx = get_int t (Util.linearize t.shape idx)
+let set t idx v = set_int t (Util.linearize t.shape idx) v
+
+let to_int_array t =
+  match t.data with I a -> Array.copy a | F a -> Array.map int_of_float a
+
+let equal a b =
+  a.shape = b.shape
+  &&
+  match (a.data, b.data) with
+  | I x, I y -> x = y
+  | F x, F y -> x = y
+  | I x, F y | F y, I x -> Array.for_all2 (fun i f -> float_of_int i = f) x y
+
+let to_string ?(max_elems = 16) t =
+  let n = num_elements t in
+  let shown = min n max_elems in
+  let elems =
+    List.init shown (fun i ->
+        match t.data with
+        | I a -> string_of_int a.(i)
+        | F a -> Printf.sprintf "%g" a.(i))
+  in
+  Printf.sprintf "tensor<%s>[%s%s]"
+    (Util.shape_to_string t.shape)
+    (String.concat ", " elems)
+    (if n > shown then ", ..." else "")
+
+(* ----- element-wise operations ----- *)
+
+let int_binop name : int -> int -> int =
+  match name with
+  | "add" -> ( + )
+  | "sub" -> ( - )
+  | "mul" -> ( * )
+  | "div" -> fun a b -> if b = 0 then 0 else a / b
+  | "rem" -> fun a b -> if b = 0 then 0 else a mod b
+  | "min" -> min
+  | "max" -> max
+  | "and" -> ( land )
+  | "or" -> ( lor )
+  | "xor" -> ( lxor )
+  | "shl" -> ( lsl )
+  | "shr" -> ( asr )
+  | _ -> invalid_arg ("Tensor.int_binop: " ^ name)
+
+let float_binop name : float -> float -> float =
+  match name with
+  | "add" -> ( +. )
+  | "sub" -> ( -. )
+  | "mul" -> ( *. )
+  | "div" -> ( /. )
+  | "min" -> min
+  | "max" -> max
+  | _ -> invalid_arg ("Tensor.float_binop: " ^ name)
+
+let map2 name a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.map2: shape mismatch";
+  match (a.data, b.data) with
+  | I x, I y ->
+    { a with data = I (Array.init (Array.length x) (fun i -> wrap a.dtype (int_binop name x.(i) y.(i)))) }
+  | F x, F y ->
+    { a with data = F (Array.init (Array.length x) (fun i -> float_binop name x.(i) y.(i))) }
+  | _ -> invalid_arg "Tensor.map2: mixed payloads"
+
+let map_not a =
+  match a.data with
+  | I x -> { a with data = I (Array.map (fun v -> wrap a.dtype (lnot v)) x) }
+  | F _ -> invalid_arg "Tensor.map_not: float tensor"
+
+let fill_scalar shape dtype v =
+  let t = zeros shape dtype in
+  (match t.data with
+  | I a -> Array.fill a 0 (Array.length a) (wrap dtype v)
+  | F a -> Array.fill a 0 (Array.length a) (float_of_int v));
+  t
+
+(* ----- linear algebra ----- *)
+
+let matmul a b =
+  match (a.shape, b.shape) with
+  | [| m; k |], [| k'; n |] when k = k' ->
+    let out = zeros [| m; n |] a.dtype in
+    if is_int a then begin
+      let x = match a.data with I v -> v | _ -> assert false in
+      let y = match b.data with I v -> v | _ -> assert false in
+      let z = match out.data with I v -> v | _ -> assert false in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0 in
+          for p = 0 to k - 1 do
+            acc := !acc + (x.((i * k) + p) * y.((p * n) + j))
+          done;
+          z.((i * n) + j) <- wrap a.dtype !acc
+        done
+      done
+    end
+    else
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0.0 in
+          for p = 0 to k - 1 do
+            acc := !acc +. (get_float a ((i * k) + p) *. get_float b ((p * n) + j))
+          done;
+          set_float out ((i * n) + j) !acc
+        done
+      done;
+    out
+  | _ -> invalid_arg "Tensor.matmul: shape mismatch"
+
+let matvec a v =
+  match (a.shape, v.shape) with
+  | [| m; n |], [| n' |] when n = n' ->
+    let out = zeros [| m |] a.dtype in
+    for i = 0 to m - 1 do
+      let acc = ref 0 in
+      for j = 0 to n - 1 do
+        acc := !acc + (get_int a ((i * n) + j) * get_int v j)
+      done;
+      set_int out i !acc
+    done;
+    out
+  | _ -> invalid_arg "Tensor.matvec: shape mismatch"
+
+let dot a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.dot: shape mismatch";
+  let acc = ref 0 in
+  for i = 0 to num_elements a - 1 do
+    acc := !acc + (get_int a i * get_int b i)
+  done;
+  wrap a.dtype !acc
+
+let conv_2d img kernel =
+  match (img.shape, kernel.shape) with
+  | [| h; w |], [| kh; kw |] ->
+    let oh = h - kh + 1 and ow = w - kw + 1 in
+    let out = zeros [| oh; ow |] img.dtype in
+    for i = 0 to oh - 1 do
+      for j = 0 to ow - 1 do
+        let acc = ref 0 in
+        for di = 0 to kh - 1 do
+          for dj = 0 to kw - 1 do
+            acc := !acc + (get_int img (((i + di) * w) + j + dj) * get_int kernel ((di * kw) + dj))
+          done
+        done;
+        set_int out ((i * ow) + j) !acc
+      done
+    done;
+    out
+  | _ -> invalid_arg "Tensor.conv_2d: rank-2 required"
+
+let transpose t perms =
+  let rank = Array.length t.shape in
+  if Array.length perms <> rank then invalid_arg "Tensor.transpose: perms rank";
+  let out_shape = Array.map (fun p -> t.shape.(p)) perms in
+  let out = zeros out_shape t.dtype in
+  let n = num_elements t in
+  for off = 0 to n - 1 do
+    let idx = Util.delinearize t.shape off in
+    let out_idx = Array.map (fun p -> idx.(p)) perms in
+    set_int out (Util.linearize out_shape out_idx) (get_int t off)
+  done;
+  out
+
+(* ----- reductions and data analytics ops (cinm Table 1) ----- *)
+
+let reduce op t =
+  let n = num_elements t in
+  if n = 0 then 0
+  else begin
+    let acc = ref (get_int t 0) in
+    for i = 1 to n - 1 do
+      acc := int_binop op !acc (get_int t i)
+    done;
+    wrap t.dtype !acc
+  end
+
+let scan op t =
+  let out = copy t in
+  let n = num_elements t in
+  for i = 1 to n - 1 do
+    set_int out i (int_binop op (get_int out (i - 1)) (get_int out i))
+  done;
+  out
+
+let histogram ~bins t =
+  let out = zeros [| bins |] t.dtype in
+  for i = 0 to num_elements t - 1 do
+    let v = get_int t i in
+    if v >= 0 && v < bins then set_int out v (get_int out v + 1)
+  done;
+  out
+
+let pop_count t =
+  let count = ref 0 in
+  for i = 0 to num_elements t - 1 do
+    let v = get_int t i land 0xFFFFFFFF in
+    let rec bits x acc = if x = 0 then acc else bits (x lsr 1) (acc + (x land 1)) in
+    count := !count + bits v 0
+  done;
+  !count
+
+(* Bit-wise majority across all elements: bit b of the result is 1 iff a
+   strict majority of elements have bit b set (the RTM majority op). *)
+let majority t =
+  let n = num_elements t in
+  let out = zeros [| 1 |] t.dtype in
+  let bits = Types.dtype_bits t.dtype in
+  let result = ref 0 in
+  for b = 0 to min 31 (bits - 1) do
+    let ones = ref 0 in
+    for i = 0 to n - 1 do
+      if (get_int t i lsr b) land 1 = 1 then incr ones
+    done;
+    if 2 * !ones > n then result := !result lor (1 lsl b)
+  done;
+  set_int out 0 !result;
+  out
+
+let topk ~k t =
+  let n = num_elements t in
+  if k > n then invalid_arg "Tensor.topk: k > size";
+  let indexed = Array.init n (fun i -> (get_int t i, i)) in
+  Array.sort (fun (a, ia) (b, ib) -> if b <> a then compare b a else compare ia ib) indexed;
+  let values = zeros [| k |] t.dtype in
+  let indices = zeros [| k |] Types.I32 in
+  for i = 0 to k - 1 do
+    let v, idx = indexed.(i) in
+    set_int values i v;
+    set_int indices i idx
+  done;
+  (values, indices)
+
+(* Similarity search: score each window of [db] (len = |query|) against the
+   query with the metric, return k best (values = scores). *)
+let sim_search ~metric ~k db query =
+  let n = num_elements db and m = num_elements query in
+  if m = 0 || m > n then invalid_arg "Tensor.sim_search";
+  let windows = n - m + 1 in
+  let score w =
+    let acc = ref 0 in
+    for i = 0 to m - 1 do
+      let d = get_int db (w + i) and q = get_int query i in
+      (match metric with
+      | "dot" -> acc := !acc + (d * q)
+      | "l2" -> acc := !acc - ((d - q) * (d - q))
+      | "hamming" ->
+        let x = (d lxor q) land 0xFFFFFFFF in
+        let rec bits v a = if v = 0 then a else bits (v lsr 1) (a + (v land 1)) in
+        acc := !acc - bits x 0
+      | _ -> invalid_arg ("Tensor.sim_search: metric " ^ metric))
+    done;
+    !acc
+  in
+  let scores = Array.init windows (fun w -> (score w, w)) in
+  Array.sort (fun (a, ia) (b, ib) -> if b <> a then compare b a else compare ia ib) scores;
+  let values = zeros [| k |] db.dtype in
+  let indices = zeros [| k |] Types.I32 in
+  for i = 0 to k - 1 do
+    let v, idx = scores.(i) in
+    set_int values i v;
+    set_int indices i idx
+  done;
+  (values, indices)
+
+(* ----- shape manipulation ----- *)
+
+let reshape t new_shape =
+  if Util.product_of_shape new_shape <> num_elements t then
+    invalid_arg "Tensor.reshape: element count mismatch";
+  { t with shape = new_shape }
+
+let pad t ~low ~high =
+  let rank = Array.length t.shape in
+  let out_shape = Array.mapi (fun i d -> d + low.(i) + high.(i)) t.shape in
+  let out = zeros out_shape t.dtype in
+  let n = num_elements t in
+  for off = 0 to n - 1 do
+    let idx = Util.delinearize t.shape off in
+    let out_idx = Array.init rank (fun i -> idx.(i) + low.(i)) in
+    set_int out (Util.linearize out_shape out_idx) (get_int t off)
+  done;
+  out
+
+let extract_slice t ~offsets ~sizes =
+  let rank = Array.length t.shape in
+  let out = zeros sizes t.dtype in
+  let n = Util.product_of_shape sizes in
+  for off = 0 to n - 1 do
+    let idx = Util.delinearize sizes off in
+    let src_idx = Array.init rank (fun i -> idx.(i) + offsets.(i)) in
+    set_int out off (get_int t (Util.linearize t.shape src_idx))
+  done;
+  out
+
+(* Value semantics: returns a fresh tensor with [src] written at [offsets]. *)
+let insert_slice src dst ~offsets =
+  let out = copy dst in
+  let rank = Array.length dst.shape in
+  let n = num_elements src in
+  for off = 0 to n - 1 do
+    let idx = Util.delinearize src.shape off in
+    let dst_idx = Array.init rank (fun i -> idx.(i) + offsets.(i)) in
+    set_int out (Util.linearize dst.shape dst_idx) (get_int src off)
+  done;
+  out
+
+let im2col img ~kh ~kw =
+  match img.shape with
+  | [| h; w |] ->
+    let oh = h - kh + 1 and ow = w - kw + 1 in
+    let out = zeros [| oh * ow; kh * kw |] img.dtype in
+    for i = 0 to oh - 1 do
+      for j = 0 to ow - 1 do
+        for di = 0 to kh - 1 do
+          for dj = 0 to kw - 1 do
+            set_int out
+              ((((i * ow) + j) * kh * kw) + (di * kw) + dj)
+              (get_int img (((i + di) * w) + j + dj))
+          done
+        done
+      done
+    done;
+    out
+  | _ -> invalid_arg "Tensor.im2col: rank-2 required"
+
+(* ----- einsum (two-operand contraction) ----- *)
+
+let einsum ~spec a b =
+  let a_idx, b_idx, out_idx = Cinm_dialects.Linalg_d.parse_einsum_spec spec in
+  let dims = Hashtbl.create 8 in
+  String.iteri (fun i c -> Hashtbl.replace dims c a.shape.(i)) a_idx;
+  String.iteri
+    (fun i c ->
+      match Hashtbl.find_opt dims c with
+      | Some d when d <> b.shape.(i) -> invalid_arg "Tensor.einsum: dim mismatch"
+      | _ -> Hashtbl.replace dims c b.shape.(i))
+    b_idx;
+  let out_shape = Array.init (String.length out_idx) (fun i -> Hashtbl.find dims out_idx.[i]) in
+  (* reduction indices: appear in inputs but not in output *)
+  let red_idx =
+    let seen = Hashtbl.create 8 in
+    let add c =
+      if (not (String.contains out_idx c)) && not (Hashtbl.mem seen c) then
+        Hashtbl.replace seen c ()
+    in
+    String.iter add a_idx;
+    String.iter add b_idx;
+    Hashtbl.fold (fun c () acc -> c :: acc) seen [] |> List.sort compare
+  in
+  let red_shape = Array.of_list (List.map (Hashtbl.find dims) red_idx) in
+  let out = zeros out_shape a.dtype in
+  let assign = Hashtbl.create 8 in
+  let index_of idx_str =
+    Array.init (String.length idx_str) (fun i -> Hashtbl.find assign idx_str.[i])
+  in
+  let n_out = Util.product_of_shape out_shape in
+  let n_red = Util.product_of_shape red_shape in
+  for o = 0 to n_out - 1 do
+    let out_pos = Util.delinearize out_shape o in
+    String.iteri (fun i c -> Hashtbl.replace assign c out_pos.(i)) out_idx;
+    let acc = ref 0 in
+    for r = 0 to n_red - 1 do
+      let red_pos = Util.delinearize red_shape r in
+      List.iteri (fun i c -> Hashtbl.replace assign c red_pos.(i)) red_idx;
+      acc := !acc + (get a (index_of a_idx) * get b (index_of b_idx))
+    done;
+    set_int out o !acc
+  done;
+  out

@@ -1,0 +1,91 @@
+(** Runtime tensors: the data compiled programs compute on. Integer tensors
+    use wrap-around semantics at their declared bit width (the paper's
+    workloads are INT32). This module doubles as the reference host
+    implementation of every compute op in the cinm/linalg dialects. *)
+
+open Cinm_ir
+
+type payload = I of int array | F of float array
+
+type t = { shape : int array; dtype : Types.dtype; data : payload }
+
+val num_elements : t -> int
+val is_int : t -> bool
+
+(** Wrap an integer to the dtype's width, signed. *)
+val wrap : Types.dtype -> int -> int
+
+val zeros : int array -> Types.dtype -> t
+val of_int_array : ?dtype:Types.dtype -> int array -> int array -> t
+val of_float_array : ?dtype:Types.dtype -> int array -> float array -> t
+
+(** [init shape f] builds an integer tensor with element [i] = [f i]
+    (flattened index), wrapped to the dtype. *)
+val init : ?dtype:Types.dtype -> int array -> (int -> int) -> t
+
+val copy : t -> t
+
+(** Flat-index element access. *)
+val get_int : t -> int -> int
+
+val get_float : t -> int -> float
+val set_int : t -> int -> int -> unit
+val set_float : t -> int -> float -> unit
+
+(** Multi-dimensional element access. *)
+val get : t -> int array -> int
+
+val set : t -> int array -> int -> unit
+val to_int_array : t -> int array
+val equal : t -> t -> bool
+val to_string : ?max_elems:int -> t -> string
+
+(** {1 Element-wise} *)
+
+(** Scalar integer semantics of a named binop ("add", "min", "xor", ...).
+    @raise Invalid_argument on unknown names. *)
+val int_binop : string -> int -> int -> int
+
+val float_binop : string -> float -> float -> float
+val map2 : string -> t -> t -> t
+val map_not : t -> t
+val fill_scalar : int array -> Types.dtype -> int -> t
+
+(** {1 Linear algebra} *)
+
+val matmul : t -> t -> t
+val matvec : t -> t -> t
+val dot : t -> t -> int
+val conv_2d : t -> t -> t
+val transpose : t -> int array -> t
+
+(** {1 Reductions and analytics (cinm Table 1)} *)
+
+val reduce : string -> t -> int
+val scan : string -> t -> t
+val histogram : bins:int -> t -> t
+val pop_count : t -> int
+
+(** Bit-wise majority across all elements (the RTM majority op). *)
+val majority : t -> t
+
+(** Top-[k] values and their indices, ties broken towards lower indices. *)
+val topk : k:int -> t -> t * t
+
+(** Score every length-|query| window of [db] with the metric ("dot", "l2"
+    or "hamming"; larger is more similar) and return the [k] best. *)
+val sim_search : metric:string -> k:int -> t -> t -> t * t
+
+(** {1 Shape manipulation} *)
+
+val reshape : t -> int array -> t
+val pad : t -> low:int array -> high:int array -> t
+val extract_slice : t -> offsets:int array -> sizes:int array -> t
+
+(** Value semantics: a fresh tensor with [src] written at [offsets]. *)
+val insert_slice : t -> t -> offsets:int array -> t
+
+val im2col : t -> kh:int -> kw:int -> t
+
+(** Two-operand einsum, e.g. [einsum ~spec:"aebf,dfce->abcd" a b]. *)
+val einsum : spec:string -> t -> t -> t

@@ -1,0 +1,1 @@
+lib/ir/attr.ml: Array List Printf String Types

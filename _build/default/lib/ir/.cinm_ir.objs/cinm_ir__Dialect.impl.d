@@ -1,0 +1,1 @@
+lib/ir/dialect.ml: Array Hashtbl Ir List Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Array Attr Ir List Printf Types

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Attr Int List Map Printf String Types

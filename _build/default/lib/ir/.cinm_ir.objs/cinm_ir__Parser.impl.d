@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Attr Buffer Func Hashtbl Ir List Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Func List Printf Rewrite String Verifier

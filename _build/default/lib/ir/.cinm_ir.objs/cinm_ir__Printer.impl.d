@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Attr Func Hashtbl Ir List Printf String Types

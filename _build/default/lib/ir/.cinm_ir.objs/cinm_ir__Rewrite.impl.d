@@ -1,0 +1,1 @@
+lib/ir/rewrite.ml: Array Builder Func Hashtbl Ir List Printf

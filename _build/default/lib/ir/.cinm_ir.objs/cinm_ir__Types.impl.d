@@ -1,0 +1,1 @@
+lib/ir/types.ml: Array Cinm_support List Option Printf String

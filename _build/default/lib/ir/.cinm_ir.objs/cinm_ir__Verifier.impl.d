@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Dialect Func Int Ir List Printf Set String Types

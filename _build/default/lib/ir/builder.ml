@@ -1,0 +1,39 @@
+(* Insertion-point based IR construction, the workhorse of front-ends and
+   lowering passes. *)
+
+type t = { mutable block : Ir.block }
+
+let at_end_of block = { block }
+
+let for_func (f : Func.t) = at_end_of (Func.entry_block f)
+
+let set_insertion_point b block = b.block <- block
+
+let insert b op = Ir.append_op b.block op
+
+let build ?operands ?result_tys ?attrs ?regions b name =
+  let op = Ir.create_op ?operands ?result_tys ?attrs ?regions name in
+  insert b op;
+  op
+
+(* Build an op expected to produce exactly one result and return it. *)
+let build1 ?operands ?result_tys ?attrs ?regions b name =
+  let op = build ?operands ?result_tys ?attrs ?regions b name in
+  if Ir.num_results op <> 1 then
+    invalid_arg (Printf.sprintf "Builder.build1: %s has %d results" name (Ir.num_results op));
+  Ir.result op 0
+
+(* Build an op with no results. *)
+let build0 ?operands ?attrs ?regions b name =
+  ignore (build ?operands ~result_tys:[] ?attrs ?regions b name)
+
+(* Create a single-block region, populate it via [f] (which receives a
+   builder positioned in the new block and the block arguments), and
+   return the region. Used for scf.for bodies, cnm.launch bodies, etc. *)
+let build_region ?(arg_tys = []) (f : t -> Ir.value array -> unit) =
+  let region = Ir.create_region () in
+  let block = Ir.create_block ~arg_tys () in
+  Ir.add_block region block;
+  let b = at_end_of block in
+  f b block.Ir.args;
+  region

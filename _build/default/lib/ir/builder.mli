@@ -1,0 +1,43 @@
+(** Insertion-point based IR construction, the workhorse of front-ends and
+    lowering passes. *)
+
+type t = { mutable block : Ir.block }
+
+val at_end_of : Ir.block -> t
+val for_func : Func.t -> t
+val set_insertion_point : t -> Ir.block -> unit
+val insert : t -> Ir.op -> unit
+
+(** Create an op and insert it at the insertion point. *)
+val build :
+  ?operands:Ir.value list ->
+  ?result_tys:Types.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Ir.region list ->
+  t ->
+  string ->
+  Ir.op
+
+(** Like {!build} for ops with exactly one result; returns that result.
+    @raise Invalid_argument on a different result arity. *)
+val build1 :
+  ?operands:Ir.value list ->
+  ?result_tys:Types.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Ir.region list ->
+  t ->
+  string ->
+  Ir.value
+
+(** Like {!build} for ops without results. *)
+val build0 :
+  ?operands:Ir.value list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Ir.region list ->
+  t ->
+  string ->
+  unit
+
+(** Create a single-block region and populate it via the callback, which
+    receives a builder positioned in the new block and the block args. *)
+val build_region : ?arg_tys:Types.t list -> (t -> Ir.value array -> unit) -> Ir.region

@@ -1,0 +1,188 @@
+(* Core IR data structures: SSA values, operations with nested regions,
+   blocks. Deliberately mirrors MLIR's structure (cf. paper Section 2.1)
+   while staying idiomatic OCaml: ops are generic records identified by a
+   dialect-qualified name; dialect modules provide typed constructors and
+   accessors on top. *)
+
+type value = { vid : int; ty : Types.t; mutable def : def }
+
+and def =
+  | Op_result of op * int
+  | Block_arg of block * int
+
+and op = {
+  oid : int;
+  name : string;  (** dialect-qualified, e.g. ["cinm.gemm"] *)
+  mutable operands : value array;
+  mutable results : value array;  (** set once at creation *)
+  mutable attrs : (string * Attr.t) list;
+  regions : region array;
+  mutable parent : block option;
+}
+
+and block = {
+  bid : int;
+  mutable args : value array;  (** set once at creation *)
+  mutable ops : op list;  (** in execution order *)
+  mutable parent_region : region option;
+}
+
+and region = { mutable blocks : block list; mutable parent_op : op option }
+
+let value_counter = ref 0
+let op_counter = ref 0
+let block_counter = ref 0
+
+let fresh_value ty def =
+  incr value_counter;
+  { vid = !value_counter; ty; def }
+
+(* ----- construction ----- *)
+
+let create_region () = { blocks = []; parent_op = None }
+
+let create_block ?(arg_tys = []) () =
+  incr block_counter;
+  let block = { bid = !block_counter; args = [||]; ops = []; parent_region = None } in
+  block.args <-
+    Array.of_list (List.mapi (fun i ty -> fresh_value ty (Block_arg (block, i))) arg_tys);
+  block
+
+let add_block region block =
+  block.parent_region <- Some region;
+  region.blocks <- region.blocks @ [ block ]
+
+let entry_block region =
+  match region.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg "Ir.entry_block: empty region"
+
+let create_op ?(operands = []) ?(result_tys = []) ?(attrs = []) ?(regions = []) name =
+  incr op_counter;
+  let op =
+    {
+      oid = !op_counter;
+      name;
+      operands = Array.of_list operands;
+      results = [||];
+      attrs;
+      regions = Array.of_list regions;
+      parent = None;
+    }
+  in
+  op.results <-
+    Array.of_list (List.mapi (fun i ty -> fresh_value ty (Op_result (op, i))) result_tys);
+  List.iter (fun r -> r.parent_op <- Some op) regions;
+  op
+
+let append_op block op =
+  op.parent <- Some block;
+  block.ops <- block.ops @ [ op ]
+
+(* ----- accessors ----- *)
+
+let operand op i =
+  if i < 0 || i >= Array.length op.operands then
+    invalid_arg (Printf.sprintf "Ir.operand %d of %s" i op.name);
+  op.operands.(i)
+
+let result op i =
+  if i < 0 || i >= Array.length op.results then
+    invalid_arg (Printf.sprintf "Ir.result %d of %s" i op.name);
+  op.results.(i)
+
+let num_operands op = Array.length op.operands
+let num_results op = Array.length op.results
+
+let attr op name = List.assoc_opt name op.attrs
+
+let attr_exn op name =
+  match attr op name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "op %s: missing attribute %s" op.name name)
+
+let int_attr op name = Attr.get_int name (attr_exn op name)
+let str_attr op name = Attr.get_str name (attr_exn op name)
+let ints_attr op name = Attr.get_ints name (attr_exn op name)
+let bool_attr op name = Attr.get_bool name (attr_exn op name)
+let float_attr op name = Attr.get_float name (attr_exn op name)
+
+let set_attr op name a = op.attrs <- (name, a) :: List.remove_assoc name op.attrs
+
+let region op i =
+  if i < 0 || i >= Array.length op.regions then
+    invalid_arg (Printf.sprintf "Ir.region %d of %s" i op.name);
+  op.regions.(i)
+
+let dialect_of op =
+  match String.index_opt op.name '.' with
+  | Some i -> String.sub op.name 0 i
+  | None -> op.name
+
+(* ----- traversal ----- *)
+
+let rec walk_op f op =
+  f op;
+  Array.iter (walk_region f) op.regions
+
+and walk_region f region = List.iter (walk_block f) region.blocks
+and walk_block f block = List.iter (walk_op f) block.ops
+
+(* Replace every use of [old_v] by [new_v] in all ops reachable from
+   [region] (including nested regions). *)
+let replace_uses_in_region region ~old_v ~new_v =
+  walk_region
+    (fun op ->
+      Array.iteri (fun i v -> if v == old_v then op.operands.(i) <- new_v) op.operands)
+    region
+
+(* ----- cloning ----- *)
+
+module Vmap = Map.Make (Int)
+
+let map_value vmap v = match Vmap.find_opt v.vid vmap with Some w -> w | None -> v
+
+let rec clone_op ?(vmap = Vmap.empty) op =
+  let operands = Array.to_list (Array.map (map_value vmap) op.operands) in
+  let result_tys = Array.to_list (Array.map (fun v -> v.ty) op.results) in
+  let regions, vmap =
+    Array.fold_left
+      (fun (acc, vmap) r ->
+        let r', vmap = clone_region ~vmap r in
+        (acc @ [ r' ], vmap))
+      ([], vmap) op.regions
+  in
+  let cloned = create_op ~operands ~result_tys ~attrs:op.attrs ~regions op.name in
+  let vmap =
+    Array.to_list op.results
+    |> List.mapi (fun i v -> (v, cloned.results.(i)))
+    |> List.fold_left (fun m (v, w) -> Vmap.add v.vid w m) vmap
+  in
+  (cloned, vmap)
+
+and clone_region ?(vmap = Vmap.empty) region =
+  let r = create_region () in
+  let vmap =
+    List.fold_left
+      (fun vmap block ->
+        let arg_tys = Array.to_list (Array.map (fun v -> v.ty) block.args) in
+        let b = create_block ~arg_tys () in
+        add_block r b;
+        Array.to_list block.args
+        |> List.mapi (fun i v -> (v, b.args.(i)))
+        |> List.fold_left (fun m (v, w) -> Vmap.add v.vid w m) vmap)
+      vmap region.blocks
+  in
+  (* Second pass: clone ops now that all block args are mapped. *)
+  let vmap =
+    List.fold_left2
+      (fun vmap src dst ->
+        List.fold_left
+          (fun vmap op ->
+            let op', vmap = clone_op ~vmap op in
+            append_op dst op';
+            vmap)
+          vmap src.ops)
+      vmap region.blocks r.blocks
+  in
+  (r, vmap)

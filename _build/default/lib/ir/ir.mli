@@ -1,0 +1,97 @@
+(** Core IR data structures: SSA values and operations with nested regions,
+    mirroring MLIR's structure (paper §2.1). Ops are generic records
+    identified by a dialect-qualified name; the dialect modules in
+    [cinm_dialects] provide typed constructors on top. *)
+
+type value = { vid : int; ty : Types.t; mutable def : def }
+
+and def =
+  | Op_result of op * int
+  | Block_arg of block * int
+
+and op = {
+  oid : int;
+  name : string;  (** dialect-qualified, e.g. ["cinm.gemm"] *)
+  mutable operands : value array;
+  mutable results : value array;  (** set once at creation *)
+  mutable attrs : (string * Attr.t) list;
+  regions : region array;
+  mutable parent : block option;
+}
+
+and block = {
+  bid : int;
+  mutable args : value array;  (** set once at creation *)
+  mutable ops : op list;  (** in execution order *)
+  mutable parent_region : region option;
+}
+
+and region = { mutable blocks : block list; mutable parent_op : op option }
+
+(** {1 Construction} *)
+
+val create_region : unit -> region
+val create_block : ?arg_tys:Types.t list -> unit -> block
+val add_block : region -> block -> unit
+
+(** @raise Invalid_argument on an empty region. *)
+val entry_block : region -> block
+
+(** Create an op; one fresh result value is created per entry of
+    [result_tys], and the regions' parent pointers are set. *)
+val create_op :
+  ?operands:value list ->
+  ?result_tys:Types.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:region list ->
+  string ->
+  op
+
+val append_op : block -> op -> unit
+
+(** {1 Accessors} *)
+
+val operand : op -> int -> value
+val result : op -> int -> value
+val num_operands : op -> int
+val num_results : op -> int
+val attr : op -> string -> Attr.t option
+
+(** @raise Invalid_argument when the attribute is missing. *)
+val attr_exn : op -> string -> Attr.t
+
+val int_attr : op -> string -> int
+val str_attr : op -> string -> string
+val ints_attr : op -> string -> int array
+val bool_attr : op -> string -> bool
+val float_attr : op -> string -> float
+val set_attr : op -> string -> Attr.t -> unit
+val region : op -> int -> region
+
+(** The dialect prefix of an op name (["cinm.gemm"] -> ["cinm"]). *)
+val dialect_of : op -> string
+
+(** {1 Traversal} *)
+
+(** Pre-order walk over an op and everything nested inside it. *)
+val walk_op : (op -> unit) -> op -> unit
+
+val walk_region : (op -> unit) -> region -> unit
+val walk_block : (op -> unit) -> block -> unit
+
+(** Replace every use of [old_v] with [new_v] in all ops reachable from the
+    region, including nested regions. *)
+val replace_uses_in_region : region -> old_v:value -> new_v:value -> unit
+
+(** {1 Cloning} *)
+
+module Vmap : Map.S with type key = int
+
+(** Look a value up in a clone map, defaulting to the value itself. *)
+val map_value : value Vmap.t -> value -> value
+
+(** Deep-clone an op (operands remapped through the map); returns the clone
+    and the map extended with original-result -> clone-result entries. *)
+val clone_op : ?vmap:value Vmap.t -> op -> op * value Vmap.t
+
+val clone_region : ?vmap:value Vmap.t -> region -> region * value Vmap.t

@@ -1,0 +1,437 @@
+(* Parser for the textual IR emitted by [Printer] (MLIR generic op form).
+   Hand-rolled scanner + recursive descent; used by the cinm_opt tool and
+   by the printer/parser round-trip property tests. *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int; values : (string, Ir.value) Hashtbl.t }
+
+let fail st msg =
+  let around =
+    let start = max 0 (st.pos - 20) in
+    let len = min 40 (String.length st.src - start) in
+    String.sub st.src start len
+  in
+  raise (Parse_error (Printf.sprintf "%s at offset %d (near %S)" msg st.pos around))
+
+let eof st = st.pos >= String.length st.src
+
+let peek_char st = if eof st then '\255' else st.src.[st.pos]
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  if not (eof st) then
+    match peek_char st with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance st;
+      skip_ws st
+    | '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/' ->
+      while (not (eof st)) && peek_char st <> '\n' do
+        advance st
+      done;
+      skip_ws st
+    | _ -> ()
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-'
+
+let lex_ident st =
+  skip_ws st;
+  let start = st.pos in
+  while (not (eof st)) && is_ident_char (peek_char st) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected identifier";
+  String.sub st.src start (st.pos - start)
+
+let try_char st c =
+  skip_ws st;
+  if peek_char st = c then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_char st c =
+  if not (try_char st c) then fail st (Printf.sprintf "expected %C" c)
+
+let expect_str st s =
+  skip_ws st;
+  let n = String.length s in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = s then
+    st.pos <- st.pos + n
+  else fail st (Printf.sprintf "expected %S" s)
+
+let looking_at st s =
+  skip_ws st;
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let lex_quoted st =
+  skip_ws st;
+  expect_char st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof st then fail st "unterminated string";
+    match peek_char st with
+    | '"' -> advance st
+    | '\\' ->
+      advance st;
+      let c = peek_char st in
+      advance st;
+      Buffer.add_char buf
+        (match c with 'n' -> '\n' | 't' -> '\t' | '\\' -> '\\' | '"' -> '"' | c -> c);
+      loop ()
+    | c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+(* A type is an identifier (possibly starting with '!') optionally followed
+   by a balanced <...> group. *)
+let lex_type_text st =
+  skip_ws st;
+  let start = st.pos in
+  if peek_char st = '!' then advance st;
+  let _ = lex_ident st in
+  skip_ws st;
+  if peek_char st = '<' then begin
+    let depth = ref 0 in
+    let continue = ref true in
+    while !continue do
+      if eof st then fail st "unterminated type";
+      (match peek_char st with
+      | '<' -> incr depth
+      | '>' ->
+        decr depth;
+        if !depth = 0 then continue := false
+      | _ -> ());
+      advance st
+    done
+  end;
+  String.sub st.src start (st.pos - start)
+
+let parse_type st =
+  let text = lex_type_text st in
+  match Types.of_string text with
+  | Some ty -> ty
+  | None -> fail st (Printf.sprintf "invalid type %S" text)
+
+let parse_type_list st =
+  (* comma separated types, terminated by ')' which is not consumed *)
+  let rec loop acc =
+    skip_ws st;
+    if peek_char st = ')' then List.rev acc
+    else
+      let ty = parse_type st in
+      if try_char st ',' then loop (ty :: acc) else List.rev (ty :: acc)
+  in
+  loop []
+
+let lex_value_name st =
+  skip_ws st;
+  expect_char st '%';
+  lex_ident st
+
+let lookup_value st name =
+  match Hashtbl.find_opt st.values name with
+  | Some v -> v
+  | None -> fail st (Printf.sprintf "use of undefined value %%%s" name)
+
+let define_value st name (v : Ir.value) = Hashtbl.replace st.values name v
+
+(* ----- attributes ----- *)
+
+let lex_number st =
+  skip_ws st;
+  let start = st.pos in
+  if peek_char st = '-' then advance st;
+  let is_num_char c =
+    (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E' || c = '+' || c = '-'
+  in
+  while (not (eof st)) && is_num_char (peek_char st) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  if String.contains text '.' || String.contains text 'e' || String.contains text 'E' then
+    Attr.Float (float_of_string text)
+  else Attr.Int (int_of_string text)
+
+let rec parse_attr_value st : Attr.t =
+  skip_ws st;
+  match peek_char st with
+  | '"' -> Attr.Str (lex_quoted st)
+  | '[' ->
+    advance st;
+    skip_ws st;
+    if peek_char st = ']' then begin
+      advance st;
+      Attr.Ints [||]
+    end
+    else begin
+      let items =
+        let rec loop acc =
+          let item = parse_attr_value st in
+          if try_char st ',' then loop (item :: acc)
+          else begin
+            expect_char st ']';
+            List.rev (item :: acc)
+          end
+        in
+        loop []
+      in
+      match items with
+      | Attr.Int _ :: _ ->
+        Attr.Ints
+          (Array.of_list
+             (List.map (function Attr.Int i -> i | _ -> raise (Parse_error "mixed list")) items))
+      | Attr.Float _ :: _ ->
+        Attr.Floats
+          (Array.of_list
+             (List.map
+                (function
+                  | Attr.Float f -> f
+                  | Attr.Int i -> float_of_int i
+                  | _ -> raise (Parse_error "mixed list"))
+                items))
+      | Attr.Str _ :: _ ->
+        Attr.Strs
+          (List.map (function Attr.Str s -> s | _ -> raise (Parse_error "mixed list")) items)
+      | _ -> fail st "unsupported attribute list"
+    end
+  | '<' ->
+    advance st;
+    let rec loop acc =
+      let item = parse_attr_value st in
+      if try_char st ',' then loop (item :: acc)
+      else begin
+        expect_char st '>';
+        Attr.List (List.rev (item :: acc))
+      end
+    in
+    loop []
+  | c when c = '-' || (c >= '0' && c <= '9') -> lex_number st
+  | '!' -> Attr.Ty (parse_type st)
+  | _ -> (
+    (* bare word: bool, unit, or a type like tensor<...>/i32/index *)
+    let save = st.pos in
+    let word = lex_ident st in
+    match word with
+    | "true" -> Attr.Bool true
+    | "false" -> Attr.Bool false
+    | "unit" -> Attr.Unit
+    | _ ->
+      st.pos <- save;
+      Attr.Ty (parse_type st))
+
+let parse_attr_dict st : (string * Attr.t) list =
+  if not (try_char st '{') then []
+  else if try_char st '}' then []
+  else begin
+    let rec loop acc =
+      let key = lex_ident st in
+      expect_char st '=';
+      let v = parse_attr_value st in
+      if try_char st ',' then loop ((key, v) :: acc)
+      else begin
+        expect_char st '}';
+        List.rev ((key, v) :: acc)
+      end
+    in
+    loop []
+  end
+
+(* ----- operations / blocks / regions ----- *)
+
+let rec parse_op st : Ir.op =
+  skip_ws st;
+  (* optional result list *)
+  let result_names =
+    if peek_char st = '%' then begin
+      let rec loop acc =
+        let n = lex_value_name st in
+        if try_char st ',' then loop (n :: acc) else List.rev (n :: acc)
+      in
+      let names = loop [] in
+      expect_char st '=';
+      names
+    end
+    else []
+  in
+  let name = lex_quoted st in
+  expect_char st '(';
+  let operand_names =
+    let rec loop acc =
+      skip_ws st;
+      if peek_char st = ')' then List.rev acc
+      else
+        let n = lex_value_name st in
+        if try_char st ',' then loop (n :: acc) else List.rev (n :: acc)
+    in
+    loop []
+  in
+  expect_char st ')';
+  let operands = List.map (lookup_value st) operand_names in
+  (* regions *)
+  let regions =
+    let rec loop acc =
+      if looking_at st "({" then begin
+        expect_str st "({";
+        let r = parse_region st in
+        expect_str st "})";
+        loop (r :: acc)
+      end
+      else List.rev acc
+    in
+    loop []
+  in
+  let attrs = parse_attr_dict st in
+  expect_char st ':';
+  expect_char st '(';
+  let _operand_tys = parse_type_list st in
+  expect_char st ')';
+  expect_str st "->";
+  expect_char st '(';
+  let result_tys = parse_type_list st in
+  expect_char st ')';
+  if List.length result_tys <> List.length result_names then
+    fail st (Printf.sprintf "op %s: %d result names but %d result types" name
+               (List.length result_names) (List.length result_tys));
+  let op = Ir.create_op ~operands ~result_tys ~attrs ~regions name in
+  List.iteri (fun i n -> define_value st n op.Ir.results.(i)) result_names;
+  op
+
+and parse_region st : Ir.region =
+  let region = Ir.create_region () in
+  let rec blocks () =
+    skip_ws st;
+    if peek_char st = '^' then begin
+      let block = parse_block st in
+      Ir.add_block region block;
+      blocks ()
+    end
+  in
+  blocks ();
+  (* A region printed with no ^ header cannot occur (printer always emits
+     headers), but accept an op list as a single anonymous block. *)
+  if region.Ir.blocks = [] then begin
+    let block = Ir.create_block () in
+    Ir.add_block region block;
+    parse_ops_into st block
+  end;
+  region
+
+and parse_block st : Ir.block =
+  expect_char st '^';
+  let _label = lex_ident st in
+  expect_char st '(';
+  let args =
+    let rec loop acc =
+      skip_ws st;
+      if peek_char st = ')' then List.rev acc
+      else begin
+        let n = lex_value_name st in
+        expect_char st ':';
+        let ty = parse_type st in
+        if try_char st ',' then loop ((n, ty) :: acc) else List.rev ((n, ty) :: acc)
+      end
+    in
+    loop []
+  in
+  expect_char st ')';
+  expect_char st ':';
+  let block = Ir.create_block ~arg_tys:(List.map snd args) () in
+  List.iteri (fun i (n, _) -> define_value st n block.Ir.args.(i)) args;
+  parse_ops_into st block;
+  block
+
+and parse_ops_into st block =
+  let rec loop () =
+    skip_ws st;
+    match peek_char st with
+    | '%' | '"' ->
+      let op = parse_op st in
+      Ir.append_op block op;
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let parse_func st : Func.t =
+  expect_str st "func.func";
+  skip_ws st;
+  expect_char st '@';
+  let name = lex_ident st in
+  expect_char st '(';
+  let params =
+    let rec loop acc =
+      skip_ws st;
+      if peek_char st = ')' then List.rev acc
+      else begin
+        let n = lex_value_name st in
+        expect_char st ':';
+        let ty = parse_type st in
+        if try_char st ',' then loop ((n, ty) :: acc) else List.rev ((n, ty) :: acc)
+      end
+    in
+    loop []
+  in
+  expect_char st ')';
+  expect_str st "->";
+  expect_char st '(';
+  let result_tys = parse_type_list st in
+  expect_char st ')';
+  let fattrs =
+    if looking_at st "attributes" then begin
+      expect_str st "attributes";
+      parse_attr_dict st
+    end
+    else []
+  in
+  let f = Func.create ~name ~arg_tys:(List.map snd params) ~result_tys in
+  f.Func.fattrs <- fattrs;
+  let entry = Func.entry_block f in
+  List.iteri (fun i (n, _) -> define_value st n entry.Ir.args.(i)) params;
+  expect_char st '{';
+  parse_ops_into st entry;
+  expect_char st '}';
+  f
+
+let parse_module_text text : Func.modul =
+  let st = { src = text; pos = 0; values = Hashtbl.create 64 } in
+  let m = Func.create_module () in
+  skip_ws st;
+  let wrapped = looking_at st "module" in
+  if wrapped then begin
+    expect_str st "module";
+    expect_char st '{'
+  end;
+  let rec funcs () =
+    skip_ws st;
+    if looking_at st "func.func" then begin
+      (* fresh value scope per function *)
+      Hashtbl.reset st.values;
+      Func.add_func m (parse_func st);
+      funcs ()
+    end
+  in
+  funcs ();
+  if wrapped then expect_char st '}';
+  skip_ws st;
+  if not (eof st) then fail st "trailing input";
+  m
+
+let parse_func_text text : Func.t =
+  let st = { src = text; pos = 0; values = Hashtbl.create 64 } in
+  skip_ws st;
+  let f = parse_func st in
+  skip_ws st;
+  if not (eof st) then fail st "trailing input";
+  f

@@ -1,0 +1,10 @@
+(** Parser for the textual IR emitted by {!Printer}. *)
+
+exception Parse_error of string
+
+(** Parse a module (with or without the surrounding [module { }]).
+    @raise Parse_error with position context on malformed input. *)
+val parse_module_text : string -> Func.modul
+
+(** Parse a single [func.func]. *)
+val parse_func_text : string -> Func.t

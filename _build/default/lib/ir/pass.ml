@@ -1,0 +1,39 @@
+(* Pass manager: named module-level transformations with optional
+   verification after each pass, mirroring MLIR's pass infrastructure. *)
+
+type t = { pass_name : string; run : Func.modul -> unit }
+
+let create ~name run = { pass_name = name; run }
+
+(* Build a pass from a set of rewrite patterns applied to every function. *)
+let of_patterns ~name patterns =
+  create ~name (fun m -> Rewrite.apply_to_module ~patterns m)
+
+exception Pass_failed of { pass : string; message : string }
+
+let run_one ?(verify = true) pass m =
+  (try pass.run m
+   with
+   | Verifier.Verification_failed msg ->
+     raise (Pass_failed { pass = pass.pass_name; message = msg })
+   | Invalid_argument msg ->
+     raise (Pass_failed { pass = pass.pass_name; message = msg }));
+  if verify then
+    match Verifier.verify_module m with
+    | [] -> ()
+    | errs ->
+      raise
+        (Pass_failed
+           {
+             pass = pass.pass_name;
+             message =
+               "post-pass verification failed:\n"
+               ^ String.concat "\n" (List.map Verifier.error_to_string errs);
+           })
+
+let run_pipeline ?(verify = true) ?(trace = false) passes m =
+  List.iter
+    (fun pass ->
+      if trace then Printf.eprintf "[cinm] running pass %s\n%!" pass.pass_name;
+      run_one ~verify pass m)
+    passes

@@ -1,0 +1,17 @@
+(** Pass manager: named module-level transformations with optional
+    verification after each pass. *)
+
+type t = { pass_name : string; run : Func.modul -> unit }
+
+val create : name:string -> (Func.modul -> unit) -> t
+
+(** Build a pass from rewrite patterns applied to every function. *)
+val of_patterns : name:string -> Rewrite.pattern list -> t
+
+exception Pass_failed of { pass : string; message : string }
+
+(** Run one pass; with [verify] (default), the module is verified
+    afterwards and failures raise {!Pass_failed}. *)
+val run_one : ?verify:bool -> t -> Func.modul -> unit
+
+val run_pipeline : ?verify:bool -> ?trace:bool -> t list -> Func.modul -> unit

@@ -1,0 +1,140 @@
+(* Textual IR printer. Uses MLIR's *generic* operation syntax, which is
+   uniform across dialects and round-trips through [Parser]:
+
+     %0, %1 = "dialect.op"(%a, %b) ({
+     ^bb0(%x: i32):
+       "scf.yield"(%x) : (i32) -> ()
+     }) {attr = 3} : (i32, i32) -> (i32, i32)
+*)
+
+type namer = { names : (int, string) Hashtbl.t; mutable next : int }
+
+let create_namer () = { names = Hashtbl.create 64; next = 0 }
+
+let name_value namer (v : Ir.value) =
+  match Hashtbl.find_opt namer.names v.Ir.vid with
+  | Some n -> n
+  | None ->
+    let n = Printf.sprintf "%%%d" namer.next in
+    namer.next <- namer.next + 1;
+    Hashtbl.replace namer.names v.Ir.vid n;
+    n
+
+let name_param namer i (v : Ir.value) =
+  let n = Printf.sprintf "%%arg%d" i in
+  Hashtbl.replace namer.names v.Ir.vid n;
+  n
+
+let float_literal f =
+  let s = Printf.sprintf "%.17g" f in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+  else s ^ ".0"
+
+let rec attr_to_string = function
+  | Attr.Unit -> "unit"
+  | Attr.Bool b -> string_of_bool b
+  | Attr.Int i -> string_of_int i
+  | Attr.Float f -> float_literal f
+  | Attr.Str s -> Printf.sprintf "%S" s
+  | Attr.Ints a ->
+    Printf.sprintf "[%s]" (String.concat ", " (Array.to_list (Array.map string_of_int a)))
+  | Attr.Floats a ->
+    Printf.sprintf "[%s]" (String.concat ", " (Array.to_list (Array.map float_literal a)))
+  | Attr.Strs l ->
+    Printf.sprintf "[%s]" (String.concat ", " (List.map (Printf.sprintf "%S") l))
+  | Attr.Ty ty -> Types.to_string ty
+  | Attr.List l -> Printf.sprintf "<%s>" (String.concat ", " (List.map attr_to_string l))
+
+let attrs_to_string attrs =
+  match attrs with
+  | [] -> ""
+  | _ ->
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) attrs in
+    let body =
+      String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%s = %s" k (attr_to_string v)) sorted)
+    in
+    Printf.sprintf " {%s}" body
+
+let indent n = String.make (2 * n) ' '
+
+let rec op_lines namer depth (op : Ir.op) : string list =
+  let results =
+    Array.to_list op.Ir.results |> List.map (name_value namer) |> String.concat ", "
+  in
+  let lhs = if Array.length op.Ir.results = 0 then "" else results ^ " = " in
+  let operand_names =
+    Array.to_list op.Ir.operands |> List.map (name_value namer) |> String.concat ", "
+  in
+  let operand_tys =
+    Array.to_list op.Ir.operands
+    |> List.map (fun (v : Ir.value) -> Types.to_string v.Ir.ty)
+    |> String.concat ", "
+  in
+  let result_tys =
+    Array.to_list op.Ir.results
+    |> List.map (fun (v : Ir.value) -> Types.to_string v.Ir.ty)
+    |> String.concat ", "
+  in
+  let region_parts =
+    Array.to_list op.Ir.regions |> List.map (region_lines namer (depth + 1))
+  in
+  let regions_str =
+    match region_parts with
+    | [] -> ""
+    | parts ->
+      let one part =
+        "({\n" ^ String.concat "\n" part ^ "\n" ^ indent depth ^ "})"
+      in
+      " " ^ String.concat " " (List.map one parts)
+  in
+  let line =
+    Printf.sprintf "%s%s\"%s\"(%s)%s%s : (%s) -> (%s)" (indent depth) lhs op.Ir.name
+      operand_names regions_str
+      (attrs_to_string op.Ir.attrs)
+      operand_tys result_tys
+  in
+  [ line ]
+
+and block_lines namer depth idx (block : Ir.block) : string list =
+  let args =
+    Array.to_list block.Ir.args
+    |> List.map (fun (v : Ir.value) ->
+           Printf.sprintf "%s: %s" (name_value namer v) (Types.to_string v.Ir.ty))
+    |> String.concat ", "
+  in
+  let header = Printf.sprintf "%s^bb%d(%s):" (indent (max 0 (depth - 1))) idx args in
+  let body = List.concat_map (op_lines namer depth) block.Ir.ops in
+  header :: body
+
+and region_lines namer depth (region : Ir.region) : string list =
+  List.concat (List.mapi (fun i b -> block_lines namer depth i b) region.Ir.blocks)
+
+let op_to_string ?namer op =
+  let namer = match namer with Some n -> n | None -> create_namer () in
+  String.concat "\n" (op_lines namer 0 op)
+
+let func_to_string (f : Func.t) =
+  let namer = create_namer () in
+  let entry = Func.entry_block f in
+  let params =
+    Array.to_list entry.Ir.args
+    |> List.mapi (fun i (v : Ir.value) ->
+           Printf.sprintf "%s: %s" (name_param namer i v) (Types.to_string v.Ir.ty))
+    |> String.concat ", "
+  in
+  let result_tys = String.concat ", " (List.map Types.to_string f.Func.result_tys) in
+  let fattrs =
+    match f.Func.fattrs with [] -> "" | attrs -> " attributes" ^ attrs_to_string attrs
+  in
+  let header =
+    Printf.sprintf "func.func @%s(%s) -> (%s)%s {" f.Func.fname params result_tys fattrs
+  in
+  let body = List.concat_map (op_lines namer 1) entry.Ir.ops in
+  String.concat "\n" ((header :: body) @ [ "}" ])
+
+let module_to_string (m : Func.modul) =
+  let funcs = List.map func_to_string m.Func.funcs in
+  "module {\n"
+  ^ String.concat "\n" (List.map (fun s -> "  " ^ String.concat "\n  " (String.split_on_char '\n' s)) funcs)
+  ^ "\n}"

@@ -1,0 +1,14 @@
+(** Textual IR printer (MLIR generic operation syntax); round-trips through
+    {!Parser}. *)
+
+type namer
+
+val create_namer : unit -> namer
+val attr_to_string : Attr.t -> string
+
+(** Print one op (with nested regions); a fresh namer is used unless one is
+    supplied. *)
+val op_to_string : ?namer:namer -> Ir.op -> string
+
+val func_to_string : Func.t -> string
+val module_to_string : Func.modul -> string

@@ -1,0 +1,90 @@
+(* Pattern-based dialect conversion: the rewriting engine behind every
+   lowering in the CINM pipeline (paper Section 3.2). A conversion rebuilds
+   function bodies op by op; each op is offered to the patterns in order,
+   and unmatched ops are cloned with remapped operands (their nested
+   regions are converted recursively). *)
+
+type env = (int, Ir.value) Hashtbl.t
+
+type ctx = { b : Builder.t; env : env; patterns : pattern list }
+
+and action =
+  | Replace of Ir.value list
+      (** op was rewritten; these values replace its results (same arity) *)
+  | Erase  (** drop the op entirely (must have no used results) *)
+
+and pattern = ctx -> Ir.op -> action option
+
+let lookup ctx (v : Ir.value) =
+  match Hashtbl.find_opt ctx.env v.Ir.vid with Some w -> w | None -> v
+
+let operand ctx op i = lookup ctx (Ir.operand op i)
+
+let operands ctx op = Array.to_list op.Ir.operands |> List.map (lookup ctx)
+
+let bind ctx (old_v : Ir.value) new_v = Hashtbl.replace ctx.env old_v.Ir.vid new_v
+
+let bind_results ctx (op : Ir.op) values =
+  if List.length values <> Array.length op.Ir.results then
+    invalid_arg
+      (Printf.sprintf "Rewrite: %s replaced with %d values, has %d results" op.Ir.name
+         (List.length values) (Array.length op.Ir.results));
+  List.iteri (fun i v -> bind ctx op.Ir.results.(i) v) values
+
+(* Clone [op] into the current insertion point with remapped operands and
+   recursively converted regions. Results of the clone are bound to the
+   original results. *)
+let rec clone_converted ctx (op : Ir.op) =
+  let operands = operands ctx op in
+  let result_tys = Array.to_list (Array.map (fun (v : Ir.value) -> v.Ir.ty) op.Ir.results) in
+  let regions =
+    Array.to_list op.Ir.regions |> List.map (fun r -> convert_region ctx r)
+  in
+  let cloned =
+    Ir.create_op ~operands ~result_tys ~attrs:op.Ir.attrs ~regions op.Ir.name
+  in
+  Builder.insert ctx.b cloned;
+  bind_results ctx op (Array.to_list cloned.Ir.results);
+  cloned
+
+and convert_region ctx (region : Ir.region) : Ir.region =
+  let out = Ir.create_region () in
+  List.iter
+    (fun (src : Ir.block) ->
+      let arg_tys = Array.to_list (Array.map (fun (v : Ir.value) -> v.Ir.ty) src.Ir.args) in
+      let dst = Ir.create_block ~arg_tys () in
+      Ir.add_block out dst;
+      Array.iteri (fun i v -> bind ctx v dst.Ir.args.(i)) src.Ir.args;
+      let inner = { ctx with b = Builder.at_end_of dst } in
+      List.iter (fun op -> convert_op inner op) src.Ir.ops)
+    region.Ir.blocks;
+  out
+
+and convert_op ctx (op : Ir.op) =
+  let rec try_patterns = function
+    | [] -> ignore (clone_converted ctx op)
+    | p :: rest -> (
+      match p ctx op with
+      | Some (Replace values) -> bind_results ctx op values
+      | Some Erase -> ()
+      | None -> try_patterns rest)
+  in
+  try_patterns ctx.patterns
+
+(* Convert a whole function in place. *)
+let apply_to_func ~patterns (f : Func.t) =
+  let env = Hashtbl.create 64 in
+  let new_body = Ir.create_region () in
+  let old_entry = Func.entry_block f in
+  let arg_tys = Array.to_list (Array.map (fun (v : Ir.value) -> v.Ir.ty) old_entry.Ir.args) in
+  let new_entry = Ir.create_block ~arg_tys () in
+  Ir.add_block new_body new_entry;
+  Array.iteri
+    (fun i (v : Ir.value) -> Hashtbl.replace env v.Ir.vid new_entry.Ir.args.(i))
+    old_entry.Ir.args;
+  let ctx = { b = Builder.at_end_of new_entry; env; patterns } in
+  List.iter (fun op -> convert_op ctx op) old_entry.Ir.ops;
+  Func.replace_body f new_body
+
+let apply_to_module ~patterns (m : Func.modul) =
+  List.iter (apply_to_func ~patterns) m.Func.funcs

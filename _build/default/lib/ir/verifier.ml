@@ -1,0 +1,84 @@
+(* IR verifier: op registration, per-op structural invariants (delegated to
+   dialect op definitions), and SSA scoping/dominance within the single
+   block-per-region structure the CINM pipeline uses. *)
+
+module Iset = Set.Make (Int)
+
+type error = { in_func : string; message : string }
+
+let error_to_string e = Printf.sprintf "in @%s: %s" e.in_func e.message
+
+let verify_op_registered (op : Ir.op) =
+  match Dialect.find_op op.Ir.name with
+  | Some def -> def.Dialect.verify op
+  | None -> Error (Printf.sprintf "unregistered operation %S" op.Ir.name)
+
+(* Walk a region with a scope of visible value ids. Regions may capture
+   values that dominate their parent op (MLIR semantics), except for ops
+   that are [isolated_from_above] (cnm.launch bodies must only reference
+   their block arguments, cf. paper Section 3.2.3). *)
+let isolated_from_above = [ "cnm.launch"; "upmem.dpu_kernel" ]
+
+let rec verify_region ~fname ~scope (region : Ir.region) : error list =
+  List.concat_map (verify_block ~fname ~scope) region.Ir.blocks
+
+and verify_block ~fname ~scope (block : Ir.block) : error list =
+  let scope =
+    Array.fold_left (fun s (v : Ir.value) -> Iset.add v.Ir.vid s) scope block.Ir.args
+  in
+  let errs, _ =
+    List.fold_left
+      (fun (errs, scope) op ->
+        let errs = errs @ verify_op ~fname ~scope op in
+        let scope =
+          Array.fold_left (fun s (v : Ir.value) -> Iset.add v.Ir.vid s) scope op.Ir.results
+        in
+        (errs, scope))
+      ([], scope) block.Ir.ops
+  in
+  errs
+
+and verify_op ~fname ~scope (op : Ir.op) : error list =
+  let mk message = { in_func = fname; message } in
+  let reg_errs =
+    match verify_op_registered op with Ok () -> [] | Error m -> [ mk m ]
+  in
+  let use_errs =
+    Array.to_list op.Ir.operands
+    |> List.filter_map (fun (v : Ir.value) ->
+           if Iset.mem v.Ir.vid scope then None
+           else
+             Some
+               (mk
+                  (Printf.sprintf "%s: operand %%%d (%s) does not dominate its use"
+                     op.Ir.name v.Ir.vid (Types.to_string v.Ir.ty))))
+  in
+  let inner_scope =
+    if List.mem op.Ir.name isolated_from_above then Iset.empty else scope
+  in
+  let region_errs =
+    Array.to_list op.Ir.regions
+    |> List.concat_map (verify_region ~fname ~scope:inner_scope)
+  in
+  reg_errs @ use_errs @ region_errs
+
+let verify_func (f : Func.t) : error list =
+  let entry = Func.entry_block f in
+  (* The entry block args must match the declared parameter types. *)
+  let sig_errs =
+    let actual = Array.to_list (Array.map (fun (v : Ir.value) -> v.Ir.ty) entry.Ir.args) in
+    if actual = f.Func.arg_tys then []
+    else [ { in_func = f.Func.fname; message = "entry block args do not match signature" } ]
+  in
+  sig_errs @ verify_region ~fname:f.Func.fname ~scope:Iset.empty f.Func.body
+
+let verify_module (m : Func.modul) : error list =
+  List.concat_map verify_func m.Func.funcs
+
+exception Verification_failed of string
+
+let verify_module_exn m =
+  match verify_module m with
+  | [] -> ()
+  | errs ->
+    raise (Verification_failed (String.concat "\n" (List.map error_to_string errs)))

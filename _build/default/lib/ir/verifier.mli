@@ -1,0 +1,18 @@
+(** IR verifier: op registration, per-op structural invariants (delegated
+    to the dialect op definitions), SSA scoping, and the
+    isolated-from-above rule for device kernel bodies (cnm.launch /
+    upmem.launch bodies must only reference their block arguments). *)
+
+type error = { in_func : string; message : string }
+
+val error_to_string : error -> string
+
+(** Op names whose regions may not capture outer values. *)
+val isolated_from_above : string list
+
+val verify_func : Func.t -> error list
+val verify_module : Func.modul -> error list
+
+exception Verification_failed of string
+
+val verify_module_exn : Func.modul -> unit

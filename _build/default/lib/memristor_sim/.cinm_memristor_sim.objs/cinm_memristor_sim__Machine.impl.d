@@ -1,0 +1,1 @@
+lib/memristor_sim/machine.ml: Array Cinm_interp Cinm_ir Cinm_support Config Float Func Hashtbl Interp Ir Printf Rtval Stats Tensor Types

@@ -1,0 +1,1 @@
+lib/memristor_sim/stats.ml: Array Printf

@@ -1,0 +1,36 @@
+(* PCM crossbar accelerator configuration. Defaults model the paper's
+   evaluation target (§4.1): a four-tile PCM accelerator with 64x64
+   crossbars; read/write latency and energy constants follow ISAAC
+   (Shafiee et al. 2016) and Le Gallo et al. 2018, the sources the paper
+   extracts its device parameters from. INT32 operands are bit-sliced
+   across columns and recombined with a shift-and-add block, which is
+   folded into the per-MVM latency/energy. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  tiles : int;
+  t_mvm : float;  (** s per input vector through a tile (incl. DAC/ADC) *)
+  t_write_row : float;  (** s to program one crossbar row (write-verify) *)
+  t_input_stage_per_byte : float;  (** digital staging into DAC registers *)
+  t_output_read_per_byte : float;  (** digital read-out behind the ADCs *)
+  host_bw : float;  (** host <-> accelerator bytes/s *)
+  e_mvm : float;  (** J per tile MVM *)
+  e_write_cell : float;  (** J per programmed cell *)
+  e_io_byte : float;  (** J per staged/read byte *)
+}
+
+let default ?(tiles = 4) () =
+  {
+    rows = 64;
+    cols = 64;
+    tiles;
+    t_mvm = 250e-9;  (* INT32 bit-sliced through the array + shift-add *)
+    t_write_row = 500e-9;
+    t_input_stage_per_byte = 0.15e-9;
+    t_output_read_per_byte = 0.3e-9;
+    host_bw = 6.4e9;
+    e_mvm = 1e-6;  (* dominated by the shared ADCs over the bit-sliced op *)
+    e_write_cell = 100e-12;
+    e_io_byte = 10e-12;
+  }

@@ -1,0 +1,19 @@
+(** PCM crossbar accelerator configuration (paper §4.1: four 64x64 tiles;
+    latency/energy constants follow ISAAC and Le Gallo et al., with INT32
+    operands bit-sliced across columns). *)
+
+type t = {
+  rows : int;
+  cols : int;
+  tiles : int;
+  t_mvm : float;  (** s per input vector through a tile (incl. DAC/ADC) *)
+  t_write_row : float;  (** s to program one crossbar row (write-verify) *)
+  t_input_stage_per_byte : float;
+  t_output_read_per_byte : float;
+  host_bw : float;
+  e_mvm : float;  (** J per tile MVM (ADC-dominated) *)
+  e_write_cell : float;
+  e_io_byte : float;
+}
+
+val default : ?tiles:int -> unit -> t

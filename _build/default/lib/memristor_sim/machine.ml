@@ -1,0 +1,150 @@
+(* Memristive crossbar accelerator simulator. Interpreter hooks for the
+   memristor dialect: weights are programmed into tiles (slow, endurance-
+   limited NVM writes), staged inputs stream through the tiles as analog
+   MVMs, results come back through the ADCs.
+
+   Timing is an event-clock model: the digital interface (weight
+   programming, input staging) is serialized on [io_clock]; each tile has
+   its own [ready_at] clock, so MVMs issued to distinct tiles overlap.
+   This is how the paper's cim-parallel unrolling gains its speedup: the
+   unrolled loop round-robins executes across tiles. The run's makespan is
+   the latest clock at release. *)
+
+open Cinm_ir
+open Cinm_interp
+
+type tile = {
+  mutable weights : Tensor.t option;
+  mutable staged_input : Tensor.t option;
+  mutable ready_at : float;
+}
+
+type device = { tiles : tile array }
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  devices : (int, device) Hashtbl.t;
+  mutable next : int;
+  mutable io_clock : float;
+}
+
+let create config =
+  {
+    config;
+    stats = Stats.create ~tiles:config.Config.tiles;
+    devices = Hashtbl.create 4;
+    next = 0;
+    io_clock = 0.0;
+  }
+
+let fresh_tile () = { weights = None; staged_input = None; ready_at = 0.0 }
+
+let find_device m rv =
+  match Hashtbl.find_opt m.devices (Rtval.as_handle rv) with
+  | Some d -> d
+  | None -> invalid_arg "Memristor machine: unknown device handle"
+
+let tile_of d op =
+  let k = Ir.int_attr op "tile" in
+  if k < 0 || k >= Array.length d.tiles then
+    invalid_arg (Printf.sprintf "Memristor machine: tile %d out of range" k);
+  (k, d.tiles.(k))
+
+let makespan m d =
+  Array.fold_left (fun acc t -> Float.max acc t.ready_at) m.io_clock d.tiles
+
+let tensor_bytes (t : Tensor.t) =
+  Tensor.num_elements t * Types.dtype_bytes t.Tensor.dtype
+
+let hook (m : t) : Interp.hook =
+ fun ctx op ->
+  let operand i = Interp.lookup ctx (Ir.operand op i) in
+  let c = m.config in
+  match op.Ir.name with
+  | "memristor.alloc" ->
+    let tiles = Ir.int_attr op "tiles" in
+    if tiles > c.Config.tiles then
+      invalid_arg
+        (Printf.sprintf "memristor.alloc: %d tiles requested, %d available" tiles
+           c.Config.tiles);
+    let id = m.next in
+    m.next <- m.next + 1;
+    Hashtbl.replace m.devices id { tiles = Array.init tiles (fun _ -> fresh_tile ()) };
+    Some [ Rtval.Handle id ]
+  | "memristor.store_tile" ->
+    let d = find_device m (operand 0) in
+    let k, tile = tile_of d op in
+    let w = Rtval.as_tensor (operand 1) in
+    (match w.Tensor.shape with
+    | [| r; cc |] when r <= c.Config.rows && cc <= c.Config.cols -> ()
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "memristor.store_tile: weights %s exceed %dx%d crossbar"
+           (Cinm_support.Util.shape_to_string w.Tensor.shape)
+           c.Config.rows c.Config.cols));
+    tile.weights <- Some (Tensor.copy w);
+    let rows = w.Tensor.shape.(0) in
+    let cells = Tensor.num_elements w in
+    let t_prog = float_of_int rows *. c.Config.t_write_row in
+    let start = Float.max m.io_clock tile.ready_at in
+    m.io_clock <- start +. t_prog;
+    tile.ready_at <- m.io_clock;
+    m.stats.Stats.program_s <- m.stats.Stats.program_s +. t_prog;
+    m.stats.Stats.cells_written <- m.stats.Stats.cells_written + cells;
+    m.stats.Stats.store_ops <- m.stats.Stats.store_ops + 1;
+    m.stats.Stats.endurance_writes.(k) <- m.stats.Stats.endurance_writes.(k) + 1;
+    m.stats.Stats.energy_j <-
+      m.stats.Stats.energy_j +. (float_of_int cells *. c.Config.e_write_cell);
+    Some []
+  | "memristor.copy_tile" ->
+    let d = find_device m (operand 0) in
+    let _, tile = tile_of d op in
+    let input = Rtval.as_tensor (operand 1) in
+    (match input.Tensor.shape with
+    | [| _m; kk |] when kk <= c.Config.rows -> ()
+    | _ -> invalid_arg "memristor.copy_tile: input must be (M x rows<=crossbar)");
+    tile.staged_input <- Some (Tensor.copy input);
+    let bytes = tensor_bytes input in
+    let t_stage = float_of_int bytes *. c.Config.t_input_stage_per_byte in
+    (* the DAC registers are double-buffered: staging occupies only the
+       shared digital interface; the tile just cannot consume the new
+       input before it has arrived *)
+    m.io_clock <- m.io_clock +. t_stage;
+    tile.ready_at <- Float.max tile.ready_at m.io_clock;
+    m.stats.Stats.io_s <- m.stats.Stats.io_s +. t_stage;
+    m.stats.Stats.energy_j <-
+      m.stats.Stats.energy_j +. (float_of_int bytes *. c.Config.e_io_byte);
+    Some []
+  | "memristor.gemm_tile" -> (
+    let d = find_device m (operand 0) in
+    let _, tile = tile_of d op in
+    match (tile.staged_input, tile.weights) with
+    | Some input, Some w ->
+      let out = Tensor.matmul input w in
+      let vectors = input.Tensor.shape.(0) in
+      (* the MVM runs on the tile alone; distinct tiles overlap *)
+      tile.ready_at <- tile.ready_at +. (float_of_int vectors *. c.Config.t_mvm);
+      m.stats.Stats.compute_s <-
+        m.stats.Stats.compute_s +. (float_of_int vectors *. c.Config.t_mvm);
+      m.stats.Stats.mvms <- m.stats.Stats.mvms + vectors;
+      m.stats.Stats.energy_j <-
+        m.stats.Stats.energy_j +. (float_of_int vectors *. c.Config.e_mvm);
+      Some [ Rtval.Tensor out ]
+    | _ -> invalid_arg "memristor.gemm_tile: tile has no staged input or weights")
+  | "memristor.read_result" ->
+    invalid_arg "memristor.read_result: results are returned by gemm_tile in this flow"
+  | "memristor.barrier" ->
+    let d = find_device m (operand 0) in
+    m.io_clock <- makespan m d;
+    Some []
+  | "memristor.release" ->
+    let d = find_device m (operand 0) in
+    m.stats.Stats.makespan_s <- Float.max m.stats.Stats.makespan_s (makespan m d);
+    Hashtbl.remove m.devices (Rtval.as_handle (operand 0));
+    Some []
+  | _ -> None
+
+let run m (f : Func.t) args =
+  let results, _ = Interp.run_func ~hooks:[ hook m ] f args in
+  (results, m.stats)

@@ -1,0 +1,33 @@
+(** Memristive crossbar accelerator simulator: interpreter hooks for the
+    memristor dialect. Weights are programmed into tiles (slow,
+    endurance-limited NVM writes), staged inputs stream through as analog
+    MVMs, results come back through the ADCs.
+
+    Timing is an event-clock model: the digital interface (programming,
+    input staging) is serialized on an io clock; each tile has its own
+    ready clock, so MVMs on distinct tiles overlap — which is where the
+    cim-parallel unrolling gets its speedup. The run's makespan is the
+    latest clock at release. *)
+
+open Cinm_ir
+open Cinm_interp
+
+type tile
+type device
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  devices : (int, device) Hashtbl.t;
+  mutable next : int;
+  mutable io_clock : float;
+}
+
+val create : Config.t -> t
+
+(** The interpreter hook implementing memristor.*. Programs that exceed the
+    configured tile count/geometry, or compute on unprogrammed tiles,
+    raise [Invalid_argument]. *)
+val hook : t -> Interp.hook
+
+val run : t -> Func.t -> Rtval.t list -> Rtval.t list * Stats.t

@@ -1,0 +1,41 @@
+(* Statistics of one memristor-accelerator run. The write count is the
+   headline metric of the paper's cim-min-writes optimization (Fig. 10:
+   7x fewer writes); tile-parallel phases shorten compute_s. *)
+
+type t = {
+  mutable program_s : float;  (** crossbar programming (NVM writes) *)
+  mutable compute_s : float;  (** analog MVM phases *)
+  mutable io_s : float;  (** digital staging / read-out / host transfers *)
+  mutable cells_written : int;
+  mutable store_ops : int;  (** store_tile calls *)
+  mutable mvms : int;  (** input vectors driven through tiles *)
+  mutable energy_j : float;
+  mutable endurance_writes : int array;  (** per-tile write cycles *)
+  mutable makespan_s : float;
+      (** event-clock end time: tile-parallel phases overlap, unlike the
+          serialized program/compute/io sums above *)
+}
+
+let create ~tiles =
+  {
+    program_s = 0.0;
+    compute_s = 0.0;
+    io_s = 0.0;
+    cells_written = 0;
+    store_ops = 0;
+    mvms = 0;
+    energy_j = 0.0;
+    endurance_writes = Array.make tiles 0;
+    makespan_s = 0.0;
+  }
+
+(* End-to-end accelerator time: the event-clock makespan when the program
+   released the device, else the serialized sum. *)
+let total_s s =
+  if s.makespan_s > 0.0 then s.makespan_s else s.program_s +. s.compute_s +. s.io_s
+
+let to_string s =
+  Printf.sprintf
+    "total=%.3fus (program=%.3f compute=%.3f io=%.3f) stores=%d cells=%d mvms=%d energy=%.3fuJ"
+    (1e6 *. total_s s) (1e6 *. s.program_s) (1e6 *. s.compute_s) (1e6 *. s.io_s)
+    s.store_ops s.cells_written s.mvms (1e6 *. s.energy_j)

@@ -1,0 +1,21 @@
+(** Statistics of one memristor-accelerator run. The write count is the
+    headline metric of the cim-min-writes optimization (Fig. 10). *)
+
+type t = {
+  mutable program_s : float;  (** crossbar programming (NVM writes) *)
+  mutable compute_s : float;  (** analog MVM *)
+  mutable io_s : float;  (** digital staging / read-out *)
+  mutable cells_written : int;
+  mutable store_ops : int;
+  mutable mvms : int;
+  mutable energy_j : float;
+  mutable endurance_writes : int array;  (** per-tile write cycles *)
+  mutable makespan_s : float;  (** event-clock end time (tiles overlap) *)
+}
+
+val create : tiles:int -> t
+
+(** Event-clock makespan when set (device released), else the serial sum. *)
+val total_s : t -> float
+
+val to_string : t -> string

@@ -1,0 +1,70 @@
+(* Shared helpers for shapes, formatting and arithmetic used across the
+   compiler and the simulators. *)
+
+let product_of_shape (shape : int array) = Array.fold_left ( * ) 1 shape
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Util.ceil_div";
+  (a + b - 1) / b
+
+let round_up_to a b = ceil_div a b * b
+
+(* Geometric mean of strictly positive samples; the paper reports all
+   aggregate results as geomeans. *)
+let geomean xs =
+  match xs with
+  | [] -> invalid_arg "Util.geomean: empty"
+  | _ ->
+    let n = List.length xs in
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Util.geomean: non-positive sample";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. float_of_int n)
+
+let shape_to_string shape =
+  String.concat "x" (Array.to_list (Array.map string_of_int shape))
+
+(* Int32 wrap-around semantics on top of OCaml's 63-bit ints: all integer
+   tensors in the reproduction are INT32, matching the paper's workloads. *)
+let wrap32 x =
+  let m = x land 0xFFFFFFFF in
+  if m >= 0x80000000 then m - 0x100000000 else m
+
+let add32 a b = wrap32 (a + b)
+let sub32 a b = wrap32 (a - b)
+let mul32 a b = wrap32 (a * b)
+
+let div32 a b = if b = 0 then 0 else wrap32 (a / b)
+
+(* Multi-dimensional index <-> linear offset, row-major. *)
+let linearize shape idx =
+  let n = Array.length shape in
+  if Array.length idx <> n then invalid_arg "Util.linearize";
+  let off = ref 0 in
+  for d = 0 to n - 1 do
+    if idx.(d) < 0 || idx.(d) >= shape.(d) then invalid_arg "Util.linearize: out of bounds";
+    off := (!off * shape.(d)) + idx.(d)
+  done;
+  !off
+
+let delinearize shape off =
+  let n = Array.length shape in
+  let idx = Array.make n 0 in
+  let rem = ref off in
+  for d = n - 1 downto 0 do
+    idx.(d) <- !rem mod shape.(d);
+    rem := !rem / shape.(d)
+  done;
+  idx
+
+let list_take n l =
+  let rec loop n l acc =
+    match (n, l) with
+    | 0, _ | _, [] -> List.rev acc
+    | n, x :: rest -> loop (n - 1) rest (x :: acc)
+  in
+  loop n l []

@@ -1,0 +1,31 @@
+(** Shared helpers for shapes, aggregation and int32 arithmetic. *)
+
+val product_of_shape : int array -> int
+
+(** @raise Invalid_argument on a non-positive divisor. *)
+val ceil_div : int -> int -> int
+
+val round_up_to : int -> int -> int
+
+(** Geometric mean; all of the paper's aggregate results use it.
+    @raise Invalid_argument on an empty list or non-positive samples. *)
+val geomean : float list -> float
+
+val shape_to_string : int array -> string
+
+(** Signed 32-bit wrap-around on OCaml's native ints. *)
+val wrap32 : int -> int
+
+val add32 : int -> int -> int
+val sub32 : int -> int -> int
+val mul32 : int -> int -> int
+
+(** Division with the device convention: x / 0 = 0. *)
+val div32 : int -> int -> int
+
+(** Row-major multi-index <-> linear offset.
+    @raise Invalid_argument on out-of-bounds indices. *)
+val linearize : int array -> int array -> int
+
+val delinearize : int array -> int -> int array
+val list_take : int -> 'a list -> 'a list

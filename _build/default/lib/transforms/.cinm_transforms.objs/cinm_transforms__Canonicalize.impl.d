@@ -1,0 +1,1 @@
+lib/transforms/canonicalize.ml: Array Attr Cinm_ir Dce Func Hashtbl Ir List Pass Printf String Transform_util Types

@@ -1,0 +1,1 @@
+lib/transforms/canonicalize.mli: Cinm_ir

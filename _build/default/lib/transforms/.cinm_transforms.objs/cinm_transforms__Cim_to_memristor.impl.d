@@ -1,0 +1,1 @@
+lib/transforms/cim_to_memristor.ml: Array Attr Cinm_dialects Cinm_ir Func Ir List Memristor_d Pass Rewrite Transform_util

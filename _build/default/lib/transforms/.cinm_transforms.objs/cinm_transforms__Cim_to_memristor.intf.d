@@ -1,0 +1,1 @@
+lib/transforms/cim_to_memristor.mli: Cinm_ir

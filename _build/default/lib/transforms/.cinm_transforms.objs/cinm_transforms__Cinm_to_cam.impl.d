@@ -1,0 +1,1 @@
+lib/transforms/cinm_to_cam.ml: Arith Array Attr Builder Cam_d Cinm_d Cinm_dialects Cinm_ir Ir List Option Pass Rewrite Scf_d Tensor_d Types

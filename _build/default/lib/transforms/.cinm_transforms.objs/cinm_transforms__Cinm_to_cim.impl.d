@@ -1,0 +1,1 @@
+lib/transforms/cinm_to_cim.ml: Arith Array Attr Builder Cim_d Cinm_d Cinm_dialects Cinm_ir Cinm_support Ir List Option Pass Rewrite Scf_d Tensor_d Types

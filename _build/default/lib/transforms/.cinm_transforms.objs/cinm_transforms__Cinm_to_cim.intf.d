@@ -1,0 +1,1 @@
+lib/transforms/cinm_to_cim.mli: Cinm_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/cinm_to_cnm.ml: Arith Array Attr Builder Cinm_d Cinm_dialects Cinm_ir Cinm_support Cnm_d Ir List Memref_d Option Pass Rewrite Scf_d String Tensor_d Types

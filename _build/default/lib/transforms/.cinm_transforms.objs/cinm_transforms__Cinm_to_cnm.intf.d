@@ -1,0 +1,1 @@
+lib/transforms/cinm_to_cnm.mli: Builder Cinm_ir Ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/cinm_to_rtm.ml: Arith Array Attr Cinm_d Cinm_dialects Cinm_ir Cinm_support Ir List Option Pass Rewrite Rtm_d Scf_d Tensor_d Types

@@ -1,0 +1,1 @@
+lib/transforms/cinm_to_scf.ml: Arith Array Attr Builder Cinm_d Cinm_dialects Cinm_ir Cinm_support Cinm_to_cnm Ir List Option Pass Rewrite Scf_d String Tensor_d Types

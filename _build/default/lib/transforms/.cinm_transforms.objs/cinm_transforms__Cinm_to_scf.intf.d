@@ -1,0 +1,1 @@
+lib/transforms/cinm_to_scf.mli: Cinm_ir

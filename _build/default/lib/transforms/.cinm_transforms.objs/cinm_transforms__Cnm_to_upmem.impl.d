@@ -1,0 +1,1 @@
+lib/transforms/cnm_to_upmem.ml: Arith Array Attr Builder Cinm_d Cinm_dialects Cinm_ir Cinm_support Cinm_to_cnm Ir List Memref_d Option Pass Printf Rewrite Scf_d Types Upmem_d

@@ -1,0 +1,1 @@
+lib/transforms/cnm_to_upmem.mli: Builder Cinm_ir Ir Pass Types

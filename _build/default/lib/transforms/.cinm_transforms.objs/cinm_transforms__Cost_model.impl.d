@@ -1,0 +1,1 @@
+lib/transforms/cost_model.ml: Cinm_ir Cinm_support Hashtbl Ir List Option Types

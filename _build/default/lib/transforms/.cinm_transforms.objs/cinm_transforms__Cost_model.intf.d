@@ -1,0 +1,1 @@
+lib/transforms/cost_model.mli: Cinm_ir

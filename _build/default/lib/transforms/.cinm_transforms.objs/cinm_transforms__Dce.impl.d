@@ -1,0 +1,1 @@
+lib/transforms/dce.ml: Array Cinm_ir Func Hashtbl Ir List Pass

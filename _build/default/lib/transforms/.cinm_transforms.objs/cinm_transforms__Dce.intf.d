@@ -1,0 +1,1 @@
+lib/transforms/dce.mli: Cinm_ir

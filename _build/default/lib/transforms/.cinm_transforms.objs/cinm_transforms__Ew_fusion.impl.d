@@ -1,0 +1,1 @@
+lib/transforms/ew_fusion.ml: Array Attr Cinm_ir Dce Func Hashtbl Ir List Option Pass String Transform_util

@@ -1,0 +1,1 @@
+lib/transforms/ew_fusion.mli: Cinm_ir

@@ -1,0 +1,1 @@
+lib/transforms/licm.ml: Array Builder Cinm_dialects Cinm_ir Hashtbl Ir List Pass Rewrite Transform_util Types

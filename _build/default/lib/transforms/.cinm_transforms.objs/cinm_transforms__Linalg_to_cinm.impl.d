@@ -1,0 +1,1 @@
+lib/transforms/linalg_to_cinm.ml: Array Builder Cinm_d Cinm_dialects Cinm_ir Fun Ir Linalg_d List Option Pass Rewrite String Types

@@ -1,0 +1,1 @@
+lib/transforms/linalg_to_cinm.mli: Cinm_ir

@@ -1,0 +1,1 @@
+lib/transforms/loop_unroll.ml: Arith Array Attr Cinm_dialects Cinm_ir Ir List Pass Rewrite Scf_d Transform_util

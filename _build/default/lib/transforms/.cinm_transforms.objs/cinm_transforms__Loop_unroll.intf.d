@@ -1,0 +1,1 @@
+lib/transforms/loop_unroll.mli: Cinm_ir

@@ -1,0 +1,1 @@
+lib/transforms/target_select.ml: Array Attr Cinm_d Cinm_dialects Cinm_ir Cost_model Func Ir List Pass Types

@@ -1,0 +1,1 @@
+lib/transforms/target_select.mli: Cinm_ir

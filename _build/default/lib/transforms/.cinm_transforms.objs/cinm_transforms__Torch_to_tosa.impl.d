@@ -1,0 +1,1 @@
+lib/transforms/torch_to_tosa.ml: Cinm_dialects Cinm_ir Ir Linalg_d Pass Rewrite Tosa_d

@@ -1,0 +1,1 @@
+lib/transforms/torch_to_tosa.mli: Cinm_ir

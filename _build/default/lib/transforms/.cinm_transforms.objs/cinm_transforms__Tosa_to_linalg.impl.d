@@ -1,0 +1,1 @@
+lib/transforms/tosa_to_linalg.ml: Array Builder Cinm_dialects Cinm_ir Ir Linalg_d List Option Pass Rewrite Types

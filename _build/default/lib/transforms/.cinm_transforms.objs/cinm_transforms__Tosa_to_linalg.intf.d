@@ -1,0 +1,1 @@
+lib/transforms/tosa_to_linalg.mli: Cinm_ir

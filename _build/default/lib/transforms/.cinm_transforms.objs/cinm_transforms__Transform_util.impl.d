@@ -1,0 +1,1 @@
+lib/transforms/transform_util.ml: Array Attr Builder Cinm_ir Hashtbl Ir List

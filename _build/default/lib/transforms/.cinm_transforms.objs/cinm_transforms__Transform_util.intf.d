@@ -1,0 +1,1 @@
+lib/transforms/transform_util.mli: Builder Cinm_ir Hashtbl Ir

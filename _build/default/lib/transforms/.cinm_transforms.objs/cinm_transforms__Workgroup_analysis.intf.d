@@ -1,0 +1,1 @@
+lib/transforms/workgroup_analysis.mli:

@@ -1,0 +1,124 @@
+(* Canonicalization: constant folding of scalar arith ops and common
+   subexpression elimination of pure, region-free ops. Run after lowering
+   passes to clean up the index arithmetic and duplicate constants the
+   kernel generators emit.
+
+   CSE is per-block (ops in nested regions only see their own block's
+   memo), so isolated-from-above regions (cnm.launch bodies) can never
+   capture a value hoisted across their boundary. *)
+
+open Cinm_ir
+
+let foldable =
+  [ "arith.addi"; "arith.subi"; "arith.muli"; "arith.divsi"; "arith.remsi";
+    "arith.minsi"; "arith.maxsi"; "arith.andi"; "arith.ori"; "arith.xori" ]
+
+(* integer semantics of the fold (independent of the interpreter lib) *)
+let fold_scalar name a b =
+  match name with
+  | "arith.addi" -> a + b
+  | "arith.subi" -> a - b
+  | "arith.muli" -> a * b
+  | "arith.divsi" -> if b = 0 then 0 else a / b
+  | "arith.remsi" -> if b = 0 then 0 else a mod b
+  | "arith.minsi" -> min a b
+  | "arith.maxsi" -> max a b
+  | "arith.andi" -> a land b
+  | "arith.ori" -> a lor b
+  | "arith.xori" -> a lxor b
+  | other -> invalid_arg ("canonicalize: fold " ^ other)
+
+(* Fold results must wrap to the result width, or non-congruent ops
+   (min/max/div) downstream would see different values than the wrapped
+   runtime semantics. *)
+let wrap_to_result (op : Ir.op) x =
+  match (Ir.result op 0).Ir.ty with
+  | Types.Scalar dt when not (Types.is_float_dtype dt) && dt <> Types.I64 ->
+    let bits = Types.dtype_bits dt in
+    let m = x land ((1 lsl bits) - 1) in
+    if m >= 1 lsl (bits - 1) then m - (1 lsl bits) else m
+  | _ -> x
+
+let fold_op (op : Ir.op) : int option =
+  if not (List.mem op.Ir.name foldable) then None
+  else
+    match
+      ( Transform_util.constant_of (Ir.operand op 0),
+        Transform_util.constant_of (Ir.operand op 1) )
+    with
+    | Some a, Some b ->
+      Some
+        (wrap_to_result op
+           (fold_scalar op.Ir.name (wrap_to_result op a) (wrap_to_result op b)))
+    | _ -> None
+
+let cse_key (op : Ir.op) =
+  let operands =
+    Array.to_list op.Ir.operands
+    |> List.map (fun (v : Ir.value) -> string_of_int v.Ir.vid)
+    |> String.concat ","
+  in
+  let attrs =
+    List.sort compare op.Ir.attrs
+    |> List.map (fun (k, a) -> k ^ "=" ^ Attr.to_string a)
+    |> String.concat ";"
+  in
+  let result_tys =
+    Array.to_list op.Ir.results
+    |> List.map (fun (v : Ir.value) -> Types.to_string v.Ir.ty)
+    |> String.concat ","
+  in
+  Printf.sprintf "%s(%s){%s}:%s" op.Ir.name operands attrs result_tys
+
+let cse_eligible (op : Ir.op) =
+  Array.length op.Ir.regions = 0
+  && Array.length op.Ir.results > 0
+  &&
+  match Ir.dialect_of op with
+  | "arith" -> true
+  | "tensor" -> op.Ir.name <> "tensor.empty" (* distinct buffers on purpose *)
+  | _ -> false
+
+let run_on_func (f : Func.t) =
+  let rec canon_block (block : Ir.block) =
+    let memo : (string, Ir.op) Hashtbl.t = Hashtbl.create 32 in
+    let kept = ref [] in
+    List.iter
+      (fun (op : Ir.op) ->
+        Array.iter (fun r -> List.iter canon_block r.Ir.blocks) op.Ir.regions;
+        (* constant folding *)
+        (match fold_op op with
+        | Some value ->
+          let c =
+            Ir.create_op
+              ~attrs:[ ("value", Attr.Int value) ]
+              ~result_tys:[ (Ir.result op 0).Ir.ty ]
+              "arith.constant"
+          in
+          c.Ir.parent <- Some block;
+          Ir.replace_uses_in_region f.Func.body ~old_v:(Ir.result op 0)
+            ~new_v:(Ir.result c 0);
+          kept := c :: !kept
+        | None ->
+          if cse_eligible op then begin
+            let key = cse_key op in
+            match Hashtbl.find_opt memo key with
+            | Some prior ->
+              Array.iteri
+                (fun i (v : Ir.value) ->
+                  Ir.replace_uses_in_region f.Func.body ~old_v:v
+                    ~new_v:prior.Ir.results.(i))
+                op.Ir.results
+            | None ->
+              Hashtbl.replace memo key op;
+              kept := op :: !kept
+          end
+          else kept := op :: !kept))
+      block.Ir.ops;
+    block.Ir.ops <- List.rev !kept
+  in
+  List.iter canon_block f.Func.body.Ir.blocks;
+  Dce.run_on_func f
+
+let pass =
+  Pass.create ~name:"canonicalize" (fun m -> List.iter run_on_func m.Func.funcs)

@@ -1,0 +1,89 @@
+(* cim -> memristor device lowering (paper §3.2.5): materializes cim ops
+   with the memristor device primitives, extending the OCC flow. A
+   cim.execute whose body is a single cinm.gemm becomes
+
+     memristor.store_tile  (program the stationary operand - NVM writes)
+     memristor.copy_tile   (stage the streamed operand in the DACs)
+     memristor.gemm_tile   (analog MVM per input row)
+
+   on the tile chosen by the round-robin tile-hint assignment (the
+   cim-parallel unrolled executes land on distinct tiles). Execute bodies
+   that are not a recognized crossbar primitive are inlined as host code
+   ("all other operations are lowered to the host instructions"). *)
+
+open Cinm_ir
+open Cinm_dialects
+
+(* Round-robin tile hints over the executes of each function, in program
+   order (run before the conversion). *)
+let assign_tile_hints ~tiles (m : Func.modul) =
+  List.iter
+    (fun f ->
+      let counter = ref 0 in
+      Func.walk
+        (fun op ->
+          if op.Ir.name = "cim.execute" then begin
+            Ir.set_attr op "tile_hint" (Attr.Int (!counter mod max 1 tiles));
+            incr counter
+          end)
+        f)
+    m.Func.funcs
+
+let assign_pass ~tiles =
+  Pass.create ~name:"cim-assign-tiles" (fun m -> assign_tile_hints ~tiles m)
+
+(* Recognize an execute body of the form: [cinm.gemm(arg0, arg1); yield]. *)
+let single_gemm_body (op : Ir.op) =
+  let body = Ir.entry_block (Ir.region op 0) in
+  match body.Ir.ops with
+  | [ gemm; yield_op ]
+    when gemm.Ir.name = "cinm.gemm"
+         && yield_op.Ir.name = "cim.yield"
+         && Ir.num_operands yield_op = 1
+         && (Ir.operand yield_op 0).Ir.vid = (Ir.result gemm 0).Ir.vid
+         && Array.length body.Ir.args = 2
+         && (Ir.operand gemm 0).Ir.vid = body.Ir.args.(0).Ir.vid
+         && (Ir.operand gemm 1).Ir.vid = body.Ir.args.(1).Ir.vid ->
+    true
+  | _ -> false
+
+let pattern : Rewrite.pattern =
+ fun ctx op ->
+  let b = ctx.Rewrite.b in
+  match op.Ir.name with
+  | "cim.acquire" ->
+    let rows = Ir.int_attr op "rows"
+    and cols = Ir.int_attr op "cols"
+    and tiles = Ir.int_attr op "tiles" in
+    Some (Rewrite.Replace [ Memristor_d.alloc b ~rows ~cols ~tiles ])
+  | "cim.write" ->
+    let id = Rewrite.operand ctx op 0 and w = Rewrite.operand ctx op 1 in
+    Memristor_d.store_tile b id ~tile:0 w;
+    Some Rewrite.Erase
+  | "cim.execute" when single_gemm_body op ->
+    let id = Rewrite.operand ctx op 0 in
+    let a_tile = Rewrite.operand ctx op 1 in
+    let b_tile = Rewrite.operand ctx op 2 in
+    let tile = match Ir.attr op "tile_hint" with Some (Attr.Int t) -> t | _ -> 0 in
+    Memristor_d.store_tile b id ~tile b_tile;
+    Memristor_d.copy_tile b id ~tile a_tile;
+    let result_ty = (Ir.result op 0).Ir.ty in
+    Some (Rewrite.Replace [ Memristor_d.gemm_tile b id ~tile ~result_ty ])
+  | "cim.execute" ->
+    (* unrecognized device computation: run it on the host *)
+    let inputs = List.init (Ir.num_operands op - 1) (fun i -> Rewrite.operand ctx op (i + 1)) in
+    let results =
+      Transform_util.inline_body ~remap:(Rewrite.lookup ctx) b (Ir.region op 0) inputs
+    in
+    Some (Rewrite.Replace results)
+  | "cim.barrier" ->
+    let id = Rewrite.operand ctx op 0 in
+    Memristor_d.barrier b id;
+    Some Rewrite.Erase
+  | "cim.release" ->
+    let id = Rewrite.operand ctx op 0 in
+    Memristor_d.release b id;
+    Some Rewrite.Erase
+  | _ -> None
+
+let pass = Pass.of_patterns ~name:"cim-to-memristor" [ pattern ]

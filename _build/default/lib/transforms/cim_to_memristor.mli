@@ -1,0 +1,11 @@
+(** cim -> memristor device lowering (paper §3.2.5): a cim.execute whose
+    body is a single cinm.gemm becomes store_tile + copy_tile + gemm_tile
+    on the tile chosen by round-robin assignment; other execute bodies are
+    inlined as host code. *)
+
+(** Assign round-robin tile hints to cim.execute ops (run after
+    loop-unroll so the unrolled copies land on distinct tiles). *)
+val assign_tile_hints : tiles:int -> Cinm_ir.Func.modul -> unit
+
+val assign_pass : tiles:int -> Cinm_ir.Pass.t
+val pass : Cinm_ir.Pass.t

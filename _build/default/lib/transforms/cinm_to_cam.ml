@@ -1,0 +1,82 @@
+(* cinm.sim_search -> cam lowering (paper §3.2.2: CAM-suited search ops are
+   detected with C4CAM's algorithm; Table 5's CIM-CAM row). The database's
+   windows become CAM entries (an im2col windowing), one parallel search
+   returns the best-k indices, and the host recomputes the k match scores
+   (the values output) from the returned windows. *)
+
+open Cinm_ir
+open Cinm_dialects
+
+let is_cim_target op =
+  match Ir.attr op "target" with Some (Attr.Str "cim") -> true | _ -> false
+
+let shape_of (v : Ir.value) = Option.get (Types.shape_of v.Ir.ty)
+
+(* score of one window on the host, mirroring Tensor.sim_search *)
+let host_score b ~metric ~m db q w_idx =
+  let c0 = Arith.const_index b 0 in
+  let c1 = Arith.const_index b 1 in
+  let cm = Arith.const_index b m in
+  let zero = Arith.constant b 0 in
+  let acc =
+    Scf_d.for_ b ~lb:c0 ~ub:cm ~step:c1 ~init:[ zero ] (fun bb j iters ->
+        let d = Tensor_d.extract bb db [ Arith.addi bb w_idx j ] in
+        let qv = Tensor_d.extract bb q [ j ] in
+        let contrib =
+          match metric with
+          | "dot" -> Arith.muli bb d qv
+          | "l2" ->
+            let diff = Arith.subi bb d qv in
+            Arith.subi bb (Arith.constant bb 0) (Arith.muli bb diff diff)
+          | "hamming" ->
+            (* -popcount(d xor q), folded to bit ops the host executes *)
+            let x = Arith.xori bb d qv in
+            let count = ref (Arith.constant bb 0) in
+            for bit = 0 to 31 do
+              let shifted = Arith.shrsi bb x (Arith.constant bb bit) in
+              let b1 = Arith.andi bb shifted (Arith.constant bb 1) in
+              count := Arith.addi bb !count b1
+            done;
+            Arith.subi bb (Arith.constant bb 0) !count
+          | mname -> invalid_arg ("cinm-to-cam: metric " ^ mname)
+        in
+        [ Arith.addi bb iters.(0) contrib ])
+  in
+  List.hd acc
+
+let pattern : Rewrite.pattern =
+ fun ctx op ->
+  match op.Ir.name with
+  | "cinm.sim_search" when is_cim_target op ->
+    let b = ctx.Rewrite.b in
+    let db = Rewrite.operand ctx op 0 and q = Rewrite.operand ctx op 1 in
+    let k = Ir.int_attr op "k" and metric = Ir.str_attr op "metric" in
+    let n = (shape_of db).(0) in
+    let m = (shape_of q).(0) in
+    let windows = n - m + 1 in
+    (* database windows -> CAM entries *)
+    let db_2d = Cinm_d.expand b db ~shape:[| n; 1 |] in
+    let entries = Cinm_d.im2col b db_2d ~kh:m ~kw:1 in
+    let id = Cam_d.alloc b ~entries:windows ~width:m in
+    Cam_d.write_entries b id entries;
+    let indices = Cam_d.search_best b id q ~metric ~k in
+    Cam_d.release b id;
+    (* host-side: recompute the k winning scores *)
+    let dt = Option.get (Types.element_dtype db.Ir.ty) in
+    let values0 =
+      Builder.build1 b "tensor.empty" ~result_tys:[ Types.Tensor ([| k |], dt) ]
+    in
+    let c0 = Arith.const_index b 0 in
+    let c1 = Arith.const_index b 1 in
+    let ck = Arith.const_index b k in
+    let values =
+      Scf_d.for_ b ~lb:c0 ~ub:ck ~step:c1 ~init:[ values0 ] (fun bb j iters ->
+          let w = Tensor_d.extract bb indices [ j ] in
+          let w_idx = Arith.index_cast bb w ~to_ty:Types.Index in
+          let s = host_score bb ~metric ~m db q w_idx in
+          [ Tensor_d.insert bb s iters.(0) [ j ] ])
+    in
+    Some (Rewrite.Replace [ List.hd values; indices ])
+  | _ -> None
+
+let pass = Pass.of_patterns ~name:"cinm-to-cam" [ pattern ]

@@ -1,0 +1,166 @@
+(* cinm -> cim lowering (paper §3.2.4, Fig. 6b): rewrite cinm matmul-like
+   ops annotated with target = "cim" into device acquisition, compulsory
+   tiling to the crossbar geometry, cim.execute regions containing the
+   tile-level cinm.gemm, and accumulation of partials with
+   cinm.merge_partial.
+
+   Optimization knobs (the paper's cim configurations, §4.1.2):
+   - [interchange] (cim-min-writes): emit the loop nest as (k-tile, n-tile,
+     m-chunk) instead of (m-chunk, k-tile, n-tile), making the weight tile
+     invariant in the innermost loop so LICM can hoist its programming;
+   - [parallel] (cim-parallel): mark the n-tile loop with an {unroll}
+     attribute; the loop-unroll pass then round-robins the unrolled
+     executes across crossbar tiles. *)
+
+open Cinm_ir
+open Cinm_dialects
+
+type options = {
+  rows : int;
+  cols : int;
+  tiles : int;
+  input_chunk : int;  (** rows of A streamed per execute *)
+  interchange : bool;  (** cim-min-writes *)
+  parallel : bool;  (** cim-parallel *)
+}
+
+let default_options =
+  { rows = 64; cols = 64; tiles = 4; input_chunk = 128; interchange = false; parallel = false }
+
+let is_cim_target op =
+  match Ir.attr op "target" with Some (Attr.Str "cim") -> true | _ -> false
+
+let shape_of (v : Ir.value) = Option.get (Types.shape_of v.Ir.ty)
+let dtype_of (v : Ir.value) = Option.get (Types.element_dtype v.Ir.ty)
+
+let pad2 b v ~target_rows ~target_cols =
+  let shape = shape_of v in
+  if shape.(0) = target_rows && shape.(1) = target_cols then v
+  else
+    Tensor_d.pad b v ~low:[| 0; 0 |]
+      ~high:[| target_rows - shape.(0); target_cols - shape.(1) |]
+
+let def_op (v : Ir.value) =
+  match v.Ir.def with
+  | Ir.Op_result (op, _) -> Some op
+  | Ir.Block_arg _ -> None
+
+(* Build a 3-deep scf.for nest over chunk counts [counts] in the order
+   given by [order] (a permutation of logical axes mi/ki/ni = 0/1/2),
+   threading the accumulator tensor. [body] receives (mi, ki, ni) index
+   values and the accumulator; returns the new accumulator. [mark_unroll]
+   tags the loop of the given logical axis with an unroll attribute. *)
+let build_nest b ~counts ~order ~(mark_unroll : (int * int) option) ~acc0 body =
+  let c0 = Arith.const_index b 0 in
+  let c1 = Arith.const_index b 1 in
+  let idx_vals = Array.make 3 c0 in
+  let rec nest bb depth acc =
+    if depth = 3 then body bb idx_vals.(0) idx_vals.(1) idx_vals.(2) acc
+    else begin
+      let axis = order.(depth) in
+      let ub = Arith.const_index bb counts.(axis) in
+      let results =
+        Scf_d.for_ bb ~lb:c0 ~ub ~step:c1 ~init:[ acc ] (fun bb iv iters ->
+            idx_vals.(axis) <- iv;
+            [ nest bb (depth + 1) iters.(0) ])
+      in
+      (match (mark_unroll, List.hd results) with
+      | Some (u_axis, u), res when axis = u_axis -> (
+        match def_op res with
+        | Some for_op -> Ir.set_attr for_op "unroll" (Attr.Int u)
+        | None -> ())
+      | _ -> ());
+      List.hd results
+    end
+  in
+  nest b 0 acc0
+
+(* GEMM on the crossbar accelerator; returns the [M, N] result value. *)
+let lower_gemm opts b a_val b_val =
+  let dt = dtype_of a_val in
+  let m, k_dim =
+    match shape_of a_val with
+    | [| m; k |] -> (m, k)
+    | _ -> invalid_arg "cim lower_gemm: A must be rank 2"
+  in
+  let n = (shape_of b_val).(1) in
+  let mb = min opts.input_chunk (Cinm_support.Util.round_up_to m 1) in
+  let m_pad = Cinm_support.Util.round_up_to m mb in
+  let k_pad = Cinm_support.Util.round_up_to k_dim opts.rows in
+  let n_pad = Cinm_support.Util.round_up_to n opts.cols in
+  let mc = m_pad / mb in
+  let kt = k_pad / opts.rows in
+  let nt = n_pad / opts.cols in
+  let a_pad = pad2 b a_val ~target_rows:m_pad ~target_cols:k_pad in
+  let b_pad = pad2 b b_val ~target_rows:k_pad ~target_cols:n_pad in
+  let id = Cim_d.acquire b ~rows:opts.rows ~cols:opts.cols ~tiles:opts.tiles in
+  let acc0 =
+    Builder.build1 b "tensor.empty" ~result_tys:[ Types.Tensor ([| m_pad; n_pad |], dt) ]
+  in
+  let order = if opts.interchange then [| 1; 2; 0 |] else [| 0; 1; 2 |] in
+  (* distribute the n-tile loop across crossbar tiles; when the kernel has
+     a single n-tile (e.g. gemv), fall back to the k-tile loop (distinct
+     weight tiles, partials still merged) *)
+  let mark_unroll =
+    if not opts.parallel then None
+    else if min opts.tiles nt > 1 then Some (2, min opts.tiles nt)
+    else if min opts.tiles kt > 1 then Some (1, min opts.tiles kt)
+    else None
+  in
+  let c_rows = Arith.const_index b opts.rows in
+  let c_cols = Arith.const_index b opts.cols in
+  let c_mb = Arith.const_index b mb in
+  let result =
+    build_nest b ~counts:[| mc; kt; nt |] ~order ~mark_unroll ~acc0
+      (fun bb mi ki ni acc ->
+        let row_off = Arith.muli bb mi c_mb in
+        let k_off = Arith.muli bb ki c_rows in
+        let n_off = Arith.muli bb ni c_cols in
+        let a_tile =
+          Tensor_d.extract_slice bb a_pad ~offsets:[| 0; 0 |]
+            ~sizes:[| mb; opts.rows |] ~dyn_offsets:[ row_off; k_off ]
+        in
+        let b_tile =
+          Tensor_d.extract_slice bb b_pad ~offsets:[| 0; 0 |]
+            ~sizes:[| opts.rows; opts.cols |] ~dyn_offsets:[ k_off; n_off ]
+        in
+        let partials =
+          Cim_d.execute bb id ~inputs:[ a_tile; b_tile ]
+            ~result_tys:[ Types.Tensor ([| mb; opts.cols |], dt) ]
+            (fun bb args -> [ Cinm_d.gemm bb args.(0) args.(1) ])
+        in
+        let partial = List.hd partials in
+        let c_cur =
+          Tensor_d.extract_slice bb acc ~offsets:[| 0; 0 |]
+            ~sizes:[| mb; opts.cols |] ~dyn_offsets:[ row_off; n_off ]
+        in
+        let c_new = Cinm_d.merge_partial bb ~op:"add" c_cur partial in
+        Tensor_d.insert_slice bb c_new acc ~offsets:[| 0; 0 |]
+          ~dyn_offsets:[ row_off; n_off ])
+  in
+  Cim_d.barrier b id;
+  Cim_d.release b id;
+  if m_pad = m && n_pad = n then result
+  else
+    Tensor_d.extract_slice b result ~offsets:[| 0; 0 |] ~sizes:[| m; n |] ~dyn_offsets:[]
+
+let pattern opts : Rewrite.pattern =
+ fun ctx op ->
+  if not (is_cim_target op) then None
+  else begin
+    let b = ctx.Rewrite.b in
+    let opd i = Rewrite.operand ctx op i in
+    match op.Ir.name with
+    | "cinm.gemm" -> Some (Rewrite.Replace [ lower_gemm opts b (opd 0) (opd 1) ])
+    | "cinm.gemv" ->
+      let a = opd 0 and x = opd 1 in
+      let k_dim = (shape_of x).(0) in
+      let m = (shape_of a).(0) in
+      let x_mat = Cinm_d.expand b x ~shape:[| k_dim; 1 |] in
+      let res = lower_gemm opts b a x_mat in
+      Some (Rewrite.Replace [ Cinm_d.expand b res ~shape:[| m |] ])
+    | _ -> None
+  end
+
+let pass ?(options = default_options) () =
+  Pass.of_patterns ~name:"cinm-to-cim" [ pattern options ]

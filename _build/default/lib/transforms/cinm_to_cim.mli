@@ -1,0 +1,20 @@
+(** cinm -> cim lowering (paper §3.2.4, Fig. 6b): compulsory tiling of
+    matmul-like ops to the crossbar geometry, cim.execute regions with the
+    tile-level gemm, and partial-result accumulation via
+    cinm.merge_partial. [interchange] emits the min-writes loop order
+    (LICM then hoists the programming); [parallel] marks the tile loop for
+    unrolling across crossbars. *)
+
+open Cinm_ir
+
+type options = {
+  rows : int;
+  cols : int;
+  tiles : int;
+  input_chunk : int;  (** rows of A streamed per execute *)
+  interchange : bool;  (** cim-min-writes *)
+  parallel : bool;  (** cim-parallel *)
+}
+
+val default_options : options
+val pass : ?options:options -> unit -> Pass.t

@@ -1,0 +1,25 @@
+(** cinm -> cnm lowering (paper §3.2.3, Fig. 6a): rewrites cinm compute ops
+    annotated target = "cnm" into workgroup allocation and scatter /
+    launch / gather sequences with tiling. GEMMs chunk the M dimension
+    across the PUs (Fig. 9 rectangular tiling) with the stationary operand
+    broadcast once into a DPU-shared buffer; reduce / scan / histogram /
+    topk / sim_search get their multi-launch decompositions. The emitted
+    cnm.launch carries a kernel descriptor attribute that cnm-to-upmem
+    regenerates device-aware kernels from. *)
+
+open Cinm_ir
+
+type options = {
+  dpus : int;
+  tasklets : int;
+  optimize : bool;  (** cinm-opt: WRAM-aware kernel style + interchange *)
+  max_rows_per_launch : int;  (** bound on per-PU rows per launch *)
+}
+
+val default_options : options
+
+(** Scalar form of a named cinm/arith binop, for kernel generators.
+    @raise Invalid_argument on unknown names. *)
+val scalar_binop : Builder.t -> string -> Ir.value -> Ir.value -> Ir.value
+
+val pass : ?options:options -> unit -> Pass.t

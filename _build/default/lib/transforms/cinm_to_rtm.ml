@@ -1,0 +1,54 @@
+(* cinm.pop_count -> rtm lowering (paper §2.3 / Table 1: population count
+   is a CIM-only op, served by racetrack memory's transverse reads;
+   Table 5's CIM-Logic row). Large inputs are processed in track-capacity
+   chunks, zero-padded (zeros contribute nothing to a popcount). *)
+
+open Cinm_ir
+open Cinm_dialects
+
+type options = { tracks : int; domains : int }
+
+let default_options = { tracks = 64; domains = 64 }
+
+let is_cim_target op =
+  match Ir.attr op "target" with Some (Attr.Str "cim") -> true | _ -> false
+
+let pattern opts : Rewrite.pattern =
+ fun ctx op ->
+  match op.Ir.name with
+  | "cinm.pop_count" when is_cim_target op ->
+    let b = ctx.Rewrite.b in
+    let data = Rewrite.operand ctx op 0 in
+    let shape = Option.get (Types.shape_of data.Ir.ty) in
+    let n = Cinm_support.Util.product_of_shape shape in
+    let capacity = opts.tracks * opts.domains in
+    let chunks = Cinm_support.Util.ceil_div n capacity in
+    let n_pad = chunks * capacity in
+    let flat = Cinm_d.expand b data ~shape:[| n |] in
+    let padded =
+      if n_pad = n then flat
+      else Tensor_d.pad b flat ~low:[| 0 |] ~high:[| n_pad - n |]
+    in
+    let c0 = Arith.const_index b 0 in
+    let c1 = Arith.const_index b 1 in
+    let c_chunks = Arith.const_index b chunks in
+    let c_cap = Arith.const_index b capacity in
+    let zero = Arith.constant b 0 in
+    let total =
+      Scf_d.for_ b ~lb:c0 ~ub:c_chunks ~step:c1 ~init:[ zero ] (fun bb ci iters ->
+          let off = Arith.muli bb ci c_cap in
+          let chunk =
+            Tensor_d.extract_slice bb padded ~offsets:[| 0 |] ~sizes:[| capacity |]
+              ~dyn_offsets:[ off ]
+          in
+          let id = Rtm_d.alloc bb ~tracks:opts.tracks ~domains:opts.domains in
+          Rtm_d.write bb id chunk;
+          let partial = Rtm_d.pop_count bb id in
+          Rtm_d.release bb id;
+          [ Arith.addi bb iters.(0) partial ])
+    in
+    Some (Rewrite.Replace [ List.hd total ])
+  | _ -> None
+
+let pass ?(options = default_options) () =
+  Pass.of_patterns ~name:"cinm-to-rtm" [ pattern options ]

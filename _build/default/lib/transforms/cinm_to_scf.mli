@@ -1,0 +1,6 @@
+(** cinm -> scf host lowering (paper §3.2.5 low-level dialects): cinm ops
+    with target "host" (or none) become scf loop nests over tensor
+    elements. Optional in the driver (the interpreter executes cinm
+    directly); used by cinm_opt and the LoC accounting. *)
+
+val pass : Cinm_ir.Pass.t

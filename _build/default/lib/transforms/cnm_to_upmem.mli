@@ -1,0 +1,41 @@
+(** cnm -> upmem device lowering (paper §3.2.5): maps workgroups to DPU
+    grids and regenerates launch bodies as device-aware tasklet kernels
+    with explicit MRAM<->WRAM staging. The launch's kernel descriptor
+    selects the generator; the "style" attribute selects the optimization
+    level ("naive" = cinm-nd, "wram" = cinm-opt-nd with WRAM-budget-sized
+    blocks and interchanged loops). Unrecognized launches fall back to a
+    generic whole-buffer staging transformation. Kernels that overcommit
+    the WRAM budget are rejected at compile time. *)
+
+open Cinm_ir
+
+type options = {
+  dpus_per_dimm : int;
+  wram_bytes : int;  (** per DPU *)
+  naive_block : int;  (** elements per DMA block in naive style *)
+}
+
+val default_options : options
+
+(** Largest divisor of [n] that is at most [cap] (block-size selection). *)
+val largest_divisor_leq : int -> int -> int
+
+(** Iterate a kernel body over [l / bs] blocks of [bs] elements; the
+    callback receives the block's element offset. Shared with the
+    hand-written PrIM baselines. *)
+val foreach_block :
+  Builder.t -> l:int -> bs:int -> (Builder.t -> off:Ir.value -> unit) -> unit
+
+(** The scan-with-offsets kernel, reused by the PrIM sel baseline. *)
+val scan_add_kernel :
+  options ->
+  style:string ->
+  tasklets:int ->
+  opname:string ->
+  l:int ->
+  dt:Types.dtype ->
+  Builder.t ->
+  Ir.value array ->
+  unit
+
+val pass : ?options:options -> unit -> Pass.t

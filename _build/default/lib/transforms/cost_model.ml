@@ -1,0 +1,112 @@
+(* Device cost-model interface (paper §3.3): device dialects register cost
+   models when loaded; the cinm target-selection pass queries them to
+   compare candidate devices. The paper leaves model development to future
+   work but provides the mechanism — as do we, plus simple reference
+   models derived from the simulator constants so the mechanism is
+   exercised end to end. *)
+
+open Cinm_ir
+
+type t = {
+  device : string;  (** "cim" | "cnm" | "host" *)
+  model_name : string;
+  estimate : Ir.op -> float option;
+      (** estimated execution time in seconds, [None] if unsupported *)
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 4
+
+let register m = Hashtbl.replace registry m.device m
+
+let clear () = Hashtbl.reset registry
+
+let registered () = Hashtbl.fold (fun _ m acc -> m :: acc) registry []
+
+let lookup device = Hashtbl.find_opt registry device
+
+(* Pick the device with the lowest estimate among those that can run the
+   op; [None] when no model covers it. *)
+let best_device op =
+  let candidates =
+    List.filter_map
+      (fun m -> Option.map (fun t -> (m.device, t)) (m.estimate op))
+      (registered ())
+  in
+  match List.sort (fun (_, a) (_, b) -> compare a b) candidates with
+  | (device, _) :: _ -> Some device
+  | [] -> None
+
+(* ----- reference models (derived from the simulator constants) ----- *)
+
+let gemm_dims op =
+  if (op.Ir.name <> "cinm.gemm" && op.Ir.name <> "cinm.gemv") || Ir.num_operands op < 2
+  then None
+  else
+    match
+      (Types.shape_of (Ir.operand op 0).Ir.ty, Types.shape_of (Ir.operand op 1).Ir.ty)
+    with
+    | Some [| m; k |], Some [| _; n |] when op.Ir.name = "cinm.gemm" -> Some (m, k, n)
+    | Some [| m; k |], Some [| _ |] when op.Ir.name = "cinm.gemv" -> Some (m, k, 1)
+    | _ -> None
+
+let elements op =
+  if Ir.num_operands op = 0 then 0
+  else match Types.shape_of (Ir.operand op 0).Ir.ty with
+    | Some shape -> Cinm_support.Util.product_of_shape shape
+    | None -> 0
+
+(* Crossbar model: MVM rows at t_mvm each, plus programming of each K x N
+   tile once. *)
+let cim_reference ?(rows = 64) ?(cols = 64) ?(t_mvm = 100e-9) ?(t_write_row = 500e-9) () =
+  {
+    device = "cim";
+    model_name = "crossbar-analytic";
+    estimate =
+      (fun op ->
+        match gemm_dims op with
+        | Some (m, k, n) ->
+          let k_tiles = Cinm_support.Util.ceil_div k rows in
+          let n_tiles = Cinm_support.Util.ceil_div n cols in
+          let program = float_of_int (k_tiles * n_tiles * rows) *. t_write_row in
+          let compute = float_of_int (m * k_tiles * n_tiles) *. t_mvm in
+          Some (program +. compute)
+        | None -> None);
+  }
+
+(* UPMEM model: weighted op throughput across all DPUs plus host transfers. *)
+let cnm_reference ?(dpus = 2048) ?(freq = 350e6) ?(host_bw = 7e9) () =
+  {
+    device = "cnm";
+    model_name = "upmem-analytic";
+    estimate =
+      (fun op ->
+        let n = elements op in
+        if n = 0 then None
+        else
+          let work_cycles =
+            match gemm_dims op with
+            | Some (m, k, n') -> float_of_int (m * k * n') *. 12.0
+            | None -> float_of_int n *. 4.0
+          in
+          let transfer = float_of_int (n * 4) /. host_bw in
+          Some ((work_cycles /. (freq *. float_of_int dpus)) +. transfer));
+  }
+
+let host_reference ?(gops = 50e9) () =
+  {
+    device = "host";
+    model_name = "host-analytic";
+    estimate =
+      (fun op ->
+        let work =
+          match gemm_dims op with
+          | Some (m, k, n) -> float_of_int (m * k * n)
+          | None -> float_of_int (elements op)
+        in
+        if work = 0.0 then None else Some (work /. gops));
+  }
+
+let register_reference_models () =
+  register (cim_reference ());
+  register (cnm_reference ());
+  register (host_reference ())

@@ -1,0 +1,25 @@
+(** Device cost-model interface (paper §3.3): device dialects register
+    models; target selection queries them to compare candidate devices. *)
+
+type t = {
+  device : string;  (** "cim" | "cnm" | "host" *)
+  model_name : string;
+  estimate : Cinm_ir.Ir.op -> float option;
+      (** estimated seconds; [None] when the op is unsupported *)
+}
+
+val register : t -> unit
+val clear : unit -> unit
+val registered : unit -> t list
+val lookup : string -> t option
+
+(** The cheapest device that can run the op, if any model covers it. *)
+val best_device : Cinm_ir.Ir.op -> string option
+
+(** Reference models derived from the simulator constants. *)
+val cim_reference :
+  ?rows:int -> ?cols:int -> ?t_mvm:float -> ?t_write_row:float -> unit -> t
+
+val cnm_reference : ?dpus:int -> ?freq:float -> ?host_bw:float -> unit -> t
+val host_reference : ?gops:float -> unit -> t
+val register_reference_models : unit -> unit

@@ -1,0 +1,44 @@
+(* Dead code elimination for pure, region-free ops. Runs to fixpoint;
+   used after fusion folds elementwise chains into cinm.ew_expr ops,
+   leaving the original chain dead. *)
+
+open Cinm_ir
+
+let pure_dialects = [ "arith"; "tensor"; "linalg"; "tosa"; "cinm" ]
+
+let is_removable (op : Ir.op) =
+  Array.length op.Ir.regions = 0
+  && Array.length op.Ir.results > 0
+  && List.mem (Ir.dialect_of op) pure_dialects
+
+let run_on_func (f : Func.t) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = Hashtbl.create 256 in
+    Func.walk
+      (fun op ->
+        Array.iter (fun (v : Ir.value) -> Hashtbl.replace used v.Ir.vid ()) op.Ir.operands)
+      f;
+    let prune (block : Ir.block) =
+      let keep op =
+        (not (is_removable op))
+        || Array.exists (fun (v : Ir.value) -> Hashtbl.mem used v.Ir.vid) op.Ir.results
+      in
+      let kept = List.filter keep block.Ir.ops in
+      if List.length kept <> List.length block.Ir.ops then begin
+        changed := true;
+        block.Ir.ops <- kept
+      end
+    in
+    let rec prune_region (region : Ir.region) =
+      List.iter
+        (fun block ->
+          prune block;
+          List.iter (fun op -> Array.iter prune_region op.Ir.regions) block.Ir.ops)
+        region.Ir.blocks
+    in
+    prune_region f.Func.body
+  done
+
+let pass = Pass.create ~name:"dce" (fun m -> List.iter run_on_func m.Func.funcs)

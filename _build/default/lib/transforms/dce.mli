@@ -1,0 +1,4 @@
+(** Dead code elimination for pure, region-free ops (to fixpoint). *)
+
+val run_on_func : Cinm_ir.Func.t -> unit
+val pass : Cinm_ir.Pass.t

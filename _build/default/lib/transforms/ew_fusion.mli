@@ -1,0 +1,7 @@
+(** Elementwise fusion at the cinm level (paper §2.4: compilers can fuse
+    operations to reduce data movement, unlike device libraries).
+    Single-use cinm elementwise chains fold into one cinm.ew_expr; a chain
+    feeding a cnm-targeted scan folds into the scan kernel itself (the
+    PrIM sel structure). Runs DCE afterwards. *)
+
+val pass : Cinm_ir.Pass.t

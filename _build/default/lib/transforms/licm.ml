@@ -1,0 +1,98 @@
+(* Loop-invariant code motion, specialized for the CIM flow: hoists pure
+   ops (constants, slice extractions) and — crucially — loop-invariant
+   memristor.store_tile ops out of scf.for bodies. After the cim
+   min-writes interchange puts the weight tile's extract_slice in an outer
+   loop, hoisting the store_tile out of the streaming loop is what
+   actually removes the redundant crossbar writes (paper §3.2.4/Fig. 10).
+
+   A store_tile is hoistable iff all its operands are defined outside the
+   loop and it is the only store to its tile inside the loop (otherwise
+   another iteration's reprogramming could be bypassed). Run the pass once
+   per loop-nest depth you want hoisting across. *)
+
+open Cinm_ir
+
+let pure_names = [ "tensor.extract_slice"; "tensor.empty"; "tensor.splat"; "tensor.reshape"; "cinm.expand" ]
+
+(* all arith ops are pure; so are the value-semantics tensor shape ops *)
+let is_pure (op : Ir.op) = Ir.dialect_of op = "arith" || List.mem op.Ir.name pure_names
+
+let stores_to_tile region tile =
+  let count = ref 0 in
+  Ir.walk_region
+    (fun op ->
+      if op.Ir.name = "memristor.store_tile" && Ir.int_attr op "tile" = tile then incr count)
+    region;
+  !count
+
+let hoistable region inside (op : Ir.op) =
+  let invariant =
+    Array.for_all (fun (v : Ir.value) -> not (Hashtbl.mem inside v.Ir.vid)) op.Ir.operands
+  in
+  invariant
+  && (is_pure op
+     || (op.Ir.name = "memristor.store_tile"
+        && stores_to_tile region (Ir.int_attr op "tile") = 1))
+
+let pattern : Rewrite.pattern =
+ fun ctx op ->
+  match op.Ir.name with
+  | "scf.for" ->
+    let region = Ir.region op 0 in
+    let body = Ir.entry_block region in
+    let inside = Transform_util.defined_in_region region in
+    let hoisted = ref [] in
+    List.iter
+      (fun body_op ->
+        if hoistable region inside body_op then begin
+          hoisted := body_op :: !hoisted;
+          (* its results become available outside *)
+          Array.iter
+            (fun (v : Ir.value) -> Hashtbl.remove inside v.Ir.vid)
+            body_op.Ir.results
+        end)
+      body.Ir.ops;
+    let hoisted = List.rev !hoisted in
+    if hoisted = [] then None
+    else begin
+      let b = ctx.Rewrite.b in
+      (* emit hoisted ops before the loop, remapping their operands *)
+      List.iter
+        (fun (h : Ir.op) ->
+          let operands = Rewrite.operands ctx h in
+          let result_tys =
+            Array.to_list (Array.map (fun (v : Ir.value) -> v.Ir.ty) h.Ir.results)
+          in
+          let clone = Ir.create_op ~operands ~result_tys ~attrs:h.Ir.attrs h.Ir.name in
+          Builder.insert b clone;
+          Rewrite.bind_results ctx h (Array.to_list clone.Ir.results))
+        hoisted;
+      (* rebuild the loop without the hoisted ops; remaining body ops are
+         converted recursively (inner loops get their own LICM) *)
+      let lb = Rewrite.operand ctx op 0
+      and ub = Rewrite.operand ctx op 1
+      and step = Rewrite.operand ctx op 2 in
+      let inits = List.map (Rewrite.lookup ctx) (Cinm_dialects.Scf_d.for_inits op) in
+      let iter_tys = List.map (fun (v : Ir.value) -> v.Ir.ty) inits in
+      let new_region = Ir.create_region () in
+      let new_block = Ir.create_block ~arg_tys:(Types.Index :: iter_tys) () in
+      Ir.add_block new_region new_block;
+      Array.iteri (fun i v -> Rewrite.bind ctx v new_block.Ir.args.(i)) body.Ir.args;
+      let inner = { ctx with Rewrite.b = Builder.at_end_of new_block } in
+      List.iter
+        (fun body_op ->
+          if not (List.memq body_op hoisted) then Rewrite.convert_op inner body_op)
+        body.Ir.ops;
+      let new_for =
+        Ir.create_op
+          ~operands:([ lb; ub; step ] @ inits)
+          ~result_tys:iter_tys
+          ~attrs:(List.remove_assoc "unroll" op.Ir.attrs)
+          ~regions:[ new_region ] "scf.for"
+      in
+      Builder.insert b new_for;
+      Some (Rewrite.Replace (Array.to_list new_for.Ir.results))
+    end
+  | _ -> None
+
+let pass = Pass.of_patterns ~name:"licm" [ pattern ]

@@ -1,0 +1,7 @@
+(** Loop-invariant code motion, specialized for the CIM flow: hoists pure
+    ops and loop-invariant memristor.store_tile ops out of scf.for bodies
+    — the transformation that realizes the cim-min-writes write reduction
+    after the loop interchange (paper §3.2.4). Run once per loop-nest
+    depth hoisting should cross. *)
+
+val pass : Cinm_ir.Pass.t

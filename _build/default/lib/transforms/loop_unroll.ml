@@ -1,0 +1,49 @@
+(* Loop unrolling (paper §3.2.5: "memristor applies the loop unrolling
+   transformation on the innermost loop of the matmul kernel ... the pass
+   takes an unroll factor and modifies the body and loop variable").
+
+   Unrolls every scf.for carrying an {unroll = u} attribute by factor u,
+   provided the bounds are compile-time constants and u divides the trip
+   count; otherwise the loop is left untouched. iter_args are threaded
+   through the unrolled copies. *)
+
+open Cinm_ir
+open Cinm_dialects
+
+let pattern : Rewrite.pattern =
+ fun ctx op ->
+  match (op.Ir.name, Ir.attr op "unroll") with
+  | "scf.for", Some (Attr.Int u) when u > 1 -> (
+    let lb_v = Ir.operand op 0 and ub_v = Ir.operand op 1 and step_v = Ir.operand op 2 in
+    match
+      ( Transform_util.constant_of lb_v,
+        Transform_util.constant_of ub_v,
+        Transform_util.constant_of step_v )
+    with
+    | Some lb, Some ub, Some step when step > 0 && (ub - lb) mod (step * u) = 0 ->
+      let b = ctx.Rewrite.b in
+      let inits = List.map (Rewrite.lookup ctx) (Scf_d.for_inits op) in
+      let region = Ir.region op 0 in
+      let new_lb = Arith.const_index b lb in
+      let new_ub = Arith.const_index b ub in
+      let new_step = Arith.const_index b (step * u) in
+      let results =
+        Scf_d.for_ b ~lb:new_lb ~ub:new_ub ~step:new_step ~init:inits
+          (fun bb iv iters ->
+            let current = ref (Array.to_list iters) in
+            for j = 0 to u - 1 do
+              let iv_j =
+                if j = 0 then iv
+                else Arith.addi bb iv (Arith.const_index bb (j * step))
+              in
+              current :=
+                Transform_util.inline_body ~remap:(Rewrite.lookup ctx) bb region
+                  (iv_j :: !current)
+            done;
+            !current)
+      in
+      Some (Rewrite.Replace results)
+    | _ -> None)
+  | _ -> None
+
+let pass = Pass.of_patterns ~name:"loop-unroll" [ pattern ]

@@ -1,0 +1,6 @@
+(** Loop unrolling (paper §3.2.5): unrolls every scf.for carrying an
+    {unroll = u} attribute by factor u when the bounds are compile-time
+    constants and u divides the trip count; iter_args are threaded through
+    the unrolled copies. *)
+
+val pass : Cinm_ir.Pass.t

@@ -1,0 +1,19 @@
+(** Target selection at the cinm level (paper §3.2.2): annotates each cinm
+    op with a "target" attribute ("cim" | "cnm" | "host") that subsequent
+    lowerings dispatch on. Greedy policy by default; registered cost
+    models (§3.3) are consulted when enabled. *)
+
+type policy = {
+  forced_target : string option;  (** [None] = automatic *)
+  cim_gemm_threshold : int;
+      (** minimum dimension at which matmul-like ops prefer the crossbar *)
+  use_cost_models : bool;
+}
+
+val default_policy : policy
+
+(** The target the policy picks for one op; [None] for non-cinm ops. *)
+val select : policy -> Cinm_ir.Ir.op -> string option
+
+val run_on_func : policy -> Cinm_ir.Func.t -> unit
+val pass : ?policy:policy -> unit -> Cinm_ir.Pass.t

@@ -1,0 +1,24 @@
+(* torch -> tosa/linalg lowering (paper §3.2.1: torch enters the flow via
+   torch-mlir). aten ops map onto the tosa/linalg ops the rest of the
+   pipeline already handles. *)
+
+open Cinm_ir
+open Cinm_dialects
+
+let pattern : Rewrite.pattern =
+ fun ctx op ->
+  let b = ctx.Rewrite.b in
+  let opd i = Rewrite.operand ctx op i in
+  match op.Ir.name with
+  | "torch.aten.mm" -> Some (Rewrite.Replace [ Tosa_d.matmul b (opd 0) (opd 1) ])
+  | "torch.aten.linear" ->
+    Some (Rewrite.Replace [ Tosa_d.fully_connected b (opd 0) (opd 1) (opd 2) ])
+  | "torch.aten.relu" -> Some (Rewrite.Replace [ Tosa_d.relu b (opd 0) ])
+  | "torch.aten.add_tensor" -> Some (Rewrite.Replace [ Tosa_d.add b (opd 0) (opd 1) ])
+  | "torch.aten.mul_tensor" -> Some (Rewrite.Replace [ Linalg_d.mul b (opd 0) (opd 1) ])
+  | "torch.aten.conv2d" -> Some (Rewrite.Replace [ Linalg_d.conv_2d b (opd 0) (opd 1) ])
+  | "torch.aten.sum" ->
+    Some (Rewrite.Replace [ Linalg_d.reduce b ~op:"add" (opd 0) ])
+  | _ -> None
+
+let pass = Pass.of_patterns ~name:"torch-to-tosa" [ pattern ]

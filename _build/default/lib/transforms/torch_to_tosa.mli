@@ -1,0 +1,4 @@
+(** torch -> tosa/linalg lowering (paper §3.2.1: the torch front-end
+    enters the flow via torch-mlir). *)
+
+val pass : Cinm_ir.Pass.t

@@ -1,0 +1,41 @@
+(* tosa -> linalg decomposition (paper §3.2.2): tosa.fully_connected is
+   decomposed into transpose + matmul + bias addition, exactly the MLP
+   canonicalization the paper describes. *)
+
+open Cinm_ir
+open Cinm_dialects
+
+let fully_connected_pattern : Rewrite.pattern =
+ fun ctx op ->
+  match op.Ir.name with
+  | "tosa.fully_connected" ->
+    let input = Rewrite.operand ctx op 0 in
+    let weight = Rewrite.operand ctx op 1 in
+    let bias = Rewrite.operand ctx op 2 in
+    let b = ctx.Rewrite.b in
+    let wt = Linalg_d.transpose b weight ~perms:[| 1; 0 |] in
+    let mm = Linalg_d.matmul b input wt in
+    let out_shape = Option.get (Types.shape_of mm.Ir.ty) in
+    let bias_mat = Linalg_d.broadcast b bias ~to_shape:out_shape in
+    let out = Linalg_d.add b mm bias_mat in
+    Some (Rewrite.Replace [ out ])
+  | _ -> None
+
+let simple_renames = [ ("tosa.matmul", "linalg.matmul"); ("tosa.add", "linalg.add") ]
+
+let rename_pattern : Rewrite.pattern =
+ fun ctx op ->
+  match List.assoc_opt op.Ir.name simple_renames with
+  | Some new_name ->
+    let operands = Rewrite.operands ctx op in
+    let result_tys = Array.to_list (Array.map (fun (v : Ir.value) -> v.Ir.ty) op.Ir.results) in
+    let new_op = Ir.create_op ~operands ~result_tys ~attrs:op.Ir.attrs new_name in
+    Builder.insert ctx.Rewrite.b new_op;
+    Some (Rewrite.Replace (Array.to_list new_op.Ir.results))
+  | None -> None
+
+(* tosa.clamp has no linalg/cinm counterpart: it stays as-is and later runs
+   on the host (paper: "operators that still cannot be converted are run on
+   the host CPU"). *)
+
+let pass = Pass.of_patterns ~name:"tosa-to-linalg" [ fully_connected_pattern; rename_pattern ]

@@ -1,0 +1,5 @@
+(** tosa -> linalg decomposition (paper §3.2.2): tosa.fully_connected
+    becomes transpose + matmul + bias addition; tosa.matmul/add are
+    renamed; tosa.clamp stays and later runs on the host. *)
+
+val pass : Cinm_ir.Pass.t

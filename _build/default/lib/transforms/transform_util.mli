@@ -1,0 +1,19 @@
+(** Shared helpers for transformations that splice region bodies around. *)
+
+open Cinm_ir
+
+(** Value ids defined inside a region (block args and op results). *)
+val defined_in_region : Ir.region -> (int, unit) Hashtbl.t
+
+(** Clone a region's entry-block ops at the insertion point, substituting
+    block args with [args]; free references go through [remap]. Returns
+    the mapped terminator operands. *)
+val inline_body :
+  ?remap:(Ir.value -> Ir.value) ->
+  Builder.t ->
+  Ir.region ->
+  Ir.value list ->
+  Ir.value list
+
+(** The integer constant a value is defined by, if any. *)
+val constant_of : Ir.value -> int option

@@ -1,0 +1,106 @@
+(* Workgroup-transform analysis (paper §3.2.3, Fig. 8): for an Einsteinian
+   tensor expression, the parallel workgroup domain can be interchanged,
+   coalesced and split freely — the compute is unchanged, but the per-PU
+   working-set buffers commute, changing the total device memory required
+   and the number of scalars copied.
+
+   Model: the workgroup is a tree over the chosen parallel axes (paper
+   Fig. 7). An input tensor's slice is stored at the deepest tree level
+   that still pins all of its parallel indices; it is shared across the
+   axes below that level (the suffix). So with tree (i, j, k) and
+   A indexed only by i, there is one A-slice per i, shared by all (j, k)
+   PUs under it — which reproduces the paper's footprint
+   M(P + NO(P+1)) for x_ijk = A_ir B_rjk + C_jk exactly. *)
+
+type tensor_term = { term_name : string; indices : string (* one char per dim *) }
+
+type expression = {
+  inputs : tensor_term list;
+  output_indices : string;
+  dims : (char * int) list;  (** extent of each index *)
+}
+
+let dim_of expr c =
+  match List.assoc_opt c expr.dims with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Workgroup_analysis: unknown index %c" c)
+
+let chars s = List.init (String.length s) (String.get s)
+
+let pus expr axes = List.fold_left (fun acc c -> acc * dim_of expr c) 1 axes
+
+(* Per-slice size of a tensor: parallel axes pin one coordinate each. *)
+let slice_elems expr axes (t : tensor_term) =
+  List.fold_left
+    (fun acc c -> if List.mem c axes then acc else acc * dim_of expr c)
+    1 (chars t.indices)
+
+(* Number of distinct slices of [t] in tree order [axes]: the tensor lives
+   at the deepest level referencing one of its indices; it is replicated
+   across the prefix up to that level and shared across the suffix. *)
+let copies expr axes (t : tensor_term) =
+  let referenced c = String.contains t.indices c in
+  let rec last_ref i best = function
+    | [] -> best
+    | c :: rest -> last_ref (i + 1) (if referenced c then i else best) rest
+  in
+  let cut = last_ref 0 (-1) axes in
+  List.filteri (fun i _ -> i <= cut) axes
+  |> List.fold_left (fun acc c -> acc * dim_of expr c) 1
+
+(* Total device memory for the input working sets (the paper's Fig. 8
+   buffer accounting; the output is written back, not resident). *)
+let footprint expr axes =
+  List.fold_left
+    (fun acc t -> acc + (copies expr axes t * slice_elems expr axes t))
+    0 expr.inputs
+
+(* Candidate tree orders: all permutations of all non-empty subsets of the
+   output indices. *)
+let candidate_orders expr =
+  let out = chars expr.output_indices in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun sub -> x :: sub) s
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun p -> x :: p) (perms (List.filter (fun y -> y <> x) l)))
+        l
+  in
+  List.filter (fun s -> s <> []) (subsets out) |> List.concat_map perms
+
+(* Rank candidate workgroup tree orders by footprint, cheapest first;
+   ties broken towards more parallelism (more PUs). *)
+let rank expr =
+  candidate_orders expr
+  |> List.map (fun axes -> (axes, footprint expr axes, pus expr axes))
+  |> List.sort (fun (_, fa, pa) (_, fb, pb) ->
+         if fa <> fb then compare fa fb else compare pb pa)
+
+let best expr = match rank expr with r :: _ -> r | [] -> invalid_arg "rank: no axes"
+
+(* The paper's running example, parameterized by M, P, N, O:
+   x_ijk = A_ir * B_rjk + C_jk. *)
+let paper_example ~m ~p ~n ~o =
+  {
+    inputs =
+      [
+        { term_name = "A"; indices = "ir" };
+        { term_name = "B"; indices = "rjk" };
+        { term_name = "C"; indices = "jk" };
+      ];
+    output_indices = "ijk";
+    dims = [ ('i', m); ('r', p); ('j', n); ('k', o) ];
+  }
+
+(* Closed forms from the paper for its two workgroup choices. *)
+let paper_ijk_footprint ~m ~p ~n ~o = m * (p + (n * o * (p + 1)))
+let paper_jk_footprint ~m ~p ~n ~o = n * o * ((m * p) + p + 1)
+
+let axes_to_string axes = String.init (List.length axes) (List.nth axes)

@@ -1,0 +1,33 @@
+(** Workgroup-transform analysis (paper §3.2.3, Fig. 8): footprints of the
+    candidate parallel domains of an Einsteinian tensor expression. A
+    tensor's slice is stored at the deepest workgroup-tree level that pins
+    all its parallel indices and shared across the levels below. *)
+
+type tensor_term = { term_name : string; indices : string }
+
+type expression = {
+  inputs : tensor_term list;
+  output_indices : string;
+  dims : (char * int) list;
+}
+
+val pus : expression -> char list -> int
+val slice_elems : expression -> char list -> tensor_term -> int
+val copies : expression -> char list -> tensor_term -> int
+
+(** Total device memory for the input working sets under a tree order. *)
+val footprint : expression -> char list -> int
+
+val candidate_orders : expression -> char list list
+
+(** Candidates ranked by footprint (ascending), ties towards more PUs. *)
+val rank : expression -> (char list * int * int) list
+
+val best : expression -> char list * int * int
+
+(** The paper's running example x_ijk = A_ir B_rjk + C_jk. *)
+val paper_example : m:int -> p:int -> n:int -> o:int -> expression
+
+val paper_ijk_footprint : m:int -> p:int -> n:int -> o:int -> int
+val paper_jk_footprint : m:int -> p:int -> n:int -> o:int -> int
+val axes_to_string : char list -> string

@@ -1,0 +1,1 @@
+lib/upmem_sim/config.ml:

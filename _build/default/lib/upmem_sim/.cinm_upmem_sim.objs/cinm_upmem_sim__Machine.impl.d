@@ -1,0 +1,1 @@
+lib/upmem_sim/machine.ml: Array Attr Cinm_dialects Cinm_interp Cinm_ir Cinm_support Config Distrib Func Hashtbl Interp Ir List Printf Profile Rtval Stats Tensor Types

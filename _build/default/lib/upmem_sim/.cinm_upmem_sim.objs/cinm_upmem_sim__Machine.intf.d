@@ -1,0 +1,1 @@
+lib/upmem_sim/machine.mli: Cinm_interp Cinm_ir Config Func Hashtbl Interp Rtval Stats Tensor

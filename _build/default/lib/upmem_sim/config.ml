@@ -1,0 +1,59 @@
+(* UPMEM machine configuration. Defaults model the paper's evaluation
+   machine (§4.1): UPMEM DDR4-2400 DIMMs with 128 DPUs each, DPUs at
+   350 MHz with 64 MB MRAM and 64 kB WRAM. Pipeline and bandwidth
+   parameters follow the PrIM characterization (Gómez-Luna et al. 2022):
+   the 14-stage in-order pipeline needs >= 11 resident tasklets to issue
+   one instruction per cycle, and MRAM<->WRAM DMA peaks around 700 MB/s
+   per DPU with a fixed setup cost per transfer. *)
+
+type t = {
+  dimms : int;
+  dpus_per_dimm : int;
+  max_tasklets : int;
+  freq_hz : float;
+  wram_bytes : int;
+  mram_bytes : int;
+  pipeline_tasklets : int;  (** tasklets needed to saturate the pipeline *)
+  (* cycles per 32-bit scalar operation (DPUs have no 32-bit multiplier) *)
+  cycles_alu : float;
+  cycles_mul : float;
+  cycles_div : float;
+  cycles_mem : float;  (** WRAM access *)
+  (* MRAM <-> WRAM DMA *)
+  dma_setup_cycles : float;
+  dma_bytes_per_cycle : float;
+  (* host <-> MRAM transfers, per DIMM, parallel across DIMMs *)
+  host_to_mram_bw : float;  (** bytes/s *)
+  mram_to_host_bw : float;
+  launch_overhead_s : float;  (** host-side kernel dispatch cost *)
+  (* energy model (J) *)
+  energy_per_instr : float;
+  energy_per_dma_byte : float;
+  energy_per_host_byte : float;
+}
+
+let default ?(dimms = 16) ?(tasklets = 16) () =
+  ignore tasklets;
+  {
+    dimms;
+    dpus_per_dimm = 128;
+    max_tasklets = 24;
+    freq_hz = 350e6;
+    wram_bytes = 64 * 1024;
+    mram_bytes = 64 * 1024 * 1024;
+    pipeline_tasklets = 11;
+    cycles_alu = 1.0;
+    cycles_mul = 10.0;
+    cycles_div = 27.0;
+    cycles_mem = 1.0;
+    dma_setup_cycles = 77.0;
+    dma_bytes_per_cycle = 2.0;  (* ~700 MB/s at 350 MHz *)
+    host_to_mram_bw = 450e6;
+    mram_to_host_bw = 320e6;
+    launch_overhead_s = 30e-6;
+    energy_per_instr = 25e-12;
+    energy_per_dma_byte = 15e-12;
+    energy_per_host_byte = 60e-12;
+  }
+
+let total_dpus c = c.dimms * c.dpus_per_dimm

@@ -1,0 +1,29 @@
+(** UPMEM machine configuration. Defaults model the paper's evaluation
+    machine (§4.1): DDR4 DIMMs with 128 DPUs each, 350 MHz DPUs with 64 MB
+    MRAM and 64 kB WRAM; pipeline and bandwidth parameters follow the PrIM
+    characterization. *)
+
+type t = {
+  dimms : int;
+  dpus_per_dimm : int;
+  max_tasklets : int;
+  freq_hz : float;
+  wram_bytes : int;
+  mram_bytes : int;
+  pipeline_tasklets : int;  (** tasklets needed to saturate the pipeline *)
+  cycles_alu : float;
+  cycles_mul : float;  (** DPUs have no 32-bit hardware multiplier *)
+  cycles_div : float;
+  cycles_mem : float;  (** WRAM access *)
+  dma_setup_cycles : float;
+  dma_bytes_per_cycle : float;
+  host_to_mram_bw : float;  (** bytes/s per DIMM, parallel across DIMMs *)
+  mram_to_host_bw : float;
+  launch_overhead_s : float;
+  energy_per_instr : float;
+  energy_per_dma_byte : float;
+  energy_per_host_byte : float;
+}
+
+val default : ?dimms:int -> ?tasklets:int -> unit -> t
+val total_dpus : t -> int

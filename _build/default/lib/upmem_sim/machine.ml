@@ -1,0 +1,263 @@
+(* UPMEM machine simulator. Provides interpreter hooks for the upmem
+   dialect: kernels lowered by the compiler are *executed* per (DPU,
+   tasklet) on real data, and their execution profiles drive the timing
+   model.
+
+   Timing model (calibrated against the PrIM characterization):
+   - DPU pipeline: with T resident tasklets, aggregate issue rate is
+     min(1, T/11) instructions/cycle; a tasklet's "instructions" are the
+     weighted scalar ops its kernel executed.
+   - MRAM<->WRAM DMA: fixed setup cost per transfer plus bytes at
+     [dma_bytes_per_cycle]; the DMA engine is serialized per DPU.
+   - Host transfers: parallel across active DIMMs.
+   - Kernel time of a launch is the max over DPUs (the host waits for the
+     slowest DPU), plus a fixed dispatch overhead. *)
+
+open Cinm_ir
+open Cinm_interp
+
+type wg = { wg_shape : int array (* [dpus; tasklets] *) }
+
+type buffer = {
+  per_pu : Tensor.t array;  (** one tensor per buffer at its level *)
+  dtype : Types.dtype;
+  level : int;
+}
+
+type entry = Wg of wg | Buf of buffer
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  entries : (int, entry) Hashtbl.t;
+  mutable next : int;
+  mutable current_tasklet : int;
+  mutable current_dpu : int;
+  (* per-(dpu, alloc-op) shared WRAM buffers, reset per launch *)
+  shared_wram : (int * int, Tensor.t) Hashtbl.t;
+  mutable mram_used_per_dpu : int;  (** bytes of MRAM allocated per DPU *)
+}
+
+let create config = {
+  config;
+  stats = Stats.create ();
+  entries = Hashtbl.create 32;
+  next = 0;
+  current_tasklet = 0;
+  current_dpu = 0;
+  shared_wram = Hashtbl.create 16;
+  mram_used_per_dpu = 0;
+}
+
+let register m e =
+  let id = m.next in
+  m.next <- m.next + 1;
+  Hashtbl.replace m.entries id e;
+  Rtval.Handle id
+
+let find_wg m rv =
+  match Hashtbl.find_opt m.entries (Rtval.as_handle rv) with
+  | Some (Wg w) -> w
+  | _ -> invalid_arg "Upmem machine: expected workgroup handle"
+
+let find_buf m rv =
+  match Hashtbl.find_opt m.entries (Rtval.as_handle rv) with
+  | Some (Buf b) -> b
+  | _ -> invalid_arg "Upmem machine: expected buffer handle"
+
+let active_dimms m (w : wg) =
+  let dpus = w.wg_shape.(0) in
+  min m.config.Config.dimms
+    (Cinm_support.Util.ceil_div dpus m.config.Config.dpus_per_dimm)
+
+let host_transfer m (w : wg) ~bytes ~to_device =
+  let c = m.config in
+  let bw = if to_device then c.Config.host_to_mram_bw else c.Config.mram_to_host_bw in
+  let dimms = max 1 (active_dimms m w) in
+  let t = float_of_int bytes /. (bw *. float_of_int dimms) in
+  if to_device then m.stats.Stats.host_to_device_s <- m.stats.Stats.host_to_device_s +. t
+  else m.stats.Stats.device_to_host_s <- m.stats.Stats.device_to_host_s +. t;
+  m.stats.Stats.transferred_bytes <- m.stats.Stats.transferred_bytes + bytes;
+  m.stats.Stats.energy_j <-
+    m.stats.Stats.energy_j +. (float_of_int bytes *. c.Config.energy_per_instr)
+
+(* Weighted instruction count of a tasklet's execution profile. *)
+let instr_cycles (c : Config.t) (p : Profile.t) =
+  (float_of_int p.Profile.alu_ops *. c.Config.cycles_alu)
+  +. (float_of_int p.Profile.mul_ops *. c.Config.cycles_mul)
+  +. (float_of_int p.Profile.div_ops *. c.Config.cycles_div)
+  +. (float_of_int (p.Profile.loads + p.Profile.stores) *. c.Config.cycles_mem)
+  +. (float_of_int p.Profile.barriers *. 100.0)
+
+let dma_cycles (c : Config.t) (p : Profile.t) =
+  (float_of_int p.Profile.dma_transfers *. c.Config.dma_setup_cycles)
+  +. (float_of_int p.Profile.dma_bytes /. c.Config.dma_bytes_per_cycle)
+
+(* Account a launch: [profiles.(d).(t)] is the profile of tasklet t on
+   DPU d. Returns the kernel time. *)
+let account_launch m (profiles : Profile.t array array) =
+  let c = m.config in
+  let t_count = if Array.length profiles = 0 then 1 else Array.length profiles.(0) in
+  let stall_factor =
+    max 1.0 (float_of_int c.Config.pipeline_tasklets /. float_of_int (max 1 t_count))
+  in
+  let max_dpu_cycles = ref 0.0 in
+  let total_instr = ref 0.0 in
+  let total_dma_bytes = ref 0 in
+  Array.iter
+    (fun dpu_profiles ->
+      let compute = ref 0.0 and dma = ref 0.0 in
+      Array.iter
+        (fun p ->
+          compute := !compute +. instr_cycles c p;
+          dma := !dma +. dma_cycles c p;
+          total_instr := !total_instr +. instr_cycles c p;
+          total_dma_bytes := !total_dma_bytes + p.Profile.dma_bytes)
+        dpu_profiles;
+      let cycles = (!compute *. stall_factor) +. !dma in
+      if cycles > !max_dpu_cycles then max_dpu_cycles := cycles)
+    profiles;
+  let kernel_t = (!max_dpu_cycles /. c.Config.freq_hz) +. c.Config.launch_overhead_s in
+  m.stats.Stats.kernel_s <- m.stats.Stats.kernel_s +. kernel_t;
+  m.stats.Stats.launches <- m.stats.Stats.launches + 1;
+  m.stats.Stats.dpu_instructions <-
+    m.stats.Stats.dpu_instructions + int_of_float !total_instr;
+  m.stats.Stats.dma_bytes <- m.stats.Stats.dma_bytes + !total_dma_bytes;
+  m.stats.Stats.energy_j <-
+    m.stats.Stats.energy_j
+    +. (!total_instr *. c.Config.energy_per_instr)
+    +. (float_of_int !total_dma_bytes *. c.Config.energy_per_dma_byte);
+  kernel_t
+
+(* DMA data movement between an "MRAM" memref (the PU's buffer) and a WRAM
+   scratchpad: copies [count] contiguous elements between the two offsets. *)
+let exec_dma ~to_wram ctx op =
+  let mram = Rtval.as_tensor (Interp.lookup ctx (Ir.operand op 0)) in
+  let wram = Rtval.as_tensor (Interp.lookup ctx (Ir.operand op 1)) in
+  let mram_off = Rtval.as_int (Interp.lookup ctx (Ir.operand op 2)) in
+  let wram_off = Rtval.as_int (Interp.lookup ctx (Ir.operand op 3)) in
+  let count = Ir.int_attr op "count" in
+  let elem_bytes = Types.dtype_bytes mram.Tensor.dtype in
+  if to_wram then
+    for i = 0 to count - 1 do
+      Tensor.set_int wram (wram_off + i) (Tensor.get_int mram (mram_off + i))
+    done
+  else
+    for i = 0 to count - 1 do
+      Tensor.set_int mram (mram_off + i) (Tensor.get_int wram (wram_off + i))
+    done;
+  let p = ctx.Interp.profile in
+  p.Profile.dma_transfers <- p.Profile.dma_transfers + 1;
+  p.Profile.dma_bytes <- p.Profile.dma_bytes + (count * elem_bytes)
+
+let hook (m : t) : Interp.hook =
+ fun ctx op ->
+  let operand i = Interp.lookup ctx (Ir.operand op i) in
+  match op.Ir.name with
+  | "upmem.alloc_dpus" -> (
+    match (Ir.result op 0).Ir.ty with
+    | Types.Workgroup shape -> Some [ register m (Wg { wg_shape = shape }) ]
+    | _ -> invalid_arg "upmem.alloc_dpus: bad result type")
+  | "cnm.alloc" | "upmem.alloc" -> (
+    let op0 = operand 0 in
+    let w = find_wg m op0 in
+    match (Ir.result op 0).Ir.ty with
+    | Types.Buffer { shape; dtype; level } ->
+      let n = Cinm_dialects.Cnm_d.buffers_at_level w.wg_shape level in
+      (* capacity: each DPU hosts its share of this buffer's instances *)
+      let dpus = w.wg_shape.(0) in
+      let bytes =
+        Cinm_support.Util.product_of_shape shape * Types.dtype_bytes dtype
+        * Cinm_support.Util.ceil_div n dpus
+      in
+      m.mram_used_per_dpu <- m.mram_used_per_dpu + bytes;
+      if m.mram_used_per_dpu > m.config.Config.mram_bytes then
+        invalid_arg
+          (Printf.sprintf
+             "upmem machine: MRAM exhausted (%d B allocated per DPU, %d B available)"
+             m.mram_used_per_dpu m.config.Config.mram_bytes);
+      let per_pu = Array.init n (fun _ -> Tensor.zeros shape dtype) in
+      Some [ register m (Buf { per_pu; dtype; level }) ]
+    | _ -> invalid_arg "upmem buffer alloc: bad result type")
+  | "upmem.scatter" ->
+    let tensor = Rtval.as_tensor (operand 0) in
+    let buf = find_buf m (operand 1) in
+    let w = find_wg m (operand 2) in
+    let halo = match Ir.attr op "halo" with Some (Attr.Int h) -> h | _ -> 0 in
+    Distrib.scatter ~halo ~map:(Ir.str_attr op "map") tensor buf.per_pu;
+    host_transfer m w
+      ~bytes:(Tensor.num_elements tensor * Types.dtype_bytes tensor.Tensor.dtype)
+      ~to_device:true;
+    Some [ Rtval.Token ]
+  | "upmem.gather" -> (
+    let buf = find_buf m (operand 0) in
+    let w = find_wg m (operand 1) in
+    match Types.shape_of (Ir.result op 0).Ir.ty with
+    | Some result_shape ->
+      let out = Distrib.gather buf.per_pu ~result_shape ~dtype:buf.dtype in
+      host_transfer m w
+        ~bytes:(Tensor.num_elements out * Types.dtype_bytes out.Tensor.dtype)
+        ~to_device:false;
+      Some [ Rtval.Tensor out; Rtval.Token ]
+    | None -> invalid_arg "upmem.gather: unshaped result")
+  | "upmem.launch" ->
+    let w = find_wg m (operand 0) in
+    let dpus = w.wg_shape.(0) and tasklets = w.wg_shape.(1) in
+    let n_buffers = Ir.num_operands op - 1 in
+    let bufs = List.init n_buffers (fun i -> find_buf m (operand (i + 1))) in
+    let region = Ir.region op 0 in
+    Hashtbl.reset m.shared_wram;
+    let profiles =
+      Array.init dpus (fun d ->
+          Array.init tasklets (fun tid ->
+              let pu = (d * tasklets) + tid in
+              m.current_tasklet <- tid;
+              m.current_dpu <- d;
+              let args =
+                List.map
+                  (fun b ->
+                    let idx =
+                      Cinm_dialects.Cnm_d.buffer_index_of_pu w.wg_shape b.level pu
+                    in
+                    Rtval.Memref b.per_pu.(idx))
+                  bufs
+              in
+              let profile = Profile.create () in
+              let inner = { ctx with Interp.profile = profile } in
+              ignore (Interp.eval_region inner region args);
+              profile))
+    in
+    ignore (account_launch m profiles);
+    Some [ Rtval.Token ]
+  | "upmem.free_dpus" -> Some []
+  | "cnm.wait" -> Some []
+  | "upmem.tasklet_id" -> Some [ Rtval.Int m.current_tasklet ]
+  | "upmem.wram_shared_alloc" -> (
+    match (Ir.result op 0).Ir.ty with
+    | Types.MemRef (shape, dt) ->
+      let key = (m.current_dpu, op.Ir.oid) in
+      let t =
+        match Hashtbl.find_opt m.shared_wram key with
+        | Some t -> t
+        | None ->
+          let t = Tensor.zeros shape dt in
+          Hashtbl.replace m.shared_wram key t;
+          t
+      in
+      Some [ Rtval.Memref t ]
+    | _ -> invalid_arg "upmem.wram_shared_alloc: bad result type")
+  | "upmem.mram_read" ->
+    exec_dma ~to_wram:true ctx op;
+    Some []
+  | "upmem.mram_write" ->
+    exec_dma ~to_wram:false ctx op;
+    Some []
+  | "upmem.barrier_wait" ->
+    ctx.Interp.profile.Profile.barriers <- ctx.Interp.profile.Profile.barriers + 1;
+    Some []
+  | _ -> None
+
+(* Run a host function on this machine; returns results and stats. *)
+let run m (f : Func.t) args =
+  let results, _profile = Interp.run_func ~hooks:[ hook m ] f args in
+  (results, m.stats)

@@ -1,0 +1,36 @@
+(** UPMEM machine simulator: interpreter hooks for the upmem dialect.
+    Kernels are executed per (DPU, tasklet) on real data; the timing model
+    (PrIM-calibrated) converts the execution profiles to time:
+
+    - pipeline: with T resident tasklets the aggregate issue rate is
+      min(1, T/11) instructions per cycle;
+    - MRAM<->WRAM DMA: fixed setup cost per transfer plus a per-byte cost,
+      serialized per DPU;
+    - host transfers: parallel across active DIMMs;
+    - a launch costs the slowest DPU plus a fixed dispatch overhead. *)
+
+open Cinm_ir
+open Cinm_interp
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  entries : (int, entry) Hashtbl.t;
+  mutable next : int;
+  mutable current_tasklet : int;
+  mutable current_dpu : int;
+  shared_wram : (int * int, Tensor.t) Hashtbl.t;
+      (** per-(dpu, alloc-op) shared WRAM buffers, reset per launch *)
+  mutable mram_used_per_dpu : int;  (** bytes of MRAM allocated per DPU *)
+}
+
+and entry
+
+val create : Config.t -> t
+
+(** The interpreter hook implementing upmem.* (and the cnm.alloc/cnm.wait
+    ops that survive lowering). *)
+val hook : t -> Interp.hook
+
+(** Run a lowered host function on this machine. *)
+val run : t -> Func.t -> Rtval.t list -> Rtval.t list * Stats.t

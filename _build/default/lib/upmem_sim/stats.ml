@@ -1,0 +1,36 @@
+(* Simulation statistics for one UPMEM run: time is split into the buckets
+   the PrIM methodology reports (CPU->DPU transfer, kernel, DPU->CPU). *)
+
+type t = {
+  mutable host_to_device_s : float;
+  mutable kernel_s : float;
+  mutable device_to_host_s : float;
+  mutable launches : int;
+  mutable dpu_instructions : int;
+  mutable dma_bytes : int;
+  mutable transferred_bytes : int;
+  mutable energy_j : float;
+  mutable max_wram_used : int;
+}
+
+let create () =
+  {
+    host_to_device_s = 0.0;
+    kernel_s = 0.0;
+    device_to_host_s = 0.0;
+    launches = 0;
+    dpu_instructions = 0;
+    dma_bytes = 0;
+    transferred_bytes = 0;
+    energy_j = 0.0;
+    max_wram_used = 0;
+  }
+
+let total_s s = s.host_to_device_s +. s.kernel_s +. s.device_to_host_s
+
+let to_string s =
+  Printf.sprintf
+    "total=%.3fms (to_dev=%.3f kernel=%.3f to_host=%.3f) launches=%d instrs=%d dma=%dB xfer=%dB energy=%.3fmJ"
+    (1e3 *. total_s s) (1e3 *. s.host_to_device_s) (1e3 *. s.kernel_s)
+    (1e3 *. s.device_to_host_s) s.launches s.dpu_instructions s.dma_bytes
+    s.transferred_bytes (1e3 *. s.energy_j)

@@ -1,0 +1,18 @@
+(** Simulation statistics for one UPMEM run; time is split into the buckets
+    the PrIM methodology reports. *)
+
+type t = {
+  mutable host_to_device_s : float;
+  mutable kernel_s : float;
+  mutable device_to_host_s : float;
+  mutable launches : int;
+  mutable dpu_instructions : int;
+  mutable dma_bytes : int;
+  mutable transferred_bytes : int;
+  mutable energy_j : float;
+  mutable max_wram_used : int;
+}
+
+val create : unit -> t
+val total_s : t -> float
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_cam_rtm.mli:

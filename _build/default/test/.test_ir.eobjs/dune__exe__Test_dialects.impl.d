@@ -1,0 +1,1 @@
+test/test_dialects.ml: Alcotest Arith Array Attr Builder Cim_d Cinm_d Cinm_dialects Cinm_ir Cnm_d Func Func_d Ir List Memref_d Memristor_d Registry Scf_d Tensor_d Types Upmem_d Verifier

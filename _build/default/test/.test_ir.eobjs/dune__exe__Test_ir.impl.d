@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Arith Array Attr Builder Cinm_d Cinm_dialects Cinm_ir Func Func_d Ir List Parser Printer QCheck QCheck_alcotest Registry Scf_d String Types Verifier

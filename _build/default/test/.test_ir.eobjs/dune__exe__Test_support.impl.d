@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Cinm_support List QCheck QCheck_alcotest Util Vec

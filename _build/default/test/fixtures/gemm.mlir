@@ -1,0 +1,5 @@
+// A device-independent GEMM at the linalg level (paper Fig. 3b).
+func.func @mm(%arg0: tensor<16x8xi32>, %arg1: tensor<8x12xi32>) -> (tensor<16x12xi32>) {
+  %0 = "linalg.matmul"(%arg0, %arg1) : (tensor<16x8xi32>, tensor<8x12xi32>) -> (tensor<16x12xi32>)
+  "func.return"(%0) : (tensor<16x12xi32>) -> ()
+}

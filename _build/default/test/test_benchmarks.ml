@@ -1,0 +1,169 @@
+(* Integration tests: every benchmark compiled through the driver for each
+   applicable backend must reproduce the host reference result; the hand-
+   written PrIM baselines must agree with the device-independent versions
+   of the same workloads. *)
+
+open Cinm_ir
+open Cinm_interp
+open Cinm_core
+open Cinm_benchmarks
+
+let () = Cinm_dialects.Registry.ensure_all ()
+
+(* tiny machine so tests stay fast: 1 DIMM x 4 DPUs x 4 tasklets = 16 PUs *)
+let tiny = Backend.default_upmem ~dimms:1 ~dpus_per_dimm:4 ~tasklets:4 ()
+let tiny_opt = { tiny with Backend.optimize = true }
+
+let small_sizes =
+  {
+    Suites.va_n = 1024;
+    mv_m = 64;
+    mv_n = 16;
+    red_n = 1024;
+    hst_n = 512;
+    hst_bins = 16;
+    sel_n = 512;
+    ts_n = 135;
+    ts_m = 8;
+    ts_k = 2;
+    bfs_v = 32;
+  }
+
+let small_ml () =
+  [
+    Ml_kernels.mm ~m:32 ~k:8 ~n:8 ();
+    Ml_kernels.mm2 ~m:16 ~k:8 ~n:8 ~p:8 ();
+    Ml_kernels.mm3 ~m:16 ~k:8 ~n:8 ~p:8 ~q:8 ();
+    Ml_kernels.conv ~h:10 ~w:10 ();
+    Ml_kernels.contrl ~a:2 ~b:2 ~c:2 ~d:2 ~e:3 ~f:3 ();
+    Ml_kernels.contrs1 ~a:4 ~b:4 ~c:3 ~d:3 ();
+    Ml_kernels.contrs2 ~a:4 ~b:4 ~c:4 ~d:3 ();
+    Ml_kernels.mlp ~batch:8 ~d_in:8 ~d_hidden:8 ~d_out:4 ();
+  ]
+
+let check_backend backend (bench : Benchmark.t) =
+  let results, _report =
+    Driver.compile_and_run backend (bench.Benchmark.build ()) (bench.Benchmark.inputs ())
+  in
+  if not (Benchmark.results_match bench results) then
+    Alcotest.failf "%s on %s: results differ from host reference" bench.Benchmark.name
+      (Backend.to_string backend)
+
+let test_ml_on_upmem () = List.iter (check_backend (Backend.Upmem tiny)) (small_ml ())
+
+let test_ml_on_upmem_opt () =
+  List.iter (check_backend (Backend.Upmem tiny_opt)) (small_ml ())
+
+let cim_small =
+  Backend.Cim
+    {
+      (Backend.default_cim ~min_writes:true ~parallel:true ()) with
+      Backend.rows = 8;
+      cols = 8;
+      input_chunk = 8;
+    }
+
+let test_ml_on_cim () =
+  (* matmul-like benchmarks offload to the crossbar; the rest of each
+     program runs on the ARM host *)
+  List.iter (check_backend cim_small) (small_ml ())
+
+let test_prim_on_upmem () =
+  List.iter
+    (check_backend (Backend.Upmem tiny_opt))
+    (Suites.prim_suite ~sizes:small_sizes ())
+
+let test_prim_baselines_match_reference () =
+  List.iter
+    (fun (baseline : Benchmark.t) ->
+      let reference =
+        Suites.find baseline.Benchmark.name (Suites.prim_suite ~sizes:small_sizes ())
+      in
+      let results, _ =
+        Driver.run_upmem_func ~sim_config:(Driver.upmem_sim_config tiny)
+          (baseline.Benchmark.build ())
+          (baseline.Benchmark.inputs ())
+      in
+      (* ts indices may tie-break differently: compare values only *)
+      let expected = Benchmark.reference reference in
+      let ok =
+        match baseline.Benchmark.name with
+        | "ts" -> (
+          match (expected, results) with
+          | Rtval.Tensor ev :: _, Rtval.Tensor av :: _ -> Tensor.equal ev av
+          | _ -> false)
+        | _ -> Benchmark.results_match reference results
+      in
+      if not ok then
+        Alcotest.failf "prim %s baseline: results differ from reference"
+          baseline.Benchmark.name)
+    (Suites.prim_baselines ~sizes:small_sizes tiny)
+
+let test_fusion_reduces_launches () =
+  (* sel has a 3-op elementwise chain feeding a scan; fusion folds the
+     chain into the scan kernel: 2 launches total (local scan + add
+     offsets) instead of 5 *)
+  let bench = Prim_kernels.sel ~n:512 () in
+  let compiled = Driver.compile_func (Backend.Upmem tiny) (bench.Benchmark.build ()) in
+  let launches = ref 0 in
+  List.iter
+    (Func.walk (fun op -> if op.Ir.name = "upmem.launch" then incr launches))
+    compiled.Driver.modul.Func.funcs;
+  Alcotest.(check int) "2 launches after fusion" 2 !launches
+
+let test_reports_sane () =
+  let bench = Ml_kernels.mm ~m:32 ~k:8 ~n:8 () in
+  let _, host = Driver.compile_and_run Backend.Host_xeon (bench.Benchmark.build ()) (bench.Benchmark.inputs ()) in
+  let _, up = Driver.compile_and_run (Backend.Upmem tiny) (bench.Benchmark.build ()) (bench.Benchmark.inputs ()) in
+  Alcotest.(check bool) "host time positive" true (host.Report.total_s > 0.0);
+  Alcotest.(check bool) "upmem device time positive" true (up.Report.device_s > 0.0);
+  Alcotest.(check bool) "upmem energy positive" true (up.Report.energy_j > 0.0);
+  Alcotest.(check bool) "launch counter present" true (Report.counter up "launches" > 0)
+
+let test_loc_metrics () =
+  let bench = Ml_kernels.mm ~m:32 ~k:8 ~n:8 () in
+  let row = Loc_metrics.row ~app:"mm" (bench.Benchmark.build ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "upmem loc (%d) > cinm loc (%d)" row.Loc_metrics.upmem_loc
+       row.Loc_metrics.cinm_loc)
+    true
+    (row.Loc_metrics.upmem_loc > row.Loc_metrics.cinm_loc);
+  Alcotest.(check bool) "reduction > 2x" true (Loc_metrics.reduction row > 2.0)
+
+let test_related_work_table () =
+  let table = Related_work.to_table () in
+  Alcotest.(check int) "10 metrics + header" 11 (List.length table);
+  (* CINM supports everything (last column all yes) *)
+  List.iteri
+    (fun i row ->
+      if i > 0 then
+        Alcotest.(check string)
+          ("CINM row " ^ List.hd row)
+          "yes"
+          (List.nth row (List.length row - 1)))
+    table
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "driver integration",
+        [
+          Alcotest.test_case "ML suite on upmem" `Quick test_ml_on_upmem;
+          Alcotest.test_case "ML suite on upmem-opt" `Quick test_ml_on_upmem_opt;
+          Alcotest.test_case "ML suite on cim" `Quick test_ml_on_cim;
+          Alcotest.test_case "PrIM suite on upmem" `Quick test_prim_on_upmem;
+          Alcotest.test_case "reports sane" `Quick test_reports_sane;
+        ] );
+      ( "prim baselines",
+        [
+          Alcotest.test_case "baselines match reference" `Quick
+            test_prim_baselines_match_reference;
+        ] );
+      ( "optimizations",
+        [ Alcotest.test_case "ew fusion reduces launches" `Quick test_fusion_reduces_launches ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "loc table" `Quick test_loc_metrics;
+          Alcotest.test_case "related work table" `Quick test_related_work_table;
+        ] );
+    ]

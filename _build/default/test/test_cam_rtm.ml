@@ -1,0 +1,223 @@
+(* Tests for the CAM (C4CAM-style search) and RTM (logic-CIM popcount)
+   device paths: correctness against the host reference, counter/timing
+   sanity, and failure injection. *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_transforms
+open Cinm_interp
+open Cinm_core
+module Cam = Cinm_cam_sim.Cam_machine
+module T = Types
+
+let () = Registry.ensure_all ()
+
+let tensor shape = T.Tensor (shape, T.I32)
+
+let check_tensor msg expected actual =
+  if not (Tensor.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Tensor.to_string expected)
+      (Tensor.to_string actual)
+
+(* ----- sim_search (hamming) via CAM ----- *)
+
+let build_search ?(n = 71) ?(m = 8) ?(k = 3) ~metric () =
+  let f =
+    Func.create ~name:"search" ~arg_tys:[ tensor [| n |]; tensor [| m |] ]
+      ~result_tys:[ tensor [| k |]; tensor [| k |] ]
+  in
+  let b = Builder.for_func f in
+  let v, i = Cinm_d.sim_search b ~metric ~k (Func.param f 0) (Func.param f 1) in
+  Func_d.return b [ v; i ];
+  f
+
+let search_args ?(n = 71) ?(m = 8) () =
+  [
+    Rtval.Tensor (Tensor.init [| n |] (fun i -> (i * 131) mod 251));
+    Rtval.Tensor (Tensor.init [| m |] (fun i -> ((i + 3) * 131) mod 251));
+  ]
+
+let test_hamming_search_targets_cam () =
+  let f = build_search ~metric:"hamming" () in
+  Target_select.run_on_func Target_select.default_policy f;
+  let target = ref "" in
+  Func.walk
+    (fun op ->
+      if op.Ir.name = "cinm.sim_search" then
+        match Ir.attr op "target" with Some (Attr.Str t) -> target := t | _ -> ())
+    f;
+  Alcotest.(check string) "hamming search -> cim (CAM)" "cim" !target;
+  (* l2 searches keep going to the DPUs *)
+  let f2 = build_search ~metric:"l2" () in
+  Target_select.run_on_func Target_select.default_policy f2;
+  Func.walk
+    (fun op ->
+      if op.Ir.name = "cinm.sim_search" then
+        match Ir.attr op "target" with Some (Attr.Str t) -> target := t | _ -> ())
+    f2;
+  Alcotest.(check string) "l2 search -> cnm" "cnm" !target
+
+let lower_to_cam f =
+  let m = Func.create_module () in
+  Func.add_func m f;
+  Pass.run_pipeline
+    [
+      Target_select.pass
+        ~policy:{ Target_select.default_policy with forced_target = Some "cim" } ();
+      Cinm_to_cam.pass;
+    ]
+    m;
+  List.hd m.Func.funcs
+
+let test_cam_search_correct () =
+  List.iter
+    (fun metric ->
+      let args = search_args () in
+      let expected, _ = Interp.run_func (build_search ~metric ()) args in
+      let f = lower_to_cam (build_search ~metric ()) in
+      let machine = Cam.create (Cam.default_config ()) in
+      let actual, stats = Cam.run machine f args in
+      (match (expected, actual) with
+      | [ ev; ei ], [ av; ai ] ->
+        check_tensor (metric ^ " values") (Rtval.as_tensor ev) (Rtval.as_tensor av);
+        check_tensor (metric ^ " indices") (Rtval.as_tensor ei) (Rtval.as_tensor ai)
+      | _ -> Alcotest.fail "arity");
+      Alcotest.(check int) "one parallel search" 1 stats.Cam.cam_searches;
+      Alcotest.(check int) "entries programmed" 64 stats.Cam.cam_entries_written;
+      Alcotest.(check bool) "device time recorded" true (stats.Cam.busy_s > 0.0))
+    [ "hamming"; "l2"; "dot" ]
+
+let test_cam_through_driver () =
+  (* the full Cim backend pipeline routes the hamming search to the CAM *)
+  let args = search_args () in
+  let expected, _ = Interp.run_func (build_search ~metric:"hamming" ()) args in
+  let results, report =
+    Driver.compile_and_run
+      (Backend.Cim (Backend.default_cim ()))
+      (build_search ~metric:"hamming" ())
+      args
+  in
+  (match (expected, results) with
+  | [ ev; _ ], [ av; _ ] ->
+    check_tensor "driver cam values" (Rtval.as_tensor ev) (Rtval.as_tensor av)
+  | _ -> Alcotest.fail "arity");
+  Alcotest.(check bool) "cam search counted" true (Report.counter report "cam_searches" > 0)
+
+let test_cam_capacity_guard () =
+  let f = Func.create ~name:"big" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let _ = Cam_d.alloc b ~entries:100000 ~width:8 in
+  Func_d.return b [];
+  let machine = Cam.create (Cam.default_config ()) in
+  match Cam.run machine f [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected CAM capacity failure"
+
+let test_cam_search_without_entries () =
+  let f = Func.create ~name:"empty" ~arg_tys:[ tensor [| 8 |] ] ~result_tys:[ tensor [| 1 |] ] in
+  let b = Builder.for_func f in
+  let id = Cam_d.alloc b ~entries:16 ~width:8 in
+  let idx = Cam_d.search_best b id (Func.param f 0) ~metric:"hamming" ~k:1 in
+  Func_d.return b [ idx ];
+  let machine = Cam.create (Cam.default_config ()) in
+  match Cam.run machine f [ Rtval.Tensor (Tensor.zeros [| 8 |] T.I32) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected failure: search before programming"
+
+(* ----- pop_count via RTM ----- *)
+
+let build_popcount n () =
+  let f = Func.create ~name:"pc" ~arg_tys:[ tensor [| n |] ] ~result_tys:[ T.Scalar T.I32 ] in
+  let b = Builder.for_func f in
+  Func_d.return b [ Cinm_d.pop_count b (Func.param f 0) ];
+  f
+
+let lower_to_rtm f =
+  let m = Func.create_module () in
+  Func.add_func m f;
+  Pass.run_pipeline [ Target_select.pass (); Cinm_to_rtm.pass () ] m;
+  List.hd m.Func.funcs
+
+let test_popcount_targets_cim () =
+  let f = build_popcount 64 () in
+  Target_select.run_on_func Target_select.default_policy f;
+  let target = ref "" in
+  Func.walk
+    (fun op ->
+      if op.Ir.name = "cinm.pop_count" then
+        match Ir.attr op "target" with Some (Attr.Str t) -> target := t | _ -> ())
+    f;
+  Alcotest.(check string) "pop_count -> cim (Table 1: no cnm popcount)" "cim" !target
+
+let test_rtm_popcount_correct () =
+  (* n = 10000 exercises the chunking + zero-padding path (capacity 4096) *)
+  List.iter
+    (fun n ->
+      let data = Tensor.init [| n |] (fun i -> (i * 2654435761) land 0xFFFF) in
+      let expected = Tensor.pop_count data in
+      let f = lower_to_rtm (build_popcount n ()) in
+      let machine = Cam.create (Cam.default_config ()) in
+      let results, stats = Cam.run machine f [ Rtval.Tensor data ] in
+      Alcotest.(check int)
+        (Printf.sprintf "popcount n=%d" n)
+        expected
+        (Rtval.as_int (List.hd results));
+      Alcotest.(check bool) "transverse reads counted" true (stats.Cam.rtm_reads > 0))
+    [ 64; 4096; 10000 ]
+
+let test_rtm_write_capacity () =
+  let f = Func.create ~name:"big" ~arg_tys:[ tensor [| 8192 |] ] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let id = Rtm_d.alloc b ~tracks:64 ~domains:64 in
+  Rtm_d.write b id (Func.param f 0);
+  Func_d.return b [];
+  let machine = Cam.create (Cam.default_config ()) in
+  match Cam.run machine f [ Rtval.Tensor (Tensor.zeros [| 8192 |] T.I32) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected RTM capacity failure"
+
+(* qcheck: CAM search agrees with the host for random data *)
+let prop_cam_matches_host =
+  QCheck.Test.make ~name:"cam hamming search == host sim_search" ~count:25
+    QCheck.(pair (10 -- 40) (2 -- 6))
+    (fun (n, m) ->
+      let k = 2 in
+      if n - m + 1 < k then true
+      else begin
+        let args =
+          [
+            Rtval.Tensor (Tensor.init [| n |] (fun i -> (i * 97) mod 128));
+            Rtval.Tensor (Tensor.init [| m |] (fun i -> (i * 53) mod 128));
+          ]
+        in
+        let expected, _ =
+          Interp.run_func (build_search ~n ~m ~k ~metric:"hamming" ()) args
+        in
+        let f = lower_to_cam (build_search ~n ~m ~k ~metric:"hamming" ()) in
+        let machine = Cam.create (Cam.default_config ()) in
+        let actual, _ = Cam.run machine f args in
+        match (expected, actual) with
+        | [ ev; _ ], [ av; _ ] ->
+          Tensor.equal (Rtval.as_tensor ev) (Rtval.as_tensor av)
+        | _ -> false
+      end)
+
+let () =
+  Alcotest.run "cam-rtm"
+    [
+      ( "cam",
+        [
+          Alcotest.test_case "hamming targets cam" `Quick test_hamming_search_targets_cam;
+          Alcotest.test_case "search correct (3 metrics)" `Quick test_cam_search_correct;
+          Alcotest.test_case "through the driver" `Quick test_cam_through_driver;
+          Alcotest.test_case "capacity guard" `Quick test_cam_capacity_guard;
+          Alcotest.test_case "search before programming" `Quick test_cam_search_without_entries;
+          QCheck_alcotest.to_alcotest prop_cam_matches_host;
+        ] );
+      ( "rtm",
+        [
+          Alcotest.test_case "popcount targets cim" `Quick test_popcount_targets_cim;
+          Alcotest.test_case "popcount correct (chunked)" `Quick test_rtm_popcount_correct;
+          Alcotest.test_case "write capacity" `Quick test_rtm_write_capacity;
+        ] );
+    ]

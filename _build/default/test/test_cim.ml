@@ -1,0 +1,237 @@
+(* Tests for the CIM path: cinm -> cim (tiling, interchange, unrolling) ->
+   memristor, executed on the crossbar simulator. Checks both functional
+   correctness against the host reference and the paper's qualitative
+   claims: min-writes cuts crossbar programming by the streaming factor;
+   parallel unrolling overlaps tiles; cim-opt combines both. *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_transforms
+open Cinm_interp
+module T = Types
+module Msim = Cinm_memristor_sim
+
+let () = Registry.ensure_all ()
+
+let tensor shape = T.Tensor (shape, T.I32)
+
+let check_tensor msg expected actual =
+  if not (Tensor.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Tensor.to_string expected)
+      (Tensor.to_string actual)
+
+let iota shape = Tensor.init shape (fun i -> (i mod 13) - 6)
+
+let force_cim =
+  Target_select.pass
+    ~policy:{ Target_select.default_policy with forced_target = Some "cim" }
+    ()
+
+let build_mm ?(name = "mm") m k n () =
+  let f =
+    Func.create ~name ~arg_tys:[ tensor [| m; k |]; tensor [| k; n |] ]
+      ~result_tys:[ tensor [| m; n |] ]
+  in
+  let b = Builder.for_func f in
+  Func_d.return b [ Linalg_d.matmul b (Func.param f 0) (Func.param f 1) ];
+  f
+
+let cim_opts ~interchange ~parallel =
+  { Cinm_to_cim.rows = 8; cols = 8; tiles = 4; input_chunk = 8; interchange; parallel }
+
+let lower_to_cim ?(opts = cim_opts ~interchange:false ~parallel:false) f =
+  let m = Func.create_module () in
+  Func.add_func m f;
+  Pass.run_pipeline
+    [ Linalg_to_cinm.pass; force_cim; Cinm_to_cim.pass ~options:opts () ]
+    m;
+  (m, List.hd m.Func.funcs)
+
+let lower_to_memristor ?(opts = cim_opts ~interchange:false ~parallel:false) f =
+  let m, _ = lower_to_cim ~opts f in
+  Pass.run_pipeline
+    [ Loop_unroll.pass; Cim_to_memristor.assign_pass ~tiles:opts.Cinm_to_cim.tiles;
+      Cim_to_memristor.pass; Licm.pass; Licm.pass ]
+    m;
+  List.hd m.Func.funcs
+
+let run_on_crossbar f args =
+  let machine = Msim.Machine.create (Msim.Config.default ()) in
+  Msim.Machine.run machine f args
+
+(* ----- cim level (reference executor) ----- *)
+
+let test_cim_level_gemm () =
+  let a = iota [| 16; 12 |] and bt = iota [| 12; 20 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor bt ] in
+  let expected, _ = Interp.run_func (build_mm 16 12 20 ()) args in
+  let _, f_cim = lower_to_cim (build_mm 16 12 20 ()) in
+  let has_execute = ref false in
+  Func.walk (fun op -> if op.Ir.name = "cim.execute" then has_execute := true) f_cim;
+  Alcotest.(check bool) "has cim.execute" true !has_execute;
+  let st = Cnm_ref.create_state () in
+  let actual, _ = Interp.run_func ~hooks:[ Cnm_ref.hook st ] f_cim args in
+  check_tensor "gemm at cim level"
+    (Rtval.as_tensor (List.hd expected))
+    (Rtval.as_tensor (List.hd actual))
+
+let test_cim_level_interchange_semantics () =
+  let a = iota [| 16; 12 |] and bt = iota [| 12; 20 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor bt ] in
+  let expected, _ = Interp.run_func (build_mm 16 12 20 ()) args in
+  let _, f_cim =
+    lower_to_cim ~opts:(cim_opts ~interchange:true ~parallel:false) (build_mm 16 12 20 ())
+  in
+  let st = Cnm_ref.create_state () in
+  let actual, _ = Interp.run_func ~hooks:[ Cnm_ref.hook st ] f_cim args in
+  check_tensor "interchanged loop nest computes the same"
+    (Rtval.as_tensor (List.hd expected))
+    (Rtval.as_tensor (List.hd actual))
+
+(* ----- memristor level ----- *)
+
+let configs =
+  [
+    ("cim", cim_opts ~interchange:false ~parallel:false);
+    ("cim-min-writes", cim_opts ~interchange:true ~parallel:false);
+    ("cim-parallel", cim_opts ~interchange:false ~parallel:true);
+    ("cim-opt", cim_opts ~interchange:true ~parallel:true);
+  ]
+
+let test_memristor_all_configs_correct () =
+  let a = iota [| 24; 16 |] and bt = iota [| 16; 32 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor bt ] in
+  let expected, _ = Interp.run_func (build_mm 24 16 32 ()) args in
+  List.iter
+    (fun (name, opts) ->
+      let f = lower_to_memristor ~opts (build_mm 24 16 32 ()) in
+      let actual, _ = run_on_crossbar f args in
+      check_tensor (name ^ " correct")
+        (Rtval.as_tensor (List.hd expected))
+        (Rtval.as_tensor (List.hd actual)))
+    configs
+
+let stats_for opts mm_args f =
+  let f_dev = lower_to_memristor ~opts f in
+  let _, stats = run_on_crossbar f_dev mm_args in
+  stats
+
+let test_min_writes_reduces_stores () =
+  (* M = 64 streamed in chunks of 8 -> 8 chunks; min-writes should program
+     each (k,n) tile once instead of once per chunk: 8x fewer stores *)
+  let a = iota [| 64; 16 |] and bt = iota [| 16; 16 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor bt ] in
+  let s_base = stats_for (cim_opts ~interchange:false ~parallel:false) args (build_mm 64 16 16 ()) in
+  let s_minw = stats_for (cim_opts ~interchange:true ~parallel:false) args (build_mm 64 16 16 ()) in
+  Alcotest.(check int) "baseline stores = chunks * kt * nt" (8 * 2 * 2)
+    s_base.Msim.Stats.store_ops;
+  Alcotest.(check int) "min-writes stores = kt * nt" (2 * 2) s_minw.Msim.Stats.store_ops;
+  Alcotest.(check bool) "min-writes faster" true
+    (Msim.Stats.total_s s_minw < Msim.Stats.total_s s_base)
+
+let test_parallel_overlaps_tiles () =
+  let a = iota [| 16; 16 |] and bt = iota [| 16; 32 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor bt ] in
+  let s_base = stats_for (cim_opts ~interchange:false ~parallel:false) args (build_mm 16 16 32 ()) in
+  let s_par = stats_for (cim_opts ~interchange:false ~parallel:true) args (build_mm 16 16 32 ()) in
+  (* same MVM work, used tiles > 1, shorter makespan *)
+  Alcotest.(check int) "same mvm count" s_base.Msim.Stats.mvms s_par.Msim.Stats.mvms;
+  let used = Array.fold_left (fun acc w -> acc + min 1 w) 0 s_par.Msim.Stats.endurance_writes in
+  Alcotest.(check bool) "multiple tiles used" true (used > 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel faster (%.3g < %.3g)" (Msim.Stats.total_s s_par)
+       (Msim.Stats.total_s s_base))
+    true
+    (Msim.Stats.total_s s_par < Msim.Stats.total_s s_base)
+
+let test_opt_is_fastest () =
+  let a = iota [| 64; 16 |] and bt = iota [| 16; 32 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor bt ] in
+  let times =
+    List.map
+      (fun (name, opts) ->
+        (name, Msim.Stats.total_s (stats_for opts args (build_mm 64 16 32 ()))))
+      configs
+  in
+  let t name = List.assoc name times in
+  Alcotest.(check bool) "opt <= min-writes" true (t "cim-opt" <= t "cim-min-writes");
+  Alcotest.(check bool) "opt <= parallel" true (t "cim-opt" <= t "cim-parallel");
+  Alcotest.(check bool) "opt < baseline" true (t "cim-opt" < t "cim")
+
+let test_gemv_on_cim () =
+  let build () =
+    let f =
+      Func.create ~name:"mv" ~arg_tys:[ tensor [| 16; 12 |]; tensor [| 12 |] ]
+        ~result_tys:[ tensor [| 16 |] ]
+    in
+    let b = Builder.for_func f in
+    Func_d.return b [ Linalg_d.matvec b (Func.param f 0) (Func.param f 1) ];
+    f
+  in
+  let a = iota [| 16; 12 |] and x = iota [| 12 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor x ] in
+  let expected, _ = Interp.run_func (build ()) args in
+  let f_dev = lower_to_memristor (build ()) in
+  let actual, _ = run_on_crossbar f_dev args in
+  check_tensor "gemv on crossbar"
+    (Rtval.as_tensor (List.hd expected))
+    (Rtval.as_tensor (List.hd actual))
+
+let test_capacity_guard () =
+  (* requesting more tiles than the device has must fail *)
+  let f = Func.create ~name:"bad" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let _ = Memristor_d.alloc b ~rows:64 ~cols:64 ~tiles:99 in
+  Func_d.return b [];
+  match run_on_crossbar f [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected capacity failure"
+
+let test_oversized_weights_guard () =
+  let f = Func.create ~name:"bad" ~arg_tys:[ tensor [| 128; 128 |] ] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let id = Memristor_d.alloc b ~rows:64 ~cols:64 ~tiles:1 in
+  Memristor_d.store_tile b id ~tile:0 (Func.param f 0);
+  Func_d.return b [];
+  match run_on_crossbar f [ Rtval.Tensor (iota [| 128; 128 |]) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected oversized-weights failure"
+
+(* qcheck: all four configs agree with the host on random shapes *)
+let prop_cim_configs_agree =
+  QCheck.Test.make ~name:"all cim configs == host (random shapes)" ~count:8
+    QCheck.(triple (1 -- 20) (1 -- 20) (1 -- 20))
+    (fun (m, k, n) ->
+      let a = iota [| m; k |] and bt = iota [| k; n |] in
+      let args = [ Rtval.Tensor a; Rtval.Tensor bt ] in
+      let expected, _ = Interp.run_func (build_mm m k n ()) args in
+      List.for_all
+        (fun (_, opts) ->
+          let f = lower_to_memristor ~opts (build_mm m k n ()) in
+          let actual, _ = run_on_crossbar f args in
+          Tensor.equal (Rtval.as_tensor (List.hd expected)) (Rtval.as_tensor (List.hd actual)))
+        configs)
+
+let () =
+  Alcotest.run "cim"
+    [
+      ( "cim level",
+        [
+          Alcotest.test_case "gemm" `Quick test_cim_level_gemm;
+          Alcotest.test_case "interchange" `Quick test_cim_level_interchange_semantics;
+        ] );
+      ( "memristor level",
+        [
+          Alcotest.test_case "all configs correct" `Quick test_memristor_all_configs_correct;
+          Alcotest.test_case "min-writes reduces stores" `Quick test_min_writes_reduces_stores;
+          Alcotest.test_case "parallel overlaps tiles" `Quick test_parallel_overlaps_tiles;
+          Alcotest.test_case "opt fastest" `Quick test_opt_is_fastest;
+          Alcotest.test_case "gemv" `Quick test_gemv_on_cim;
+        ] );
+      ( "failure injection",
+        [
+          Alcotest.test_case "tile capacity" `Quick test_capacity_guard;
+          Alcotest.test_case "oversized weights" `Quick test_oversized_weights_guard;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_cim_configs_agree ]);
+    ]

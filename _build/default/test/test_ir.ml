@@ -1,0 +1,353 @@
+(* Unit and property tests for the core IR: construction, printing,
+   parsing round-trips, verification, cloning. *)
+
+open Cinm_ir
+open Cinm_dialects
+module T = Types
+
+let () = Registry.ensure_all ()
+
+let i32 = T.Scalar T.I32
+let tensor shape = T.Tensor (shape, T.I32)
+
+(* ----- helpers ----- *)
+
+let build_gemm_func ?(name = "mm") m k n =
+  let f =
+    Func.create ~name ~arg_tys:[ tensor [| m; k |]; tensor [| k; n |] ]
+      ~result_tys:[ tensor [| m; n |] ]
+  in
+  let b = Builder.for_func f in
+  let out = Cinm_d.gemm b (Func.param f 0) (Func.param f 1) in
+  Func_d.return b [ out ];
+  f
+
+(* ----- types ----- *)
+
+let test_type_printing () =
+  Alcotest.(check string) "tensor" "tensor<4x8xi32>" (T.to_string (tensor [| 4; 8 |]));
+  Alcotest.(check string) "memref" "memref<2xf32>" (T.to_string (T.MemRef ([| 2 |], T.F32)));
+  Alcotest.(check string)
+    "workgroup" "!cnm.workgroup<8x2>"
+    (T.to_string (T.Workgroup [| 8; 2 |]));
+  Alcotest.(check string)
+    "buffer" "!cnm.buffer<16x16xi16, level 0>"
+    (T.to_string (T.Buffer { shape = [| 16; 16 |]; dtype = T.I16; level = 0 }));
+  Alcotest.(check string) "index" "index" (T.to_string T.Index)
+
+let test_type_roundtrip () =
+  let types =
+    [
+      T.Index; i32; T.Scalar T.I1; T.Scalar T.F64;
+      tensor [| 15888; 16 |];
+      T.MemRef ([| 3; 3; 3 |], T.I16);
+      T.Workgroup [| 8; 2; 4 |];
+      T.Buffer { shape = [| 64 |]; dtype = T.I32; level = 1 };
+      T.Token; T.Cim_id;
+    ]
+  in
+  List.iter
+    (fun ty ->
+      match T.of_string (T.to_string ty) with
+      | Some ty' -> Alcotest.(check string) "roundtrip" (T.to_string ty) (T.to_string ty')
+      | None -> Alcotest.failf "could not parse %s" (T.to_string ty))
+    types
+
+let test_type_sizes () =
+  Alcotest.(check int) "tensor bytes" (4 * 8 * 4) (T.size_in_bytes (tensor [| 4; 8 |]));
+  Alcotest.(check int) "i16 bytes" 2 (T.dtype_bytes T.I16);
+  Alcotest.(check int) "elements" 32 (T.num_elements (tensor [| 4; 8 |]))
+
+(* ----- construction ----- *)
+
+let test_build_func () =
+  let f = build_gemm_func 4 5 6 in
+  let entry = Func.entry_block f in
+  Alcotest.(check int) "two ops" 2 (List.length entry.Ir.ops);
+  let gemm = List.hd entry.Ir.ops in
+  Alcotest.(check string) "op name" "cinm.gemm" gemm.Ir.name;
+  Alcotest.(check string)
+    "result type" "tensor<4x6xi32>"
+    (T.to_string (Ir.result gemm 0).Ir.ty)
+
+let test_verify_ok () =
+  let f = build_gemm_func 4 5 6 in
+  Alcotest.(check int) "no errors" 0 (List.length (Verifier.verify_func f))
+
+let test_verify_rejects_bad_gemm () =
+  let f =
+    Func.create ~name:"bad" ~arg_tys:[ tensor [| 4; 5 |]; tensor [| 7; 6 |] ]
+      ~result_tys:[ tensor [| 4; 6 |] ]
+  in
+  let b = Builder.for_func f in
+  (* shape mismatch: 4x5 * 7x6 *)
+  let out =
+    Builder.build1 b "cinm.gemm"
+      ~operands:[ Func.param f 0; Func.param f 1 ]
+      ~result_tys:[ tensor [| 4; 6 |] ]
+  in
+  Func_d.return b [ out ];
+  Alcotest.(check bool) "has errors" true (Verifier.verify_func f <> [])
+
+let test_verify_rejects_unregistered () =
+  let f = Func.create ~name:"u" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  Builder.build0 b "bogus.op";
+  Func_d.return b [];
+  Alcotest.(check bool) "has errors" true (Verifier.verify_func f <> [])
+
+let test_verify_rejects_use_before_def () =
+  let f = Func.create ~name:"dom" ~arg_tys:[] ~result_tys:[] in
+  let entry = Func.entry_block f in
+  (* Build the ops out of order by hand. *)
+  let c = Ir.create_op ~result_tys:[ T.Index ] ~attrs:[ ("value", Attr.Int 1) ] "arith.constant" in
+  let use = Ir.create_op ~operands:[ Ir.result c 0; Ir.result c 0 ] ~result_tys:[ T.Index ] "arith.addi" in
+  Ir.append_op entry use;
+  Ir.append_op entry c;
+  let ret = Ir.create_op "func.return" in
+  Ir.append_op entry ret;
+  Alcotest.(check bool) "has errors" true (Verifier.verify_func f <> [])
+
+let test_clone_independent () =
+  let f = build_gemm_func 4 5 6 in
+  let g = Func.clone f in
+  Alcotest.(check int) "clone verifies" 0 (List.length (Verifier.verify_func g));
+  (* mutating the clone must not affect the original *)
+  let g_entry = Func.entry_block g in
+  g_entry.Ir.ops <- [];
+  Alcotest.(check int) "original intact" 2 (List.length (Func.entry_block f).Ir.ops)
+
+(* ----- printing and parsing ----- *)
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= hn && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let test_print_gemm () =
+  let f = build_gemm_func 4 5 6 in
+  let text = Printer.func_to_string f in
+  Alcotest.(check bool)
+    "mentions gemm" true
+    (contains text "\"cinm.gemm\"(%arg0, %arg1)")
+
+let test_parse_roundtrip () =
+  let f = build_gemm_func 8 8 8 in
+  let text = Printer.func_to_string f in
+  let f' = Parser.parse_func_text text in
+  let text' = Printer.func_to_string f' in
+  Alcotest.(check string) "fixpoint" text text';
+  Alcotest.(check int) "parsed verifies" 0 (List.length (Verifier.verify_func f'))
+
+let test_parse_region_roundtrip () =
+  let f =
+    Func.create ~name:"loop" ~arg_tys:[ tensor [| 16 |] ] ~result_tys:[ tensor [| 16 |] ]
+  in
+  let b = Builder.for_func f in
+  let lb = Arith.const_index b 0 in
+  let ub = Arith.const_index b 4 in
+  let step = Arith.const_index b 1 in
+  let results =
+    Scf_d.for_ b ~lb ~ub ~step ~init:[ Func.param f 0 ] (fun bb _iv iters ->
+        [ Cinm_d.add bb iters.(0) iters.(0) ])
+  in
+  Func_d.return b results;
+  let text = Printer.func_to_string f in
+  let f' = Parser.parse_func_text text in
+  Alcotest.(check string) "fixpoint" text (Printer.func_to_string f');
+  Alcotest.(check int) "verifies" 0 (List.length (Verifier.verify_func f'))
+
+let test_parse_module () =
+  let m = Func.create_module () in
+  Func.add_func m (build_gemm_func ~name:"a" 2 3 4);
+  Func.add_func m (build_gemm_func ~name:"b" 5 6 7);
+  let text = Printer.module_to_string m in
+  let m' = Parser.parse_module_text text in
+  Alcotest.(check int) "two funcs" 2 (List.length m'.Func.funcs);
+  Alcotest.(check string) "fixpoint" text (Printer.module_to_string m')
+
+let test_parse_attrs () =
+  let f = Func.create ~name:"attrs" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let _ =
+    Builder.build b "cnm.workgroup"
+      ~attrs:
+        [
+          ("physical_dims", Attr.Strs [ "dpu"; "thread" ]);
+          ("flag", Attr.Bool true);
+          ("sizes", Attr.Ints [| 1; -2; 3 |]);
+          ("scale", Attr.Float 2.5);
+          ("label", Attr.Str "hello \"world\"");
+        ]
+      ~result_tys:[ T.Workgroup [| 2; 2 |] ]
+  in
+  Func_d.return b [];
+  let text = Printer.func_to_string f in
+  let f' = Parser.parse_func_text text in
+  Alcotest.(check string) "fixpoint" text (Printer.func_to_string f')
+
+let test_parse_error_reported () =
+  match Parser.parse_func_text "func.func @x() -> () { garbage }" with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let expect_parse_error name text =
+  match Parser.parse_func_text text with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected parse error" name
+
+let test_parse_negative_cases () =
+  expect_parse_error "undefined value"
+    {|func.func @x() -> () {
+  "func.return"(%nope) : (i32) -> ()
+}|};
+  expect_parse_error "bad type"
+    {|func.func @x(%arg0: tensor<wat>) -> () {
+  "func.return"() : () -> ()
+}|};
+  expect_parse_error "result arity mismatch"
+    {|func.func @x() -> () {
+  %0, %1 = "tensor.empty"() : () -> (tensor<1xi32>)
+  "func.return"() : () -> ()
+}|};
+  expect_parse_error "unterminated string"
+    {|func.func @x() -> () {
+  "func.return|};
+  expect_parse_error "trailing input"
+    {|func.func @x() -> () {
+  "func.return"() : () -> ()
+}
+extra|}
+
+let test_parse_comments_and_whitespace () =
+  let f =
+    Parser.parse_func_text
+      {|// leading comment
+func.func @c(%arg0: i32) -> (i32) {
+  // a comment between ops
+  %0 = "arith.addi"(%arg0, %arg0) : (i32, i32) -> (i32)
+  "func.return"(%0) : (i32) -> ()
+}|}
+  in
+  Alcotest.(check int) "verifies" 0 (List.length (Verifier.verify_func f))
+
+let test_clone_nested_regions () =
+  (* clone a function with a loop nest and check the clone's regions are
+     fresh objects with consistent arg wiring *)
+  let f = Func.create ~name:"nest" ~arg_tys:[ T.Index ] ~result_tys:[ T.Index ] in
+  let b = Builder.for_func f in
+  let c1 = Arith.const_index b 1 in
+  let outer =
+    Scf_d.for_ b ~lb:c1 ~ub:c1 ~step:c1 ~init:[ Func.param f 0 ] (fun bb _ iters ->
+        let inner =
+          Scf_d.for_ bb ~lb:c1 ~ub:c1 ~step:c1 ~init:[ iters.(0) ] (fun bb2 _ it2 ->
+              [ Arith.addi bb2 it2.(0) it2.(0) ])
+        in
+        inner)
+  in
+  Func_d.return b outer;
+  let g = Func.clone f in
+  Alcotest.(check int) "clone verifies" 0 (List.length (Verifier.verify_func g));
+  (* ops must be distinct objects *)
+  let ids f =
+    let acc = ref [] in
+    Func.walk (fun op -> acc := op.Ir.oid :: !acc) f;
+    !acc
+  in
+  let shared = List.filter (fun i -> List.mem i (ids f)) (ids g) in
+  Alcotest.(check int) "no shared ops" 0 (List.length shared)
+
+let test_walk_order () =
+  let f = build_gemm_func 2 2 2 in
+  let names = ref [] in
+  Func.walk (fun op -> names := op.Ir.name :: !names) f;
+  Alcotest.(check (list string)) "pre-order walk"
+    [ "cinm.gemm"; "func.return" ]
+    (List.rev !names)
+
+let test_replace_uses () =
+  let f = Func.create ~name:"r" ~arg_tys:[ T.Index; T.Index ] ~result_tys:[ T.Index ] in
+  let b = Builder.for_func f in
+  let s = Arith.addi b (Func.param f 0) (Func.param f 0) in
+  Func_d.return b [ s ];
+  Ir.replace_uses_in_region f.Func.body ~old_v:(Func.param f 0) ~new_v:(Func.param f 1);
+  let uses_p0 = ref 0 in
+  Func.walk
+    (fun op ->
+      Array.iter
+        (fun (v : Ir.value) -> if v == Func.param f 0 then incr uses_p0)
+        op.Ir.operands)
+    f;
+  Alcotest.(check int) "no uses of the old value" 0 !uses_p0
+
+(* ----- qcheck properties ----- *)
+
+let arb_small_dims = QCheck.(triple (1 -- 12) (1 -- 12) (1 -- 12))
+
+let prop_gemm_roundtrip =
+  QCheck.Test.make ~name:"printer/parser roundtrip on random gemm shapes" ~count:50
+    arb_small_dims (fun (m, k, n) ->
+      let f = build_gemm_func m k n in
+      let text = Printer.func_to_string f in
+      let f' = Parser.parse_func_text text in
+      Printer.func_to_string f' = text && Verifier.verify_func f' = [])
+
+let prop_attr_ints_roundtrip =
+  QCheck.Test.make ~name:"ints attribute roundtrip" ~count:100
+    QCheck.(list int)
+    (fun ints ->
+      let f = Func.create ~name:"a" ~arg_tys:[] ~result_tys:[] in
+      let b = Builder.for_func f in
+      let _ =
+        Builder.build b "tensor.empty"
+          ~attrs:[ ("xs", Attr.Ints (Array.of_list ints)) ]
+          ~result_tys:[ tensor [| 1 |] ]
+      in
+      Func_d.return b [];
+      let text = Printer.func_to_string f in
+      Printer.func_to_string (Parser.parse_func_text text) = text)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "printing" `Quick test_type_printing;
+          Alcotest.test_case "roundtrip" `Quick test_type_roundtrip;
+          Alcotest.test_case "sizes" `Quick test_type_sizes;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "build func" `Quick test_build_func;
+          Alcotest.test_case "clone is independent" `Quick test_clone_independent;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_verify_ok;
+          Alcotest.test_case "rejects shape mismatch" `Quick test_verify_rejects_bad_gemm;
+          Alcotest.test_case "rejects unregistered op" `Quick test_verify_rejects_unregistered;
+          Alcotest.test_case "rejects use before def" `Quick test_verify_rejects_use_before_def;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "print gemm" `Quick test_print_gemm;
+          Alcotest.test_case "gemm roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "region roundtrip" `Quick test_parse_region_roundtrip;
+          Alcotest.test_case "module roundtrip" `Quick test_parse_module;
+          Alcotest.test_case "attrs roundtrip" `Quick test_parse_attrs;
+          Alcotest.test_case "reports errors" `Quick test_parse_error_reported;
+          Alcotest.test_case "negative cases" `Quick test_parse_negative_cases;
+          Alcotest.test_case "comments + whitespace" `Quick test_parse_comments_and_whitespace;
+        ] );
+      ( "ir utilities",
+        [
+          Alcotest.test_case "clone nested regions" `Quick test_clone_nested_regions;
+          Alcotest.test_case "walk order" `Quick test_walk_order;
+          Alcotest.test_case "replace uses" `Quick test_replace_uses;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_gemm_roundtrip;
+          QCheck_alcotest.to_alcotest prop_attr_ints_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+(* End-to-end tests for the UPMEM path: linalg -> cinm -> cnm -> upmem,
+   executed on the machine simulator, compared against the host reference.
+   Also checks the timing model's qualitative properties (more DPUs =>
+   faster kernels; WRAM-optimized kernels move fewer DMA bytes). *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_transforms
+open Cinm_interp
+module T = Types
+module Usim = Cinm_upmem_sim
+
+let () = Registry.ensure_all ()
+
+let tensor shape = T.Tensor (shape, T.I32)
+
+let check_tensor msg expected actual =
+  if not (Tensor.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Tensor.to_string expected)
+      (Tensor.to_string actual)
+
+let iota shape = Tensor.init shape (fun i -> (i mod 23) - 11)
+
+let force_cnm =
+  Target_select.pass
+    ~policy:{ Target_select.default_policy with forced_target = Some "cnm" }
+    ()
+
+let lower_to_upmem ?(cnm_opts = { Cinm_to_cnm.dpus = 4; tasklets = 4; optimize = false; max_rows_per_launch = 8 })
+    ?(up_opts = Cnm_to_upmem.default_options) f =
+  let m = Func.create_module () in
+  Func.add_func m f;
+  Pass.run_pipeline
+    [ Tosa_to_linalg.pass; Linalg_to_cinm.pass; force_cnm;
+      Cinm_to_cnm.pass ~options:cnm_opts (); Cnm_to_upmem.pass ~options:up_opts () ]
+    m;
+  List.hd m.Func.funcs
+
+let run_on_machine ?(config = Usim.Config.default ~dimms:1 ()) f args =
+  let machine = Usim.Machine.create config in
+  Usim.Machine.run machine f args
+
+let differential ?cnm_opts build args =
+  let expected, _ = Interp.run_func (build ()) args in
+  let f_dev = lower_to_upmem ?cnm_opts (build ()) in
+  let actual, stats = run_on_machine f_dev args in
+  (expected, actual, stats)
+
+let build_mm m k n () =
+  let f =
+    Func.create ~name:"mm" ~arg_tys:[ tensor [| m; k |]; tensor [| k; n |] ]
+      ~result_tys:[ tensor [| m; n |] ]
+  in
+  let b = Builder.for_func f in
+  Func_d.return b [ Linalg_d.matmul b (Func.param f 0) (Func.param f 1) ];
+  f
+
+let test_upmem_gemm () =
+  let a = iota [| 32; 8 |] and bt = iota [| 8; 6 |] in
+  let expected, actual, stats =
+    differential (build_mm 32 8 6) [ Rtval.Tensor a; Rtval.Tensor bt ]
+  in
+  check_tensor "gemm on upmem sim"
+    (Rtval.as_tensor (List.hd expected))
+    (Rtval.as_tensor (List.hd actual));
+  Alcotest.(check bool) "kernel time positive" true (stats.Usim.Stats.kernel_s > 0.0);
+  Alcotest.(check bool) "transfers recorded" true (stats.Usim.Stats.transferred_bytes > 0)
+
+let test_upmem_gemm_opt_matches_and_moves_less () =
+  let a = iota [| 32; 8 |] and bt = iota [| 8; 8 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor bt ] in
+  let expected, _ = Interp.run_func (build_mm 32 8 8 ()) args in
+  let base_opts = { Cinm_to_cnm.dpus = 2; tasklets = 2; optimize = false; max_rows_per_launch = 8 } in
+  let opt_opts = { base_opts with Cinm_to_cnm.optimize = true } in
+  let f_base = lower_to_upmem ~cnm_opts:base_opts (build_mm 32 8 8 ()) in
+  let f_opt = lower_to_upmem ~cnm_opts:opt_opts (build_mm 32 8 8 ()) in
+  let r_base, s_base = run_on_machine f_base args in
+  let r_opt, s_opt = run_on_machine f_opt args in
+  check_tensor "naive kernel correct"
+    (Rtval.as_tensor (List.hd expected))
+    (Rtval.as_tensor (List.hd r_base));
+  check_tensor "wram kernel correct"
+    (Rtval.as_tensor (List.hd expected))
+    (Rtval.as_tensor (List.hd r_opt));
+  Alcotest.(check bool)
+    (Printf.sprintf "opt DMA (%d) < naive DMA (%d)" s_opt.Usim.Stats.dma_bytes
+       s_base.Usim.Stats.dma_bytes)
+    true
+    (s_opt.Usim.Stats.dma_bytes < s_base.Usim.Stats.dma_bytes);
+  Alcotest.(check bool) "opt kernel faster" true
+    (s_opt.Usim.Stats.kernel_s < s_base.Usim.Stats.kernel_s)
+
+let test_upmem_elementwise () =
+  let build () =
+    let f =
+      Func.create ~name:"va" ~arg_tys:[ tensor [| 128 |]; tensor [| 128 |] ]
+        ~result_tys:[ tensor [| 128 |] ]
+    in
+    let b = Builder.for_func f in
+    Func_d.return b [ Linalg_d.add b (Func.param f 0) (Func.param f 1) ];
+    f
+  in
+  let a = iota [| 128 |] and bt = iota [| 128 |] in
+  let expected, actual, _ = differential build [ Rtval.Tensor a; Rtval.Tensor bt ] in
+  check_tensor "va on upmem"
+    (Rtval.as_tensor (List.hd expected))
+    (Rtval.as_tensor (List.hd actual))
+
+let test_upmem_reduce () =
+  let build () =
+    let f = Func.create ~name:"red" ~arg_tys:[ tensor [| 128 |] ] ~result_tys:[ T.Scalar T.I32 ] in
+    let b = Builder.for_func f in
+    Func_d.return b [ Linalg_d.reduce b ~op:"max" (Func.param f 0) ];
+    f
+  in
+  let a = iota [| 128 |] in
+  let expected, actual, _ = differential build [ Rtval.Tensor a ] in
+  Alcotest.(check int) "reduce max on upmem"
+    (Rtval.as_int (List.hd expected))
+    (Rtval.as_int (List.hd actual))
+
+let test_upmem_histogram () =
+  let build () =
+    let f = Func.create ~name:"hst" ~arg_tys:[ tensor [| 128 |] ] ~result_tys:[ tensor [| 16 |] ] in
+    let b = Builder.for_func f in
+    Func_d.return b [ Cinm_d.histogram b (Func.param f 0) ~bins:16 ];
+    f
+  in
+  let a = Tensor.init [| 128 |] (fun i -> i * 11 mod 16) in
+  let expected, actual, _ = differential build [ Rtval.Tensor a ] in
+  check_tensor "hst on upmem"
+    (Rtval.as_tensor (List.hd expected))
+    (Rtval.as_tensor (List.hd actual))
+
+let test_upmem_scan () =
+  let build () =
+    let f = Func.create ~name:"scan" ~arg_tys:[ tensor [| 128 |] ] ~result_tys:[ tensor [| 128 |] ] in
+    let b = Builder.for_func f in
+    Func_d.return b [ Cinm_d.scan b ~op:"add" (Func.param f 0) ];
+    f
+  in
+  let a = iota [| 128 |] in
+  let expected, actual, _ = differential build [ Rtval.Tensor a ] in
+  check_tensor "scan on upmem"
+    (Rtval.as_tensor (List.hd expected))
+    (Rtval.as_tensor (List.hd actual))
+
+let test_upmem_simsearch () =
+  let build () =
+    let f =
+      Func.create ~name:"ts" ~arg_tys:[ tensor [| 71 |]; tensor [| 8 |] ]
+        ~result_tys:[ tensor [| 2 |]; tensor [| 2 |] ]
+    in
+    let b = Builder.for_func f in
+    let v, i = Cinm_d.sim_search b ~metric:"l2" ~k:2 (Func.param f 0) (Func.param f 1) in
+    Func_d.return b [ v; i ];
+    f
+  in
+  let db = Tensor.init [| 71 |] (fun i -> i * 7 mod 41) in
+  let q = Tensor.init [| 8 |] (fun i -> (i * 7 mod 41) + 1) in
+  let expected, actual, _ = differential build [ Rtval.Tensor db; Rtval.Tensor q ] in
+  (match (expected, actual) with
+  | [ ev; _ ], [ av; _ ] ->
+    check_tensor "simsearch values on upmem" (Rtval.as_tensor ev) (Rtval.as_tensor av)
+  | _ -> Alcotest.fail "arity")
+
+let test_upmem_topk () =
+  let build () =
+    let f =
+      Func.create ~name:"topk" ~arg_tys:[ tensor [| 128 |] ]
+        ~result_tys:[ tensor [| 4 |]; tensor [| 4 |] ]
+    in
+    let b = Builder.for_func f in
+    let v, i = Cinm_d.topk b (Func.param f 0) ~k:4 in
+    Func_d.return b [ v; i ];
+    f
+  in
+  let a = Tensor.init [| 128 |] (fun i -> (i * 67) mod 128) in
+  let expected, actual, _ = differential build [ Rtval.Tensor a ] in
+  (match (expected, actual) with
+  | [ ev; ei ], [ av; ai ] ->
+    check_tensor "topk values on upmem" (Rtval.as_tensor ev) (Rtval.as_tensor av);
+    check_tensor "topk indices on upmem" (Rtval.as_tensor ei) (Rtval.as_tensor ai)
+  | _ -> Alcotest.fail "arity")
+
+let test_more_dpus_is_faster () =
+  let a = iota [| 64; 8 |] and bt = iota [| 8; 8 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor bt ] in
+  let run dpus =
+    let opts = { Cinm_to_cnm.dpus; tasklets = 4; optimize = true; max_rows_per_launch = 64 } in
+    let f = lower_to_upmem ~cnm_opts:opts (build_mm 64 8 8 ()) in
+    let _, stats = run_on_machine f args in
+    stats.Usim.Stats.kernel_s
+  in
+  let t2 = run 2 and t8 = run 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "8 dpus (%.2e s) faster than 2 (%.2e s)" t8 t2)
+    true (t8 < t2)
+
+let test_lowered_module_roundtrips_through_text () =
+  (* print the fully lowered upmem module, parse it back, and run both on
+     the simulator: identical results and identical device statistics *)
+  let a = iota [| 16; 4 |] and bt = iota [| 4; 4 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor bt ] in
+  let f = lower_to_upmem (build_mm 16 4 4 ()) in
+  let text = Printer.func_to_string f in
+  let f' = Parser.parse_func_text text in
+  Alcotest.(check int) "parsed module verifies" 0 (List.length (Verifier.verify_func f'));
+  Alcotest.(check string) "print is a fixpoint" text (Printer.func_to_string f');
+  let r1, s1 = run_on_machine f args in
+  let r2, s2 = run_on_machine f' args in
+  check_tensor "same results"
+    (Rtval.as_tensor (List.hd r1))
+    (Rtval.as_tensor (List.hd r2));
+  Alcotest.(check int) "same instruction count" s1.Usim.Stats.dpu_instructions
+    s2.Usim.Stats.dpu_instructions;
+  Alcotest.(check int) "same dma bytes" s1.Usim.Stats.dma_bytes s2.Usim.Stats.dma_bytes
+
+let test_generic_fallback_kernel () =
+  (* hand-written cnm program with an unrecognized kernel body: the
+     fallback must stage buffers, inline the body and write back *)
+  let f = Func.create ~name:"custom" ~arg_tys:[ tensor [| 16 |] ] ~result_tys:[ tensor [| 16 |] ] in
+  let b = Builder.for_func f in
+  let wg = Cnm_d.workgroup b ~shape:[| 2; 2 |] ~physical_dims:[ "dpu"; "thread" ] in
+  let in_buf = Cnm_d.alloc b wg ~shape:[| 4 |] ~dtype:T.I32 ~level:0 in
+  let out_buf = Cnm_d.alloc b wg ~shape:[| 4 |] ~dtype:T.I32 ~level:0 in
+  let t1 = Cnm_d.scatter b (Func.param f 0) in_buf wg ~map:"block" in
+  let tok =
+    Cnm_d.launch b wg ~ins:[ in_buf ] ~outs:[ out_buf ] (fun bb args ->
+        let c0 = Arith.const_index bb 0 in
+        let c1 = Arith.const_index bb 1 in
+        let c4 = Arith.const_index bb 4 in
+        Scf_d.for0 bb ~lb:c0 ~ub:c4 ~step:c1 (fun bb i ->
+            let v = Memref_d.load bb args.(0) [ i ] in
+            Memref_d.store bb (Arith.muli bb v v) args.(1) [ i ]))
+  in
+  let out, t2 = Cnm_d.gather b out_buf wg ~result_shape:[| 16 |] in
+  Cnm_d.wait b [ t1; tok; t2 ];
+  Func_d.return b [ out ];
+  let m = Func.create_module () in
+  Func.add_func m f;
+  Pass.run_pipeline [ Cnm_to_upmem.pass () ] m;
+  let a = iota [| 16 |] in
+  let actual, _ = run_on_machine (List.hd m.Func.funcs) [ Rtval.Tensor a ] in
+  let expected = Tensor.init [| 16 |] (fun i -> let v = Tensor.get_int a i in v * v) in
+  check_tensor "generic fallback" expected (Rtval.as_tensor (List.hd actual))
+
+let () =
+  Alcotest.run "upmem"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "gemm" `Quick test_upmem_gemm;
+          Alcotest.test_case "gemm opt: correct + less DMA" `Quick
+            test_upmem_gemm_opt_matches_and_moves_less;
+          Alcotest.test_case "elementwise" `Quick test_upmem_elementwise;
+          Alcotest.test_case "reduce" `Quick test_upmem_reduce;
+          Alcotest.test_case "histogram" `Quick test_upmem_histogram;
+          Alcotest.test_case "scan" `Quick test_upmem_scan;
+          Alcotest.test_case "simsearch" `Quick test_upmem_simsearch;
+          Alcotest.test_case "topk" `Quick test_upmem_topk;
+          Alcotest.test_case "generic fallback kernel" `Quick test_generic_fallback_kernel;
+          Alcotest.test_case "lowered module text roundtrip" `Quick
+            test_lowered_module_roundtrips_through_text;
+        ] );
+      ( "timing model",
+        [ Alcotest.test_case "more dpus => faster" `Quick test_more_dpus_is_faster ] );
+    ]
