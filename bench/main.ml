@@ -11,7 +11,12 @@
    has only 4 tiles). See EXPERIMENTS.md.
 
    Usage: main.exe [fig10|fig10-energy|fig11|fig12|tab4|tab5|dialects|bechamel|all]
-          main.exe --quick ...   (smaller inputs, for CI)
+          main.exe --quick ...      (smaller inputs, for CI)
+          main.exe --jobs N ...     (simulation domains; default CINM_JOBS
+                                     or the machine's core count)
+          main.exe --json FILE ...  (write per-experiment wall-clock and
+                                     simulated seconds for regression
+                                     tracking)
 *)
 
 open Cinm_ir
@@ -26,6 +31,73 @@ let machine_scale = 1.0 /. 16.0
 let scaled_dpus_per_dimm = 8
 
 let quick = ref false
+
+(* ----- measurement accounting (--json) ----- *)
+
+(* Simulated seconds and run counts accumulate while an experiment
+   executes; [timed] snapshots them per experiment and --json dumps the
+   records for regression tracking across PRs. *)
+let sim_s_acc = ref 0.0
+let sim_runs_acc = ref 0
+
+let note_report (r : Report.t) =
+  sim_s_acc := !sim_s_acc +. r.Report.total_s;
+  incr sim_runs_acc
+
+(* Every simulated run flows through these shims, so the accounting covers
+   all experiments without touching each call site. *)
+module Driver = struct
+  include Driver
+
+  let run_upmem_func ?backend_name ?host_model ?modul ~sim_config f args =
+    let results, report =
+      Driver.run_upmem_func ?backend_name ?host_model ?modul ~sim_config f args
+    in
+    note_report report;
+    (results, report)
+
+  let compile_and_run ?verify ?host_model backend f args =
+    let results, report =
+      Driver.compile_and_run ?verify ?host_model backend f args
+    in
+    note_report report;
+    (results, report)
+end
+
+type json_record = { exp : string; wall_s : float; sim_s : float; runs : int }
+
+let json_records : json_record list ref = ref []
+
+let timed name f =
+  sim_s_acc := 0.0;
+  sim_runs_acc := 0;
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  json_records :=
+    { exp = name; wall_s; sim_s = !sim_s_acc; runs = !sim_runs_acc }
+    :: !json_records
+
+let write_json path =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"schema\": \"cinm-bench-1\",\n";
+  Printf.bprintf b "  \"quick\": %b,\n" !quick;
+  Printf.bprintf b "  \"jobs\": %d,\n" (Cinm_support.Pool.default_jobs ());
+  Buffer.add_string b "  \"experiments\": [\n";
+  let recs = List.rev !json_records in
+  let n = List.length recs in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    { \"name\": %S, \"wall_s\": %.6f, \"sim_s\": %.9f, \"runs\": %d }%s\n"
+        r.exp r.wall_s r.sim_s r.runs
+        (if i = n - 1 then "" else ","))
+    recs;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
 
 (* ----- printing helpers ----- *)
 
@@ -572,45 +644,60 @@ let bechamel () =
 
 (* ----- entry point ----- *)
 
-let all () =
-  fig10 ();
-  fig10_energy ();
-  fig11 ();
-  fig12 ();
-  tab4 ();
-  tab5 ();
-  dialects ();
-  ablation ()
+let run_experiment name =
+  let f =
+    match name with
+    | "fig10" -> fig10
+    | "fig10-energy" -> fig10_energy
+    | "fig11" -> fig11
+    | "fig12" -> fig12
+    | "tab4" -> tab4
+    | "tab5" -> tab5
+    | "dialects" -> dialects
+    | "bechamel" -> bechamel
+    | "ablation" -> ablation
+    | cmd ->
+      Printf.eprintf
+        "unknown experiment %S (expected fig10|fig10-energy|fig11|fig12|tab4|tab5|dialects|ablation|bechamel|all)\n"
+        cmd;
+      exit 1
+  in
+  timed name f
+
+let all_experiments =
+  [ "fig10"; "fig10-energy"; "fig11"; "fig12"; "tab4"; "tab5"; "dialects"; "ablation" ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let json_out = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        Cinm_support.Pool.set_default_jobs j;
+        parse acc rest
+      | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        exit 1)
+    | [ "--jobs" ] ->
+      Printf.eprintf "--jobs expects a positive integer\n";
+      exit 1
+    | "--json" :: file :: rest ->
+      json_out := Some file;
+      parse acc rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json expects a file name\n";
+      exit 1
+    | cmd :: rest -> parse (cmd :: acc) rest
   in
-  match args with
-  | [] | [ "all" ] -> all ()
-  | cmds ->
-    List.iter
-      (function
-        | "fig10" -> fig10 ()
-        | "fig10-energy" -> fig10_energy ()
-        | "fig11" -> fig11 ()
-        | "fig12" -> fig12 ()
-        | "tab4" -> tab4 ()
-        | "tab5" -> tab5 ()
-        | "dialects" -> dialects ()
-        | "bechamel" -> bechamel ()
-        | "ablation" -> ablation ()
-        | cmd ->
-          Printf.eprintf
-            "unknown experiment %S (expected fig10|fig10-energy|fig11|fig12|tab4|tab5|dialects|ablation|bechamel|all)\n"
-            cmd;
-          exit 1)
-      cmds
+  let cmds = parse [] (List.tl (Array.to_list Sys.argv)) in
+  let cmds =
+    match cmds with
+    | [] | [ "all" ] -> all_experiments
+    | cmds -> cmds
+  in
+  List.iter run_experiment cmds;
+  Option.iter write_json !json_out

@@ -38,8 +38,8 @@ let _ =
         (Array.length body.Ir.args = Ir.num_operands op - 1)
         "cim.execute: body takes one arg per tensor operand"
       >>= fun () ->
-      match List.rev body.Ir.ops with
-      | last :: _ when last.Ir.name = "cim.yield" ->
+      match Ir.last_op body with
+      | Some last when last.Ir.name = "cim.yield" ->
         expect
           (Ir.num_operands last = Ir.num_results op)
           "cim.execute: yield arity must match results"

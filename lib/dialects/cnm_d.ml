@@ -134,8 +134,8 @@ let _ =
                    "cnm.launch: body arg %d must be the memref form of buffer operand" i))
         body.Ir.args;
       !ok >>= fun () ->
-      match List.rev body.Ir.ops with
-      | last :: _ when last.Ir.name = "cnm.terminator" -> Ok ()
+      match Ir.last_op body with
+      | Some last when last.Ir.name = "cnm.terminator" -> Ok ()
       | _ -> Error "cnm.launch: body must end with cnm.terminator")
 
 let _ =

@@ -24,8 +24,8 @@ let _ =
         (Types.equal body.Ir.args.(0).Ir.ty Types.Index)
         "scf.for: induction variable must be index"
       >>= fun () ->
-      match List.rev body.Ir.ops with
-      | last :: _ when last.Ir.name = "scf.yield" ->
+      match Ir.last_op body with
+      | Some last when last.Ir.name = "scf.yield" ->
         expect (Ir.num_operands last = n_iter) "scf.for: yield arity must match iter_args"
       | _ -> Error "scf.for: body must end with scf.yield")
 

@@ -7,11 +7,23 @@
 open Cinm_ir
 module Util = Cinm_support.Util
 
+(* Execution identity: which processing element the interpreter is
+   currently simulating. [Host] is ordinary host execution; device
+   simulators extend this type with their own per-PU state (e.g. the
+   UPMEM machine adds a per-(DPU, tasklet) lane) and install it on the
+   context they evaluate kernel regions with. Keeping the identity in the
+   context — instead of mutable fields on the machine — is what lets the
+   simulators evaluate many PUs concurrently on OCaml 5 domains. *)
+type device_state = ..
+
+type device_state += Host
+
 type ctx = {
   env : (int, Rtval.t) Hashtbl.t;
   profile : Profile.t;
   hooks : hook list;
   modul : Func.modul option;  (** for func.call *)
+  device : device_state;
 }
 
 and hook = ctx -> Ir.op -> Rtval.t list option
@@ -52,17 +64,15 @@ let account_move p n =
 
 (* ----- evaluation ----- *)
 
-let binop_arith_names =
-  [
-    ("arith.addi", "add"); ("arith.subi", "sub"); ("arith.muli", "mul");
-    ("arith.divsi", "div"); ("arith.remsi", "rem"); ("arith.minsi", "min");
-    ("arith.maxsi", "max"); ("arith.andi", "and"); ("arith.ori", "or");
-    ("arith.xori", "xor"); ("arith.shli", "shl"); ("arith.shrsi", "shr");
-  ]
+(* Profile buckets for scalar int binops, see [account_int_binop]. *)
+let bucket_alu = 0
+let bucket_mul = 1
+let bucket_div = 2
 
-let binop_float_names =
-  [ ("arith.addf", "add"); ("arith.subf", "sub"); ("arith.mulf", "mul");
-    ("arith.divf", "div") ]
+let account_int_binop (p : Profile.t) bucket =
+  if bucket = bucket_mul then p.Profile.mul_ops <- p.Profile.mul_ops + 1
+  else if bucket = bucket_div then p.Profile.div_ops <- p.Profile.div_ops + 1
+  else p.Profile.alu_ops <- p.Profile.alu_ops + 1
 
 let elementwise_names prefix =
   List.map
@@ -78,16 +88,37 @@ let scalar_result_dtype (op : Ir.op) =
   | Types.Index -> Types.I64
   | ty -> err "expected scalar result, got %s" (Types.to_string ty)
 
+(* Scalar binop evaluation, shared by the literal dispatch cases below.
+   Writes its single result directly (no intermediate list). *)
+let int_bin ctx (op : Ir.op) p bucket (f : int -> int -> int) =
+  account_int_binop p bucket;
+  let dt = scalar_result_dtype op in
+  bind ctx op.Ir.results.(0)
+    (Rtval.Int (Tensor.wrap dt (f (i_operand ctx op 0) (i_operand ctx op 1))))
+
+let float_bin ctx (op : Ir.op) (p : Profile.t) (f : float -> float -> float) =
+  p.Profile.alu_ops <- p.Profile.alu_ops + 1;
+  bind ctx op.Ir.results.(0)
+    (Rtval.Float
+       (f (Rtval.as_float (operand ctx op 0)) (Rtval.as_float (operand ctx op 1))))
+
+(* Hot path: called once per loop iteration of interpreted code, so it
+   must not allocate beyond its result list. *)
 let rec eval_block ctx (block : Ir.block) : Rtval.t list =
-  let rec loop = function
-    | [] -> []
-    | [ last ] when List.mem last.Ir.name terminators ->
+  let n = Ir.num_ops block in
+  if n = 0 then []
+  else begin
+    for i = 0 to n - 2 do
+      eval_op ctx (Ir.op_at block i)
+    done;
+    let last = Ir.op_at block (n - 1) in
+    if List.mem last.Ir.name terminators then
       List.map (lookup ctx) (Array.to_list last.Ir.operands)
-    | op :: rest ->
-      eval_op ctx op;
-      loop rest
-  in
-  loop block.Ir.ops
+    else begin
+      eval_op ctx last;
+      []
+    end
+  end
 
 and eval_region ctx (region : Ir.region) args : Rtval.t list =
   let block = Ir.entry_block region in
@@ -114,23 +145,25 @@ and eval_op ctx (op : Ir.op) : unit =
     | Attr.Int i -> set_results [ Rtval.Int (Tensor.wrap (scalar_result_dtype op) i) ]
     | Attr.Float f -> set_results [ Rtval.Float f ]
     | a -> err "arith.constant: bad value %s" (Attr.to_string a))
-  | _ when List.mem_assoc name binop_arith_names ->
-    let f = Tensor.int_binop (List.assoc name binop_arith_names) in
-    (match List.assoc name binop_arith_names with
-    | "mul" -> p.Profile.mul_ops <- p.Profile.mul_ops + 1
-    | "div" | "rem" -> p.Profile.div_ops <- p.Profile.div_ops + 1
-    | _ -> p.Profile.alu_ops <- p.Profile.alu_ops + 1);
-    let dt = scalar_result_dtype op in
-    set_results
-      [ Rtval.Int (Tensor.wrap dt (f (i_operand ctx op 0) (i_operand ctx op 1))) ]
-  | _ when List.mem_assoc name binop_float_names ->
-    let f = Tensor.float_binop (List.assoc name binop_float_names) in
-    p.Profile.alu_ops <- p.Profile.alu_ops + 1;
-    set_results
-      [
-        Rtval.Float
-          (f (Rtval.as_float (operand ctx op 0)) (Rtval.as_float (operand ctx op 1)));
-      ]
+  (* The scalar binops are the hottest ops of interpreted kernels: literal
+     cases compile to a string dispatch tree, with no guard-list scans on
+     the hot path. *)
+  | "arith.addi" -> int_bin ctx op p bucket_alu ( + )
+  | "arith.subi" -> int_bin ctx op p bucket_alu ( - )
+  | "arith.muli" -> int_bin ctx op p bucket_mul ( * )
+  | "arith.divsi" -> int_bin ctx op p bucket_div (Tensor.int_binop "div")
+  | "arith.remsi" -> int_bin ctx op p bucket_div (Tensor.int_binop "rem")
+  | "arith.minsi" -> int_bin ctx op p bucket_alu min
+  | "arith.maxsi" -> int_bin ctx op p bucket_alu max
+  | "arith.andi" -> int_bin ctx op p bucket_alu ( land )
+  | "arith.ori" -> int_bin ctx op p bucket_alu ( lor )
+  | "arith.xori" -> int_bin ctx op p bucket_alu ( lxor )
+  | "arith.shli" -> int_bin ctx op p bucket_alu ( lsl )
+  | "arith.shrsi" -> int_bin ctx op p bucket_alu ( asr )
+  | "arith.addf" -> float_bin ctx op p ( +. )
+  | "arith.subf" -> float_bin ctx op p ( -. )
+  | "arith.mulf" -> float_bin ctx op p ( *. )
+  | "arith.divf" -> float_bin ctx op p ( /. )
   | "arith.cmpi" ->
     let a = i_operand ctx op 0 and b = i_operand ctx op 1 in
     p.Profile.alu_ops <- p.Profile.alu_ops + 1;
@@ -479,7 +512,7 @@ and eval_elementwise ctx op opname =
 
 let create_ctx ?(hooks = []) ?profile ?modul () =
   let profile = match profile with Some p -> p | None -> Profile.create () in
-  { env = Hashtbl.create 256; profile; hooks; modul }
+  { env = Hashtbl.create 256; profile; hooks; modul; device = Host }
 
 let run_func ?(hooks = []) ?profile ?modul (f : Func.t) (args : Rtval.t list) :
     Rtval.t list * Profile.t =

@@ -5,11 +5,23 @@
 
 open Cinm_ir
 
+(** Execution identity: which processing element the interpreter is
+    currently simulating. [Host] is ordinary host execution; device
+    simulators extend this type with their own per-PU state (the UPMEM
+    machine adds a per-(DPU, tasklet) lane) and install it on the context
+    they evaluate kernel regions with. Carrying the identity in the
+    context — instead of mutable machine fields — is what lets simulators
+    evaluate many PUs concurrently on OCaml 5 domains. *)
+type device_state = ..
+
+type device_state += Host
+
 type ctx = {
   env : (int, Rtval.t) Hashtbl.t;
   profile : Profile.t;
   hooks : hook list;
   modul : Func.modul option;  (** for func.call *)
+  device : device_state;
 }
 
 and hook = ctx -> Ir.op -> Rtval.t list option

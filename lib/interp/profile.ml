@@ -43,6 +43,15 @@ let add ~into p =
 
 let total_scalar_ops p = p.alu_ops + p.mul_ops + p.div_ops
 
+(* Exact (field-wise) equality; all counters are ints, so this is the
+   right notion for checking that parallel and sequential simulation of
+   the same program performed identical work. *)
+let equal a b =
+  a.alu_ops = b.alu_ops && a.mul_ops = b.mul_ops && a.div_ops = b.div_ops
+  && a.loads = b.loads && a.stores = b.stores && a.dma_bytes = b.dma_bytes
+  && a.dma_transfers = b.dma_transfers && a.barriers = b.barriers
+  && a.launched_ops = b.launched_ops
+
 let to_string p =
   Printf.sprintf
     "alu=%d mul=%d div=%d loads=%d stores=%d dma=%dB/%d barriers=%d ops=%d" p.alu_ops

@@ -19,4 +19,9 @@ val create : unit -> t
 val copy : t -> t
 val add : into:t -> t -> unit
 val total_scalar_ops : t -> int
+
+(** Exact field-wise equality (all counters are ints); used to check that
+    parallel and sequential simulations performed identical work. *)
+val equal : t -> t -> bool
+
 val to_string : t -> string

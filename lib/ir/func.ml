@@ -44,8 +44,7 @@ let walk fn func = Ir.walk_region fn func.body
 (* Replace a function's body in place (used by conversion passes that
    rebuild whole functions). *)
 let replace_body f (new_body : Ir.region) =
-  f.body.Ir.blocks <- new_body.Ir.blocks;
-  List.iter (fun b -> b.Ir.parent_region <- Some f.body) new_body.Ir.blocks
+  Ir.set_region_blocks f.body (Ir.blocks new_body)
 
 let clone f =
   let body, _ = Ir.clone_region f.body in

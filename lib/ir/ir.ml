@@ -2,7 +2,15 @@
    blocks. Deliberately mirrors MLIR's structure (cf. paper Section 2.1)
    while staying idiomatic OCaml: ops are generic records identified by a
    dialect-qualified name; dialect modules provide typed constructors and
-   accessors on top. *)
+   accessors on top.
+
+   Blocks store their ops in a growable array ([Vec]) so that appending —
+   the hot operation of every builder and conversion pass — is amortized
+   O(1); building a block of k ops is O(k). Prefer the accessors below
+   ([block_ops], [iter_ops], [set_block_ops], ...) over touching the
+   backing vector directly. *)
+
+module Vec = Cinm_support.Vec
 
 type value = { vid : int; ty : Types.t; mutable def : def }
 
@@ -23,11 +31,11 @@ and op = {
 and block = {
   bid : int;
   mutable args : value array;  (** set once at creation *)
-  mutable ops : op list;  (** in execution order *)
+  ops : op Vec.t;  (** in execution order *)
   mutable parent_region : region option;
 }
 
-and region = { mutable blocks : block list; mutable parent_op : op option }
+and region = { blocks : block Vec.t; mutable parent_op : op option }
 
 let value_counter = ref 0
 let op_counter = ref 0
@@ -39,23 +47,38 @@ let fresh_value ty def =
 
 (* ----- construction ----- *)
 
-let create_region () = { blocks = []; parent_op = None }
+let create_region () = { blocks = Vec.create (); parent_op = None }
 
 let create_block ?(arg_tys = []) () =
   incr block_counter;
-  let block = { bid = !block_counter; args = [||]; ops = []; parent_region = None } in
+  let block =
+    { bid = !block_counter; args = [||]; ops = Vec.create (); parent_region = None }
+  in
   block.args <-
     Array.of_list (List.mapi (fun i ty -> fresh_value ty (Block_arg (block, i))) arg_tys);
   block
 
 let add_block region block =
   block.parent_region <- Some region;
-  region.blocks <- region.blocks @ [ block ]
+  Vec.push region.blocks block
+
+let num_blocks region = Vec.length region.blocks
+
+let block_at region i = Vec.get region.blocks i
+
+let blocks region = Vec.to_list region.blocks
+
+let iter_blocks f region = Vec.iter f region.blocks
 
 let entry_block region =
-  match region.blocks with
-  | b :: _ -> b
-  | [] -> invalid_arg "Ir.entry_block: empty region"
+  if Vec.is_empty region.blocks then invalid_arg "Ir.entry_block: empty region"
+  else Vec.get region.blocks 0
+
+(* Replace a region's blocks wholesale (conversion passes rebuild whole
+   function bodies and then swap them in). *)
+let set_region_blocks region bs =
+  Vec.clear region.blocks;
+  List.iter (fun b -> add_block region b) bs
 
 let create_op ?(operands = []) ?(result_tys = []) ?(attrs = []) ?(regions = []) name =
   incr op_counter;
@@ -77,7 +100,39 @@ let create_op ?(operands = []) ?(result_tys = []) ?(attrs = []) ?(regions = []) 
 
 let append_op block op =
   op.parent <- Some block;
-  block.ops <- block.ops @ [ op ]
+  Vec.push block.ops op
+
+(* ----- block op accessors ----- *)
+
+let num_ops block = Vec.length block.ops
+
+let op_at block i = Vec.get block.ops i
+
+let block_ops block = Vec.to_list block.ops
+
+let iter_ops f block = Vec.iter f block.ops
+
+let last_op block = Vec.last block.ops
+
+let clear_ops block = Vec.clear block.ops
+
+let set_block_ops block l =
+  Vec.clear block.ops;
+  List.iter (fun op -> append_op block op) l
+
+let map_ops_in_place f block =
+  Vec.map_in_place
+    (fun op ->
+      let op' = f op in
+      op'.parent <- Some block;
+      op')
+    block.ops
+
+(* Keep only the ops satisfying [p]; returns whether anything was removed. *)
+let filter_ops_in_place p block =
+  let before = Vec.length block.ops in
+  Vec.filter_in_place p block.ops;
+  Vec.length block.ops <> before
 
 (* ----- accessors ----- *)
 
@@ -125,8 +180,8 @@ let rec walk_op f op =
   f op;
   Array.iter (walk_region f) op.regions
 
-and walk_region f region = List.iter (walk_block f) region.blocks
-and walk_block f block = List.iter (walk_op f) block.ops
+and walk_region f region = Vec.iter (walk_block f) region.blocks
+and walk_block f block = Vec.iter (walk_op f) block.ops
 
 (* Replace every use of [old_v] by [new_v] in all ops reachable from
    [region] (including nested regions). *)
@@ -145,25 +200,26 @@ let map_value vmap v = match Vmap.find_opt v.vid vmap with Some w -> w | None ->
 let rec clone_op ?(vmap = Vmap.empty) op =
   let operands = Array.to_list (Array.map (map_value vmap) op.operands) in
   let result_tys = Array.to_list (Array.map (fun v -> v.ty) op.results) in
-  let regions, vmap =
-    Array.fold_left
-      (fun (acc, vmap) r ->
-        let r', vmap = clone_region ~vmap r in
-        (acc @ [ r' ], vmap))
-      ([], vmap) op.regions
+  let vmap_acc = ref vmap in
+  let regions =
+    Array.to_list op.regions
+    |> List.map (fun r ->
+           let r', vmap = clone_region ~vmap:!vmap_acc r in
+           vmap_acc := vmap;
+           r')
   in
   let cloned = create_op ~operands ~result_tys ~attrs:op.attrs ~regions op.name in
   let vmap =
     Array.to_list op.results
     |> List.mapi (fun i v -> (v, cloned.results.(i)))
-    |> List.fold_left (fun m (v, w) -> Vmap.add v.vid w m) vmap
+    |> List.fold_left (fun m (v, w) -> Vmap.add v.vid w m) !vmap_acc
   in
   (cloned, vmap)
 
 and clone_region ?(vmap = Vmap.empty) region =
   let r = create_region () in
   let vmap =
-    List.fold_left
+    Vec.fold_left
       (fun vmap block ->
         let arg_tys = Array.to_list (Array.map (fun v -> v.ty) block.args) in
         let b = create_block ~arg_tys () in
@@ -174,15 +230,15 @@ and clone_region ?(vmap = Vmap.empty) region =
       vmap region.blocks
   in
   (* Second pass: clone ops now that all block args are mapped. *)
-  let vmap =
-    List.fold_left2
-      (fun vmap src dst ->
-        List.fold_left
-          (fun vmap op ->
-            let op', vmap = clone_op ~vmap op in
-            append_op dst op';
-            vmap)
-          vmap src.ops)
-      vmap region.blocks r.blocks
-  in
-  (r, vmap)
+  let vmap_acc = ref vmap in
+  Vec.iteri
+    (fun i src ->
+      let dst = Vec.get r.blocks i in
+      Vec.iter
+        (fun op ->
+          let op', vmap = clone_op ~vmap:!vmap_acc op in
+          append_op dst op';
+          vmap_acc := vmap)
+        src.ops)
+    region.blocks;
+  (r, !vmap_acc)

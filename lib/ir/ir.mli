@@ -1,7 +1,14 @@
 (** Core IR data structures: SSA values and operations with nested regions,
     mirroring MLIR's structure (paper §2.1). Ops are generic records
     identified by a dialect-qualified name; the dialect modules in
-    [cinm_dialects] provide typed constructors on top. *)
+    [cinm_dialects] provide typed constructors on top.
+
+    Blocks and regions store their contents in growable arrays so that
+    appending — the hot operation of builders and conversion passes — is
+    amortized O(1). Use the accessors ([block_ops], [iter_ops],
+    [set_block_ops], [blocks], ...) rather than the backing vectors. *)
+
+module Vec = Cinm_support.Vec
 
 type value = { vid : int; ty : Types.t; mutable def : def }
 
@@ -22,11 +29,11 @@ and op = {
 and block = {
   bid : int;
   mutable args : value array;  (** set once at creation *)
-  mutable ops : op list;  (** in execution order *)
+  ops : op Vec.t;  (** in execution order *)
   mutable parent_region : region option;
 }
 
-and region = { mutable blocks : block list; mutable parent_op : op option }
+and region = { blocks : block Vec.t; mutable parent_op : op option }
 
 (** {1 Construction} *)
 
@@ -36,6 +43,19 @@ val add_block : region -> block -> unit
 
 (** @raise Invalid_argument on an empty region. *)
 val entry_block : region -> block
+
+val num_blocks : region -> int
+
+(** @raise Invalid_argument when the index is out of bounds. *)
+val block_at : region -> int -> block
+
+(** The blocks as a fresh list (O(n)); prefer [iter_blocks] on hot paths. *)
+val blocks : region -> block list
+
+val iter_blocks : (block -> unit) -> region -> unit
+
+(** Replace a region's blocks wholesale, reparenting them. *)
+val set_region_blocks : region -> block list -> unit
 
 (** Create an op; one fresh result value is created per entry of
     [result_tys], and the regions' parent pointers are set. *)
@@ -47,7 +67,32 @@ val create_op :
   string ->
   op
 
+(** Append to the end of a block; amortized O(1). *)
 val append_op : block -> op -> unit
+
+(** {1 Block contents} *)
+
+val num_ops : block -> int
+
+(** @raise Invalid_argument when the index is out of bounds. *)
+val op_at : block -> int -> op
+
+(** The ops as a fresh list (O(n)); prefer [iter_ops]/[op_at] on hot paths. *)
+val block_ops : block -> op list
+
+val iter_ops : (op -> unit) -> block -> unit
+val last_op : block -> op option
+val clear_ops : block -> unit
+
+(** Replace a block's ops wholesale, reparenting them. *)
+val set_block_ops : block -> op list -> unit
+
+(** Rewrite each op in place (the replacement is reparented). *)
+val map_ops_in_place : (op -> op) -> block -> unit
+
+(** Keep only the ops satisfying the predicate; returns [true] when
+    anything was removed. *)
+val filter_ops_in_place : (op -> bool) -> block -> bool
 
 (** {1 Accessors} *)
 

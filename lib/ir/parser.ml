@@ -321,7 +321,7 @@ and parse_region st : Ir.region =
   blocks ();
   (* A region printed with no ^ header cannot occur (printer always emits
      headers), but accept an op list as a single anonymous block. *)
-  if region.Ir.blocks = [] then begin
+  if Ir.num_blocks region = 0 then begin
     let block = Ir.create_block () in
     Ir.add_block region block;
     parse_ops_into st block

@@ -104,11 +104,11 @@ and block_lines namer depth idx (block : Ir.block) : string list =
     |> String.concat ", "
   in
   let header = Printf.sprintf "%s^bb%d(%s):" (indent (max 0 (depth - 1))) idx args in
-  let body = List.concat_map (op_lines namer depth) block.Ir.ops in
+  let body = List.concat_map (op_lines namer depth) (Ir.block_ops block) in
   header :: body
 
 and region_lines namer depth (region : Ir.region) : string list =
-  List.concat (List.mapi (fun i b -> block_lines namer depth i b) region.Ir.blocks)
+  List.concat (List.mapi (fun i b -> block_lines namer depth i b) (Ir.blocks region))
 
 let op_to_string ?namer op =
   let namer = match namer with Some n -> n | None -> create_namer () in
@@ -130,7 +130,7 @@ let func_to_string (f : Func.t) =
   let header =
     Printf.sprintf "func.func @%s(%s) -> (%s)%s {" f.Func.fname params result_tys fattrs
   in
-  let body = List.concat_map (op_lines namer 1) entry.Ir.ops in
+  let body = List.concat_map (op_lines namer 1) (Ir.block_ops entry) in
   String.concat "\n" ((header :: body) @ [ "}" ])
 
 let module_to_string (m : Func.modul) =

@@ -49,15 +49,15 @@ let rec clone_converted ctx (op : Ir.op) =
 
 and convert_region ctx (region : Ir.region) : Ir.region =
   let out = Ir.create_region () in
-  List.iter
+  Ir.iter_blocks
     (fun (src : Ir.block) ->
       let arg_tys = Array.to_list (Array.map (fun (v : Ir.value) -> v.Ir.ty) src.Ir.args) in
       let dst = Ir.create_block ~arg_tys () in
       Ir.add_block out dst;
       Array.iteri (fun i v -> bind ctx v dst.Ir.args.(i)) src.Ir.args;
       let inner = { ctx with b = Builder.at_end_of dst } in
-      List.iter (fun op -> convert_op inner op) src.Ir.ops)
-    region.Ir.blocks;
+      Ir.iter_ops (fun op -> convert_op inner op) src)
+    region;
   out
 
 and convert_op ctx (op : Ir.op) =
@@ -71,19 +71,24 @@ and convert_op ctx (op : Ir.op) =
   in
   try_patterns ctx.patterns
 
-(* Convert a whole function in place. *)
+(* Convert a whole function in place. Every block of the body is
+   converted ([convert_region] handles multi-block regions); the entry
+   block's new arguments take over the function's parameters. *)
 let apply_to_func ~patterns (f : Func.t) =
+  if Ir.num_blocks f.Func.body = 0 then
+    invalid_arg
+      (Printf.sprintf "Rewrite.apply_to_func: @%s has an empty body" f.Func.fname);
   let env = Hashtbl.create 64 in
-  let new_body = Ir.create_region () in
-  let old_entry = Func.entry_block f in
-  let arg_tys = Array.to_list (Array.map (fun (v : Ir.value) -> v.Ir.ty) old_entry.Ir.args) in
-  let new_entry = Ir.create_block ~arg_tys () in
-  Ir.add_block new_body new_entry;
-  Array.iteri
-    (fun i (v : Ir.value) -> Hashtbl.replace env v.Ir.vid new_entry.Ir.args.(i))
-    old_entry.Ir.args;
-  let ctx = { b = Builder.at_end_of new_entry; env; patterns } in
-  List.iter (fun op -> convert_op ctx op) old_entry.Ir.ops;
+  (* The per-block builders are installed by [convert_region]; the initial
+     insertion point is a scratch block that must stay empty. *)
+  let scratch = Ir.create_block () in
+  let ctx = { b = Builder.at_end_of scratch; env; patterns } in
+  let new_body = convert_region ctx f.Func.body in
+  if Ir.num_ops scratch <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Rewrite.apply_to_func: a pattern inserted %d ops outside any block of @%s"
+         (Ir.num_ops scratch) f.Func.fname);
   Func.replace_body f new_body
 
 let apply_to_module ~patterns (m : Func.modul) =

@@ -20,7 +20,7 @@ let verify_op_registered (op : Ir.op) =
 let isolated_from_above = [ "cnm.launch"; "upmem.dpu_kernel" ]
 
 let rec verify_region ~fname ~scope (region : Ir.region) : error list =
-  List.concat_map (verify_block ~fname ~scope) region.Ir.blocks
+  List.concat_map (verify_block ~fname ~scope) (Ir.blocks region)
 
 and verify_block ~fname ~scope (block : Ir.block) : error list =
   let scope =
@@ -34,7 +34,7 @@ and verify_block ~fname ~scope (block : Ir.block) : error list =
           Array.fold_left (fun s (v : Ir.value) -> Iset.add v.Ir.vid s) scope op.Ir.results
         in
         (errs, scope))
-      ([], scope) block.Ir.ops
+      ([], scope) (Ir.block_ops block)
   in
   errs
 

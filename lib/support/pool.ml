@@ -1,0 +1,167 @@
+(* A small reusable domain pool for data-parallel loops (OCaml 5 domains).
+
+   The UPMEM machine simulator executes every DPU of a launch through this
+   pool; real hardware runs all DPUs concurrently, and the simulation is
+   embarrassingly parallel at DPU granularity. The pool is deliberately
+   minimal: one parallel-for primitive over [0, n), a fixed set of worker
+   domains spawned lazily on first use, and a sequential fallback whenever
+   parallelism cannot help (1 job, 1 item) or would be unsafe (re-entrant
+   use from inside a worker).
+
+   Sizing: [CINM_JOBS] in the environment, or [set_default_jobs] (the
+   bench harness's [--jobs] flag), or [Domain.recommended_domain_count].
+
+   Determinism: [run] only schedules; callers index into pre-allocated
+   result slots, so the output of a parallel loop is independent of the
+   interleaving. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  all_done : Condition.t;
+  (* current parallel-for, guarded by [mutex] *)
+  mutable body : (int -> unit) option;
+  mutable next : int;  (** next index to claim *)
+  mutable total : int;
+  mutable unfinished : int;  (** claimed-or-unclaimed indices not yet done *)
+  mutable exn : (exn * Printexc.raw_backtrace) option;
+  mutable busy : bool;  (** a [run] is in flight (re-entrancy guard) *)
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t list;  (** spawned lazily *)
+}
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
+  in
+  {
+    jobs;
+    mutex = Mutex.create ();
+    has_work = Condition.create ();
+    all_done = Condition.create ();
+    body = None;
+    next = 0;
+    total = 0;
+    unfinished = 0;
+    exn = None;
+    busy = false;
+    shutting_down = false;
+    workers = [];
+  }
+
+let jobs p = p.jobs
+
+(* Run one claimed index outside the lock; record the first exception. *)
+let run_index p f i =
+  Mutex.unlock p.mutex;
+  let failure =
+    try
+      f i;
+      None
+    with e -> Some (e, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock p.mutex;
+  (match failure with
+  | Some _ when p.exn = None -> p.exn <- failure
+  | _ -> ());
+  p.unfinished <- p.unfinished - 1;
+  if p.unfinished = 0 then Condition.broadcast p.all_done
+
+let worker_loop p =
+  Mutex.lock p.mutex;
+  let stop = ref false in
+  while not !stop do
+    if p.shutting_down then stop := true
+    else
+      match p.body with
+      | Some f when p.next < p.total ->
+        let i = p.next in
+        p.next <- p.next + 1;
+        run_index p f i
+      | _ -> Condition.wait p.has_work p.mutex
+  done;
+  Mutex.unlock p.mutex
+
+(* Must be called with the mutex held. *)
+let ensure_workers p =
+  if p.workers = [] && p.jobs > 1 then
+    p.workers <- List.init (p.jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p))
+
+let shutdown p =
+  Mutex.lock p.mutex;
+  p.shutting_down <- true;
+  Condition.broadcast p.has_work;
+  let workers = p.workers in
+  p.workers <- [];
+  Mutex.unlock p.mutex;
+  List.iter Domain.join workers
+
+(* Apply [f] to every index in [0, n), possibly in parallel. Blocks until
+   all calls completed; re-raises the first exception any of them threw. *)
+let run p n f =
+  if n > 0 then begin
+    Mutex.lock p.mutex;
+    if p.jobs <= 1 || n <= 1 || p.busy || p.shutting_down then begin
+      Mutex.unlock p.mutex;
+      for i = 0 to n - 1 do
+        f i
+      done
+    end
+    else begin
+      ensure_workers p;
+      p.busy <- true;
+      p.body <- Some f;
+      p.next <- 0;
+      p.total <- n;
+      p.unfinished <- n;
+      p.exn <- None;
+      Condition.broadcast p.has_work;
+      (* the calling domain participates in the loop *)
+      while p.next < p.total do
+        let i = p.next in
+        p.next <- p.next + 1;
+        run_index p f i
+      done;
+      while p.unfinished > 0 do
+        Condition.wait p.all_done p.mutex
+      done;
+      p.body <- None;
+      p.busy <- false;
+      let failure = p.exn in
+      p.exn <- None;
+      Mutex.unlock p.mutex;
+      match failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+(* ----- the process-wide default pool ----- *)
+
+let env_jobs () =
+  match Sys.getenv_opt "CINM_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Some j
+    | _ -> None)
+  | None -> None
+
+let default_pool : t option ref = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let p = create ?jobs:(env_jobs ()) () in
+    default_pool := Some p;
+    at_exit (fun () -> shutdown p);
+    p
+
+let set_default_jobs j =
+  (match !default_pool with Some p -> shutdown p | None -> ());
+  let p = create ~jobs:(max 1 j) () in
+  default_pool := Some p;
+  at_exit (fun () -> shutdown p)
+
+let default_jobs () = jobs (default ())

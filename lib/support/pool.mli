@@ -1,0 +1,34 @@
+(** A small reusable domain pool for data-parallel loops.
+
+    [run p n f] applies [f] to every index in [0, n), distributing the
+    calls over the pool's domains (the calling domain participates). It
+    returns once every call has completed and re-raises the first
+    exception raised by any call. Scheduling never affects results as
+    long as distinct indices touch disjoint state: callers write into
+    pre-allocated per-index slots, so outputs are deterministic. *)
+
+type t
+
+(** [create ?jobs ()] makes a pool of [jobs] domains (including the
+    caller); defaults to [Domain.recommended_domain_count]. Worker
+    domains are spawned lazily on first parallel [run]. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+val run : t -> int -> (int -> unit) -> unit
+
+(** Wake and join all worker domains. The pool afterwards degrades to
+    sequential execution. *)
+val shutdown : t -> unit
+
+(** The process-wide pool, sized by [CINM_JOBS] when set (and valid),
+    else [Domain.recommended_domain_count]. Created on first use; torn
+    down via [at_exit]. *)
+val default : unit -> t
+
+(** Replace the default pool with one of the given size (the [--jobs]
+    flag of the bench harness). *)
+val set_default_jobs : int -> unit
+
+val default_jobs : unit -> int

@@ -83,9 +83,9 @@ let run_on_func (f : Func.t) =
   let rec canon_block (block : Ir.block) =
     let memo : (string, Ir.op) Hashtbl.t = Hashtbl.create 32 in
     let kept = ref [] in
-    List.iter
+    Ir.iter_ops
       (fun (op : Ir.op) ->
-        Array.iter (fun r -> List.iter canon_block r.Ir.blocks) op.Ir.regions;
+        Array.iter (fun r -> Ir.iter_blocks canon_block r) op.Ir.regions;
         (* constant folding *)
         (match fold_op op with
         | Some value ->
@@ -114,10 +114,10 @@ let run_on_func (f : Func.t) =
               kept := op :: !kept
           end
           else kept := op :: !kept))
-      block.Ir.ops;
-    block.Ir.ops <- List.rev !kept
+      block;
+    Ir.set_block_ops block (List.rev !kept)
   in
-  List.iter canon_block f.Func.body.Ir.blocks;
+  Ir.iter_blocks canon_block f.Func.body;
   Dce.run_on_func f
 
 let pass =

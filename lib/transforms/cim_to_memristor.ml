@@ -35,7 +35,7 @@ let assign_pass ~tiles =
 (* Recognize an execute body of the form: [cinm.gemm(arg0, arg1); yield]. *)
 let single_gemm_body (op : Ir.op) =
   let body = Ir.entry_block (Ir.region op 0) in
-  match body.Ir.ops with
+  match Ir.block_ops body with
   | [ gemm; yield_op ]
     when gemm.Ir.name = "cinm.gemm"
          && yield_op.Ir.name = "cim.yield"

@@ -492,14 +492,14 @@ let inline_region_into bb region (new_args : Ir.value array) =
   Array.iteri
     (fun i (arg : Ir.value) -> vmap := Ir.Vmap.add arg.Ir.vid new_args.(i) !vmap)
     entry.Ir.args;
-  List.iter
+  Ir.iter_ops
     (fun (op : Ir.op) ->
       if op.Ir.name <> "cnm.terminator" then begin
         let op', vmap' = Ir.clone_op ~vmap:!vmap op in
         vmap := vmap';
         Builder.insert bb op'
       end)
-    entry.Ir.ops
+    entry
 
 let generic_kernel ~orig_region ~n_inputs ~buf_shapes ~dts bb (args : Ir.value array) =
   let c0 = Arith.const_index bb 0 in

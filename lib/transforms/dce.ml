@@ -25,18 +25,14 @@ let run_on_func (f : Func.t) =
         (not (is_removable op))
         || Array.exists (fun (v : Ir.value) -> Hashtbl.mem used v.Ir.vid) op.Ir.results
       in
-      let kept = List.filter keep block.Ir.ops in
-      if List.length kept <> List.length block.Ir.ops then begin
-        changed := true;
-        block.Ir.ops <- kept
-      end
+      if Ir.filter_ops_in_place keep block then changed := true
     in
     let rec prune_region (region : Ir.region) =
-      List.iter
+      Ir.iter_blocks
         (fun block ->
           prune block;
-          List.iter (fun op -> Array.iter prune_region op.Ir.regions) block.Ir.ops)
-        region.Ir.blocks
+          Ir.iter_ops (fun op -> Array.iter prune_region op.Ir.regions) block)
+        region
     in
     prune_region f.Func.body
   done

@@ -98,9 +98,8 @@ let run_on_func (f : Func.t) =
           op.Ir.operands)
     f;
   let rewrite_block (block : Ir.block) =
-    block.Ir.ops <-
-      List.map
-        (fun op ->
+    Ir.map_ops_in_place
+      (fun op ->
           let is_root =
             is_fusable op
             && not (Hashtbl.mem consumed_by_fusable (Ir.result op 0).Ir.vid)
@@ -146,12 +145,11 @@ let run_on_func (f : Func.t) =
               (* redirect all uses of the root to the fused op *)
               Ir.replace_uses_in_region f.Func.body ~old_v:(Ir.result op 0)
                 ~new_v:(Ir.result fused 0);
-              fused.Ir.parent <- Some block;
               fused
           end)
-        block.Ir.ops
+      block
   in
-  List.iter rewrite_block f.Func.body.Ir.blocks
+  Ir.iter_blocks rewrite_block f.Func.body
 
 let pass =
   Pass.create ~name:"cinm-ew-fusion" (fun m ->

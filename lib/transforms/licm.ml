@@ -42,7 +42,7 @@ let pattern : Rewrite.pattern =
     let body = Ir.entry_block region in
     let inside = Transform_util.defined_in_region region in
     let hoisted = ref [] in
-    List.iter
+    Ir.iter_ops
       (fun body_op ->
         if hoistable region inside body_op then begin
           hoisted := body_op :: !hoisted;
@@ -51,7 +51,7 @@ let pattern : Rewrite.pattern =
             (fun (v : Ir.value) -> Hashtbl.remove inside v.Ir.vid)
             body_op.Ir.results
         end)
-      body.Ir.ops;
+      body;
     let hoisted = List.rev !hoisted in
     if hoisted = [] then None
     else begin
@@ -79,10 +79,10 @@ let pattern : Rewrite.pattern =
       Ir.add_block new_region new_block;
       Array.iteri (fun i v -> Rewrite.bind ctx v new_block.Ir.args.(i)) body.Ir.args;
       let inner = { ctx with Rewrite.b = Builder.at_end_of new_block } in
-      List.iter
+      Ir.iter_ops
         (fun body_op ->
           if not (List.memq body_op hoisted) then Rewrite.convert_op inner body_op)
-        body.Ir.ops;
+        body;
       let new_for =
         Ir.create_op
           ~operands:([ lb; ub; step ] @ inits)

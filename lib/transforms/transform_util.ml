@@ -8,11 +8,11 @@ open Cinm_ir
 let defined_in_region (region : Ir.region) =
   let ids = Hashtbl.create 64 in
   let add (v : Ir.value) = Hashtbl.replace ids v.Ir.vid () in
-  List.iter
+  Ir.iter_blocks
     (fun (block : Ir.block) ->
       Array.iter add block.Ir.args;
       Ir.walk_block (fun op -> Array.iter add op.Ir.results) block)
-    region.Ir.blocks;
+    region;
   ids
 
 (* Clone the ops of [region]'s entry block at the builder's insertion
@@ -44,7 +44,7 @@ let inline_body ?(remap = fun (v : Ir.value) -> v) bb (region : Ir.region)
     args;
   let terminators = [ "scf.yield"; "cnm.terminator"; "cim.yield"; "func.return" ] in
   let result = ref [] in
-  List.iter
+  Ir.iter_ops
     (fun (op : Ir.op) ->
       if List.mem op.Ir.name terminators then
         result :=
@@ -54,7 +54,7 @@ let inline_body ?(remap = fun (v : Ir.value) -> v) bb (region : Ir.region)
         vmap := vmap';
         Builder.insert bb op'
       end)
-    entry.Ir.ops;
+    entry;
   !result
 
 (* Resolve a value to its integer constant if it is defined by an

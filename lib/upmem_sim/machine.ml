@@ -26,15 +26,27 @@ type buffer = {
 
 type entry = Wg of wg | Buf of buffer
 
+(* Execution identity of one (DPU, tasklet) kernel evaluation. Each DPU
+   gets its own lane family — its own [wram] table shared by its tasklets
+   — so the per-DPU loop bodies touch no machine-global mutable state and
+   can run concurrently on OCaml 5 domains (see [Interp.device_state]). *)
+type lane = {
+  dpu : int;
+  tasklet : int;
+  wram : (int, Tensor.t) Hashtbl.t;
+      (** per-DPU shared WRAM buffers, keyed by the alloc op's oid *)
+}
+
+type Interp.device_state += Dpu_lane of lane
+
 type t = {
   config : Config.t;
   stats : Stats.t;
   entries : (int, entry) Hashtbl.t;
   mutable next : int;
-  mutable current_tasklet : int;
-  mutable current_dpu : int;
-  (* per-(dpu, alloc-op) shared WRAM buffers, reset per launch *)
-  shared_wram : (int * int, Tensor.t) Hashtbl.t;
+  (* shared WRAM allocs evaluated outside any launch (host-driven tests);
+     reset per launch like the in-kernel tables *)
+  host_wram : (int, Tensor.t) Hashtbl.t;
   mutable mram_used_per_dpu : int;  (** bytes of MRAM allocated per DPU *)
 }
 
@@ -43,9 +55,7 @@ let create config = {
   stats = Stats.create ();
   entries = Hashtbl.create 32;
   next = 0;
-  current_tasklet = 0;
-  current_dpu = 0;
-  shared_wram = Hashtbl.create 16;
+  host_wram = Hashtbl.create 16;
   mram_used_per_dpu = 0;
 }
 
@@ -204,44 +214,74 @@ let hook (m : t) : Interp.hook =
     let w = find_wg m (operand 0) in
     let dpus = w.wg_shape.(0) and tasklets = w.wg_shape.(1) in
     let n_buffers = Ir.num_operands op - 1 in
-    let bufs = List.init n_buffers (fun i -> find_buf m (operand (i + 1))) in
+    let bufs = Array.init n_buffers (fun i -> find_buf m (operand (i + 1))) in
     let region = Ir.region op 0 in
-    Hashtbl.reset m.shared_wram;
+    Hashtbl.reset m.host_wram;
+    (* One kernel evaluation per (DPU, tasklet), DPUs in parallel across
+       the domain pool — as on hardware, where all DPUs run concurrently.
+       Tasklets of one DPU stay sequential (they share the DPU's WRAM).
+       Each DPU writes only its pre-allocated profile slots and its own
+       buffer instances, and the accounting below runs on the host in DPU
+       order, so results and stats are identical for any job count. *)
     let profiles =
-      Array.init dpus (fun d ->
-          Array.init tasklets (fun tid ->
-              let pu = (d * tasklets) + tid in
-              m.current_tasklet <- tid;
-              m.current_dpu <- d;
-              let args =
-                List.map
-                  (fun b ->
-                    let idx =
-                      Cinm_dialects.Cnm_d.buffer_index_of_pu w.wg_shape b.level pu
-                    in
-                    Rtval.Memref b.per_pu.(idx))
-                  bufs
-              in
-              let profile = Profile.create () in
-              let inner = { ctx with Interp.profile = profile } in
-              ignore (Interp.eval_region inner region args);
-              profile))
+      Array.init dpus (fun _ -> Array.init tasklets (fun _ -> Profile.create ()))
     in
+    let pool = Cinm_support.Pool.default () in
+    let parallel = Cinm_support.Pool.jobs pool > 1 && dpus > 1 in
+    Cinm_support.Pool.run pool dpus (fun d ->
+        (* Per-DPU snapshot of the host bindings: kernels may capture values
+           defined outside the launch region, and each evaluation also binds
+           the region's own values. Sequential runs reuse the host table
+           directly — rebinding is harmless there and the copy is pure
+           overhead on every launch. *)
+        let env =
+          if parallel then Hashtbl.copy ctx.Interp.env else ctx.Interp.env
+        in
+        let wram = Hashtbl.create 16 in
+        for tid = 0 to tasklets - 1 do
+          let pu = (d * tasklets) + tid in
+          let args =
+            Array.to_list
+              (Array.map
+                 (fun b ->
+                   let idx =
+                     Cinm_dialects.Cnm_d.buffer_index_of_pu w.wg_shape b.level pu
+                   in
+                   Rtval.Memref b.per_pu.(idx))
+                 bufs)
+          in
+          let inner =
+            { ctx with
+              Interp.env;
+              profile = profiles.(d).(tid);
+              device = Dpu_lane { dpu = d; tasklet = tid; wram };
+            }
+          in
+          ignore (Interp.eval_region inner region args)
+        done);
     ignore (account_launch m profiles);
     Some [ Rtval.Token ]
-  | "upmem.free_dpus" -> Some []
+  | "upmem.free_dpus" ->
+    (* the workgroup's buffers die with it: release their MRAM accounting
+       so back-to-back workgroups in one function don't exhaust MRAM *)
+    m.mram_used_per_dpu <- 0;
+    Some []
   | "cnm.wait" -> Some []
-  | "upmem.tasklet_id" -> Some [ Rtval.Int m.current_tasklet ]
+  | "upmem.tasklet_id" ->
+    let tid = match ctx.Interp.device with Dpu_lane l -> l.tasklet | _ -> 0 in
+    Some [ Rtval.Int tid ]
   | "upmem.wram_shared_alloc" -> (
     match (Ir.result op 0).Ir.ty with
     | Types.MemRef (shape, dt) ->
-      let key = (m.current_dpu, op.Ir.oid) in
+      let table =
+        match ctx.Interp.device with Dpu_lane l -> l.wram | _ -> m.host_wram
+      in
       let t =
-        match Hashtbl.find_opt m.shared_wram key with
+        match Hashtbl.find_opt table op.Ir.oid with
         | Some t -> t
         | None ->
           let t = Tensor.zeros shape dt in
-          Hashtbl.replace m.shared_wram key t;
+          Hashtbl.replace table op.Ir.oid t;
           t
       in
       Some [ Rtval.Memref t ]

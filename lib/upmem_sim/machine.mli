@@ -12,15 +12,28 @@
 open Cinm_ir
 open Cinm_interp
 
+(** Execution identity of one (DPU, tasklet) kernel evaluation, installed
+    as the {!Interp.device_state} of the kernel's context. Each DPU owns a
+    [wram] table shared by its tasklets, so per-DPU execution touches no
+    machine-global mutable state and DPUs run concurrently on the
+    {!Cinm_support.Pool} domains — with results and stats byte-identical
+    to a sequential run for any job count. *)
+type lane = {
+  dpu : int;
+  tasklet : int;
+  wram : (int, Tensor.t) Hashtbl.t;
+      (** per-DPU shared WRAM buffers, keyed by the alloc op's oid *)
+}
+
+type Interp.device_state += Dpu_lane of lane
+
 type t = {
   config : Config.t;
   stats : Stats.t;
   entries : (int, entry) Hashtbl.t;
   mutable next : int;
-  mutable current_tasklet : int;
-  mutable current_dpu : int;
-  shared_wram : (int * int, Tensor.t) Hashtbl.t;
-      (** per-(dpu, alloc-op) shared WRAM buffers, reset per launch *)
+  host_wram : (int, Tensor.t) Hashtbl.t;
+      (** shared WRAM allocs evaluated outside any launch, reset per launch *)
   mutable mram_used_per_dpu : int;  (** bytes of MRAM allocated per DPU *)
 }
 

@@ -28,6 +28,20 @@ let create () =
 
 let total_s s = s.host_to_device_s +. s.kernel_s +. s.device_to_host_s
 
+(* Bit-exact equality, floats included: the parallel simulator merges
+   per-DPU profiles in DPU order on the host, so its accounting must be
+   byte-identical to a sequential run — not merely approximately equal. *)
+let equal a b =
+  a.host_to_device_s = b.host_to_device_s
+  && a.kernel_s = b.kernel_s
+  && a.device_to_host_s = b.device_to_host_s
+  && a.launches = b.launches
+  && a.dpu_instructions = b.dpu_instructions
+  && a.dma_bytes = b.dma_bytes
+  && a.transferred_bytes = b.transferred_bytes
+  && a.energy_j = b.energy_j
+  && a.max_wram_used = b.max_wram_used
+
 let to_string s =
   Printf.sprintf
     "total=%.3fms (to_dev=%.3f kernel=%.3f to_host=%.3f) launches=%d instrs=%d dma=%dB xfer=%dB energy=%.3fmJ"

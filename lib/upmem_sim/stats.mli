@@ -15,4 +15,9 @@ type t = {
 
 val create : unit -> t
 val total_s : t -> float
+
+(** Bit-exact equality, floats included: parallel simulation must account
+    byte-identically to a sequential run. *)
+val equal : t -> t -> bool
+
 val to_string : t -> string

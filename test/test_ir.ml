@@ -63,8 +63,8 @@ let test_type_sizes () =
 let test_build_func () =
   let f = build_gemm_func 4 5 6 in
   let entry = Func.entry_block f in
-  Alcotest.(check int) "two ops" 2 (List.length entry.Ir.ops);
-  let gemm = List.hd entry.Ir.ops in
+  Alcotest.(check int) "two ops" 2 (Ir.num_ops entry);
+  let gemm = Ir.op_at entry 0 in
   Alcotest.(check string) "op name" "cinm.gemm" gemm.Ir.name;
   Alcotest.(check string)
     "result type" "tensor<4x6xi32>"
@@ -114,8 +114,8 @@ let test_clone_independent () =
   Alcotest.(check int) "clone verifies" 0 (List.length (Verifier.verify_func g));
   (* mutating the clone must not affect the original *)
   let g_entry = Func.entry_block g in
-  g_entry.Ir.ops <- [];
-  Alcotest.(check int) "original intact" 2 (List.length (Func.entry_block f).Ir.ops)
+  Ir.clear_ops g_entry;
+  Alcotest.(check int) "original intact" 2 (Ir.num_ops (Func.entry_block f))
 
 (* ----- printing and parsing ----- *)
 
