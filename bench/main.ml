@@ -17,6 +17,12 @@
           main.exe --json FILE ...  (write per-experiment wall-clock and
                                      simulated seconds for regression
                                      tracking)
+          main.exe --faults SPEC --seed N
+                                    (seeded fault injection, e.g.
+                                     dpu_fail=0.05; the retry/remap runtime
+                                     must still reproduce fault-free
+                                     results, and every benchmark checks
+                                     its output against the host)
 *)
 
 open Cinm_ir
@@ -669,11 +675,35 @@ let all_experiments =
 
 let () =
   let json_out = ref None in
+  let fault_rates = ref None in
+  let fault_seed = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--quick" :: rest ->
       quick := true;
       parse acc rest
+    | "--faults" :: spec :: rest -> (
+      match Cinm_support.Fault.parse spec with
+      | Ok plan ->
+        fault_rates := Some plan;
+        parse acc rest
+      | Error msg ->
+        Printf.eprintf "--faults: %s\n" msg;
+        exit 1)
+    | [ "--faults" ] ->
+      Printf.eprintf "--faults expects a spec like dpu_fail=0.05,bitflip=1e-7\n";
+      exit 1
+    | "--seed" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some s ->
+        fault_seed := Some s;
+        parse acc rest
+      | _ ->
+        Printf.eprintf "--seed expects an integer, got %S\n" n;
+        exit 1)
+    | [ "--seed" ] ->
+      Printf.eprintf "--seed expects an integer\n";
+      exit 1
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
       | Some j when j >= 1 ->
@@ -694,6 +724,21 @@ let () =
     | cmd :: rest -> parse (cmd :: acc) rest
   in
   let cmds = parse [] (List.tl (Array.to_list Sys.argv)) in
+  (match (!fault_rates, !fault_seed) with
+  | Some plan, seed ->
+    (* --seed overrides a seed= key in the spec *)
+    let plan =
+      match seed with
+      | Some s -> { plan with Cinm_support.Fault.seed = s }
+      | None -> plan
+    in
+    Cinm_support.Fault.set_default (Some plan);
+    Printf.eprintf "[bench] fault injection enabled: %s\n%!"
+      (Cinm_support.Fault.to_string plan)
+  | None, Some _ ->
+    Printf.eprintf "--seed has no effect without --faults\n";
+    exit 1
+  | None, None -> ());
   let cmds =
     match cmds with
     | [] | [ "all" ] -> all_experiments

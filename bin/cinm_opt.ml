@@ -80,8 +80,8 @@ let run passes_arg verify_only list_passes input =
           | () ->
             print_endline (Printer.module_to_string m);
             0
-          | exception Pass.Pass_failed { pass; message } ->
-            Printf.eprintf "pass %s failed: %s\n" pass message;
+          | exception Pass.Pass_failed diag ->
+            Printf.eprintf "%s\n" (Pass.diag_to_string diag);
             1
         end)
   end

@@ -72,16 +72,53 @@ let pipeline (backend : Backend.t) : Pass.t list =
       Licm.pass; Licm.pass; Canonicalize.pass;
     ]
 
-type compiled = { modul : Func.modul; backend : Backend.t }
+type compiled = {
+  modul : Func.modul;
+  backend : Backend.t;
+  fallback : Pass.diag option;
+      (** set when device lowering failed and the module was re-lowered
+          for the CPU instead *)
+}
 
-let compile ?(verify = true) backend (m : Func.modul) : compiled =
-  Pass.run_pipeline ~verify (pipeline backend) m;
-  { modul = m; backend }
+let clone_module (m : Func.modul) =
+  let m' = Func.create_module () in
+  List.iter (fun f -> Func.add_func m' (Func.clone f)) m.Func.funcs;
+  m'
 
-let compile_func ?verify backend (f : Func.t) : compiled =
+(* The degradation path when a device lowering fails: lower the pristine
+   module to scf loops for the host interpreter (cinm→scf applies to ops
+   without a device target, which a fresh front-end run leaves unset). *)
+let cpu_fallback_pipeline =
+  [
+    Torch_to_tosa.pass; Tosa_to_linalg.pass; Linalg_to_cinm.pass;
+    Cinm_to_scf.pass; Canonicalize.pass;
+  ]
+
+let compile ?(verify = true) ?(fallback = true) backend (m : Func.modul) : compiled =
+  match backend with
+  | Backend.Host_xeon | Backend.Host_arm ->
+    Pass.run_pipeline ~verify (pipeline backend) m;
+    { modul = m; backend; fallback = None }
+  | Backend.Upmem _ | Backend.Cim _ -> (
+    (* device lowerings can fail on capacity/config limits; keep a pristine
+       snapshot so the failed (possibly half-transformed) module can be
+       abandoned and re-lowered for the CPU *)
+    let snapshot = if fallback then Some (clone_module m) else None in
+    match Pass.run_pipeline_result ~verify (pipeline backend) m with
+    | Ok () -> { modul = m; backend; fallback = None }
+    | Error diag -> (
+      match snapshot with
+      | None -> raise (Pass.Pass_failed diag)
+      | Some snap ->
+        Printf.eprintf "[cinm] %s; degrading to CPU lowering\n%!"
+          (Pass.diag_to_string diag);
+        Pass.run_pipeline ~verify cpu_fallback_pipeline snap;
+        { modul = snap; backend; fallback = Some diag }))
+
+let compile_func ?verify ?fallback backend (f : Func.t) : compiled =
   let m = Func.create_module () in
   Func.add_func m f;
-  compile ?verify backend m
+  compile ?verify ?fallback backend m
 
 (* ----- execution ----- *)
 
@@ -117,12 +154,22 @@ let run_upmem_func ?(backend_name = "upmem") ?host_model ?modul ~sim_config f ar
         ];
       energy_j = stats.Usim.Stats.energy_j +. host.Cpu.Model.energy_j;
       counters =
-        [
-          ("launches", stats.Usim.Stats.launches);
-          ("dpu_instructions", stats.Usim.Stats.dpu_instructions);
-          ("dma_bytes", stats.Usim.Stats.dma_bytes);
-          ("transferred_bytes", stats.Usim.Stats.transferred_bytes);
-        ];
+        ([
+           ("launches", stats.Usim.Stats.launches);
+           ("dpu_instructions", stats.Usim.Stats.dpu_instructions);
+           ("dma_bytes", stats.Usim.Stats.dma_bytes);
+           ("transferred_bytes", stats.Usim.Stats.transferred_bytes);
+         ]
+        @
+        (* only surfaced under an active fault plan, keeping fault-free
+           reports byte-identical to the pre-fault-model ones *)
+        if stats.Usim.Stats.retries = 0 && stats.Usim.Stats.failed_dpus = 0 then
+          []
+        else
+          [
+            ("retries", stats.Usim.Stats.retries);
+            ("failed_dpus", stats.Usim.Stats.failed_dpus);
+          ]);
     } )
 
 let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
@@ -133,14 +180,7 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
     | name -> Func.find_func_exn compiled.modul name
   in
   let backend_name = Backend.to_string compiled.backend in
-  match compiled.backend with
-  | Backend.Host_xeon | Backend.Host_arm ->
-    let model =
-      match (host_model, compiled.backend) with
-      | Some m, _ -> m
-      | None, Backend.Host_xeon -> Cpu.Model.xeon_opt
-      | None, _ -> Cpu.Model.arm_inorder
-    in
+  let run_on_host ~backend_name model =
     let results, profile = Interp.run_func ~modul:compiled.modul f args in
     let est = Cpu.Model.estimate model profile in
     ( results,
@@ -154,6 +194,22 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
         energy_j = est.Cpu.Model.energy_j;
         counters = [ ("ops", Profile.total_scalar_ops profile) ];
       } )
+  in
+  match compiled.backend with
+  | _ when compiled.fallback <> None ->
+    (* device lowering failed at compile time: the module holds the scf
+       CPU lowering; run it on the host interpreter *)
+    run_on_host
+      ~backend_name:(backend_name ^ "+cpu-fallback")
+      (Option.value host_model ~default:Cpu.Model.xeon_opt)
+  | Backend.Host_xeon | Backend.Host_arm ->
+    let model =
+      match (host_model, compiled.backend) with
+      | Some m, _ -> m
+      | None, Backend.Host_xeon -> Cpu.Model.xeon_opt
+      | None, _ -> Cpu.Model.arm_inorder
+    in
+    run_on_host ~backend_name model
   | Backend.Upmem c ->
     run_upmem_func ~backend_name ?host_model ~modul:compiled.modul
       ~sim_config:(upmem_sim_config c) f args
@@ -205,6 +261,6 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
       } )
 
 (* Compile and run in one step (used by examples and the bench harness). *)
-let compile_and_run ?verify ?host_model backend f args =
-  let compiled = compile_func ?verify backend (Func.clone f) in
+let compile_and_run ?verify ?fallback ?host_model backend f args =
+  let compiled = compile_func ?verify ?fallback backend (Func.clone f) in
   run ?host_model compiled args

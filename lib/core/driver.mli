@@ -11,13 +11,24 @@ module Cpu = Cinm_cpu_sim
     tosa→linalg→cinm→cnm→upmem; cim: …→cim→memristor with unroll/LICM). *)
 val pipeline : Backend.t -> Pass.t list
 
-type compiled = { modul : Func.modul; backend : Backend.t }
+type compiled = {
+  modul : Func.modul;
+  backend : Backend.t;
+  fallback : Pass.diag option;
+      (** set when the device lowering failed and the module was
+          re-lowered to scf loops for the host instead *)
+}
 
-(** Lower a module in place; verification (default on) raises
-    {!Pass.Pass_failed} when a pass breaks an invariant. *)
-val compile : ?verify:bool -> Backend.t -> Func.modul -> compiled
+(** Lower a module for the backend. With [fallback] (default on), a device
+    lowering failure degrades gracefully: the diagnostic is reported on
+    stderr and a pristine clone of the module is lowered via cinm→scf for
+    the CPU (so [compiled.modul] is then that clone, and {!run} executes
+    it on the host interpreter). With [~fallback:false] — or when
+    verification fails on a host backend — {!Pass.Pass_failed} is
+    raised. *)
+val compile : ?verify:bool -> ?fallback:bool -> Backend.t -> Func.modul -> compiled
 
-val compile_func : ?verify:bool -> Backend.t -> Func.t -> compiled
+val compile_func : ?verify:bool -> ?fallback:bool -> Backend.t -> Func.t -> compiled
 
 (** UPMEM simulator configuration corresponding to a backend config. *)
 val upmem_sim_config : Backend.upmem_config -> Usim.Config.t
@@ -45,6 +56,7 @@ val run :
 (** Compile a clone of the function and run it in one step. *)
 val compile_and_run :
   ?verify:bool ->
+  ?fallback:bool ->
   ?host_model:Cpu.Model.t ->
   Backend.t ->
   Func.t ->

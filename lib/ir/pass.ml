@@ -9,31 +9,76 @@ let create ~name run = { pass_name = name; run }
 let of_patterns ~name patterns =
   create ~name (fun m -> Rewrite.apply_to_module ~patterns m)
 
-exception Pass_failed of { pass : string; message : string }
+(* Structured failure diagnostic: which pass failed, on which op (when
+   known), and why. Pass bodies signal failure with the exceptions below;
+   the [_result] runners capture them as a value so a driver can degrade
+   (e.g. fall back to a CPU lowering) instead of dying. *)
+type diag = { pass : string; op : string option; message : string }
 
-let run_one ?(verify = true) pass m =
-  (try pass.run m
-   with
-   | Verifier.Verification_failed msg ->
-     raise (Pass_failed { pass = pass.pass_name; message = msg })
-   | Invalid_argument msg ->
-     raise (Pass_failed { pass = pass.pass_name; message = msg }));
-  if verify then
-    match Verifier.verify_module m with
-    | [] -> ()
-    | errs ->
-      raise
-        (Pass_failed
-           {
-             pass = pass.pass_name;
-             message =
-               "post-pass verification failed:\n"
-               ^ String.concat "\n" (List.map Verifier.error_to_string errs);
-           })
+let diag_to_string d =
+  match d.op with
+  | Some op -> Printf.sprintf "pass %s failed on %s: %s" d.pass op d.message
+  | None -> Printf.sprintf "pass %s failed: %s" d.pass d.message
 
-let run_pipeline ?(verify = true) ?(trace = false) passes m =
-  List.iter
-    (fun pass ->
+exception Pass_failed of diag
+
+let () =
+  Printexc.register_printer (function
+    | Pass_failed d -> Some (diag_to_string d)
+    | _ -> None)
+
+(* The op an "op: message"-shaped diagnostic names, when the message came
+   from a context (verifier, interpreter hook) that prefixed the op name. *)
+let split_op message =
+  match String.index_opt message ':' with
+  | Some i
+    when i > 0
+         && String.length message > i + 1
+         && String.for_all
+              (fun c ->
+                (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '.'
+                || c = '_')
+              (String.sub message 0 i)
+         && String.contains (String.sub message 0 i) '.' ->
+    (Some (String.sub message 0 i),
+     String.trim (String.sub message (i + 1) (String.length message - i - 1)))
+  | _ -> (None, message)
+
+let run_one_result ?(verify = true) pass m =
+  let fail message =
+    let op, message = split_op message in
+    Error { pass = pass.pass_name; op; message }
+  in
+  match pass.run m with
+  | exception Verifier.Verification_failed msg -> fail msg
+  | exception Invalid_argument msg -> fail msg
+  | () ->
+    if not verify then Ok ()
+    else (
+      match Verifier.verify_module m with
+      | [] -> Ok ()
+      | errs ->
+        fail
+          ("post-pass verification failed:\n"
+          ^ String.concat "\n" (List.map Verifier.error_to_string errs)))
+
+let run_one ?verify pass m =
+  match run_one_result ?verify pass m with
+  | Ok () -> ()
+  | Error d -> raise (Pass_failed d)
+
+let run_pipeline_result ?verify ?(trace = false) passes m =
+  let rec go = function
+    | [] -> Ok ()
+    | pass :: rest ->
       if trace then Printf.eprintf "[cinm] running pass %s\n%!" pass.pass_name;
-      run_one ~verify pass m)
-    passes
+      (match run_one_result ?verify pass m with
+      | Ok () -> go rest
+      | Error d -> Error d)
+  in
+  go passes
+
+let run_pipeline ?verify ?trace passes m =
+  match run_pipeline_result ?verify ?trace passes m with
+  | Ok () -> ()
+  | Error d -> raise (Pass_failed d)

@@ -8,10 +8,25 @@ val create : name:string -> (Func.modul -> unit) -> t
 (** Build a pass from rewrite patterns applied to every function. *)
 val of_patterns : name:string -> Rewrite.pattern list -> t
 
-exception Pass_failed of { pass : string; message : string }
+(** Structured failure diagnostic: the failing pass, the op it failed on
+    (when the message identified one), and the message itself. *)
+type diag = { pass : string; op : string option; message : string }
+
+val diag_to_string : diag -> string
+
+exception Pass_failed of diag
 
 (** Run one pass; with [verify] (default), the module is verified
-    afterwards and failures raise {!Pass_failed}. *)
+    afterwards. Failures are returned as a {!diag} — the module may have
+    been left partially transformed, so on [Error] the caller should
+    discard it (drivers re-lower a pristine clone). *)
+val run_one_result : ?verify:bool -> t -> Func.modul -> (unit, diag) result
+
+(** Like {!run_one_result} but raising {!Pass_failed}. *)
 val run_one : ?verify:bool -> t -> Func.modul -> unit
+
+(** Run passes in order, stopping at the first failure. *)
+val run_pipeline_result :
+  ?verify:bool -> ?trace:bool -> t list -> Func.modul -> (unit, diag) result
 
 val run_pipeline : ?verify:bool -> ?trace:bool -> t list -> Func.modul -> unit

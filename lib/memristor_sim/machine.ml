@@ -12,6 +12,7 @@
 
 open Cinm_ir
 open Cinm_interp
+module Fault = Cinm_support.Fault
 
 type tile = {
   mutable weights : Tensor.t option;
@@ -27,15 +28,17 @@ type t = {
   devices : (int, device) Hashtbl.t;
   mutable next : int;
   mutable io_clock : float;
+  faults : Fault.plan option;
 }
 
-let create config =
+let create ?(faults = Fault.default ()) config =
   {
     config;
     stats = Stats.create ~tiles:config.Config.tiles;
     devices = Hashtbl.create 4;
     next = 0;
     io_clock = 0.0;
+    faults;
   }
 
 let fresh_tile () = { weights = None; staged_input = None; ready_at = 0.0 }
@@ -83,13 +86,49 @@ let hook (m : t) : Interp.hook =
         (Printf.sprintf "memristor.store_tile: weights %s exceed %dx%d crossbar"
            (Cinm_support.Util.shape_to_string w.Tensor.shape)
            c.Config.rows c.Config.cols));
-    tile.weights <- Some (Tensor.copy w);
+    let stored = Tensor.copy w in
+    (* Device non-ideality, applied to the *programmed* conductances.
+       Stuck-at cells clamp to off (0) / on (1) conductance regardless of
+       the written weight; the stuck set is a stable property of the
+       physical tile (same (tile, cell) sites every run for a seed). *)
+    (match m.faults with
+    | Some plan
+      when plan.Fault.rates.Fault.stuck0 > 0.0
+           || plan.Fault.rates.Fault.stuck1 > 0.0 ->
+      let cc = w.Tensor.shape.(1) in
+      for i = 0 to Tensor.num_elements w - 1 do
+        (* cell id is the element's physical position in the crossbar *)
+        let cell = ((i / cc) * c.Config.cols) + (i mod cc) in
+        match Fault.stuck_cell plan ~tile:k ~cell with
+        | Some v ->
+          Tensor.set_int stored i v;
+          m.stats.Stats.stuck_cells <- m.stats.Stats.stuck_cells + 1
+        | None -> ()
+      done
+    | _ -> ());
+    tile.weights <- Some stored;
     let rows = w.Tensor.shape.(0) in
     let cells = Tensor.num_elements w in
     let t_prog = float_of_int rows *. c.Config.t_write_row in
     let start = Float.max m.io_clock tile.ready_at in
     m.io_clock <- start +. t_prog;
     tile.ready_at <- m.io_clock;
+    (* Gain variation is calibrated out by a write-verify read-out pass
+       after programming: the result data is unaffected (the digital
+       periphery rescales), but the pass costs one MVM per programmed row
+       on the serialized digital interface. *)
+    (match m.faults with
+    | Some plan when plan.Fault.rates.Fault.gain_var > 0.0 ->
+      let gain = Fault.tile_gain plan ~tile:k in
+      if Float.abs (gain -. 1.0) > 0.01 then begin
+        let t_cal = float_of_int rows *. c.Config.t_mvm in
+        m.io_clock <- m.io_clock +. t_cal;
+        tile.ready_at <- m.io_clock;
+        m.stats.Stats.io_s <- m.stats.Stats.io_s +. t_cal;
+        m.stats.Stats.calibrations <- m.stats.Stats.calibrations + 1;
+        m.stats.Stats.energy_j <- m.stats.Stats.energy_j +. c.Config.e_mvm
+      end
+    | _ -> ());
     m.stats.Stats.program_s <- m.stats.Stats.program_s +. t_prog;
     m.stats.Stats.cells_written <- m.stats.Stats.cells_written + cells;
     m.stats.Stats.store_ops <- m.stats.Stats.store_ops + 1;

@@ -7,7 +7,14 @@
     input staging) is serialized on an io clock; each tile has its own
     ready clock, so MVMs on distinct tiles overlap — which is where the
     cim-parallel unrolling gets its speedup. The run's makespan is the
-    latest clock at release. *)
+    latest clock at release.
+
+    With a {!Cinm_support.Fault} plan installed the crossbars are
+    non-ideal: stuck-at-0/1 cells clamp programmed conductances (changing
+    results — this fault is not hidden), and tiles with conductance gain
+    outside 1% tolerance pay a write-verify calibration pass after every
+    store (accounted in io time and {!Stats.t.calibrations}; results are
+    unaffected, the digital periphery rescales). *)
 
 open Cinm_ir
 open Cinm_interp
@@ -21,9 +28,12 @@ type t = {
   devices : (int, device) Hashtbl.t;
   mutable next : int;
   mutable io_clock : float;
+  faults : Cinm_support.Fault.plan option;
 }
 
-val create : Config.t -> t
+val create : ?faults:Cinm_support.Fault.plan option -> Config.t -> t
+(** [faults] defaults to {!Cinm_support.Fault.default} (the [CINM_FAULTS]
+    plan, if any); pass [~faults:None] to force ideal crossbars. *)
 
 (** The interpreter hook implementing memristor.*. Programs that exceed the
     configured tile count/geometry, or compute on unprogrammed tiles,

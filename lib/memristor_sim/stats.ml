@@ -14,6 +14,8 @@ type t = {
   mutable makespan_s : float;
       (** event-clock end time: tile-parallel phases overlap, unlike the
           serialized program/compute/io sums above *)
+  mutable stuck_cells : int;  (** crossbar cells clamped by stuck-at faults *)
+  mutable calibrations : int;  (** write-verify passes for tile gain drift *)
 }
 
 let create ~tiles =
@@ -27,6 +29,8 @@ let create ~tiles =
     energy_j = 0.0;
     endurance_writes = Array.make tiles 0;
     makespan_s = 0.0;
+    stuck_cells = 0;
+    calibrations = 0;
   }
 
 (* End-to-end accelerator time: the event-clock makespan when the program
@@ -35,7 +39,11 @@ let total_s s =
   if s.makespan_s > 0.0 then s.makespan_s else s.program_s +. s.compute_s +. s.io_s
 
 let to_string s =
+  let faults =
+    if s.stuck_cells = 0 && s.calibrations = 0 then ""
+    else Printf.sprintf " stuck=%d calibrations=%d" s.stuck_cells s.calibrations
+  in
   Printf.sprintf
-    "total=%.3fus (program=%.3f compute=%.3f io=%.3f) stores=%d cells=%d mvms=%d energy=%.3fuJ"
+    "total=%.3fus (program=%.3f compute=%.3f io=%.3f) stores=%d cells=%d mvms=%d energy=%.3fuJ%s"
     (1e6 *. total_s s) (1e6 *. s.program_s) (1e6 *. s.compute_s) (1e6 *. s.io_s)
-    s.store_ops s.cells_written s.mvms (1e6 *. s.energy_j)
+    s.store_ops s.cells_written s.mvms (1e6 *. s.energy_j) faults

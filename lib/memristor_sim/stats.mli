@@ -11,6 +11,8 @@ type t = {
   mutable energy_j : float;
   mutable endurance_writes : int array;  (** per-tile write cycles *)
   mutable makespan_s : float;  (** event-clock end time (tiles overlap) *)
+  mutable stuck_cells : int;  (** crossbar cells clamped by stuck-at faults *)
+  mutable calibrations : int;  (** write-verify passes for tile gain drift *)
 }
 
 val create : tiles:int -> t

@@ -19,17 +19,28 @@ type policy = {
   forced_target : string option;  (** None = automatic *)
   cim_gemm_threshold : int;  (** min(m,k,n) at or above which gemm prefers cim *)
   use_cost_models : bool;
+  max_offload_bytes : int option;
+      (** ops whose operand+result footprint exceeds this stay on the
+          host (device-capacity guard); None = no limit *)
 }
 
 let default_policy =
-  { forced_target = None; cim_gemm_threshold = 16; use_cost_models = false }
+  {
+    forced_target = None;
+    cim_gemm_threshold = 16;
+    use_cost_models = false;
+    max_offload_bytes = None;
+  }
 
+(* Unknown target names (a typo in --target, a cost model naming a device
+   this build doesn't register) mean "no, this device can't take the op" —
+   selection then falls back rather than aborting the pipeline. *)
 let supports target (support : Cinm_d.support) =
   match target with
   | "cim" -> support.Cinm_d.cim
   | "cnm" -> support.Cinm_d.cnm
   | "host" -> true
-  | t -> invalid_arg ("Target_select: unknown target " ^ t)
+  | _ -> false
 
 let fallback_target (support : Cinm_d.support) =
   if support.Cinm_d.cnm then "cnm" else if support.Cinm_d.cim then "cim" else "host"
@@ -47,6 +58,25 @@ let greedy_target policy op (support : Cinm_d.support) =
       if support.Cinm_d.cim && min_dim >= policy.cim_gemm_threshold then "cim" else "cnm"
     | None -> "cnm")
   | _ -> fallback_target support
+
+(* Bytes the device would have to hold to run [op]: all shaped operands
+   plus all shaped results. *)
+let op_footprint_bytes op =
+  let ty_bytes (ty : Types.t) =
+    match ty with
+    | Types.Tensor (shape, dt) | Types.MemRef (shape, dt)
+    | Types.Buffer { shape; dtype = dt; _ } ->
+      Cinm_support.Util.product_of_shape shape * Types.dtype_bytes dt
+    | _ -> 0
+  in
+  let total = ref 0 in
+  for i = 0 to Ir.num_operands op - 1 do
+    total := !total + ty_bytes (Ir.operand op i).Ir.ty
+  done;
+  for i = 0 to Ir.num_results op - 1 do
+    total := !total + ty_bytes (Ir.result op i).Ir.ty
+  done;
+  !total
 
 let select policy op =
   match Cinm_d.support_of op.Ir.name with
@@ -69,7 +99,18 @@ let run_on_func policy f =
   Func.walk
     (fun op ->
       match select policy op with
-      | Some target -> Ir.set_attr op "target" (Attr.Str target)
+      | Some target -> (
+        (* capacity guard: an op too big for any device footprint budget
+           degrades to the host lowering instead of failing deep inside a
+           device pass; the reason is recorded for diagnostics *)
+        match policy.max_offload_bytes with
+        | Some cap when target <> "host" && op_footprint_bytes op > cap ->
+          Ir.set_attr op "target" (Attr.Str "host");
+          Ir.set_attr op "fallback_reason"
+            (Attr.Str
+               (Printf.sprintf "footprint %d B exceeds device budget %d B"
+                  (op_footprint_bytes op) cap))
+        | _ -> Ir.set_attr op "target" (Attr.Str target))
       | None -> ())
     f
 

@@ -8,6 +8,10 @@ type policy = {
   cim_gemm_threshold : int;
       (** minimum dimension at which matmul-like ops prefer the crossbar *)
   use_cost_models : bool;
+  max_offload_bytes : int option;
+      (** device-capacity guard: ops whose operand+result footprint
+          exceeds this are demoted to the host target with a
+          ["fallback_reason"] attribute; [None] = no limit *)
 }
 
 val default_policy : policy

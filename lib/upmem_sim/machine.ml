@@ -11,12 +11,28 @@
      [dma_bytes_per_cycle]; the DMA engine is serialized per DPU.
    - Host transfers: parallel across active DIMMs.
    - Kernel time of a launch is the max over DPUs (the host waits for the
-     slowest DPU), plus a fixed dispatch overhead. *)
+     slowest DPU), plus a fixed dispatch overhead.
+
+   Fault model (see Cinm_support.Fault): workgroups carry a
+   logical->physical DPU map so permanently-failed DPUs can be masked out
+   at allocation (the UPMEM SDK's rank-report behavior) and remapped to
+   spares when a DPU exhausts its launch retries. Transient launch
+   failures happen *before* the kernel touches device memory, so a
+   retried launch executes the kernel exactly once per logical DPU and
+   numeric results are identical to a fault-free run; only the accounting
+   (retries, backoff time, remap restaging) changes. All fault decisions
+   are host-side pure functions of (seed, site), so stats stay
+   byte-identical for any --jobs count. *)
 
 open Cinm_ir
 open Cinm_interp
+module Fault = Cinm_support.Fault
 
-type wg = { wg_shape : int array (* [dpus; tasklets] *) }
+type wg = {
+  wg_shape : int array; (* [dpus; tasklets] *)
+  phys : int array; (* logical DPU -> physical DPU (identity when fault-free) *)
+  mutable wg_mram : int; (* bytes of MRAM this workgroup allocated per DPU *)
+}
 
 type buffer = {
   per_pu : Tensor.t array;  (** one tensor per buffer at its level *)
@@ -35,9 +51,24 @@ type lane = {
   tasklet : int;
   wram : (int, Tensor.t) Hashtbl.t;
       (** per-DPU shared WRAM buffers, keyed by the alloc op's oid *)
+  wram_used : int ref;  (** bytes allocated in this DPU's WRAM *)
 }
 
 type Interp.device_state += Dpu_lane of lane
+
+(* A kernel failure on one lane, surfaced deterministically: the parallel
+   launch captures per-DPU outcomes and re-raises the failure of the
+   lowest-numbered DPU, independent of domain scheduling. *)
+exception Dpu_failed of { dpu : int; launch : int; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Dpu_failed { dpu; launch; message } ->
+      Some (Printf.sprintf "Dpu_failed (DPU %d, launch %d): %s" dpu launch message)
+    | _ -> None)
+
+(* Dispatch attempts per (launch, DPU) before declaring the DPU dead. *)
+let max_attempts = 4
 
 type t = {
   config : Config.t;
@@ -47,17 +78,33 @@ type t = {
   (* shared WRAM allocs evaluated outside any launch (host-driven tests);
      reset per launch like the in-kernel tables *)
   host_wram : (int, Tensor.t) Hashtbl.t;
+  mutable host_wram_used : int;
   mutable mram_used_per_dpu : int;  (** bytes of MRAM allocated per DPU *)
+  faults : Fault.plan option;
+  mutable launch_seq : int;  (** fault-site id of the next launch *)
+  mutable scatter_seq : int;  (** fault-site id of the next scatter *)
+  mutable spare_cursor : int;  (** next physical DPU to try as a spare *)
+  masked : (int, unit) Hashtbl.t;
+      (** permanently-failed physical DPUs already counted in stats *)
 }
 
-let create config = {
-  config;
-  stats = Stats.create ();
-  entries = Hashtbl.create 32;
-  next = 0;
-  host_wram = Hashtbl.create 16;
-  mram_used_per_dpu = 0;
-}
+let create ?(faults = Fault.default ()) config =
+  {
+    config;
+    stats = Stats.create ();
+    entries = Hashtbl.create 32;
+    next = 0;
+    host_wram = Hashtbl.create 16;
+    host_wram_used = 0;
+    mram_used_per_dpu = 0;
+    faults;
+    launch_seq = 0;
+    scatter_seq = 0;
+    spare_cursor =
+      (let total = Config.total_dpus config in
+       total + max 2 (total / 4) - 1);
+    masked = Hashtbl.create 8;
+  }
 
 let register m e =
   let id = m.next in
@@ -74,6 +121,122 @@ let find_buf m rv =
   match Hashtbl.find_opt m.entries (Rtval.as_handle rv) with
   | Some (Buf b) -> b
   | _ -> invalid_arg "Upmem machine: expected buffer handle"
+
+(* ----- fault plumbing ----- *)
+
+let perm_failed m p =
+  match m.faults with
+  | None -> false
+  | Some plan -> Fault.dpu_failed plan ~dpu:p
+
+let note_masked m p =
+  if not (Hashtbl.mem m.masked p) then begin
+    Hashtbl.replace m.masked p ();
+    m.stats.Stats.failed_dpus <- m.stats.Stats.failed_dpus + 1
+  end
+
+(* The rank is over-provisioned: like real DIMMs — whose SDK exposes the
+   healthy subset of more physical DPUs than the nominal count — the
+   machine has a pool of spare physical DPUs above [total_dpus] that
+   masking and remapping draw from. Physical identity only feeds the
+   fault hash; the timing model keeps using the workgroup's logical
+   shape. *)
+let phys_total m =
+  let total = Config.total_dpus m.config in
+  total + max 2 (total / 4)
+
+(* Assign physical DPUs to a workgroup, skipping permanently-failed ones
+   (the SDK masks them out of the rank at allocation). Fault-free
+   machines keep the identity map — and, like before this fault layer
+   existed, no physical capacity bound is enforced for them. *)
+let assign_phys m ~dpus =
+  match m.faults with
+  | Some plan when plan.Fault.rates.Fault.dpu_fail > 0.0 ->
+    let total = phys_total m in
+    let phys = Array.make dpus 0 in
+    let p = ref 0 in
+    for d = 0 to dpus - 1 do
+      while !p < total && perm_failed m !p do
+        note_masked m !p;
+        incr p
+      done;
+      if !p >= total then
+        invalid_arg
+          (Printf.sprintf
+             "upmem.alloc_dpus: %d DPUs requested but only %d of %d physical \
+              DPUs are healthy"
+             dpus d total);
+      phys.(d) <- !p;
+      incr p
+    done;
+    phys
+  | _ -> Array.init dpus (fun d -> d)
+
+(* A spare physical DPU for remapping, scanning down from the top of the
+   machine so spares don't collide with the low DPUs workgroups occupy. *)
+let take_spare m (w : wg) =
+  let in_wg p = Array.exists (fun q -> q = p) w.phys in
+  let rec scan p =
+    if p < 0 then
+      invalid_arg
+        "upmem.launch: no spare DPUs left to replace a permanently-failed DPU"
+    else if perm_failed m p then begin
+      note_masked m p;
+      scan (p - 1)
+    end
+    else if in_wg p then scan (p - 1)
+    else p
+  in
+  let s = scan m.spare_cursor in
+  m.spare_cursor <- s - 1;
+  s
+
+(* Host-side fault pre-pass of one launch, run sequentially in DPU order
+   (=> deterministic for any job count). For each logical DPU, count the
+   transient dispatch failures the plan injects; each one costs a capped
+   exponential backoff plus a re-dispatch. A DPU that fails all
+   [max_attempts] attempts is declared dead: its work is remapped to a
+   spare physical DPU and its MRAM re-staged (accounted in [remap_s]).
+   All of this happens before the kernel runs, so the kernel still
+   executes exactly once per logical DPU. *)
+let prepass_faults m (w : wg) ~launch =
+  match m.faults with
+  | Some plan when plan.Fault.rates.Fault.dpu_transient > 0.0 ->
+    let c = m.config in
+    let retry_t = ref 0.0 in
+    for d = 0 to w.wg_shape.(0) - 1 do
+      let a = ref 0 in
+      while
+        !a < max_attempts
+        && Fault.launch_transient plan ~launch ~dpu:w.phys.(d) ~attempt:!a
+      do
+        incr a
+      done;
+      let failed = !a in
+      let redispatches = min failed (max_attempts - 1) in
+      if redispatches > 0 then begin
+        m.stats.Stats.retries <- m.stats.Stats.retries + redispatches;
+        for i = 0 to redispatches - 1 do
+          let backoff = min (2.0 ** float_of_int i) 64.0 in
+          retry_t :=
+            !retry_t +. (c.Config.launch_overhead_s *. (1.0 +. backoff))
+        done
+      end;
+      if failed >= max_attempts then begin
+        (* retries exhausted: treat as a permanent failure and remap *)
+        let spare = take_spare m w in
+        w.phys.(d) <- spare;
+        m.stats.Stats.failed_dpus <- m.stats.Stats.failed_dpus + 1;
+        m.stats.Stats.remap_s <-
+          m.stats.Stats.remap_s
+          +. (float_of_int w.wg_mram /. c.Config.host_to_mram_bw)
+          +. c.Config.launch_overhead_s
+      end
+    done;
+    m.stats.Stats.kernel_s <- m.stats.Stats.kernel_s +. !retry_t
+  | _ -> ()
+
+(* ----- timing ----- *)
 
 let active_dimms m (w : wg) =
   let dpus = w.wg_shape.(0) in
@@ -148,6 +311,21 @@ let exec_dma ~to_wram ctx op =
   let wram_off = Rtval.as_int (Interp.lookup ctx (Ir.operand op 3)) in
   let count = Ir.int_attr op "count" in
   let elem_bytes = Types.dtype_bytes mram.Tensor.dtype in
+  let check name t off =
+    let n = Tensor.num_elements t in
+    if off < 0 || count < 0 || off + count > n then begin
+      let where =
+        match ctx.Interp.device with
+        | Dpu_lane l -> Printf.sprintf " on DPU %d (tasklet %d)" l.dpu l.tasklet
+        | _ -> ""
+      in
+      invalid_arg
+        (Printf.sprintf "%s: %s range [%d, %d) out of bounds for %d elements%s"
+           op.Ir.name name off (off + count) n where)
+    end
+  in
+  check "MRAM" mram mram_off;
+  check "WRAM" wram wram_off;
   if to_wram then
     for i = 0 to count - 1 do
       Tensor.set_int wram (wram_off + i) (Tensor.get_int mram (mram_off + i))
@@ -166,7 +344,9 @@ let hook (m : t) : Interp.hook =
   match op.Ir.name with
   | "upmem.alloc_dpus" -> (
     match (Ir.result op 0).Ir.ty with
-    | Types.Workgroup shape -> Some [ register m (Wg { wg_shape = shape }) ]
+    | Types.Workgroup shape ->
+      let phys = assign_phys m ~dpus:shape.(0) in
+      Some [ register m (Wg { wg_shape = shape; phys; wg_mram = 0 }) ]
     | _ -> invalid_arg "upmem.alloc_dpus: bad result type")
   | "cnm.alloc" | "upmem.alloc" -> (
     let op0 = operand 0 in
@@ -180,6 +360,7 @@ let hook (m : t) : Interp.hook =
         Cinm_support.Util.product_of_shape shape * Types.dtype_bytes dtype
         * Cinm_support.Util.ceil_div n dpus
       in
+      w.wg_mram <- w.wg_mram + bytes;
       m.mram_used_per_dpu <- m.mram_used_per_dpu + bytes;
       if m.mram_used_per_dpu > m.config.Config.mram_bytes then
         invalid_arg
@@ -195,6 +376,23 @@ let hook (m : t) : Interp.hook =
     let w = find_wg m (operand 2) in
     let halo = match Ir.attr op "halo" with Some (Attr.Int h) -> h | _ -> 0 in
     Distrib.scatter ~halo ~map:(Ir.str_attr op "map") tensor buf.per_pu;
+    let scatter = m.scatter_seq in
+    m.scatter_seq <- m.scatter_seq + 1;
+    (match m.faults with
+    | Some plan when plan.Fault.rates.Fault.mram_bitflip > 0.0 ->
+      (* MRAM write-path bit flips: corrupt the scattered per-PU data.
+         Unlike transients/remaps these DO change device data — they model
+         the failure the retry layer cannot hide. *)
+      Array.iteri
+        (fun pu t ->
+          for elem = 0 to Tensor.num_elements t - 1 do
+            match Fault.element_bitflip plan ~scatter ~pu ~elem with
+            | Some bit ->
+              Tensor.set_int t elem (Tensor.get_int t elem lxor (1 lsl bit))
+            | None -> ()
+          done)
+        buf.per_pu
+    | _ -> ());
     host_transfer m w
       ~bytes:(Tensor.num_elements tensor * Types.dtype_bytes tensor.Tensor.dtype)
       ~to_device:true;
@@ -217,6 +415,10 @@ let hook (m : t) : Interp.hook =
     let bufs = Array.init n_buffers (fun i -> find_buf m (operand (i + 1))) in
     let region = Ir.region op 0 in
     Hashtbl.reset m.host_wram;
+    m.host_wram_used <- 0;
+    let launch = m.launch_seq in
+    m.launch_seq <- m.launch_seq + 1;
+    prepass_faults m w ~launch;
     (* One kernel evaluation per (DPU, tasklet), DPUs in parallel across
        the domain pool — as on hardware, where all DPUs run concurrently.
        Tasklets of one DPU stay sequential (they share the DPU's WRAM).
@@ -226,6 +428,11 @@ let hook (m : t) : Interp.hook =
     let profiles =
       Array.init dpus (fun _ -> Array.init tasklets (fun _ -> Profile.create ()))
     in
+    (* Kernel failures are captured per DPU and re-raised in DPU order
+       below — never propagated from inside the pool, whose "first
+       exception wins" is scheduling-dependent. *)
+    let outcomes : string option array = Array.make dpus None in
+    let wram_highwater = Array.make dpus 0 in
     let pool = Cinm_support.Pool.default () in
     let parallel = Cinm_support.Pool.jobs pool > 1 && dpus > 1 in
     Cinm_support.Pool.run pool dpus (fun d ->
@@ -238,33 +445,59 @@ let hook (m : t) : Interp.hook =
           if parallel then Hashtbl.copy ctx.Interp.env else ctx.Interp.env
         in
         let wram = Hashtbl.create 16 in
-        for tid = 0 to tasklets - 1 do
-          let pu = (d * tasklets) + tid in
-          let args =
-            Array.to_list
-              (Array.map
-                 (fun b ->
-                   let idx =
-                     Cinm_dialects.Cnm_d.buffer_index_of_pu w.wg_shape b.level pu
-                   in
-                   Rtval.Memref b.per_pu.(idx))
-                 bufs)
-          in
-          let inner =
-            { ctx with
-              Interp.env;
-              profile = profiles.(d).(tid);
-              device = Dpu_lane { dpu = d; tasklet = tid; wram };
-            }
-          in
-          ignore (Interp.eval_region inner region args)
-        done);
+        let wram_used = ref 0 in
+        (try
+           for tid = 0 to tasklets - 1 do
+             let pu = (d * tasklets) + tid in
+             let args =
+               Array.to_list
+                 (Array.map
+                    (fun b ->
+                      let idx =
+                        Cinm_dialects.Cnm_d.buffer_index_of_pu w.wg_shape b.level pu
+                      in
+                      Rtval.Memref b.per_pu.(idx))
+                    bufs)
+             in
+             let inner =
+               { ctx with
+                 Interp.env;
+                 profile = profiles.(d).(tid);
+                 device = Dpu_lane { dpu = d; tasklet = tid; wram; wram_used };
+               }
+             in
+             ignore (Interp.eval_region inner region args)
+           done
+         with e -> outcomes.(d) <- Some (Printexc.to_string e));
+        wram_highwater.(d) <- !wram_used);
+    (* surface the lowest-DPU failure deterministically *)
+    (let fail = ref None in
+     for d = dpus - 1 downto 0 do
+       match outcomes.(d) with
+       | Some message -> fail := Some (d, message)
+       | None -> ()
+     done;
+     match !fail with
+     | Some (dpu, message) -> raise (Dpu_failed { dpu; launch; message })
+     | None -> ());
+    Array.iter
+      (fun hw ->
+        if hw > m.stats.Stats.max_wram_used then m.stats.Stats.max_wram_used <- hw)
+      wram_highwater;
     ignore (account_launch m profiles);
     Some [ Rtval.Token ]
   | "upmem.free_dpus" ->
-    (* the workgroup's buffers die with it: release their MRAM accounting
-       so back-to-back workgroups in one function don't exhaust MRAM *)
-    m.mram_used_per_dpu <- 0;
+    (* the workgroup's buffers die with it: release *its* MRAM accounting
+       (not the whole machine's — another workgroup may still be alive).
+       Unknown or doubly-freed handles are ignored. *)
+    (match operand 0 with
+    | Rtval.Handle id -> (
+      match Hashtbl.find_opt m.entries id with
+      | Some (Wg w) ->
+        m.mram_used_per_dpu <- m.mram_used_per_dpu - w.wg_mram;
+        w.wg_mram <- 0
+      | _ -> ())
+    | _ -> ());
     Some []
   | "cnm.wait" -> Some []
   | "upmem.tasklet_id" ->
@@ -273,13 +506,31 @@ let hook (m : t) : Interp.hook =
   | "upmem.wram_shared_alloc" -> (
     match (Ir.result op 0).Ir.ty with
     | Types.MemRef (shape, dt) ->
-      let table =
-        match ctx.Interp.device with Dpu_lane l -> l.wram | _ -> m.host_wram
+      let table, used, where =
+        match ctx.Interp.device with
+        | Dpu_lane l ->
+          (l.wram, l.wram_used, Printf.sprintf " on DPU %d" l.dpu)
+        | _ ->
+          let r = ref m.host_wram_used in
+          (m.host_wram, r, " (host-driven)")
       in
       let t =
         match Hashtbl.find_opt table op.Ir.oid with
         | Some t -> t
         | None ->
+          let bytes =
+            Cinm_support.Util.product_of_shape shape * Types.dtype_bytes dt
+          in
+          if !used + bytes > m.config.Config.wram_bytes then
+            invalid_arg
+              (Printf.sprintf
+                 "%s: WRAM exhausted%s: %d B requested on top of %d B in use \
+                  (capacity %d B)"
+                 op.Ir.name where bytes !used m.config.Config.wram_bytes);
+          used := !used + bytes;
+          (match ctx.Interp.device with
+          | Dpu_lane _ -> ()
+          | _ -> m.host_wram_used <- !used);
           let t = Tensor.zeros shape dt in
           Hashtbl.replace table op.Ir.oid t;
           t

@@ -7,7 +7,17 @@
     - MRAM<->WRAM DMA: fixed setup cost per transfer plus a per-byte cost,
       serialized per DPU;
     - host transfers: parallel across active DIMMs;
-    - a launch costs the slowest DPU plus a fixed dispatch overhead. *)
+    - a launch costs the slowest DPU plus a fixed dispatch overhead.
+
+    With a {!Cinm_support.Fault} plan installed the machine is
+    fault-tolerant: permanently-failed DPUs are masked out of workgroups
+    at allocation, transient launch failures are retried with capped
+    exponential backoff in simulated time, and a DPU that exhausts its
+    retries has its work remapped to a spare — all before the kernel
+    runs, so numeric results equal the fault-free run and only
+    {!Stats.t.retries} / {!Stats.t.failed_dpus} / {!Stats.t.remap_s}
+    change. Fault decisions are pure functions of the plan's seed, making
+    them byte-identical for any job count. *)
 
 open Cinm_ir
 open Cinm_interp
@@ -23,9 +33,15 @@ type lane = {
   tasklet : int;
   wram : (int, Tensor.t) Hashtbl.t;
       (** per-DPU shared WRAM buffers, keyed by the alloc op's oid *)
+  wram_used : int ref;  (** bytes allocated in this DPU's 64 kB WRAM *)
 }
 
 type Interp.device_state += Dpu_lane of lane
+
+(** A kernel failure on one lane. The launch captures per-DPU outcomes and
+    re-raises the lowest-numbered DPU's failure, independent of how the
+    domain pool scheduled the DPUs. *)
+exception Dpu_failed of { dpu : int; launch : int; message : string }
 
 type t = {
   config : Config.t;
@@ -34,12 +50,20 @@ type t = {
   mutable next : int;
   host_wram : (int, Tensor.t) Hashtbl.t;
       (** shared WRAM allocs evaluated outside any launch, reset per launch *)
+  mutable host_wram_used : int;
   mutable mram_used_per_dpu : int;  (** bytes of MRAM allocated per DPU *)
+  faults : Cinm_support.Fault.plan option;
+  mutable launch_seq : int;
+  mutable scatter_seq : int;
+  mutable spare_cursor : int;
+  masked : (int, unit) Hashtbl.t;
 }
 
 and entry
 
-val create : Config.t -> t
+val create : ?faults:Cinm_support.Fault.plan option -> Config.t -> t
+(** [faults] defaults to {!Cinm_support.Fault.default} (the [CINM_FAULTS]
+    plan, if any); pass [~faults:None] to force a fault-free machine. *)
 
 (** The interpreter hook implementing upmem.* (and the cnm.alloc/cnm.wait
     ops that survive lowering). *)

@@ -11,6 +11,9 @@ type t = {
   mutable transferred_bytes : int;
   mutable energy_j : float;
   mutable max_wram_used : int;
+  mutable retries : int;
+  mutable failed_dpus : int;
+  mutable remap_s : float;
 }
 
 let create () =
@@ -24,9 +27,12 @@ let create () =
     transferred_bytes = 0;
     energy_j = 0.0;
     max_wram_used = 0;
+    retries = 0;
+    failed_dpus = 0;
+    remap_s = 0.0;
   }
 
-let total_s s = s.host_to_device_s +. s.kernel_s +. s.device_to_host_s
+let total_s s = s.host_to_device_s +. s.kernel_s +. s.device_to_host_s +. s.remap_s
 
 (* Bit-exact equality, floats included: the parallel simulator merges
    per-DPU profiles in DPU order on the host, so its accounting must be
@@ -41,10 +47,19 @@ let equal a b =
   && a.transferred_bytes = b.transferred_bytes
   && a.energy_j = b.energy_j
   && a.max_wram_used = b.max_wram_used
+  && a.retries = b.retries
+  && a.failed_dpus = b.failed_dpus
+  && a.remap_s = b.remap_s
 
 let to_string s =
+  let faults =
+    if s.retries = 0 && s.failed_dpus = 0 then ""
+    else
+      Printf.sprintf " retries=%d failed_dpus=%d remap=%.3fms" s.retries
+        s.failed_dpus (1e3 *. s.remap_s)
+  in
   Printf.sprintf
-    "total=%.3fms (to_dev=%.3f kernel=%.3f to_host=%.3f) launches=%d instrs=%d dma=%dB xfer=%dB energy=%.3fmJ"
+    "total=%.3fms (to_dev=%.3f kernel=%.3f to_host=%.3f) launches=%d instrs=%d dma=%dB xfer=%dB energy=%.3fmJ%s"
     (1e3 *. total_s s) (1e3 *. s.host_to_device_s) (1e3 *. s.kernel_s)
     (1e3 *. s.device_to_host_s) s.launches s.dpu_instructions s.dma_bytes
-    s.transferred_bytes (1e3 *. s.energy_j)
+    s.transferred_bytes (1e3 *. s.energy_j) faults

@@ -11,6 +11,9 @@ type t = {
   mutable transferred_bytes : int;
   mutable energy_j : float;
   mutable max_wram_used : int;
+  mutable retries : int;  (** transient launch failures that were re-dispatched *)
+  mutable failed_dpus : int;  (** DPUs masked at alloc or remapped at launch *)
+  mutable remap_s : float;  (** simulated time spent re-staging remapped DPUs *)
 }
 
 val create : unit -> t
