@@ -17,6 +17,9 @@
           main.exe --json FILE ...  (write per-experiment wall-clock and
                                      simulated seconds for regression
                                      tracking)
+          main.exe --trace FILE ... (Chrome trace-event JSON: compile
+                                     passes and per-device simulated
+                                     timelines; open in ui.perfetto.dev)
           main.exe --faults SPEC --seed N
                                     (seeded fault injection, e.g.
                                      dpu_fail=0.05; the retry/remap runtime
@@ -77,9 +80,18 @@ let json_records : json_record list ref = ref []
 let timed name f =
   sim_s_acc := 0.0;
   sim_runs_acc := 0;
+  let module Trace = Cinm_support.Trace in
+  let span_t0 = if Trace.enabled () then Trace.now_host () else 0.0 in
   let t0 = Unix.gettimeofday () in
   f ();
   let wall_s = Unix.gettimeofday () -. t0 in
+  if Trace.enabled () then
+    Trace.complete ~cat:"experiment"
+      ~args:
+        [ ("sim_s", Trace.Float !sim_s_acc); ("runs", Trace.Int !sim_runs_acc) ]
+      ~clock:Trace.Host ~pid:Trace.host_pid ~track:"bench" ~ts:span_t0
+      ~dur:(Trace.now_host () -. span_t0)
+      ("exp:" ^ name);
   json_records :=
     { exp = name; wall_s; sim_s = !sim_s_acc; runs = !sim_runs_acc }
     :: !json_records
@@ -675,6 +687,7 @@ let all_experiments =
 
 let () =
   let json_out = ref None in
+  let trace_out = ref None in
   let fault_rates = ref None in
   let fault_seed = ref None in
   let rec parse acc = function
@@ -721,6 +734,13 @@ let () =
     | [ "--json" ] ->
       Printf.eprintf "--json expects a file name\n";
       exit 1
+    | "--trace" :: file :: rest ->
+      trace_out := Some file;
+      Cinm_support.Trace.enable ();
+      parse acc rest
+    | [ "--trace" ] ->
+      Printf.eprintf "--trace expects a file name\n";
+      exit 1
     | cmd :: rest -> parse (cmd :: acc) rest
   in
   let cmds = parse [] (List.tl (Array.to_list Sys.argv)) in
@@ -745,4 +765,9 @@ let () =
     | cmds -> cmds
   in
   List.iter run_experiment cmds;
-  Option.iter write_json !json_out
+  Option.iter write_json !json_out;
+  Option.iter
+    (fun file ->
+      Cinm_support.Trace.write file;
+      Printf.eprintf "[bench] trace written to %s (open in ui.perfetto.dev)\n%!" file)
+    !trace_out

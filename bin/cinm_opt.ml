@@ -4,11 +4,13 @@
    Example:
      cinm_opt --passes linalg-to-cinm,cinm-target-select input.mlir
      echo '...' | cinm_opt --passes tosa-to-linalg -
+     cinm_opt --passes ... --trace trace.json --pass-stats input.mlir
 *)
 
 open Cinm_ir
 open Cinm_transforms
 open Cmdliner
+module Trace = Cinm_support.Trace
 
 let () = Cinm_dialects.Registry.ensure_all ()
 
@@ -43,12 +45,22 @@ let read_input = function
   | "-" -> In_channel.input_all stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
-let run passes_arg verify_only list_passes input =
+let run passes_arg verify_only list_passes trace_out pass_stats print_ir_after_change
+    print_ir_after_all input =
   if list_passes then begin
     List.iter (fun (name, _) -> print_endline name) (available_passes ());
     0
   end
   else begin
+    if trace_out <> "" then Trace.enable ();
+    if pass_stats then Trace.Metrics.enable ();
+    if print_ir_after_all then Pass.set_ir_dump Pass.Dump_after_all
+    else if print_ir_after_change then Pass.set_ir_dump Pass.Dump_after_change;
+    let finish code =
+      if trace_out <> "" then Trace.write trace_out;
+      if pass_stats then prerr_string (Trace.Metrics.dump ());
+      code
+    in
     let text = read_input input in
     match Parser.parse_module_text text with
     | exception Parser.Parse_error msg ->
@@ -79,10 +91,10 @@ let run passes_arg verify_only list_passes input =
           match Pass.run_pipeline passes m with
           | () ->
             print_endline (Printer.module_to_string m);
-            0
+            finish 0
           | exception Pass.Pass_failed diag ->
             Printf.eprintf "%s\n" (Pass.diag_to_string diag);
-            1
+            finish 1
         end)
   end
 
@@ -96,12 +108,32 @@ let verify_only =
 let list_passes =
   Arg.(value & flag & info [ "list-passes" ] ~doc:"List available passes and exit.")
 
+let trace_out =
+  Arg.(value & opt string "" & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON of the pass pipeline \
+               (one span per pass, with op-count deltas and per-pattern \
+               rewrite hits); open in ui.perfetto.dev.")
+
+let pass_stats =
+  Arg.(value & flag & info [ "pass-stats" ]
+         ~doc:"Print pass/rewrite metrics (runs, wall time, pattern hit \
+               counts) to stderr after the pipeline.")
+
+let print_ir_after_change =
+  Arg.(value & flag & info [ "print-ir-after-change" ]
+         ~doc:"Dump the IR to stderr after every pass that changed it.")
+
+let print_ir_after_all =
+  Arg.(value & flag & info [ "print-ir-after-all" ]
+         ~doc:"Dump the IR to stderr after every pass.")
+
 let input =
   Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Input IR file ('-' for stdin).")
 
 let cmd =
   let doc = "apply CINM compiler passes to textual IR" in
   Cmd.v (Cmd.info "cinm_opt" ~doc)
-    Term.(const run $ passes_arg $ verify_only $ list_passes $ input)
+    Term.(const run $ passes_arg $ verify_only $ list_passes $ trace_out
+          $ pass_stats $ print_ir_after_change $ print_ir_after_all $ input)
 
 let () = exit (Cmd.eval' cmd)

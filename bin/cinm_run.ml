@@ -20,7 +20,7 @@ let benchmarks () : (string * Benchmark.t) list =
   List.map (fun (b : Benchmark.t) -> (b.Benchmark.name, b)) (ml @ prim)
 
 let run list_benchmarks bench_name backend_name dimms dpus_per_dimm tasklets optimize
-    min_writes parallel show_ir =
+    min_writes parallel show_ir trace_out =
   if list_benchmarks then begin
     List.iter
       (fun (name, (b : Benchmark.t)) ->
@@ -46,11 +46,13 @@ let run list_benchmarks bench_name backend_name dimms dpus_per_dimm tasklets opt
           Printf.eprintf "unknown backend %S (cpu|arm|upmem|cim)\n" other;
           exit 1
       in
+      if trace_out <> "" then Cinm_support.Trace.enable ();
       let compiled = Driver.compile_func backend (bench.Benchmark.build ()) in
       if show_ir then
         print_endline
           (Cinm_ir.Printer.module_to_string compiled.Driver.modul);
       let results, report = Driver.run compiled (bench.Benchmark.inputs ()) in
+      if trace_out <> "" then Cinm_support.Trace.write trace_out;
       let ok = Benchmark.results_match bench results in
       Printf.printf "%s\n" (Report.to_string report);
       Printf.printf "result check vs host reference: %s\n" (if ok then "OK" else "MISMATCH");
@@ -71,6 +73,9 @@ let cmd =
       $ Arg.(value & flag & info [ "optimize" ] ~doc:"cinm-opt (WRAM-aware) codegen.")
       $ Arg.(value & flag & info [ "min-writes" ] ~doc:"CIM loop interchange.")
       $ Arg.(value & flag & info [ "parallel" ] ~doc:"CIM tile-parallel unrolling.")
-      $ Arg.(value & flag & info [ "show-ir" ] ~doc:"Print the lowered IR."))
+      $ Arg.(value & flag & info [ "show-ir" ] ~doc:"Print the lowered IR.")
+      $ Arg.(value & opt string "" & info [ "trace" ] ~docv:"FILE"
+               ~doc:"Write a Chrome trace-event JSON (compile passes + \
+                     simulated device timeline); open in ui.perfetto.dev."))
 
 let () = exit (Cmd.eval' cmd)

@@ -15,6 +15,8 @@ module Usim = Cinm_upmem_sim
 module Msim = Cinm_memristor_sim
 module Camsim = Cinm_cam_sim
 module Cpu = Cinm_cpu_sim
+module Trace = Cinm_support.Trace
+module Log = Cinm_support.Log
 
 let () = Cinm_dialects.Registry.ensure_all ()
 
@@ -72,6 +74,21 @@ let pipeline (backend : Backend.t) : Pass.t list =
       Licm.pass; Licm.pass; Canonicalize.pass;
     ]
 
+(* One host-clock driver span (compile / execute), emitted even when [f]
+   raises so the trace shows where a failing run died. *)
+let with_span name f =
+  if not (Trace.enabled ()) then f ()
+  else begin
+    let t0 = Trace.now_host () in
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.complete ~cat:"driver" ~clock:Trace.Host ~pid:Trace.host_pid
+          ~track:"driver" ~ts:t0
+          ~dur:(Trace.now_host () -. t0)
+          name)
+      f
+  end
+
 type compiled = {
   modul : Func.modul;
   backend : Backend.t;
@@ -95,6 +112,7 @@ let cpu_fallback_pipeline =
   ]
 
 let compile ?(verify = true) ?(fallback = true) backend (m : Func.modul) : compiled =
+  with_span ("compile:" ^ Backend.to_string backend) @@ fun () ->
   match backend with
   | Backend.Host_xeon | Backend.Host_arm ->
     Pass.run_pipeline ~verify (pipeline backend) m;
@@ -110,8 +128,7 @@ let compile ?(verify = true) ?(fallback = true) backend (m : Func.modul) : compi
       match snapshot with
       | None -> raise (Pass.Pass_failed diag)
       | Some snap ->
-        Printf.eprintf "[cinm] %s; degrading to CPU lowering\n%!"
-          (Pass.diag_to_string diag);
+        Log.warn "%s; degrading to CPU lowering" (Pass.diag_to_string diag);
         Pass.run_pipeline ~verify cpu_fallback_pipeline snap;
         { modul = snap; backend; fallback = Some diag }))
 
@@ -134,24 +151,41 @@ let run_upmem_func ?(backend_name = "upmem") ?host_model ?modul ~sim_config f ar
   let machine = Usim.Machine.create sim_config in
   let profile = Profile.create () in
   let results, _ =
+    with_span ("execute:" ^ backend_name) @@ fun () ->
     Interp.run_func ~hooks:[ Usim.Machine.hook machine ] ~profile ?modul f args
   in
   let stats = machine.Usim.Machine.stats in
   let host_model = Option.value host_model ~default:Cpu.Model.xeon_opt in
   let host = Cpu.Model.estimate host_model profile in
   let device_s = Usim.Stats.total_s stats in
+  (* With tracing live, the report's time breakdown is *derived from the
+     trace* rather than read off the stats in parallel: the machine emits
+     one span per bucket increment, in increment order, so the folded
+     span durations reproduce the stats fields bit for bit (asserted by
+     test_trace). With tracing off, trace_pid stays 0 and the stats are
+     used directly — identical values either way. *)
+  let breakdown =
+    let pid = machine.Usim.Machine.trace_pid in
+    if pid > 0 then
+      [
+        ("cpu->dpu", Trace.device_total ~pid "cpu->dpu");
+        ("kernel", Trace.device_total ~pid "kernel");
+        ("dpu->cpu", Trace.device_total ~pid "dpu->cpu");
+      ]
+    else
+      [
+        ("cpu->dpu", stats.Usim.Stats.host_to_device_s);
+        ("kernel", stats.Usim.Stats.kernel_s);
+        ("dpu->cpu", stats.Usim.Stats.device_to_host_s);
+      ]
+  in
   ( results,
     {
       Report.backend = backend_name;
       total_s = host.Cpu.Model.time_s +. device_s;
       host_s = host.Cpu.Model.time_s;
       device_s;
-      breakdown =
-        [
-          ("cpu->dpu", stats.Usim.Stats.host_to_device_s);
-          ("kernel", stats.Usim.Stats.kernel_s);
-          ("dpu->cpu", stats.Usim.Stats.device_to_host_s);
-        ];
+      breakdown;
       energy_j = stats.Usim.Stats.energy_j +. host.Cpu.Model.energy_j;
       counters =
         ([
@@ -181,7 +215,10 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
   in
   let backend_name = Backend.to_string compiled.backend in
   let run_on_host ~backend_name model =
-    let results, profile = Interp.run_func ~modul:compiled.modul f args in
+    let results, profile =
+      with_span ("execute:" ^ backend_name) @@ fun () ->
+      Interp.run_func ~modul:compiled.modul f args
+    in
     let est = Cpu.Model.estimate model profile in
     ( results,
       {
@@ -225,6 +262,7 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
     let cam = Camsim.Cam_machine.create (Camsim.Cam_machine.default_config ()) in
     let profile = Profile.create () in
     let results, _ =
+      with_span ("execute:" ^ backend_name) @@ fun () ->
       Interp.run_func
         ~hooks:[ Msim.Machine.hook machine; Camsim.Cam_machine.hook cam ]
         ~profile ~modul:compiled.modul f args
@@ -235,18 +273,29 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
        is not matmul-like (paper §4.1) *)
     let host = Cpu.Model.estimate Cpu.Model.arm_inorder profile in
     let device_s = Msim.Stats.total_s stats +. cam_stats.Camsim.Cam_machine.busy_s in
+    (* trace-derived when live, stats-derived when off; see run_upmem_func *)
+    let breakdown =
+      let pid = machine.Msim.Machine.trace_pid in
+      if pid > 0 then
+        [
+          ("program", Trace.device_total ~pid "program");
+          ("mvm", Trace.device_total ~pid "mvm");
+          ("io", Trace.device_total ~pid "io");
+        ]
+      else
+        [
+          ("program", stats.Msim.Stats.program_s);
+          ("mvm", stats.Msim.Stats.compute_s);
+          ("io", stats.Msim.Stats.io_s);
+        ]
+    in
     ( results,
       {
         Report.backend = backend_name;
         total_s = host.Cpu.Model.time_s +. device_s;
         host_s = host.Cpu.Model.time_s;
         device_s;
-        breakdown =
-          [
-            ("program", stats.Msim.Stats.program_s);
-            ("mvm", stats.Msim.Stats.compute_s);
-            ("io", stats.Msim.Stats.io_s);
-          ];
+        breakdown;
         energy_j =
           stats.Msim.Stats.energy_j +. cam_stats.Camsim.Cam_machine.energy_j
           +. host.Cpu.Model.energy_j;

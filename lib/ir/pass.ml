@@ -1,13 +1,33 @@
 (* Pass manager: named module-level transformations with optional
-   verification after each pass, mirroring MLIR's pass infrastructure. *)
+   verification after each pass, mirroring MLIR's pass infrastructure.
 
-type t = { pass_name : string; run : Func.modul -> unit }
+   Observability (see Cinm_support.Trace): when tracing or metrics
+   collection is live, every pass run emits one host-clock span carrying
+   its wall time, the op-count delta it caused, its per-pattern rewrite
+   hit counts, and — when it failed — an [error] attribute with the
+   structured diagnostic. The fast path with everything disabled is the
+   bare pre-instrumentation code: no timing calls, no allocation. *)
 
-let create ~name run = { pass_name = name; run }
+module Trace = Cinm_support.Trace
+module Log = Cinm_support.Log
+
+type t = {
+  pass_name : string;
+  run : Func.modul -> unit;
+  patterns : Rewrite.pattern list;
+      (* non-empty for [of_patterns] passes: lets the instrumented runner
+         count per-pattern hits without changing the pass body *)
+}
+
+let create ~name run = { pass_name = name; run; patterns = [] }
 
 (* Build a pass from a set of rewrite patterns applied to every function. *)
 let of_patterns ~name patterns =
-  create ~name (fun m -> Rewrite.apply_to_module ~patterns m)
+  {
+    pass_name = name;
+    run = (fun m -> Rewrite.apply_to_module ~patterns m);
+    patterns;
+  }
 
 (* Structured failure diagnostic: which pass failed, on which op (when
    known), and why. Pass bodies signal failure with the exceptions below;
@@ -44,15 +64,37 @@ let split_op message =
      String.trim (String.sub message (i + 1) (String.length message - i - 1)))
   | _ -> (None, message)
 
+(* ----- opt-in IR snapshots (mlir's -print-ir-after-* equivalent) ----- *)
+
+type ir_dump = Dump_never | Dump_after_change | Dump_after_all
+
+let ir_dump_mode = ref Dump_never
+let set_ir_dump m = ir_dump_mode := m
+
+let () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "CINM_PRINT_IR") with
+  | Some ("change" | "after-change") -> ir_dump_mode := Dump_after_change
+  | Some ("all" | "after-all") -> ir_dump_mode := Dump_after_all
+  | _ -> ()
+
+let dump_ir ~pass_name m =
+  prerr_endline (Printf.sprintf "// ----- IR after %s ----- //" pass_name);
+  prerr_string (Printer.module_to_string m);
+  flush stderr
+
+let count_ops (m : Func.modul) =
+  let n = ref 0 in
+  List.iter (Func.walk (fun _ -> incr n)) m.Func.funcs;
+  !n
+
+(* ----- runners ----- *)
+
 let run_one_result ?(verify = true) pass m =
   let fail message =
     let op, message = split_op message in
     Error { pass = pass.pass_name; op; message }
   in
-  match pass.run m with
-  | exception Verifier.Verification_failed msg -> fail msg
-  | exception Invalid_argument msg -> fail msg
-  | () ->
+  let verified () =
     if not verify then Ok ()
     else (
       match Verifier.verify_module m with
@@ -61,6 +103,82 @@ let run_one_result ?(verify = true) pass m =
         fail
           ("post-pass verification failed:\n"
           ^ String.concat "\n" (List.map Verifier.error_to_string errs)))
+  in
+  let instrumented = Trace.enabled () || Trace.Metrics.enabled () in
+  if (not instrumented) && !ir_dump_mode = Dump_never then (
+    match pass.run m with
+    | exception Verifier.Verification_failed msg -> fail msg
+    | exception Invalid_argument msg -> fail msg
+    | () -> verified ())
+  else begin
+    let before_txt =
+      if !ir_dump_mode = Dump_after_change then Printer.module_to_string m
+      else ""
+    in
+    let ops_before = count_ops m in
+    let hits =
+      if pass.patterns = [] then [||]
+      else Array.make (List.length pass.patterns) 0
+    in
+    let t0 = Trace.now_host () in
+    (* the wall time and the span below cover the failing case too: a pass
+       that dies mid-flight still shows up in the timeline, with the diag
+       attached *)
+    let result =
+      match
+        if Array.length hits > 0 then
+          Rewrite.apply_to_module ~hits ~patterns:pass.patterns m
+        else pass.run m
+      with
+      | exception Verifier.Verification_failed msg -> fail msg
+      | exception Invalid_argument msg -> fail msg
+      | () -> verified ()
+    in
+    let wall_s = Trace.now_host () -. t0 in
+    let ops_after = count_ops m in
+    if Trace.Metrics.enabled () then begin
+      Trace.Metrics.incr (Printf.sprintf "pass.%s.runs" pass.pass_name);
+      Trace.Metrics.observe
+        (Printf.sprintf "pass.%s.wall_ms" pass.pass_name)
+        (1e3 *. wall_s);
+      Array.iteri
+        (fun i h ->
+          if h > 0 then
+            Trace.Metrics.incr ~by:h
+              (Printf.sprintf "rewrite.%s.pattern%d" pass.pass_name i))
+        hits
+    end;
+    if Trace.enabled () then begin
+      let hit_args =
+        Array.to_list
+          (Array.mapi
+             (fun i h -> (Printf.sprintf "pattern%d_hits" i, Trace.Int h))
+             hits)
+      in
+      let err =
+        match result with
+        | Ok () -> []
+        | Error d -> [ ("error", Trace.Str (diag_to_string d)) ]
+      in
+      Trace.complete ~cat:"pass"
+        ~args:
+          ([
+             ("ops_before", Trace.Int ops_before);
+             ("ops_after", Trace.Int ops_after);
+             ("ops_delta", Trace.Int (ops_after - ops_before));
+           ]
+          @ hit_args @ err)
+        ~clock:Trace.Host ~pid:Trace.host_pid ~track:"passes" ~ts:t0
+        ~dur:wall_s
+        ("pass:" ^ pass.pass_name)
+    end;
+    (match (!ir_dump_mode, result) with
+    | Dump_after_all, _ -> dump_ir ~pass_name:pass.pass_name m
+    | Dump_after_change, Ok () when Printer.module_to_string m <> before_txt ->
+      dump_ir ~pass_name:pass.pass_name m
+    | _ -> ());
+    result
+  end
 
 let run_one ?verify pass m =
   match run_one_result ?verify pass m with
@@ -70,9 +188,10 @@ let run_one ?verify pass m =
 let run_pipeline_result ?verify ?(trace = false) passes m =
   let rec go = function
     | [] -> Ok ()
-    | pass :: rest ->
-      if trace then Printf.eprintf "[cinm] running pass %s\n%!" pass.pass_name;
-      (match run_one_result ?verify pass m with
+    | pass :: rest -> (
+      if trace then Log.info "running pass %s" pass.pass_name
+      else Log.debug "running pass %s" pass.pass_name;
+      match run_one_result ?verify pass m with
       | Ok () -> go rest
       | Error d -> Error d)
   in

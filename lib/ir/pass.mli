@@ -1,7 +1,20 @@
 (** Pass manager: named module-level transformations with optional
-    verification after each pass. *)
+    verification after each pass.
 
-type t = { pass_name : string; run : Func.modul -> unit }
+    When tracing or metrics collection is enabled (see
+    {!Cinm_support.Trace}), each pass run emits one host-clock span on the
+    ["passes"] track carrying its wall time, op-count delta, per-pattern
+    rewrite hit counts and, on failure, the diagnostic. With both
+    disabled and IR dumping off, the runners take an uninstrumented fast
+    path (no timing, no allocation). *)
+
+type t = {
+  pass_name : string;
+  run : Func.modul -> unit;
+  patterns : Rewrite.pattern list;
+      (** non-empty for {!of_patterns} passes; used by the instrumented
+          runner to count per-pattern hits *)
+}
 
 val create : name:string -> (Func.modul -> unit) -> t
 
@@ -16,16 +29,29 @@ val diag_to_string : diag -> string
 
 exception Pass_failed of diag
 
+(** Opt-in IR snapshots after passes, printed to stderr (the equivalent of
+    MLIR's [-print-ir-after-*]). Also settable via the [CINM_PRINT_IR]
+    environment variable ([change] or [all]). *)
+type ir_dump = Dump_never | Dump_after_change | Dump_after_all
+
+val set_ir_dump : ir_dump -> unit
+
+(** Total op count of a module (all functions, nested regions included). *)
+val count_ops : Func.modul -> int
+
 (** Run one pass; with [verify] (default), the module is verified
     afterwards. Failures are returned as a {!diag} — the module may have
     been left partially transformed, so on [Error] the caller should
-    discard it (drivers re-lower a pristine clone). *)
+    discard it (drivers re-lower a pristine clone). A failing pass still
+    gets its span, with an [error] attribute holding the diagnostic. *)
 val run_one_result : ?verify:bool -> t -> Func.modul -> (unit, diag) result
 
 (** Like {!run_one_result} but raising {!Pass_failed}. *)
 val run_one : ?verify:bool -> t -> Func.modul -> unit
 
-(** Run passes in order, stopping at the first failure. *)
+(** Run passes in order, stopping at the first failure. [trace] promotes
+    the per-pass progress line from debug to info level (see
+    {!Cinm_support.Log}). *)
 val run_pipeline_result :
   ?verify:bool -> ?trace:bool -> t list -> Func.modul -> (unit, diag) result
 

@@ -6,7 +6,14 @@
 
 type env = (int, Ir.value) Hashtbl.t
 
-type ctx = { b : Builder.t; env : env; patterns : pattern list }
+type ctx = {
+  b : Builder.t;
+  env : env;
+  patterns : pattern list;
+  hits : int array;
+      (* per-pattern match counts ([||] when nobody is counting); slot i
+         belongs to the i-th pattern of [patterns] *)
+}
 
 and action =
   | Replace of Ir.value list
@@ -61,20 +68,23 @@ and convert_region ctx (region : Ir.region) : Ir.region =
   out
 
 and convert_op ctx (op : Ir.op) =
-  let rec try_patterns = function
+  let note_hit i = if Array.length ctx.hits > 0 then ctx.hits.(i) <- ctx.hits.(i) + 1 in
+  let rec try_patterns i = function
     | [] -> ignore (clone_converted ctx op)
     | p :: rest -> (
       match p ctx op with
-      | Some (Replace values) -> bind_results ctx op values
-      | Some Erase -> ()
-      | None -> try_patterns rest)
+      | Some (Replace values) ->
+        note_hit i;
+        bind_results ctx op values
+      | Some Erase -> note_hit i
+      | None -> try_patterns (i + 1) rest)
   in
-  try_patterns ctx.patterns
+  try_patterns 0 ctx.patterns
 
 (* Convert a whole function in place. Every block of the body is
    converted ([convert_region] handles multi-block regions); the entry
    block's new arguments take over the function's parameters. *)
-let apply_to_func ~patterns (f : Func.t) =
+let apply_to_func ?(hits = [||]) ~patterns (f : Func.t) =
   if Ir.num_blocks f.Func.body = 0 then
     invalid_arg
       (Printf.sprintf "Rewrite.apply_to_func: @%s has an empty body" f.Func.fname);
@@ -82,7 +92,7 @@ let apply_to_func ~patterns (f : Func.t) =
   (* The per-block builders are installed by [convert_region]; the initial
      insertion point is a scratch block that must stay empty. *)
   let scratch = Ir.create_block () in
-  let ctx = { b = Builder.at_end_of scratch; env; patterns } in
+  let ctx = { b = Builder.at_end_of scratch; env; patterns; hits } in
   let new_body = convert_region ctx f.Func.body in
   if Ir.num_ops scratch <> 0 then
     invalid_arg
@@ -91,5 +101,5 @@ let apply_to_func ~patterns (f : Func.t) =
          (Ir.num_ops scratch) f.Func.fname);
   Func.replace_body f new_body
 
-let apply_to_module ~patterns (m : Func.modul) =
-  List.iter (apply_to_func ~patterns) m.Func.funcs
+let apply_to_module ?hits ~patterns (m : Func.modul) =
+  List.iter (apply_to_func ?hits ~patterns) m.Func.funcs

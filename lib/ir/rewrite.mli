@@ -6,7 +6,13 @@
 
 type env = (int, Ir.value) Hashtbl.t
 
-type ctx = { b : Builder.t; env : env; patterns : pattern list }
+type ctx = {
+  b : Builder.t;
+  env : env;
+  patterns : pattern list;
+  hits : int array;
+      (** per-pattern match counts ([[||]] when nobody is counting) *)
+}
 
 and action =
   | Replace of Ir.value list
@@ -34,5 +40,9 @@ val clone_converted : ctx -> Ir.op -> Ir.op
 
 val convert_region : ctx -> Ir.region -> Ir.region
 val convert_op : ctx -> Ir.op -> unit
-val apply_to_func : patterns:pattern list -> Func.t -> unit
-val apply_to_module : patterns:pattern list -> Func.modul -> unit
+
+(** Convert a function (module) in place. When [hits] is given (one slot
+    per pattern), slot [i] is incremented every time pattern [i] fires —
+    the pass manager uses this for per-pattern rewrite statistics. *)
+val apply_to_func : ?hits:int array -> patterns:pattern list -> Func.t -> unit
+val apply_to_module : ?hits:int array -> patterns:pattern list -> Func.modul -> unit

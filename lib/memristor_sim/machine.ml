@@ -13,6 +13,7 @@
 open Cinm_ir
 open Cinm_interp
 module Fault = Cinm_support.Fault
+module Trace = Cinm_support.Trace
 
 type tile = {
   mutable weights : Tensor.t option;
@@ -29,6 +30,7 @@ type t = {
   mutable next : int;
   mutable io_clock : float;
   faults : Fault.plan option;
+  mutable trace_pid : int;
 }
 
 let create ?(faults = Fault.default ()) config =
@@ -39,7 +41,30 @@ let create ?(faults = Fault.default ()) config =
     next = 0;
     io_clock = 0.0;
     faults;
+    trace_pid = 0;
   }
+
+(* Tracing: this simulator already runs on real event clocks, so spans sit
+   directly on them — tile activity (programming, MVMs) on its own
+   "tile<k>" track at the tile's clock, digital-interface activity on the
+   "io" track at [io_clock]. Span durations equal the stats-bucket
+   increments (cat "program" -> program_s, "mvm" -> compute_s, "io" ->
+   io_s), added in emission order, so [Trace.device_total] reproduces the
+   buckets bit for bit. The interpreter driving these hooks is
+   sequential: determinism needs no further care here. *)
+
+let tracing m =
+  Trace.enabled ()
+  && begin
+       if m.trace_pid = 0 then
+         m.trace_pid <-
+           Trace.new_device
+             (Printf.sprintf "memristor accelerator (%d tiles)"
+                m.config.Config.tiles);
+       true
+     end
+
+let tile_track k = Printf.sprintf "tile%d" k
 
 let fresh_tile () = { weights = None; staged_input = None; ready_at = 0.0 }
 
@@ -87,6 +112,7 @@ let hook (m : t) : Interp.hook =
            (Cinm_support.Util.shape_to_string w.Tensor.shape)
            c.Config.rows c.Config.cols));
     let stored = Tensor.copy w in
+    let stuck_before = m.stats.Stats.stuck_cells in
     (* Device non-ideality, applied to the *programmed* conductances.
        Stuck-at cells clamp to off (0) / on (1) conductance regardless of
        the written weight; the stuck set is a stable property of the
@@ -111,6 +137,21 @@ let hook (m : t) : Interp.hook =
     let cells = Tensor.num_elements w in
     let t_prog = float_of_int rows *. c.Config.t_write_row in
     let start = Float.max m.io_clock tile.ready_at in
+    if tracing m then begin
+      Trace.complete ~cat:"program"
+        ~args:
+          [ ("rows", Trace.Int rows);
+            ("cells", Trace.Int cells);
+            ("write_cycle", Trace.Int (m.stats.Stats.endurance_writes.(k) + 1)) ]
+        ~clock:Trace.Device ~pid:m.trace_pid ~track:(tile_track k) ~ts:start
+        ~dur:t_prog "program";
+      if m.stats.Stats.stuck_cells > stuck_before then
+        Trace.instant ~cat:"fault"
+          ~args:
+            [ ("stuck_cells", Trace.Int (m.stats.Stats.stuck_cells - stuck_before)) ]
+          ~clock:Trace.Device ~pid:m.trace_pid ~track:(tile_track k) ~ts:start
+          "stuck-cells"
+    end;
     m.io_clock <- start +. t_prog;
     tile.ready_at <- m.io_clock;
     (* Gain variation is calibrated out by a write-verify read-out pass
@@ -122,6 +163,11 @@ let hook (m : t) : Interp.hook =
       let gain = Fault.tile_gain plan ~tile:k in
       if Float.abs (gain -. 1.0) > 0.01 then begin
         let t_cal = float_of_int rows *. c.Config.t_mvm in
+        if tracing m then
+          Trace.complete ~cat:"io"
+            ~args:[ ("gain", Trace.Float gain); ("rows", Trace.Int rows) ]
+            ~clock:Trace.Device ~pid:m.trace_pid ~track:(tile_track k)
+            ~ts:m.io_clock ~dur:t_cal "calibrate";
         m.io_clock <- m.io_clock +. t_cal;
         tile.ready_at <- m.io_clock;
         m.stats.Stats.io_s <- m.stats.Stats.io_s +. t_cal;
@@ -138,7 +184,7 @@ let hook (m : t) : Interp.hook =
     Some []
   | "memristor.copy_tile" ->
     let d = find_device m (operand 0) in
-    let _, tile = tile_of d op in
+    let k, tile = tile_of d op in
     let input = Rtval.as_tensor (operand 1) in
     (match input.Tensor.shape with
     | [| _m; kk |] when kk <= c.Config.rows -> ()
@@ -146,6 +192,11 @@ let hook (m : t) : Interp.hook =
     tile.staged_input <- Some (Tensor.copy input);
     let bytes = tensor_bytes input in
     let t_stage = float_of_int bytes *. c.Config.t_input_stage_per_byte in
+    if tracing m then
+      Trace.complete ~cat:"io"
+        ~args:[ ("tile", Trace.Int k); ("bytes", Trace.Int bytes) ]
+        ~clock:Trace.Device ~pid:m.trace_pid ~track:"io" ~ts:m.io_clock
+        ~dur:t_stage "stage";
     (* the DAC registers are double-buffered: staging occupies only the
        shared digital interface; the tile just cannot consume the new
        input before it has arrived *)
@@ -157,11 +208,18 @@ let hook (m : t) : Interp.hook =
     Some []
   | "memristor.gemm_tile" -> (
     let d = find_device m (operand 0) in
-    let _, tile = tile_of d op in
+    let k, tile = tile_of d op in
     match (tile.staged_input, tile.weights) with
     | Some input, Some w ->
       let out = Tensor.matmul input w in
       let vectors = input.Tensor.shape.(0) in
+      if tracing m then
+        Trace.complete ~cat:"mvm"
+          ~args:[ ("vectors", Trace.Int vectors) ]
+          ~clock:Trace.Device ~pid:m.trace_pid ~track:(tile_track k)
+          ~ts:tile.ready_at
+          ~dur:(float_of_int vectors *. c.Config.t_mvm)
+          "mvm";
       (* the MVM runs on the tile alone; distinct tiles overlap *)
       tile.ready_at <- tile.ready_at +. (float_of_int vectors *. c.Config.t_mvm);
       m.stats.Stats.compute_s <-
@@ -176,9 +234,17 @@ let hook (m : t) : Interp.hook =
   | "memristor.barrier" ->
     let d = find_device m (operand 0) in
     m.io_clock <- makespan m d;
+    if tracing m then
+      Trace.instant ~cat:"io" ~clock:Trace.Device ~pid:m.trace_pid ~track:"io"
+        ~ts:m.io_clock "barrier";
     Some []
   | "memristor.release" ->
     let d = find_device m (operand 0) in
+    if tracing m then
+      Trace.instant ~cat:"io"
+        ~args:[ ("makespan_us", Trace.Float (1e6 *. makespan m d)) ]
+        ~clock:Trace.Device ~pid:m.trace_pid ~track:"io" ~ts:(makespan m d)
+        "release";
     m.stats.Stats.makespan_s <- Float.max m.stats.Stats.makespan_s (makespan m d);
     Hashtbl.remove m.devices (Rtval.as_handle (operand 0));
     Some []

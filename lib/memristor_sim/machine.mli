@@ -29,6 +29,15 @@ type t = {
   mutable next : int;
   mutable io_clock : float;
   faults : Cinm_support.Fault.plan option;
+  mutable trace_pid : int;
+      (** the machine's {!Cinm_support.Trace} device pid; [0] until the
+          first event is emitted with tracing on. Spans sit directly on
+          the simulator's event clocks: programming and MVMs on per-tile
+          ["tile<k>"] tracks, digital-interface staging on ["io"], plus
+          stuck-cell/calibration fault events. Span durations equal the
+          stats-bucket increments (cat ["program"]/["mvm"]/["io"]), so
+          {!Cinm_support.Trace.device_total} reproduces them bit for
+          bit. *)
 }
 
 val create : ?faults:Cinm_support.Fault.plan option -> Config.t -> t

@@ -173,8 +173,7 @@ let default () =
     | Some spec -> (
       match parse spec with
       | Ok p -> default_plan := Some p
-      | Error msg ->
-        Printf.eprintf "[cinm] ignoring CINM_FAULTS: %s\n%!" msg)
+      | Error msg -> Log.warn "ignoring CINM_FAULTS: %s" msg)
   end;
   !default_plan
 

@@ -1,0 +1,53 @@
+(* Leveled logging. One tiny module so that every "[cinm] ..." line in
+   the tree has a single, filterable exit point: CINM_LOG selects the
+   minimum level at startup, tests capture lines with [set_sink], and CI
+   lints lib/ against bare Printf.eprintf outside this file. *)
+
+type level = Debug | Info | Warn
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2
+
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+(* Minimum severity that is emitted; 3 silences everything. Warnings stay
+   on by default, matching the pre-logger behaviour of the call sites. *)
+let threshold = ref (severity Warn)
+
+let set_level l = threshold := severity l
+let set_silent () = threshold := 3
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | _ -> None
+
+let () =
+  match Sys.getenv_opt "CINM_LOG" with
+  | None | Some "" -> ()
+  | Some ("quiet" | "silent" | "none") -> threshold := 3
+  | Some s -> ( match of_string s with Some l -> set_level l | None -> ())
+
+let enabled l = severity l >= !threshold
+
+let sink : (level -> string -> unit) option ref = ref None
+let set_sink s = sink := s
+
+let emit l s =
+  match !sink with
+  | Some f -> f l s
+  | None -> (
+    (* warnings keep the historical bare "[cinm] " prefix; the chattier
+       levels are tagged so a debug stream stays greppable *)
+    match l with
+    | Warn -> Printf.eprintf "[cinm] %s\n%!" s
+    | _ -> Printf.eprintf "[cinm:%s] %s\n%!" (level_name l) s)
+
+let logf l fmt =
+  if enabled l then Printf.ksprintf (emit l) fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
+
+let debug fmt = logf Debug fmt
+let info fmt = logf Info fmt
+let warn fmt = logf Warn fmt

@@ -1,0 +1,30 @@
+(** Leveled logging for the CINM stack.
+
+    All human-facing diagnostics (`[cinm] ...` lines) go through this
+    module instead of bare [Printf.eprintf], so they can be filtered with
+    [CINM_LOG=debug|info|warn|quiet] and captured in tests via
+    {!set_sink}. CI lints `lib/` against bare [Printf.eprintf] outside
+    this file. *)
+
+type level = Debug | Info | Warn
+
+(** Minimum level that is emitted (default [Warn], i.e. only warnings).
+    Overridden at startup by the [CINM_LOG] environment variable. *)
+val set_level : level -> unit
+
+(** Silence every level (the [CINM_LOG=quiet] behaviour). *)
+val set_silent : unit -> unit
+
+val of_string : string -> level option
+val level_name : level -> string
+
+(** Would a message at this level currently be emitted? *)
+val enabled : level -> bool
+
+(** Redirect emitted lines (already formatted, without the `[cinm]`
+    prefix) to a custom sink — used by tests; [None] restores stderr. *)
+val set_sink : (level -> string -> unit) option -> unit
+
+val debug : ('a, unit, string, unit) format4 -> 'a
+val info : ('a, unit, string, unit) format4 -> 'a
+val warn : ('a, unit, string, unit) format4 -> 'a

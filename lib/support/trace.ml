@@ -1,0 +1,250 @@
+(* Unified tracing & metrics (see trace.mli for the model).
+
+   Concurrency: events may be pushed from any domain (the UPMEM
+   simulator's kernel lanes run on a domain pool), so the buffer is
+   guarded by a mutex and the on/off flags are atomics. In practice all
+   device-clock events are emitted from the sequential host side of a
+   simulation — the timing models run on the host in PU order — which is
+   what makes the simulated-time track deterministic for any --jobs
+   count.
+
+   Determinism note for [device_total]: simulator stats buckets are
+   built by sequential [+.] accumulation of per-event costs; every such
+   increment emits exactly one span with that cost as its duration, and
+   the fold below adds them back in emission order. Same floats, same
+   order, same rounding — the trace-derived totals are bit-identical to
+   the stats fields, which is what lets Report.breakdown be *derived*
+   from the trace without perturbing fault-free --json output. *)
+
+type clock = Host | Device
+
+type arg = Str of string | Int of int | Float of float
+
+type event = {
+  ev_name : string;
+  cat : string;
+  ph : char;
+  clock : clock;
+  pid : int;
+  track : string;
+  ts : float;
+  dur : float;
+  args : (string * arg) list;
+}
+
+let host_pid = 1
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+let mtx = Mutex.create ()
+
+let locked f =
+  Mutex.lock mtx;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mtx) f
+
+let buf : event Vec.t = Vec.create ()
+let device_names : (int * string) Vec.t = Vec.create ()
+let next_pid = Atomic.make 2 (* pid 1 is the host *)
+
+let epoch = Unix.gettimeofday ()
+let now_host () = Unix.gettimeofday () -. epoch
+
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let clear () = locked (fun () -> Vec.clear buf)
+
+let new_device name =
+  let pid = Atomic.fetch_and_add next_pid 1 in
+  locked (fun () -> Vec.push device_names (pid, name));
+  pid
+
+let push ev = if enabled () then locked (fun () -> Vec.push buf ev)
+
+let complete ?(cat = "") ?(args = []) ~clock ~pid ~track ~ts ~dur name =
+  push { ev_name = name; cat; ph = 'X'; clock; pid; track; ts; dur; args }
+
+let instant ?(cat = "") ?(args = []) ~clock ~pid ~track ~ts name =
+  push { ev_name = name; cat; ph = 'i'; clock; pid; track; ts; dur = 0.0; args }
+
+let events () = locked (fun () -> Vec.to_list buf)
+
+let device_events () =
+  List.filter (fun e -> e.clock = Device) (events ())
+
+let device_total ?pid cat =
+  locked (fun () ->
+      Vec.fold_left
+        (fun acc e ->
+          if
+            e.clock = Device && e.ph = 'X' && e.cat = cat
+            && (match pid with None -> true | Some p -> e.pid = p)
+          then acc +. e.dur
+          else acc)
+        0.0 buf)
+
+(* ----- Chrome trace-event JSON export ----- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_to_json = function
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.9g" f
+
+let args_to_json = function
+  | [] -> ""
+  | args ->
+    Printf.sprintf ",\"args\":{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (arg_to_json v))
+            args))
+
+let to_json_string () =
+  let evs, devices =
+    locked (fun () -> (Vec.to_array buf, Vec.to_list device_names))
+  in
+  (* tids are assigned per pid in first-appearance order, which is
+     deterministic because the event buffer itself is *)
+  let tids : (int * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let next_tid : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let track_meta : (int * string * int) Vec.t = Vec.create () in
+  let tid_of pid track =
+    match Hashtbl.find_opt tids (pid, track) with
+    | Some t -> t
+    | None ->
+      let n = Option.value (Hashtbl.find_opt next_tid pid) ~default:0 in
+      Hashtbl.replace next_tid pid (n + 1);
+      Hashtbl.replace tids (pid, track) n;
+      Vec.push track_meta (pid, track, n);
+      n
+  in
+  Array.iter (fun e -> ignore (tid_of e.pid e.track)) evs;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{ \"traceEvents\": [\n";
+  let first = ref true in
+  let line s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  let meta ~pid ~tid what name =
+    line
+      (Printf.sprintf
+         "  {\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+         what pid tid (escape name))
+  in
+  meta ~pid:host_pid ~tid:0 "process_name" "host (wall clock)";
+  List.iter (fun (pid, name) -> meta ~pid ~tid:0 "process_name" name) devices;
+  Vec.iter (fun (pid, track, tid) -> meta ~pid ~tid "thread_name" track) track_meta;
+  Array.iter
+    (fun e ->
+      let tid = Hashtbl.find tids (e.pid, e.track) in
+      let cat = if e.cat = "" then "cinm" else e.cat in
+      let common =
+        Printf.sprintf
+          "  {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":%.6f"
+          (escape e.ev_name) (escape cat) e.ph e.pid tid (1e6 *. e.ts)
+      in
+      let tail =
+        match e.ph with
+        | 'X' -> Printf.sprintf ",\"dur\":%.6f%s}" (1e6 *. e.dur) (args_to_json e.args)
+        | 'i' -> Printf.sprintf ",\"s\":\"t\"%s}" (args_to_json e.args)
+        | _ -> args_to_json e.args ^ "}"
+      in
+      line (common ^ tail))
+    evs;
+  Buffer.add_string b "\n],\n";
+  Buffer.add_string b "\"displayTimeUnit\": \"ms\",\n";
+  Buffer.add_string b
+    "\"otherData\": { \"tool\": \"cinm\", \"host_clock\": \"wall microseconds since process start\", \"device_clock\": \"simulated microseconds\" }\n}\n";
+  Buffer.contents b
+
+let write path =
+  let oc = open_out path in
+  output_string oc (to_json_string ());
+  close_out oc
+
+(* ----- metrics registry ----- *)
+
+module Metrics = struct
+  let flag = Atomic.make false
+  let enabled () = Atomic.get flag || Atomic.get on
+  let enable () = Atomic.set flag true
+  let disable () = Atomic.set flag false
+
+  let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+  type hist = {
+    mutable n : int;
+    mutable sum : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let hists : (string, hist) Hashtbl.t = Hashtbl.create 16
+
+  let reset () =
+    locked (fun () ->
+        Hashtbl.reset counters;
+        Hashtbl.reset hists)
+
+  let incr ?(by = 1) name =
+    if enabled () then
+      locked (fun () ->
+          match Hashtbl.find_opt counters name with
+          | Some r -> r := !r + by
+          | None -> Hashtbl.replace counters name (ref by))
+
+  let observe name v =
+    if enabled () then
+      locked (fun () ->
+          match Hashtbl.find_opt hists name with
+          | Some h ->
+            h.n <- h.n + 1;
+            h.sum <- h.sum +. v;
+            if v < h.mn then h.mn <- v;
+            if v > h.mx then h.mx <- v
+          | None -> Hashtbl.replace hists name { n = 1; sum = v; mn = v; mx = v })
+
+  let get name =
+    locked (fun () ->
+        match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
+
+  let dump () =
+    locked (fun () ->
+        let lines =
+          Hashtbl.fold
+            (fun k r acc -> Printf.sprintf "counter %s %d" k !r :: acc)
+            counters []
+          @ Hashtbl.fold
+              (fun k h acc ->
+                Printf.sprintf "histogram %s n=%d sum=%.6g min=%.6g max=%.6g" k
+                  h.n h.sum h.mn h.mx
+                :: acc)
+              hists []
+        in
+        String.concat "" (List.map (fun l -> l ^ "\n") (List.sort compare lines)))
+end
+
+(* CINM_TRACE=FILE: enable at startup, export at exit. *)
+let () =
+  match Sys.getenv_opt "CINM_TRACE" with
+  | None | Some "" -> ()
+  | Some file ->
+    enable ();
+    at_exit (fun () -> write file)

@@ -1,0 +1,127 @@
+(** Unified tracing & metrics for the CINM stack.
+
+    A domain-safe structured tracer with named spans, instants and
+    counters on {e two clocks}:
+
+    - {b Host}: monotonic-ish wall-clock seconds since process start —
+      where compile-time goes (pass pipeline, driver, bench harness);
+    - {b Device}: simulated seconds on a device simulator's own event
+      clock — where modelled time goes (DPU lanes, crossbar tiles).
+
+    Each simulated machine registers itself as its own trace process
+    ({!new_device}), so several machines in one run do not overlap.
+    The whole buffer exports as Chrome trace-event JSON, loadable in
+    Perfetto ([ui.perfetto.dev]) or [chrome://tracing].
+
+    Tracing is off by default and every emission is guarded: call sites
+    must test {!enabled} before building args, so a disabled tracer costs
+    one atomic load and no allocation. [CINM_TRACE=FILE] in the
+    environment enables tracing at startup and writes [FILE] at exit;
+    [bench --trace FILE] and [cinm_opt --trace FILE] do the same
+    explicitly. *)
+
+type clock = Host | Device
+
+type arg = Str of string | Int of int | Float of float
+
+type event = {
+  ev_name : string;
+  cat : string;  (** category: "pass", "kernel", "xfer-in", "mvm", ... *)
+  ph : char;  (** 'X' complete span, 'i' instant *)
+  clock : clock;
+  pid : int;  (** {!host_pid} or a {!new_device} pid *)
+  track : string;  (** timeline within the process, e.g. "dpu3", "tile0" *)
+  ts : float;  (** seconds on the event's clock *)
+  dur : float;  (** span length in seconds; 0 for instants *)
+  args : (string * arg) list;
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** Drop all collected events (device registrations survive). *)
+val clear : unit -> unit
+
+(** Host clock: wall seconds since process start. *)
+val now_host : unit -> float
+
+(** The trace process id of host wall-clock tracks. *)
+val host_pid : int
+
+(** Register a simulated device as its own trace process; the returned
+    pid scopes its device-clock tracks (and {!device_total} queries). *)
+val new_device : string -> int
+
+(** Emit a complete span ([ph = 'X']). No-op when tracing is disabled,
+    but callers should still guard with {!enabled} to avoid building
+    [args]. *)
+val complete :
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  clock:clock ->
+  pid:int ->
+  track:string ->
+  ts:float ->
+  dur:float ->
+  string ->
+  unit
+
+(** Emit an instant event ([ph = 'i']). *)
+val instant :
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  clock:clock ->
+  pid:int ->
+  track:string ->
+  ts:float ->
+  string ->
+  unit
+
+(** Snapshot of all events in emission order. *)
+val events : unit -> event list
+
+(** Only the simulated-time events, in emission order. Device events are
+    emitted exclusively from the host thread of a simulation, so this
+    list is bit-identical for any domain-pool size. *)
+val device_events : unit -> event list
+
+(** Sum of the durations of device-clock spans in a category (optionally
+    restricted to one device pid), folded in emission order — the same
+    additions, in the same order, as the simulator stats buckets, so the
+    result is bit-identical to them. [Report.breakdown] derives from
+    this when tracing is live. *)
+val device_total : ?pid:int -> string -> float
+
+(** Chrome trace-event JSON (the object form, with process/thread
+    metadata) — loadable in Perfetto. Host timestamps are wall
+    microseconds, device timestamps simulated microseconds. *)
+val to_json_string : unit -> string
+
+val write : string -> unit
+
+(** In-process metrics registry: monotonic counters and simple
+    histograms, with a stable text dump for tests and
+    [cinm_opt --pass-stats]. Collection is on whenever tracing is, or
+    independently via {!Metrics.enable}. *)
+module Metrics : sig
+  val enabled : unit -> bool
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val reset : unit -> unit
+
+  (** Add to a monotonic counter (created at zero on first use).
+      No-op when collection is off. *)
+  val incr : ?by:int -> string -> unit
+
+  (** Record one observation into a histogram. No-op when off. *)
+  val observe : string -> float -> unit
+
+  (** Current counter value, 0 when absent. *)
+  val get : string -> int
+
+  (** Stable dump: one line per metric, sorted by name —
+      [counter <name> <value>] and
+      [histogram <name> n=<n> sum=<s> min=<m> max=<M>]. *)
+  val dump : unit -> string
+end

@@ -27,6 +27,7 @@
 open Cinm_ir
 open Cinm_interp
 module Fault = Cinm_support.Fault
+module Trace = Cinm_support.Trace
 
 type wg = {
   wg_shape : int array; (* [dpus; tasklets] *)
@@ -86,6 +87,8 @@ type t = {
   mutable spare_cursor : int;  (** next physical DPU to try as a spare *)
   masked : (int, unit) Hashtbl.t;
       (** permanently-failed physical DPUs already counted in stats *)
+  mutable trace_pid : int;
+      (** this machine's trace process id; 0 until tracing first sees it *)
 }
 
 let create ?(faults = Fault.default ()) config =
@@ -104,7 +107,30 @@ let create ?(faults = Fault.default ()) config =
       (let total = Config.total_dpus config in
        total + max 2 (total / 4) - 1);
     masked = Hashtbl.create 8;
+    trace_pid = 0;
   }
+
+(* ----- tracing -----
+
+   Every device-clock event below is emitted from the *host* side of the
+   simulation (accounting code, fault pre-pass), never from pool worker
+   domains, so the device track is bit-identical for any --jobs count.
+   The device clock position is the stats total: each accounting bucket
+   increment emits exactly one span whose [dur] is the increment, so
+   folding span durations in emission order reproduces the stats fields
+   bit for bit (Report derives its breakdown from that fold). *)
+
+let tracing m =
+  Trace.enabled ()
+  && begin
+       if m.trace_pid = 0 then
+         m.trace_pid <-
+           Trace.new_device
+             (Printf.sprintf "upmem rank (%d DPUs)" (Config.total_dpus m.config));
+       true
+     end
+
+let dev_now m = Stats.total_s m.stats
 
 let register m e =
   let id = m.next in
@@ -203,6 +229,9 @@ let prepass_faults m (w : wg) ~launch =
   match m.faults with
   | Some plan when plan.Fault.rates.Fault.dpu_transient > 0.0 ->
     let c = m.config in
+    let trc = tracing m in
+    let t0 = dev_now m in
+    let remap0 = m.stats.Stats.remap_s in
     let retry_t = ref 0.0 in
     for d = 0 to w.wg_shape.(0) - 1 do
       let a = ref 0 in
@@ -216,6 +245,16 @@ let prepass_faults m (w : wg) ~launch =
       let redispatches = min failed (max_attempts - 1) in
       if redispatches > 0 then begin
         m.stats.Stats.retries <- m.stats.Stats.retries + redispatches;
+        (* the fault shows up as an instant on the failing DPU's own lane *)
+        if trc then
+          Trace.instant ~cat:"fault"
+            ~args:
+              [ ("launch", Trace.Int launch);
+                ("phys_dpu", Trace.Int w.phys.(d));
+                ("failed_attempts", Trace.Int failed) ]
+            ~clock:Trace.Device ~pid:m.trace_pid
+            ~track:(Printf.sprintf "dpu%d" d)
+            ~ts:(t0 +. !retry_t) "transient-fault";
         for i = 0 to redispatches - 1 do
           let backoff = min (2.0 ** float_of_int i) 64.0 in
           retry_t :=
@@ -225,14 +264,34 @@ let prepass_faults m (w : wg) ~launch =
       if failed >= max_attempts then begin
         (* retries exhausted: treat as a permanent failure and remap *)
         let spare = take_spare m w in
+        let old = w.phys.(d) in
         w.phys.(d) <- spare;
         m.stats.Stats.failed_dpus <- m.stats.Stats.failed_dpus + 1;
-        m.stats.Stats.remap_s <-
-          m.stats.Stats.remap_s
-          +. (float_of_int w.wg_mram /. c.Config.host_to_mram_bw)
+        let remap_t =
+          (float_of_int w.wg_mram /. c.Config.host_to_mram_bw)
           +. c.Config.launch_overhead_s
+        in
+        if trc then
+          Trace.complete ~cat:"remap"
+            ~args:
+              [ ("launch", Trace.Int launch);
+                ("dead_phys_dpu", Trace.Int old);
+                ("spare_phys_dpu", Trace.Int spare);
+                ("restaged_bytes", Trace.Int w.wg_mram) ]
+            ~clock:Trace.Device ~pid:m.trace_pid
+            ~track:(Printf.sprintf "dpu%d" d)
+            ~ts:(t0 +. !retry_t +. (m.stats.Stats.remap_s -. remap0))
+            ~dur:remap_t "remap";
+        m.stats.Stats.remap_s <- m.stats.Stats.remap_s +. remap_t
       end
     done;
+    (* one span whose dur is exactly the kernel_s increment: the
+       trace-derived kernel bucket stays bit-identical to the stats *)
+    if trc && !retry_t > 0.0 then
+      Trace.complete ~cat:"kernel"
+        ~args:[ ("launch", Trace.Int launch) ]
+        ~clock:Trace.Device ~pid:m.trace_pid ~track:"rank" ~ts:t0
+        ~dur:!retry_t "retry-backoff";
     m.stats.Stats.kernel_s <- m.stats.Stats.kernel_s +. !retry_t
   | _ -> ()
 
@@ -248,6 +307,12 @@ let host_transfer m (w : wg) ~bytes ~to_device =
   let bw = if to_device then c.Config.host_to_mram_bw else c.Config.mram_to_host_bw in
   let dimms = max 1 (active_dimms m w) in
   let t = float_of_int bytes /. (bw *. float_of_int dimms) in
+  if tracing m then
+    Trace.complete
+      ~cat:(if to_device then "cpu->dpu" else "dpu->cpu")
+      ~args:[ ("bytes", Trace.Int bytes); ("dimms", Trace.Int dimms) ]
+      ~clock:Trace.Device ~pid:m.trace_pid ~track:"xfer" ~ts:(dev_now m) ~dur:t
+      (if to_device then "scatter" else "gather");
   if to_device then m.stats.Stats.host_to_device_s <- m.stats.Stats.host_to_device_s +. t
   else m.stats.Stats.device_to_host_s <- m.stats.Stats.device_to_host_s +. t;
   m.stats.Stats.transferred_bytes <- m.stats.Stats.transferred_bytes + bytes;
@@ -268,17 +333,19 @@ let dma_cycles (c : Config.t) (p : Profile.t) =
 
 (* Account a launch: [profiles.(d).(t)] is the profile of tasklet t on
    DPU d. Returns the kernel time. *)
-let account_launch m (profiles : Profile.t array array) =
+let account_launch m ~launch (profiles : Profile.t array array) =
   let c = m.config in
   let t_count = if Array.length profiles = 0 then 1 else Array.length profiles.(0) in
   let stall_factor =
     max 1.0 (float_of_int c.Config.pipeline_tasklets /. float_of_int (max 1 t_count))
   in
+  let trc = tracing m in
+  let t0 = dev_now m in
   let max_dpu_cycles = ref 0.0 in
   let total_instr = ref 0.0 in
   let total_dma_bytes = ref 0 in
-  Array.iter
-    (fun dpu_profiles ->
+  Array.iteri
+    (fun d dpu_profiles ->
       let compute = ref 0.0 and dma = ref 0.0 in
       Array.iter
         (fun p ->
@@ -288,9 +355,42 @@ let account_launch m (profiles : Profile.t array array) =
           total_dma_bytes := !total_dma_bytes + p.Profile.dma_bytes)
         dpu_profiles;
       let cycles = (!compute *. stall_factor) +. !dma in
-      if cycles > !max_dpu_cycles then max_dpu_cycles := cycles)
+      if cycles > !max_dpu_cycles then max_dpu_cycles := cycles;
+      (* per-DPU lane spans: the launch as this DPU experienced it —
+         compute then its serialized DMA engine. cat "lane"/"lane-dma" is
+         excluded from bucket totals; the rank-level "kernel" span below
+         carries the accounted time. *)
+      if trc then begin
+        let track = Printf.sprintf "dpu%d" d in
+        let compute_s = !compute *. stall_factor /. c.Config.freq_hz in
+        let dma_s = !dma /. c.Config.freq_hz in
+        Trace.complete ~cat:"lane"
+          ~args:
+            [ ("launch", Trace.Int launch);
+              ("tasklets", Trace.Int (Array.length dpu_profiles));
+              ("compute_cycles", Trace.Float !compute);
+              ("stall_factor", Trace.Float stall_factor) ]
+          ~clock:Trace.Device ~pid:m.trace_pid ~track ~ts:t0 ~dur:compute_s
+          (Printf.sprintf "launch%d:compute" launch);
+        if dma_s > 0.0 then
+          Trace.complete ~cat:"lane-dma"
+            ~args:
+              [ ("launch", Trace.Int launch);
+                ("dma_cycles", Trace.Float !dma) ]
+            ~clock:Trace.Device ~pid:m.trace_pid ~track
+            ~ts:(t0 +. compute_s) ~dur:dma_s
+            (Printf.sprintf "launch%d:dma" launch)
+      end)
     profiles;
   let kernel_t = (!max_dpu_cycles /. c.Config.freq_hz) +. c.Config.launch_overhead_s in
+  if trc then
+    Trace.complete ~cat:"kernel"
+      ~args:
+        [ ("launch", Trace.Int launch);
+          ("dpus", Trace.Int (Array.length profiles));
+          ("max_dpu_cycles", Trace.Float !max_dpu_cycles) ]
+      ~clock:Trace.Device ~pid:m.trace_pid ~track:"rank" ~ts:t0 ~dur:kernel_t
+      (Printf.sprintf "launch%d" launch);
   m.stats.Stats.kernel_s <- m.stats.Stats.kernel_s +. kernel_t;
   m.stats.Stats.launches <- m.stats.Stats.launches + 1;
   m.stats.Stats.dpu_instructions <-
@@ -346,6 +446,14 @@ let hook (m : t) : Interp.hook =
     match (Ir.result op 0).Ir.ty with
     | Types.Workgroup shape ->
       let phys = assign_phys m ~dpus:shape.(0) in
+      if tracing m then
+        Trace.instant ~cat:"alloc"
+          ~args:
+            [ ("dpus", Trace.Int shape.(0));
+              ("tasklets", Trace.Int shape.(1));
+              ("masked_dpus", Trace.Int (Hashtbl.length m.masked)) ]
+          ~clock:Trace.Device ~pid:m.trace_pid ~track:"rank" ~ts:(dev_now m)
+          "alloc_dpus";
       Some [ register m (Wg { wg_shape = shape; phys; wg_mram = 0 }) ]
     | _ -> invalid_arg "upmem.alloc_dpus: bad result type")
   | "cnm.alloc" | "upmem.alloc" -> (
@@ -368,6 +476,14 @@ let hook (m : t) : Interp.hook =
              "upmem machine: MRAM exhausted (%d B allocated per DPU, %d B available)"
              m.mram_used_per_dpu m.config.Config.mram_bytes);
       let per_pu = Array.init n (fun _ -> Tensor.zeros shape dtype) in
+      if tracing m then
+        Trace.instant ~cat:"alloc"
+          ~args:
+            [ ("bytes_per_dpu", Trace.Int bytes);
+              ("level", Trace.Int level);
+              ("buffers", Trace.Int n) ]
+          ~clock:Trace.Device ~pid:m.trace_pid ~track:"rank" ~ts:(dev_now m)
+          "alloc_buffer";
       Some [ register m (Buf { per_pu; dtype; level }) ]
     | _ -> invalid_arg "upmem buffer alloc: bad result type")
   | "upmem.scatter" ->
@@ -388,7 +504,16 @@ let hook (m : t) : Interp.hook =
           for elem = 0 to Tensor.num_elements t - 1 do
             match Fault.element_bitflip plan ~scatter ~pu ~elem with
             | Some bit ->
-              Tensor.set_int t elem (Tensor.get_int t elem lxor (1 lsl bit))
+              Tensor.set_int t elem (Tensor.get_int t elem lxor (1 lsl bit));
+              if tracing m then
+                Trace.instant ~cat:"fault"
+                  ~args:
+                    [ ("scatter", Trace.Int scatter);
+                      ("pu", Trace.Int pu);
+                      ("elem", Trace.Int elem);
+                      ("bit", Trace.Int bit) ]
+                  ~clock:Trace.Device ~pid:m.trace_pid ~track:"xfer"
+                  ~ts:(dev_now m) "mram-bitflip"
             | None -> ()
           done)
         buf.per_pu
@@ -484,7 +609,7 @@ let hook (m : t) : Interp.hook =
       (fun hw ->
         if hw > m.stats.Stats.max_wram_used then m.stats.Stats.max_wram_used <- hw)
       wram_highwater;
-    ignore (account_launch m profiles);
+    ignore (account_launch m ~launch profiles);
     Some [ Rtval.Token ]
   | "upmem.free_dpus" ->
     (* the workgroup's buffers die with it: release *its* MRAM accounting
@@ -495,6 +620,11 @@ let hook (m : t) : Interp.hook =
       match Hashtbl.find_opt m.entries id with
       | Some (Wg w) ->
         m.mram_used_per_dpu <- m.mram_used_per_dpu - w.wg_mram;
+        if tracing m then
+          Trace.instant ~cat:"alloc"
+            ~args:[ ("freed_bytes_per_dpu", Trace.Int w.wg_mram) ]
+            ~clock:Trace.Device ~pid:m.trace_pid ~track:"rank"
+            ~ts:(dev_now m) "free_dpus";
         w.wg_mram <- 0
       | _ -> ())
     | _ -> ());

@@ -57,6 +57,18 @@ type t = {
   mutable scatter_seq : int;
   mutable spare_cursor : int;
   masked : (int, unit) Hashtbl.t;
+  mutable trace_pid : int;
+      (** the machine's {!Cinm_support.Trace} device pid; [0] until the
+          first event is emitted with tracing on. With tracing live the
+          machine emits its timing as device-clock spans — scatter/gather
+          on the ["xfer"] track, per-launch kernel and retry-backoff spans
+          on ["rank"], per-DPU compute/DMA lane spans on ["dpu<i>"], and
+          fault instants (transient failures, remaps, MRAM bit flips) on
+          the lane they hit. Span durations equal the stats-bucket
+          increments, added in the same order, so
+          {!Cinm_support.Trace.device_total} reproduces the stats fields
+          bit for bit. All events are emitted host-side, never from pool
+          domains: the device track is identical for any [--jobs]. *)
 }
 
 and entry

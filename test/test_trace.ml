@@ -1,0 +1,508 @@
+(* Tests for the unified tracing & metrics layer (Cinm_support.Trace /
+   Log): Perfetto-shaped JSON export, bit-identical simulated-time tracks
+   across job counts, per-pattern rewrite hit counting, reports
+   unperturbed by tracing, failing-pass spans, and the leveled logger. *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_transforms
+open Cinm_interp
+open Cinm_core
+module Trace = Cinm_support.Trace
+module Log = Cinm_support.Log
+module Fault = Cinm_support.Fault
+module Pool = Cinm_support.Pool
+module Usim = Cinm_upmem_sim
+module T = Types
+
+let () = Registry.ensure_all ()
+
+(* Every test leaves the global tracer the way it found it: off, empty. *)
+let with_tracing f =
+  Trace.clear ();
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.clear ();
+      Trace.Metrics.disable ();
+      Trace.Metrics.reset ())
+    f
+
+(* ----- a minimal JSON parser (no JSON library in the tree) ----- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some 'b' -> Buffer.add_char b '\b'
+        | Some 'f' -> Buffer.add_char b '\012'
+        | Some 'u' ->
+          (* keep the escape verbatim; the tests never inspect these *)
+          Buffer.add_string b "\\u"
+        | Some c -> Buffer.add_char b c
+        | None -> fail "unterminated escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* ----- fixtures ----- *)
+
+let tensor shape = T.Tensor (shape, T.I32)
+let iota shape = Tensor.init shape (fun i -> (i mod 23) - 11)
+
+let build_mm m k n () =
+  let f =
+    Func.create ~name:"mm" ~arg_tys:[ tensor [| m; k |]; tensor [| k; n |] ]
+      ~result_tys:[ tensor [| m; n |] ]
+  in
+  let b = Builder.for_func f in
+  Func_d.return b [ Linalg_d.matmul b (Func.param f 0) (Func.param f 1) ];
+  f
+
+let force_cnm =
+  Target_select.pass
+    ~policy:{ Target_select.default_policy with forced_target = Some "cnm" }
+    ()
+
+let lower_to_upmem f =
+  let m = Func.create_module () in
+  Func.add_func m f;
+  Pass.run_pipeline
+    [ Tosa_to_linalg.pass; Linalg_to_cinm.pass; force_cnm;
+      Cinm_to_cnm.pass
+        ~options:
+          { Cinm_to_cnm.dpus = 8; tasklets = 4; optimize = false;
+            max_rows_per_launch = 8 }
+        ();
+      Cnm_to_upmem.pass () ]
+    m;
+  List.hd m.Func.funcs
+
+let mm_args () = [ Rtval.Tensor (iota [| 32; 8 |]); Rtval.Tensor (iota [| 8; 6 |]) ]
+
+(* ----- JSON export shape ----- *)
+
+let test_json_shape () =
+  with_tracing @@ fun () ->
+  let _ =
+    Driver.compile_and_run
+      (Backend.Upmem (Backend.default_upmem ~dimms:1 ~dpus_per_dimm:8 ~tasklets:4 ()))
+      (build_mm 32 8 6 ()) (mm_args ())
+  in
+  let json = parse_json (Trace.to_json_string ()) in
+  let events =
+    match member "traceEvents" json with
+    | Some (Arr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 0);
+  let num k e =
+    match member k e with
+    | Some (Num f) -> f
+    | _ -> Alcotest.failf "event missing numeric %S" k
+  in
+  let str k e =
+    match member k e with
+    | Some (Str s) -> s
+    | _ -> Alcotest.failf "event missing string %S" k
+  in
+  let spans = ref 0 and pass_spans = ref 0 and lane_tracks = ref [] in
+  List.iter
+    (fun e ->
+      (* the Perfetto-required shape: every event has pid/tid/ph, and
+         every timed event (span/instant) a timestamp *)
+      ignore (num "pid" e);
+      ignore (num "tid" e);
+      match str "ph" e with
+      | "X" ->
+        incr spans;
+        ignore (num "ts" e);
+        ignore (num "dur" e);
+        let name = str "name" e in
+        if String.length name >= 5 && String.sub name 0 5 = "pass:" then
+          incr pass_spans;
+        if member "cat" e = Some (Str "lane") then
+          lane_tracks := num "tid" e :: !lane_tracks
+      | "i" ->
+        ignore (num "ts" e);
+        if member "s" e <> Some (Str "t") then
+          Alcotest.fail "instant event missing thread scope"
+      | "M" -> ()
+      | ph -> Alcotest.failf "unexpected event phase %S" ph)
+    events;
+  Alcotest.(check bool) "has complete spans" true (!spans > 0);
+  (* one span per pipeline pass: the upmem pipeline has 8 passes *)
+  Alcotest.(check int) "one span per pipeline pass" 8 !pass_spans;
+  (* one lane span per simulated DPU *)
+  Alcotest.(check int) "per-DPU lane tracks" 8
+    (List.length (List.sort_uniq compare !lane_tracks));
+  let process_names =
+    List.filter_map
+      (fun e ->
+        if member "name" e = Some (Str "process_name") then
+          Option.bind (member "args" e) (member "name")
+        else None)
+      events
+  in
+  Alcotest.(check bool) "host process registered" true
+    (List.mem (Str "host (wall clock)") process_names);
+  Alcotest.(check bool) "device process registered" true
+    (List.exists
+       (function Str s -> String.length s >= 5 && String.sub s 0 5 = "upmem" | _ -> false)
+       process_names)
+
+(* ----- simulated-time track is bit-identical across --jobs ----- *)
+
+let test_device_track_determinism () =
+  let faults = Fault.make ~seed:7 { Fault.no_rates with Fault.dpu_transient = 0.08 } in
+  let run ~jobs =
+    Trace.clear ();
+    Trace.enable ();
+    Pool.set_default_jobs jobs;
+    let machine =
+      Usim.Machine.create ~faults:(Some faults) (Usim.Config.default ~dimms:1 ())
+    in
+    let f = lower_to_upmem (build_mm 32 8 6 ()) in
+    let _ = Interp.run_func ~hooks:[ Usim.Machine.hook machine ] f (mm_args ()) in
+    Pool.set_default_jobs 1;
+    let evs =
+      List.map
+        (fun (e : Trace.event) ->
+          (* pids are allocated per machine instance; everything else on
+             the device track must match bit for bit *)
+          (e.Trace.ev_name, e.Trace.cat, e.Trace.ph, e.Trace.track,
+           e.Trace.ts, e.Trace.dur))
+        (Trace.device_events ())
+    in
+    Trace.disable ();
+    Trace.clear ();
+    evs
+  in
+  let e1 = run ~jobs:1 in
+  let e4 = run ~jobs:4 in
+  Alcotest.(check bool) "device events non-empty" true (e1 <> []);
+  Alcotest.(check bool) "device track has fault instants" true
+    (List.exists (fun (_, cat, ph, _, _, _) -> cat = "fault" && ph = 'i') e1);
+  Alcotest.(check bool) "device track identical for jobs 1 vs 4" true (e1 = e4)
+
+(* ----- per-pattern rewrite hit counts ----- *)
+
+let test_pattern_hits () =
+  with_tracing @@ fun () ->
+  Trace.Metrics.enable ();
+  let f = Func.create ~name:"t" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  (* hand-counted op mix: 3 nops, 2 others, 1 survivor *)
+  for _ = 1 to 3 do
+    Builder.insert b (Ir.create_op "test.nop")
+  done;
+  for _ = 1 to 2 do
+    Builder.insert b (Ir.create_op "test.other")
+  done;
+  Builder.insert b (Ir.create_op "test.keep");
+  Func_d.return b [];
+  let m = Func.create_module () in
+  Func.add_func m f;
+  let erase name : Rewrite.pattern =
+   fun _ctx op -> if op.Ir.name = name then Some Rewrite.Erase else None
+  in
+  let pass = Pass.of_patterns ~name:"test-erase" [ erase "test.nop"; erase "test.other" ] in
+  (match Pass.run_one_result ~verify:false pass m with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "pass failed: %s" (Pass.diag_to_string d));
+  Alcotest.(check int) "pattern0 hits" 3
+    (Trace.Metrics.get "rewrite.test-erase.pattern0");
+  Alcotest.(check int) "pattern1 hits" 2
+    (Trace.Metrics.get "rewrite.test-erase.pattern1");
+  (* the pass span carries the same counts and the op delta *)
+  let span =
+    List.find
+      (fun (e : Trace.event) -> e.Trace.ev_name = "pass:test-erase")
+      (Trace.events ())
+  in
+  Alcotest.(check bool) "span pattern0_hits arg" true
+    (List.mem ("pattern0_hits", Trace.Int 3) span.Trace.args);
+  Alcotest.(check bool) "span pattern1_hits arg" true
+    (List.mem ("pattern1_hits", Trace.Int 2) span.Trace.args);
+  Alcotest.(check bool) "span ops_delta arg" true
+    (List.mem ("ops_delta", Trace.Int (-5)) span.Trace.args)
+
+(* ----- tracing does not perturb reports ----- *)
+
+let test_report_unperturbed () =
+  Trace.disable ();
+  Trace.clear ();
+  let backend =
+    Backend.Upmem (Backend.default_upmem ~dimms:1 ~dpus_per_dimm:8 ~tasklets:4 ())
+  in
+  let _, off = Driver.compile_and_run backend (build_mm 32 8 6 ()) (mm_args ()) in
+  let _, on =
+    with_tracing @@ fun () ->
+    Driver.compile_and_run backend (build_mm 32 8 6 ()) (mm_args ())
+  in
+  (* the traced run derives its breakdown from the trace; it must be
+     bit-identical to the stats-derived one (same floats, same order) *)
+  Alcotest.(check bool) "breakdown identical" true
+    (off.Report.breakdown = on.Report.breakdown);
+  Alcotest.(check bool) "device time identical" true
+    (off.Report.device_s = on.Report.device_s);
+  Alcotest.(check bool) "counters identical" true
+    (off.Report.counters = on.Report.counters)
+
+let test_cim_report_unperturbed () =
+  Trace.disable ();
+  Trace.clear ();
+  let backend = Backend.Cim (Backend.default_cim ~min_writes:true ~parallel:true ()) in
+  let _, off = Driver.compile_and_run backend (build_mm 32 8 6 ()) (mm_args ()) in
+  let _, on =
+    with_tracing @@ fun () ->
+    Driver.compile_and_run backend (build_mm 32 8 6 ()) (mm_args ())
+  in
+  Alcotest.(check bool) "cim breakdown identical" true
+    (off.Report.breakdown = on.Report.breakdown);
+  Alcotest.(check bool) "cim device time identical" true
+    (off.Report.device_s = on.Report.device_s)
+
+(* ----- a failing pass still gets its span, with the diag attached ----- *)
+
+let test_failing_pass_span () =
+  with_tracing @@ fun () ->
+  let pass =
+    Pass.create ~name:"exploding" (fun _ -> invalid_arg "deliberate failure")
+  in
+  let m = Func.create_module () in
+  (match Pass.run_one_result ~verify:false pass m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected the pass to fail");
+  match
+    List.find_opt
+      (fun (e : Trace.event) -> e.Trace.ev_name = "pass:exploding")
+      (Trace.events ())
+  with
+  | None -> Alcotest.fail "no span for the failing pass"
+  | Some span ->
+    Alcotest.(check bool) "span carries the error" true
+      (List.exists
+         (function
+           | "error", Trace.Str msg ->
+             (* the diag mentions the pass and the message *)
+             let has sub =
+               let n = String.length sub in
+               let rec go i =
+                 i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+               in
+               go 0
+             in
+             has "exploding" && has "deliberate failure"
+           | _ -> false)
+         span.Trace.args);
+    Alcotest.(check bool) "wall time recorded" true (span.Trace.dur >= 0.0)
+
+(* ----- tracing off is a no-op ----- *)
+
+let test_disabled_noop () =
+  Trace.disable ();
+  Trace.clear ();
+  Trace.complete ~clock:Trace.Host ~pid:Trace.host_pid ~track:"x" ~ts:0.0
+    ~dur:1.0 "ignored";
+  Trace.instant ~clock:Trace.Host ~pid:Trace.host_pid ~track:"x" ~ts:0.0 "ignored";
+  Trace.Metrics.incr "ignored";
+  Alcotest.(check int) "no events collected" 0 (List.length (Trace.events ()));
+  Alcotest.(check int) "no metrics collected" 0 (Trace.Metrics.get "ignored")
+
+(* ----- leveled logger ----- *)
+
+let test_log_levels () =
+  let seen = ref [] in
+  Log.set_sink (Some (fun level msg -> seen := (level, msg) :: !seen));
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink None;
+      Log.set_level Log.Warn)
+  @@ fun () ->
+  Log.set_level Log.Warn;
+  Log.debug "d%d" 1;
+  Log.info "i%d" 2;
+  Log.warn "w%d" 3;
+  Alcotest.(check int) "only warn passes at level warn" 1 (List.length !seen);
+  Alcotest.(check bool) "warn text" true (List.mem (Log.Warn, "w3") !seen);
+  Log.set_level Log.Debug;
+  Log.debug "d%d" 4;
+  Log.info "i%d" 5;
+  Alcotest.(check int) "debug level passes everything" 3 (List.length !seen);
+  Alcotest.(check bool) "debug text" true (List.mem (Log.Debug, "d4") !seen);
+  Alcotest.(check bool) "info text" true (List.mem (Log.Info, "i5") !seen)
+
+(* ----- metrics dump is stable ----- *)
+
+let test_metrics_dump () =
+  Trace.Metrics.reset ();
+  Trace.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.Metrics.disable ();
+      Trace.Metrics.reset ())
+  @@ fun () ->
+  Trace.Metrics.incr "b.count";
+  Trace.Metrics.incr ~by:4 "b.count";
+  Trace.Metrics.incr "a.count";
+  Trace.Metrics.observe "a.hist" 2.0;
+  Trace.Metrics.observe "a.hist" 4.0;
+  Alcotest.(check string) "stable sorted dump"
+    "counter a.count 1\ncounter b.count 5\nhistogram a.hist n=2 sum=6 min=2 max=4\n"
+    (Trace.Metrics.dump ())
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "json export is Perfetto-shaped" `Quick test_json_shape;
+          Alcotest.test_case "device track identical across jobs" `Quick
+            test_device_track_determinism;
+          Alcotest.test_case "per-pattern rewrite hits" `Quick test_pattern_hits;
+          Alcotest.test_case "upmem report unperturbed by tracing" `Quick
+            test_report_unperturbed;
+          Alcotest.test_case "cim report unperturbed by tracing" `Quick
+            test_cim_report_unperturbed;
+          Alcotest.test_case "failing pass still gets a span" `Quick
+            test_failing_pass_span;
+          Alcotest.test_case "disabled tracing is a no-op" `Quick test_disabled_noop;
+        ] );
+      ( "log",
+        [ Alcotest.test_case "leveled logger thresholds" `Quick test_log_levels ] );
+      ( "metrics",
+        [ Alcotest.test_case "stable text dump" `Quick test_metrics_dump ] );
+    ]
