@@ -17,6 +17,8 @@
           main.exe --json FILE ...  (write per-experiment wall-clock and
                                      simulated seconds for regression
                                      tracking)
+          main.exe --interp NAME .. (interpreter backend, tree|compiled;
+                                     default CINM_INTERP or tree)
           main.exe --trace FILE ... (Chrome trace-event JSON: compile
                                      passes and per-device simulated
                                      timelines; open in ui.perfetto.dev)
@@ -727,6 +729,17 @@ let () =
         exit 1)
     | [ "--jobs" ] ->
       Printf.eprintf "--jobs expects a positive integer\n";
+      exit 1
+    | "--interp" :: b :: rest -> (
+      match Cinm_interp.Compile.backend_of_string b with
+      | Some backend ->
+        Cinm_interp.Compile.set_backend backend;
+        parse acc rest
+      | None ->
+        Printf.eprintf "--interp expects tree|compiled, got %S\n" b;
+        exit 1)
+    | [ "--interp" ] ->
+      Printf.eprintf "--interp expects tree|compiled\n";
       exit 1
     | "--json" :: file :: rest ->
       json_out := Some file;

@@ -20,7 +20,15 @@ let benchmarks () : (string * Benchmark.t) list =
   List.map (fun (b : Benchmark.t) -> (b.Benchmark.name, b)) (ml @ prim)
 
 let run list_benchmarks bench_name backend_name dimms dpus_per_dimm tasklets optimize
-    min_writes parallel show_ir trace_out =
+    min_writes parallel show_ir trace_out interp =
+  (match interp with
+  | "" -> ()
+  | s -> (
+    match Cinm_interp.Compile.backend_of_string s with
+    | Some b -> Cinm_interp.Compile.set_backend b
+    | None ->
+      Printf.eprintf "unknown interpreter backend %S (tree|compiled)\n" s;
+      exit 1));
   if list_benchmarks then begin
     List.iter
       (fun (name, (b : Benchmark.t)) ->
@@ -76,6 +84,10 @@ let cmd =
       $ Arg.(value & flag & info [ "show-ir" ] ~doc:"Print the lowered IR.")
       $ Arg.(value & opt string "" & info [ "trace" ] ~docv:"FILE"
                ~doc:"Write a Chrome trace-event JSON (compile passes + \
-                     simulated device timeline); open in ui.perfetto.dev."))
+                     simulated device timeline); open in ui.perfetto.dev.")
+      $ Arg.(value & opt string "" & info [ "interp" ] ~docv:"tree|compiled"
+               ~doc:"Interpreter backend: tree-walking reference or \
+                     closure-compiling executor (default: CINM_INTERP or \
+                     tree)."))
 
 let () = exit (Cmd.eval' cmd)

@@ -11,15 +11,24 @@ type t = {
   description : string;
   build : unit -> Func.t;
   inputs : unit -> Rtval.t list;
+  mutable ref_cache : Rtval.t list option;
 }
 
 let make ~name ~category ~description ~build ~inputs =
-  { name; category; description; build; inputs }
+  { name; category; description; build; inputs; ref_cache = None }
 
-(* Reference output, computed on the host interpreter. *)
+(* Reference output, computed on the host interpreter. Benchmarks are
+   deterministic (fresh build, fixed inputs), so the reference is computed
+   once per descriptor and memoized — experiments that check several
+   backend variants of the same benchmark would otherwise re-run it per
+   variant. *)
 let reference (b : t) =
-  let results, _ = Interp.run_func (b.build ()) (b.inputs ()) in
-  results
+  match b.ref_cache with
+  | Some results -> results
+  | None ->
+    let results, _ = Interp.run_func (b.build ()) (b.inputs ()) in
+    b.ref_cache <- Some results;
+    results
 
 (* Check a backend's results against the host reference. *)
 let results_match (b : t) (actual : Rtval.t list) =

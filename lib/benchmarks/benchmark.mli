@@ -10,6 +10,10 @@ type t = {
   description : string;
   build : unit -> Func.t;
   inputs : unit -> Rtval.t list;
+  mutable ref_cache : Rtval.t list option;
+      (** memoized host-reference output: benchmarks are deterministic, so
+          checking several backend variants of one descriptor must not
+          re-run the reference each time *)
 }
 
 val make :

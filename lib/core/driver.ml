@@ -152,7 +152,7 @@ let run_upmem_func ?(backend_name = "upmem") ?host_model ?modul ~sim_config f ar
   let profile = Profile.create () in
   let results, _ =
     with_span ("execute:" ^ backend_name) @@ fun () ->
-    Interp.run_func ~hooks:[ Usim.Machine.hook machine ] ~profile ?modul f args
+    Compile.run_func ~hooks:[ Usim.Machine.hook machine ] ~profile ?modul f args
   in
   let stats = machine.Usim.Machine.stats in
   let host_model = Option.value host_model ~default:Cpu.Model.xeon_opt in
@@ -217,7 +217,7 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
   let run_on_host ~backend_name model =
     let results, profile =
       with_span ("execute:" ^ backend_name) @@ fun () ->
-      Interp.run_func ~modul:compiled.modul f args
+      Compile.run_func ~modul:compiled.modul f args
     in
     let est = Cpu.Model.estimate model profile in
     ( results,
@@ -263,7 +263,7 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
     let profile = Profile.create () in
     let results, _ =
       with_span ("execute:" ^ backend_name) @@ fun () ->
-      Interp.run_func
+      Compile.run_func
         ~hooks:[ Msim.Machine.hook machine; Camsim.Cam_machine.hook cam ]
         ~profile ~modul:compiled.modul f args
     in

@@ -87,5 +87,5 @@ let estimate (m : t) (p : Profile.t) : result =
 (* Convenience: run a host-level function on the reference interpreter and
    estimate its time on this CPU model. *)
 let run_and_estimate (m : t) f args =
-  let results, profile = Interp.run_func f args in
+  let results, profile = Compile.run_func f args in
   (results, estimate m profile)

@@ -90,6 +90,9 @@ let hook ?(on_launch = fun (_ : Profile.t list) -> ()) (st : state) : Interp.hoo
     let n_buffers = Ir.num_operands op - 1 in
     let bufs = List.init n_buffers (fun i -> find_buf st (operand (i + 1))) in
     let region = Ir.region op 0 in
+    (* compile once, execute per PU (PUs are sequential here, so they can
+       share the context's environment and predicate cache) *)
+    let prep = Compile.prepare ctx region in
     let profiles = ref [] in
     for p = 0 to n_pus wg - 1 do
       let args =
@@ -101,7 +104,7 @@ let hook ?(on_launch = fun (_ : Profile.t list) -> ()) (st : state) : Interp.hoo
       in
       let profile = Profile.create () in
       let inner = { ctx with Interp.profile = profile } in
-      ignore (Interp.eval_region inner region args);
+      ignore (Compile.run prep inner args);
       profiles := profile :: !profiles
     done;
     on_launch (List.rev !profiles);
@@ -116,7 +119,7 @@ let hook ?(on_launch = fun (_ : Profile.t list) -> ()) (st : state) : Interp.hoo
   | "cim.execute" ->
     let d = find_cim st (operand 0) in
     let inputs = List.init (Ir.num_operands op - 1) (fun i -> operand (i + 1)) in
-    let results = Interp.eval_region ctx (Ir.region op 0) inputs in
+    let results = Compile.run_region ctx (Ir.region op 0) inputs in
     (match results with
     | [ Rtval.Tensor t ] -> d.last_result <- Some t
     | _ -> ());

@@ -1,0 +1,692 @@
+(* Closure-compiling executor: a one-shot pass over a kernel's IR that
+   resolves every SSA value to a fixed integer slot in a flat register
+   file (an [Rtval.t array]) and specializes each op into an OCaml
+   closure — name dispatch, binop selection, cmpi predicate decode and
+   attribute decoding all happen once at compile time instead of once per
+   evaluated op. The resulting closure tree is cached per kernel and
+   shared read-only across DPU-lane domains; every lane executes it on a
+   private register file, so the parallel launch path needs no
+   per-lane copy of the interpreter environment.
+
+   Parity contract: compiled execution must be *bit-identical* to the
+   tree-walking interpreter — same results, same [Profile] increments
+   (the timing models are pure folds over the profile, so identical
+   counters mean identical stats, reports and traces). Two mechanisms
+   enforce this:
+
+   - every natively compiled op replays the exact accounting of its
+     [Interp.eval_op] case (one [launched_ops] per dispatched op, the
+     same bucket increments in the same places);
+   - any op the native compiler does not fully understand — unknown
+     names, bulk tensor ops, device ops handled by machine hooks, or any
+     op whose attribute/shape decoding fails — falls back to a generic
+     closure that routes the single op through [Interp.eval_op]
+     unchanged (operands and nested-region free values are staged from
+     the register file into the context environment first, results are
+     read back after). The fallback also preserves the tree-walker's
+     runtime errors: a malformed op only fails when executed, not at
+     compile time.
+
+   The unit of compilation is one region (a function body or a launch
+   kernel). Structured control flow ([scf.for] / [scf.if] /
+   [scf.parallel]) is compiled inline into the same register file — the
+   SSA dominance rules make slot aliasing safe, with the one exception of
+   loop-carried values, which go through scratch slots on yield because a
+   yield operand may itself be an iteration argument. *)
+
+open Cinm_ir
+
+(* ----- backend selection ----- *)
+
+type backend = Tree | Compiled
+
+let backend_of_string s =
+  match String.lowercase_ascii s with
+  | "tree" -> Some Tree
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+let backend_name = function Tree -> "tree" | Compiled -> "compiled"
+
+let initial_backend () =
+  match Sys.getenv_opt "CINM_INTERP" with
+  | None | Some "" -> Tree
+  | Some s -> (
+    match backend_of_string s with
+    | Some b -> b
+    | None ->
+      invalid_arg
+        (Printf.sprintf "CINM_INTERP=%s: unknown interpreter backend (tree|compiled)" s))
+
+let backend_ref = ref (initial_backend ())
+let backend () = !backend_ref
+let set_backend b = backend_ref := b
+
+(* ----- compiled code ----- *)
+
+(* One compiled op: reads/writes the register file, accounts into the
+   context's profile, and may call hooks through the context. *)
+type instr = Interp.ctx -> Rtval.t array -> unit
+
+type code = {
+  nslots : int;
+  arg_slots : int array;  (** slots of the entry block's parameters *)
+  cap_values : Ir.value array;
+      (** free values of the unit (defined outside the compiled region);
+          resolved from the launching context once per launch *)
+  cap_slots : int array;
+  body : instr array;
+  term_slots : int array;  (** slots of the terminator's operands *)
+}
+
+(* Raised by native op compilers to hand the op to the generic fallback.
+   Must be raised before the op's structure has been committed to slots in
+   any way the fallback could not reproduce (slot allocation itself is
+   idempotent, so partial [use_slot]/[def_slot] calls are harmless). *)
+exception Punt
+
+type cstate = {
+  mutable nslots : int;
+  slots : (int, int) Hashtbl.t;  (** vid -> slot *)
+  mutable caps : (Ir.value * int) list;  (** reverse order of first use *)
+}
+
+let new_slot st =
+  let s = st.nslots in
+  st.nslots <- s + 1;
+  s
+
+(* Slot of a value being read. A value never defined inside the unit is a
+   capture: it gets a slot filled from the host environment at launch. *)
+let use_slot st (v : Ir.value) =
+  match Hashtbl.find_opt st.slots v.Ir.vid with
+  | Some s -> s
+  | None ->
+    let s = new_slot st in
+    Hashtbl.add st.slots v.Ir.vid s;
+    st.caps <- (v, s) :: st.caps;
+    s
+
+(* Slot of a value being defined. Ops are compiled in program order, so in
+   well-formed SSA the definition is the first sighting and gets a fresh
+   slot. *)
+let def_slot st (v : Ir.value) =
+  match Hashtbl.find_opt st.slots v.Ir.vid with
+  | Some s -> s
+  | None ->
+    let s = new_slot st in
+    Hashtbl.add st.slots v.Ir.vid s;
+    s
+
+(* Bind a value to an existing slot (scf.for results alias the iteration
+   argument slots, which hold the final loop-carried values on exit). *)
+let alias_slot st (v : Ir.value) slot = Hashtbl.replace st.slots v.Ir.vid slot
+
+let nop_instr : instr = fun _ _ -> ()
+let rt_true = Rtval.Bool true
+let rt_false = Rtval.Bool false
+
+(* Free values of [op]'s nested regions: operands used under the op's
+   entry blocks (the only blocks the interpreter ever evaluates) that are
+   not defined inside the op. The generic fallback stages these into the
+   context environment so hooks can tree-walk the op's regions. *)
+let free_values (op : Ir.op) : Ir.value list =
+  if Array.length op.Ir.regions = 0 then []
+  else begin
+    let defined = Hashtbl.create 64 in
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    let rec go_region r =
+      if Ir.num_blocks r > 0 then begin
+        let b = Ir.entry_block r in
+        Array.iter (fun (v : Ir.value) -> Hashtbl.replace defined v.Ir.vid ()) b.Ir.args;
+        for i = 0 to Ir.num_ops b - 1 do
+          Array.iter
+            (fun (v : Ir.value) -> Hashtbl.replace defined v.Ir.vid ())
+            (Ir.op_at b i).Ir.results
+        done;
+        for i = 0 to Ir.num_ops b - 1 do
+          let o = Ir.op_at b i in
+          Array.iter
+            (fun (v : Ir.value) ->
+              if (not (Hashtbl.mem defined v.Ir.vid)) && not (Hashtbl.mem seen v.Ir.vid)
+              then begin
+                Hashtbl.add seen v.Ir.vid ();
+                acc := v :: !acc
+              end)
+            o.Ir.operands;
+          Array.iter go_region o.Ir.regions
+        done
+      end
+    in
+    Array.iter go_region op.Ir.regions;
+    List.rev !acc
+  end
+
+(* ----- the generic fallback ----- *)
+
+(* Route one op through [Interp.eval_op]: stage its operands (and the free
+   values of its nested regions) from the register file into the context
+   environment, evaluate, read the results back into their slots. This is
+   bit-identical to the tree-walker by construction — the same code runs,
+   including all profile accounting, hook dispatch and error behavior. *)
+let compile_generic st (op : Ir.op) : instr =
+  let operand_binds =
+    Array.map (fun (v : Ir.value) -> (v.Ir.vid, use_slot st v)) op.Ir.operands
+  in
+  let free_binds =
+    Array.of_list
+      (List.map (fun (v : Ir.value) -> (v.Ir.vid, use_slot st v)) (free_values op))
+  in
+  let result_binds =
+    Array.map (fun (v : Ir.value) -> (v.Ir.vid, def_slot st v)) op.Ir.results
+  in
+  fun ctx frame ->
+    let env = ctx.Interp.env in
+    Array.iter (fun (vid, s) -> Hashtbl.replace env vid frame.(s)) operand_binds;
+    Array.iter (fun (vid, s) -> Hashtbl.replace env vid frame.(s)) free_binds;
+    Interp.eval_op ctx op;
+    Array.iter
+      (fun (vid, s) ->
+        match Hashtbl.find_opt env vid with
+        | Some rv -> frame.(s) <- rv
+        | None -> Interp.err "%s: result %%%d not bound" op.Ir.name vid)
+      result_binds
+
+(* ----- native op compilers ----- *)
+
+(* Same table as the literal dispatch cases of [Interp.eval_op]. *)
+let int_binop_spec : string -> (int * (int -> int -> int)) option = function
+  | "arith.addi" -> Some (Interp.bucket_alu, ( + ))
+  | "arith.subi" -> Some (Interp.bucket_alu, ( - ))
+  | "arith.muli" -> Some (Interp.bucket_mul, ( * ))
+  | "arith.divsi" -> Some (Interp.bucket_div, Tensor.int_binop "div")
+  | "arith.remsi" -> Some (Interp.bucket_div, Tensor.int_binop "rem")
+  | "arith.minsi" -> Some (Interp.bucket_alu, min)
+  | "arith.maxsi" -> Some (Interp.bucket_alu, max)
+  | "arith.andi" -> Some (Interp.bucket_alu, ( land ))
+  | "arith.ori" -> Some (Interp.bucket_alu, ( lor ))
+  | "arith.xori" -> Some (Interp.bucket_alu, ( lxor ))
+  | "arith.shli" -> Some (Interp.bucket_alu, ( lsl ))
+  | "arith.shrsi" -> Some (Interp.bucket_alu, ( asr ))
+  | _ -> None
+
+let float_binop_fn : string -> (float -> float -> float) option = function
+  | "arith.addf" -> Some ( +. )
+  | "arith.subf" -> Some ( -. )
+  | "arith.mulf" -> Some ( *. )
+  | "arith.divf" -> Some ( /. )
+  | _ -> None
+
+let rec compile_op st (op : Ir.op) : instr =
+  match compile_native st op with
+  | Some i -> i
+  | None -> compile_generic st op
+  | exception (Punt | Interp.Interp_error _ | Invalid_argument _ | Not_found | Failure _)
+    ->
+    (* decode failed: let the tree-walker raise (or not) at runtime *)
+    compile_generic st op
+
+and compile_native st (op : Ir.op) : instr option =
+  match op.Ir.name with
+  | "arith.constant" -> Some (compile_constant st op)
+  | "arith.cmpi" -> Some (compile_cmpi st op)
+  | "arith.select" -> Some (compile_select st op)
+  | "arith.index_cast" -> Some (compile_index_cast st op)
+  | "scf.for" -> Some (compile_for st op)
+  | "scf.if" -> Some (compile_if st op)
+  | "scf.parallel" -> Some (compile_parallel st op)
+  | "memref.alloc" | "upmem.wram_alloc" -> Some (compile_alloc st op)
+  | "memref.load" | "tensor.extract" -> Some (compile_indexed_load st op)
+  | "memref.store" -> Some (compile_store st op)
+  | name -> (
+    match int_binop_spec name with
+    | Some (bucket, f) -> Some (compile_int_bin st op bucket f)
+    | None -> (
+      match float_binop_fn name with
+      | Some f -> Some (compile_float_bin st op f)
+      | None -> None))
+
+and compile_constant st op =
+  let rv =
+    match Ir.attr_exn op "value" with
+    | Attr.Int i -> Rtval.Int (Tensor.wrap (Interp.scalar_result_dtype op) i)
+    | Attr.Float f -> Rtval.Float f
+    | _ -> raise Punt
+  in
+  let r = def_slot st op.Ir.results.(0) in
+  fun ctx frame ->
+    let p = ctx.Interp.profile in
+    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+    frame.(r) <- rv
+
+and compile_int_bin st op bucket f =
+  let dt = Interp.scalar_result_dtype op in
+  let a = use_slot st op.Ir.operands.(0) in
+  let b = use_slot st op.Ir.operands.(1) in
+  let r = def_slot st op.Ir.results.(0) in
+  fun ctx frame ->
+    let p = ctx.Interp.profile in
+    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+    Interp.account_int_binop p bucket;
+    frame.(r) <-
+      Rtval.Int (Tensor.wrap dt (f (Rtval.as_int frame.(a)) (Rtval.as_int frame.(b))))
+
+and compile_float_bin st op f =
+  let a = use_slot st op.Ir.operands.(0) in
+  let b = use_slot st op.Ir.operands.(1) in
+  let r = def_slot st op.Ir.results.(0) in
+  fun ctx frame ->
+    let p = ctx.Interp.profile in
+    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+    p.Profile.alu_ops <- p.Profile.alu_ops + 1;
+    frame.(r) <- Rtval.Float (f (Rtval.as_float frame.(a)) (Rtval.as_float frame.(b)))
+
+and compile_cmpi st op =
+  let pred = Interp.decode_cmpi_predicate op in
+  let a = use_slot st op.Ir.operands.(0) in
+  let b = use_slot st op.Ir.operands.(1) in
+  let r = def_slot st op.Ir.results.(0) in
+  fun ctx frame ->
+    let p = ctx.Interp.profile in
+    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+    let av = Rtval.as_int frame.(a) and bv = Rtval.as_int frame.(b) in
+    p.Profile.alu_ops <- p.Profile.alu_ops + 1;
+    frame.(r) <- (if pred av bv then rt_true else rt_false)
+
+and compile_select st op =
+  let c = use_slot st op.Ir.operands.(0) in
+  let t = use_slot st op.Ir.operands.(1) in
+  let e = use_slot st op.Ir.operands.(2) in
+  let r = def_slot st op.Ir.results.(0) in
+  fun ctx frame ->
+    let p = ctx.Interp.profile in
+    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+    p.Profile.alu_ops <- p.Profile.alu_ops + 1;
+    frame.(r) <- (if Rtval.as_bool frame.(c) then frame.(t) else frame.(e))
+
+and compile_index_cast st op =
+  let a = use_slot st op.Ir.operands.(0) in
+  let r = def_slot st op.Ir.results.(0) in
+  fun ctx frame ->
+    let p = ctx.Interp.profile in
+    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+    frame.(r) <- Rtval.Int (Rtval.as_int frame.(a))
+
+and compile_alloc st op =
+  match (Ir.result op 0).Ir.ty with
+  | Types.MemRef (shape, dt) ->
+    let r = def_slot st op.Ir.results.(0) in
+    fun ctx frame ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      frame.(r) <- Rtval.Memref (Tensor.zeros shape dt)
+  | _ -> raise Punt
+
+(* memref.load / tensor.extract. Ranks 1 and 2 are specialized to flat
+   indexing with the bounds checks of [Util.linearize] inlined (same
+   failure message); other ranks build the index array per access like the
+   tree-walker does. *)
+and compile_indexed_load st op =
+  let n_idx = Ir.num_operands op - 1 in
+  if n_idx < 0 then raise Punt;
+  let m_s = use_slot st op.Ir.operands.(0) in
+  let idx_s = Array.init n_idx (fun i -> use_slot st op.Ir.operands.(i + 1)) in
+  let r = def_slot st op.Ir.results.(0) in
+  match idx_s with
+  | [| i0 |] ->
+    fun ctx frame ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let m = Rtval.as_tensor frame.(m_s) in
+      let i = Rtval.as_int frame.(i0) in
+      p.Profile.loads <- p.Profile.loads + 1;
+      frame.(r) <-
+        Rtval.Int
+          (if Array.length m.Tensor.shape = 1 then begin
+             if i < 0 || i >= m.Tensor.shape.(0) then
+               invalid_arg "Util.linearize: out of bounds";
+             Tensor.get_int m i
+           end
+           else Tensor.get m [| i |])
+  | [| i0; i1 |] ->
+    fun ctx frame ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let m = Rtval.as_tensor frame.(m_s) in
+      let a = Rtval.as_int frame.(i0) in
+      let b = Rtval.as_int frame.(i1) in
+      p.Profile.loads <- p.Profile.loads + 1;
+      frame.(r) <-
+        Rtval.Int
+          (let shape = m.Tensor.shape in
+           if Array.length shape = 2 then begin
+             if a < 0 || a >= shape.(0) || b < 0 || b >= shape.(1) then
+               invalid_arg "Util.linearize: out of bounds";
+             Tensor.get_int m ((a * shape.(1)) + b)
+           end
+           else Tensor.get m [| a; b |])
+  | _ ->
+    fun ctx frame ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let m = Rtval.as_tensor frame.(m_s) in
+      let idx = Array.map (fun s -> Rtval.as_int frame.(s)) idx_s in
+      p.Profile.loads <- p.Profile.loads + 1;
+      frame.(r) <- Rtval.Int (Tensor.get m idx)
+
+and compile_store st op =
+  let n_idx = Ir.num_operands op - 2 in
+  if n_idx < 0 then raise Punt;
+  let v_s = use_slot st op.Ir.operands.(0) in
+  let m_s = use_slot st op.Ir.operands.(1) in
+  let idx_s = Array.init n_idx (fun i -> use_slot st op.Ir.operands.(i + 2)) in
+  match idx_s with
+  | [| i0 |] ->
+    fun ctx frame ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let v = Rtval.as_int frame.(v_s) in
+      let m = Rtval.as_tensor frame.(m_s) in
+      let i = Rtval.as_int frame.(i0) in
+      p.Profile.stores <- p.Profile.stores + 1;
+      if Array.length m.Tensor.shape = 1 then begin
+        if i < 0 || i >= m.Tensor.shape.(0) then
+          invalid_arg "Util.linearize: out of bounds";
+        Tensor.set_int m i v
+      end
+      else Tensor.set m [| i |] v
+  | [| i0; i1 |] ->
+    fun ctx frame ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let v = Rtval.as_int frame.(v_s) in
+      let m = Rtval.as_tensor frame.(m_s) in
+      let a = Rtval.as_int frame.(i0) in
+      let b = Rtval.as_int frame.(i1) in
+      p.Profile.stores <- p.Profile.stores + 1;
+      let shape = m.Tensor.shape in
+      if Array.length shape = 2 then begin
+        if a < 0 || a >= shape.(0) || b < 0 || b >= shape.(1) then
+          invalid_arg "Util.linearize: out of bounds";
+        Tensor.set_int m ((a * shape.(1)) + b) v
+      end
+      else Tensor.set m [| a; b |] v
+  | _ ->
+    fun ctx frame ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let v = Rtval.as_int frame.(v_s) in
+      let m = Rtval.as_tensor frame.(m_s) in
+      let idx = Array.map (fun s -> Rtval.as_int frame.(s)) idx_s in
+      p.Profile.stores <- p.Profile.stores + 1;
+      Tensor.set m idx v
+
+(* Compile a block's ops in program order (order matters: a definition
+   must claim its slot before any use, otherwise the use would be
+   misclassified as a capture). Returns the instruction sequence and, when
+   the block ends in a terminator, the slots of the terminator's operands
+   (the block's results). Terminators are not instructions — exactly like
+   [Interp.eval_block], they are never dispatched or accounted. *)
+and compile_block st (block : Ir.block) : instr array * int array option =
+  let n = Ir.num_ops block in
+  if n = 0 then ([||], None)
+  else begin
+    let last = Ir.op_at block (n - 1) in
+    if Interp.is_terminator last then begin
+      let body = Array.make (n - 1) nop_instr in
+      for i = 0 to n - 2 do
+        body.(i) <- compile_op st (Ir.op_at block i)
+      done;
+      let ts = Array.map (fun v -> use_slot st v) last.Ir.operands in
+      (body, Some ts)
+    end
+    else begin
+      let body = Array.make n nop_instr in
+      for i = 0 to n - 1 do
+        body.(i) <- compile_op st (Ir.op_at block i)
+      done;
+      (body, None)
+    end
+  end
+
+and compile_for st op =
+  if Ir.num_operands op < 3 || Array.length op.Ir.regions <> 1 then raise Punt;
+  let n_res = Array.length op.Ir.results in
+  if Ir.num_operands op <> n_res + 3 then raise Punt;
+  let block = Ir.entry_block op.Ir.regions.(0) in
+  if Array.length block.Ir.args <> n_res + 1 then raise Punt;
+  (* the loop-carried arity must be consistent, else the tree-walker's
+     per-iteration region evaluation raises — let it *)
+  let nops = Ir.num_ops block in
+  (if nops = 0 then begin if n_res <> 0 then raise Punt end
+   else
+     let last = Ir.op_at block (nops - 1) in
+     if Interp.is_terminator last then begin
+       if Array.length last.Ir.operands <> n_res then raise Punt
+     end
+     else if n_res <> 0 then raise Punt);
+  let lb_s = use_slot st op.Ir.operands.(0) in
+  let ub_s = use_slot st op.Ir.operands.(1) in
+  let step_s = use_slot st op.Ir.operands.(2) in
+  let init_s = Array.init n_res (fun i -> use_slot st op.Ir.operands.(i + 3)) in
+  let iv_s = def_slot st block.Ir.args.(0) in
+  let iter_s = Array.init n_res (fun i -> def_slot st block.Ir.args.(i + 1)) in
+  let body, term = compile_block st block in
+  let yield_s = match term with Some a -> a | None -> [||] in
+  (* a yield operand may be an iteration argument (slot permutation), so
+     loop-carried values go through scratch slots *)
+  let scratch = Array.init (Array.length yield_s) (fun _ -> new_slot st) in
+  Array.iteri (fun i v -> alias_slot st v iter_s.(i)) op.Ir.results;
+  let nb = Array.length body in
+  let ny = Array.length yield_s in
+  fun ctx frame ->
+    let p = ctx.Interp.profile in
+    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+    let lb = Rtval.as_int frame.(lb_s)
+    and ub = Rtval.as_int frame.(ub_s)
+    and step = Rtval.as_int frame.(step_s) in
+    if step <= 0 then Interp.err "scf.for: non-positive step %d" step;
+    for k = 0 to n_res - 1 do
+      frame.(iter_s.(k)) <- frame.(init_s.(k))
+    done;
+    let i = ref lb in
+    while !i < ub do
+      p.Profile.alu_ops <- p.Profile.alu_ops + 1 (* induction update/compare *);
+      frame.(iv_s) <- Rtval.Int !i;
+      for j = 0 to nb - 1 do
+        body.(j) ctx frame
+      done;
+      for k = 0 to ny - 1 do
+        frame.(scratch.(k)) <- frame.(yield_s.(k))
+      done;
+      for k = 0 to ny - 1 do
+        frame.(iter_s.(k)) <- frame.(scratch.(k))
+      done;
+      i := !i + step
+    done
+
+and compile_if st op =
+  if Ir.num_operands op < 1 then raise Punt;
+  let n_res = Array.length op.Ir.results in
+  let nregions = Array.length op.Ir.regions in
+  (* a missing branch yields no values; fine only for a result-less op *)
+  if n_res > 0 && nregions < 2 then raise Punt;
+  let check_branch ri =
+    if ri < nregions then begin
+      let block = Ir.entry_block op.Ir.regions.(ri) in
+      if Array.length block.Ir.args <> 0 then raise Punt;
+      let nops = Ir.num_ops block in
+      if nops = 0 then begin if n_res <> 0 then raise Punt end
+      else
+        let last = Ir.op_at block (nops - 1) in
+        if Interp.is_terminator last then begin
+          if Array.length last.Ir.operands <> n_res then raise Punt
+        end
+        else if n_res <> 0 then raise Punt
+    end
+  in
+  check_branch 0;
+  check_branch 1;
+  let c_s = use_slot st op.Ir.operands.(0) in
+  let compile_branch ri =
+    if ri >= nregions then None
+    else begin
+      let body, term = compile_block st (Ir.entry_block op.Ir.regions.(ri)) in
+      let ys = match term with Some a -> a | None -> [||] in
+      Some (body, ys)
+    end
+  in
+  let then_b = compile_branch 0 in
+  let else_b = compile_branch 1 in
+  let res_s = Array.map (fun v -> def_slot st v) op.Ir.results in
+  fun ctx frame ->
+    let p = ctx.Interp.profile in
+    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+    let c = Rtval.as_bool frame.(c_s) in
+    match if c then then_b else else_b with
+    | None -> ()
+    | Some (body, ys) ->
+      for j = 0 to Array.length body - 1 do
+        body.(j) ctx frame
+      done;
+      for k = 0 to Array.length ys - 1 do
+        frame.(res_s.(k)) <- frame.(ys.(k))
+      done
+
+and compile_parallel st op =
+  if Array.length op.Ir.results <> 0 then raise Punt;
+  if Array.length op.Ir.regions <> 1 then raise Punt;
+  let n_dims = Ir.num_operands op / 3 in
+  let block = Ir.entry_block op.Ir.regions.(0) in
+  if Array.length block.Ir.args <> n_dims then raise Punt;
+  let lb_s = Array.init n_dims (fun d -> use_slot st op.Ir.operands.(3 * d)) in
+  let ub_s = Array.init n_dims (fun d -> use_slot st op.Ir.operands.((3 * d) + 1)) in
+  let st_s = Array.init n_dims (fun d -> use_slot st op.Ir.operands.((3 * d) + 2)) in
+  let arg_s = Array.map (fun v -> def_slot st v) block.Ir.args in
+  let body, _term = compile_block st block in
+  let nb = Array.length body in
+  fun ctx frame ->
+    let p = ctx.Interp.profile in
+    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+    let lb = Array.map (fun s -> Rtval.as_int frame.(s)) lb_s in
+    let ub = Array.map (fun s -> Rtval.as_int frame.(s)) ub_s in
+    let step = Array.map (fun s -> Rtval.as_int frame.(s)) st_s in
+    (* no per-iteration accounting, exactly like the tree-walker *)
+    let rec go d =
+      if d = n_dims then
+        for j = 0 to nb - 1 do
+          body.(j) ctx frame
+        done
+      else begin
+        let i = ref lb.(d) in
+        while !i < ub.(d) do
+          frame.(arg_s.(d)) <- Rtval.Int !i;
+          go (d + 1);
+          i := !i + step.(d)
+        done
+      end
+    in
+    go 0
+
+(* ----- unit compilation, cache, execution ----- *)
+
+let compile_unit (region : Ir.region) : code =
+  let st = { nslots = 0; slots = Hashtbl.create 64; caps = [] } in
+  let block = Ir.entry_block region in
+  let arg_slots = Array.map (fun v -> def_slot st v) block.Ir.args in
+  let body, term = compile_block st block in
+  let term_slots = match term with Some a -> a | None -> [||] in
+  let caps = Array.of_list (List.rev st.caps) in
+  {
+    nslots = st.nslots;
+    arg_slots;
+    cap_values = Array.map fst caps;
+    cap_slots = Array.map snd caps;
+    body;
+    term_slots;
+  }
+
+(* Compiled units cached by the entry block's identity. Hooks are not part
+   of the key: compiled closures resolve hooks through the executing
+   context at runtime, so the same code serves any hook stack. The cache
+   is append-only and mutex-protected — kernels are compiled once and then
+   shared read-only across all DPU-lane domains. *)
+let cache : (int, code) Hashtbl.t = Hashtbl.create 64
+let cache_mutex = Mutex.create ()
+
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex
+
+let get_code (region : Ir.region) : code =
+  let key = (Ir.entry_block region).Ir.bid in
+  Mutex.lock cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some c -> c
+      | None ->
+        let c = compile_unit region in
+        Hashtbl.add cache key c;
+        c)
+
+let exec (code : code) ctx (caps : Rtval.t array) (args : Rtval.t list) : Rtval.t list =
+  let n_args = List.length args in
+  if Array.length code.arg_slots <> n_args then
+    Interp.err "region arity mismatch: %d args for %d params" n_args
+      (Array.length code.arg_slots);
+  let frame = Array.make code.nslots Rtval.Token in
+  Array.iteri (fun i rv -> frame.(code.cap_slots.(i)) <- rv) caps;
+  List.iteri (fun i rv -> frame.(code.arg_slots.(i)) <- rv) args;
+  let body = code.body in
+  for j = 0 to Array.length body - 1 do
+    body.(j) ctx frame
+  done;
+  Array.to_list (Array.map (fun s -> frame.(s)) code.term_slots)
+
+(* ----- launch API ----- *)
+
+type prepared =
+  | Tree_region of Ir.region
+  | Compiled_code of code * Rtval.t array
+
+(* Resolve a region to something executable under the selected backend.
+   For the compiled backend this compiles (or fetches) the unit and
+   resolves its captured values from the launching context once — the
+   result is shared read-only across lanes, each of which executes on its
+   own register file. *)
+let prepare ctx (region : Ir.region) : prepared =
+  match backend () with
+  | Tree -> Tree_region region
+  | Compiled ->
+    let code = get_code region in
+    Compiled_code (code, Array.map (fun v -> Interp.lookup ctx v) code.cap_values)
+
+let is_compiled = function Compiled_code _ -> true | Tree_region _ -> false
+
+let run prep ctx args =
+  match prep with
+  | Tree_region region -> Interp.eval_region ctx region args
+  | Compiled_code (code, caps) -> exec code ctx caps args
+
+let run_region ctx region args = run (prepare ctx region) ctx args
+
+(* ----- entry points (drop-in for Interp.run_func / run_in_module) ----- *)
+
+let run_func ?(hooks = []) ?profile ?modul (f : Func.t) (args : Rtval.t list) :
+    Rtval.t list * Profile.t =
+  match backend () with
+  | Tree -> Interp.run_func ~hooks ?profile ?modul f args
+  | Compiled ->
+    let ctx = Interp.create_ctx ~hooks ?profile ?modul () in
+    let code = get_code f.Func.body in
+    let caps = Array.map (fun v -> Interp.lookup ctx v) code.cap_values in
+    let results = exec code ctx caps args in
+    (results, ctx.Interp.profile)
+
+let run_in_module ?(hooks = []) ?profile (m : Func.modul) name args =
+  let f = Func.find_func_exn m name in
+  run_func ~hooks ?profile ~modul:m f args

@@ -24,6 +24,10 @@ type ctx = {
   hooks : hook list;
   modul : Func.modul option;  (** for func.call *)
   device : device_state;
+  cmpi_preds : (int, int -> int -> bool) Hashtbl.t;
+      (** per-op [arith.cmpi] predicate decode cache, keyed by [oid]. Kept
+          on the context (not a global) so concurrent device lanes never
+          share a table; lane contexts must install a fresh one. *)
 }
 
 and hook = ctx -> Ir.op -> Rtval.t list option
@@ -43,7 +47,12 @@ let operand ctx op i = lookup ctx (Ir.operand op i)
 let t_operand ctx op i = Rtval.as_tensor (operand ctx op i)
 let i_operand ctx op i = Rtval.as_int (operand ctx op i)
 
-let terminators = [ "scf.yield"; "func.return"; "cim.yield"; "cnm.terminator" ]
+(* Direct match instead of a string-list scan: [eval_block] asks this once
+   per block execution, i.e. once per loop iteration of interpreted code. *)
+let is_terminator (op : Ir.op) =
+  match op.Ir.name with
+  | "scf.yield" | "func.return" | "cim.yield" | "cnm.terminator" -> true
+  | _ -> false
 
 (* ----- profile accounting for bulk (tensor-level) ops ----- *)
 
@@ -73,6 +82,34 @@ let account_int_binop (p : Profile.t) bucket =
   if bucket = bucket_mul then p.Profile.mul_ops <- p.Profile.mul_ops + 1
   else if bucket = bucket_div then p.Profile.div_ops <- p.Profile.div_ops + 1
   else p.Profile.alu_ops <- p.Profile.alu_ops + 1
+
+(* [arith.cmpi] predicates as shared top-level closures, so the decode of
+   the "predicate" string attribute happens once per op (cached in
+   [ctx.cmpi_preds]) instead of once per evaluation. *)
+let pred_eq (a : int) b = a = b
+let pred_ne (a : int) b = a <> b
+let pred_slt (a : int) b = a < b
+let pred_sle (a : int) b = a <= b
+let pred_sgt (a : int) b = a > b
+let pred_sge (a : int) b = a >= b
+
+let decode_cmpi_predicate (op : Ir.op) =
+  match Ir.str_attr op "predicate" with
+  | "eq" -> pred_eq
+  | "ne" -> pred_ne
+  | "slt" -> pred_slt
+  | "sle" -> pred_sle
+  | "sgt" -> pred_sgt
+  | "sge" -> pred_sge
+  | s -> err "arith.cmpi: predicate %s" s
+
+let cmpi_predicate ctx (op : Ir.op) =
+  match Hashtbl.find_opt ctx.cmpi_preds op.Ir.oid with
+  | Some f -> f
+  | None ->
+    let f = decode_cmpi_predicate op in
+    Hashtbl.add ctx.cmpi_preds op.Ir.oid f;
+    f
 
 let elementwise_names prefix =
   List.map
@@ -112,7 +149,7 @@ let rec eval_block ctx (block : Ir.block) : Rtval.t list =
       eval_op ctx (Ir.op_at block i)
     done;
     let last = Ir.op_at block (n - 1) in
-    if List.mem last.Ir.name terminators then
+    if is_terminator last then
       List.map (lookup ctx) (Array.to_list last.Ir.operands)
     else begin
       eval_op ctx last;
@@ -167,17 +204,7 @@ and eval_op ctx (op : Ir.op) : unit =
   | "arith.cmpi" ->
     let a = i_operand ctx op 0 and b = i_operand ctx op 1 in
     p.Profile.alu_ops <- p.Profile.alu_ops + 1;
-    let r =
-      match Ir.str_attr op "predicate" with
-      | "eq" -> a = b
-      | "ne" -> a <> b
-      | "slt" -> a < b
-      | "sle" -> a <= b
-      | "sgt" -> a > b
-      | "sge" -> a >= b
-      | s -> err "arith.cmpi: predicate %s" s
-    in
-    set_results [ Rtval.Bool r ]
+    set_results [ Rtval.Bool (cmpi_predicate ctx op a b) ]
   | "arith.select" ->
     p.Profile.alu_ops <- p.Profile.alu_ops + 1;
     let c = Rtval.as_bool (operand ctx op 0) in
@@ -512,7 +539,8 @@ and eval_elementwise ctx op opname =
 
 let create_ctx ?(hooks = []) ?profile ?modul () =
   let profile = match profile with Some p -> p | None -> Profile.create () in
-  { env = Hashtbl.create 256; profile; hooks; modul; device = Host }
+  { env = Hashtbl.create 256; profile; hooks; modul; device = Host;
+    cmpi_preds = Hashtbl.create 8 }
 
 let run_func ?(hooks = []) ?profile ?modul (f : Func.t) (args : Rtval.t list) :
     Rtval.t list * Profile.t =

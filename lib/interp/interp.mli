@@ -22,6 +22,10 @@ type ctx = {
   hooks : hook list;
   modul : Func.modul option;  (** for func.call *)
   device : device_state;
+  cmpi_preds : (int, int -> int -> bool) Hashtbl.t;
+      (** per-op [arith.cmpi] predicate decode cache, keyed by [oid]. Kept
+          on the context (not a global) so concurrent device lanes never
+          share a table; lane contexts must install a fresh one. *)
 }
 
 and hook = ctx -> Ir.op -> Rtval.t list option
@@ -29,6 +33,29 @@ and hook = ctx -> Ir.op -> Rtval.t list option
     the next hook (or the error path) handle it. *)
 
 exception Interp_error of string
+
+(** Raise {!Interp_error} with a formatted message. *)
+val err : ('a, unit, string, 'b) format4 -> 'a
+
+(** Whether [op] is a block terminator ([scf.yield], [func.return],
+    [cim.yield], [cnm.terminator]); its operands are the block's results. *)
+val is_terminator : Ir.op -> bool
+
+(** Decode the "predicate" attribute of an [arith.cmpi] into a shared
+    comparison closure (raises {!Interp_error} on unknown predicates). *)
+val decode_cmpi_predicate : Ir.op -> int -> int -> bool
+
+(** Integer dtype of a scalar-typed op result (Index widens to I64). *)
+val scalar_result_dtype : Ir.op -> Types.dtype
+
+(** Profile buckets for scalar integer binops, see {!account_int_binop}. *)
+val bucket_alu : int
+
+val bucket_mul : int
+val bucket_div : int
+
+(** Count one scalar integer binop in the given bucket. *)
+val account_int_binop : Profile.t -> int -> unit
 
 (** Look up an SSA value's runtime binding.
     @raise Interp_error when unbound. *)

@@ -145,30 +145,50 @@ let matmul a b =
   match (a.shape, b.shape) with
   | [| m; k |], [| k'; n |] when k = k' ->
     let out = zeros [| m; n |] a.dtype in
+    (* i-p-j loop order: both the B row [y.(p*n + _)] and the accumulator
+       row are walked with stride 1 (the j-inner order strides B by n and
+       thrashes the cache for the 256-wide paper shapes). Each output
+       element still accumulates over p in ascending order, so results are
+       bit-identical to the naive order. *)
     if is_int a then begin
       let x = match a.data with I v -> v | _ -> assert false in
       let y = match b.data with I v -> v | _ -> assert false in
       let z = match out.data with I v -> v | _ -> assert false in
+      let row = Array.make n 0 in
       for i = 0 to m - 1 do
+        Array.fill row 0 n 0;
+        for p = 0 to k - 1 do
+          let xv = x.((i * k) + p) in
+          if xv <> 0 then begin
+            let yoff = p * n in
+            for j = 0 to n - 1 do
+              row.(j) <- row.(j) + (xv * y.(yoff + j))
+            done
+          end
+        done;
+        let zoff = i * n in
         for j = 0 to n - 1 do
-          let acc = ref 0 in
-          for p = 0 to k - 1 do
-            acc := !acc + (x.((i * k) + p) * y.((p * n) + j))
-          done;
-          z.((i * n) + j) <- wrap a.dtype !acc
+          z.(zoff + j) <- wrap a.dtype row.(j)
         done
       done
     end
-    else
+    else begin
+      let row = Array.make n 0.0 in
       for i = 0 to m - 1 do
+        Array.fill row 0 n 0.0;
+        for p = 0 to k - 1 do
+          let xv = get_float a ((i * k) + p) in
+          let yoff = p * n in
+          for j = 0 to n - 1 do
+            row.(j) <- row.(j) +. (xv *. get_float b (yoff + j))
+          done
+        done;
+        let zoff = i * n in
         for j = 0 to n - 1 do
-          let acc = ref 0.0 in
-          for p = 0 to k - 1 do
-            acc := !acc +. (get_float a ((i * k) + p) *. get_float b ((p * n) + j))
-          done;
-          set_float out ((i * n) + j) !acc
+          set_float out (zoff + j) row.(j)
         done
-      done;
+      done
+    end;
     out
   | _ -> invalid_arg "Tensor.matmul: shape mismatch"
 
@@ -218,11 +238,33 @@ let transpose t perms =
   if Array.length perms <> rank then invalid_arg "Tensor.transpose: perms rank";
   let out_shape = Array.map (fun p -> t.shape.(p)) perms in
   let out = zeros out_shape t.dtype in
+  (* Walk the input sequentially and maintain the permuted output offset
+     incrementally with an odometer over the input index — no per-element
+     index array allocations. [w.(j)] is the output stride contributed by
+     input dimension [j]. *)
+  let ostrides = Array.make rank 1 in
+  for i = rank - 2 downto 0 do
+    ostrides.(i) <- ostrides.(i + 1) * out_shape.(i + 1)
+  done;
+  let w = Array.make rank 0 in
+  Array.iteri (fun i p -> w.(p) <- ostrides.(i)) perms;
+  let idx = Array.make rank 0 in
+  let ooff = ref 0 in
   let n = num_elements t in
   for off = 0 to n - 1 do
-    let idx = Util.delinearize t.shape off in
-    let out_idx = Array.map (fun p -> idx.(p)) perms in
-    set_int out (Util.linearize out_shape out_idx) (get_int t off)
+    set_int out !ooff (get_int t off);
+    let j = ref (rank - 1) in
+    let carry = ref true in
+    while !carry && !j >= 0 do
+      idx.(!j) <- idx.(!j) + 1;
+      ooff := !ooff + w.(!j);
+      if idx.(!j) = t.shape.(!j) then begin
+        idx.(!j) <- 0;
+        ooff := !ooff - (w.(!j) * t.shape.(!j));
+        decr j
+      end
+      else carry := false
+    done
   done;
   out
 
@@ -334,39 +376,101 @@ let reshape t new_shape =
     invalid_arg "Tensor.reshape: element count mismatch";
   { t with shape = new_shape }
 
+(* Copy a [sizes]-shaped region between two integer payloads, one
+   innermost-dimension row per [Array.blit]. The callers' slow paths pay a
+   [delinearize] (and its allocations) per *element*; these staging moves
+   run once per tile per loop iteration in the lowered CIM/CNM programs,
+   so they are squarely on the hot path. Caller has validated bounds and
+   that both tensors share a dtype (values are already wrapped, so a raw
+   copy is bit-identical to the get/set round-trip). *)
+let blit_region (s : int array) src_shape src_off (d : int array) dst_shape dst_off
+    sizes =
+  let rank = Array.length sizes in
+  let row = sizes.(rank - 1) in
+  let outer = ref 1 in
+  for i = 0 to rank - 2 do
+    outer := !outer * sizes.(i)
+  done;
+  let idx = Array.make (max (rank - 1) 0) 0 in
+  for _r = 0 to !outer - 1 do
+    let sbase = ref 0 and dbase = ref 0 in
+    for i = 0 to rank - 1 do
+      let c = if i < rank - 1 then idx.(i) else 0 in
+      sbase := (!sbase * src_shape.(i)) + c + src_off.(i);
+      dbase := (!dbase * dst_shape.(i)) + c + dst_off.(i)
+    done;
+    Array.blit s !sbase d !dbase row;
+    let j = ref (rank - 2) in
+    let carry = ref true in
+    while !carry && !j >= 0 do
+      idx.(!j) <- idx.(!j) + 1;
+      if idx.(!j) = sizes.(!j) then begin
+        idx.(!j) <- 0;
+        decr j
+      end
+      else carry := false
+    done
+  done
+
+let region_in_bounds shape off sizes =
+  let rank = Array.length shape in
+  Array.length off = rank
+  && Array.length sizes = rank
+  &&
+  let ok = ref true in
+  for i = 0 to rank - 1 do
+    if off.(i) < 0 || off.(i) + sizes.(i) > shape.(i) then ok := false
+  done;
+  !ok
+
 let pad t ~low ~high =
   let rank = Array.length t.shape in
   let out_shape = Array.mapi (fun i d -> d + low.(i) + high.(i)) t.shape in
   let out = zeros out_shape t.dtype in
-  let n = num_elements t in
-  for off = 0 to n - 1 do
-    let idx = Util.delinearize t.shape off in
-    let out_idx = Array.init rank (fun i -> idx.(i) + low.(i)) in
-    set_int out (Util.linearize out_shape out_idx) (get_int t off)
-  done;
+  (match (t.data, out.data) with
+  | I s, I d when rank > 0 && region_in_bounds out_shape low t.shape ->
+    blit_region s t.shape (Array.make rank 0) d out_shape low t.shape
+  | _ ->
+    let n = num_elements t in
+    for off = 0 to n - 1 do
+      let idx = Util.delinearize t.shape off in
+      let out_idx = Array.init rank (fun i -> idx.(i) + low.(i)) in
+      set_int out (Util.linearize out_shape out_idx) (get_int t off)
+    done);
   out
 
 let extract_slice t ~offsets ~sizes =
   let rank = Array.length t.shape in
   let out = zeros sizes t.dtype in
-  let n = Util.product_of_shape sizes in
-  for off = 0 to n - 1 do
-    let idx = Util.delinearize sizes off in
-    let src_idx = Array.init rank (fun i -> idx.(i) + offsets.(i)) in
-    set_int out off (get_int t (Util.linearize t.shape src_idx))
-  done;
+  (match (t.data, out.data) with
+  | I s, I d when rank > 0 && region_in_bounds t.shape offsets sizes ->
+    blit_region s t.shape offsets d sizes (Array.make rank 0) sizes
+  | _ ->
+    let n = Util.product_of_shape sizes in
+    for off = 0 to n - 1 do
+      let idx = Util.delinearize sizes off in
+      let src_idx = Array.init rank (fun i -> idx.(i) + offsets.(i)) in
+      set_int out off (get_int t (Util.linearize t.shape src_idx))
+    done);
   out
 
 (* Value semantics: returns a fresh tensor with [src] written at [offsets]. *)
 let insert_slice src dst ~offsets =
   let out = copy dst in
   let rank = Array.length dst.shape in
-  let n = num_elements src in
-  for off = 0 to n - 1 do
-    let idx = Util.delinearize src.shape off in
-    let dst_idx = Array.init rank (fun i -> idx.(i) + offsets.(i)) in
-    set_int out (Util.linearize dst.shape dst_idx) (get_int src off)
-  done;
+  (match (src.data, out.data) with
+  | I s, I d
+    when rank > 0
+         && src.dtype = dst.dtype
+         && region_in_bounds dst.shape offsets src.shape ->
+    blit_region s src.shape (Array.make rank 0) d dst.shape offsets src.shape
+  | _ ->
+    let n = num_elements src in
+    for off = 0 to n - 1 do
+      let idx = Util.delinearize src.shape off in
+      let dst_idx = Array.init rank (fun i -> idx.(i) + offsets.(i)) in
+      set_int out (Util.linearize dst.shape dst_idx) (get_int src off)
+    done);
   out
 
 let im2col img ~kh ~kw =
@@ -414,20 +518,68 @@ let einsum ~spec a b =
   in
   let red_shape = Array.of_list (List.map (Hashtbl.find dims) red_idx) in
   let out = zeros out_shape a.dtype in
-  let assign = Hashtbl.create 8 in
-  let index_of idx_str =
-    Array.init (String.length idx_str) (fun i -> Hashtbl.find assign idx_str.[i])
-  in
   let n_out = Util.product_of_shape out_shape in
   let n_red = Util.product_of_shape red_shape in
+  (* Flat-offset evaluation: each input's offset is a linear function of
+     the output position and the reduction position, so precompute the
+     stride weight each (out dim, red dim) contributes to each input and
+     walk the reduction space with an incremental odometer. Accumulation
+     order per output element (ascending reduction offset) is unchanged,
+     so results are bit-identical to index-tuple evaluation. *)
+  let rank_out = Array.length out_shape in
+  let rank_red = Array.length red_shape in
+  let strides shape =
+    let rank = Array.length shape in
+    let s = Array.make rank 1 in
+    for i = rank - 2 downto 0 do
+      s.(i) <- s.(i + 1) * shape.(i + 1)
+    done;
+    s
+  in
+  let weights idx_str shape =
+    let s = strides shape in
+    let w_out = Array.make rank_out 0 in
+    let w_red = Array.make rank_red 0 in
+    String.iteri
+      (fun i c ->
+        match String.index_opt out_idx c with
+        | Some k -> w_out.(k) <- w_out.(k) + s.(i)
+        | None ->
+          let k = ref 0 in
+          List.iteri (fun j c' -> if c' = c then k := j) red_idx;
+          w_red.(!k) <- w_red.(!k) + s.(i))
+      idx_str;
+    (w_out, w_red)
+  in
+  let wa_out, wa_red = weights a_idx a.shape in
+  let wb_out, wb_red = weights b_idx b.shape in
+  let red_pos = Array.make rank_red 0 in
   for o = 0 to n_out - 1 do
     let out_pos = Util.delinearize out_shape o in
-    String.iteri (fun i c -> Hashtbl.replace assign c out_pos.(i)) out_idx;
+    let base_a = ref 0 and base_b = ref 0 in
+    for i = 0 to rank_out - 1 do
+      base_a := !base_a + (wa_out.(i) * out_pos.(i));
+      base_b := !base_b + (wb_out.(i) * out_pos.(i))
+    done;
+    Array.fill red_pos 0 rank_red 0;
+    let off_a = ref !base_a and off_b = ref !base_b in
     let acc = ref 0 in
-    for r = 0 to n_red - 1 do
-      let red_pos = Util.delinearize red_shape r in
-      List.iteri (fun i c -> Hashtbl.replace assign c red_pos.(i)) red_idx;
-      acc := !acc + (get a (index_of a_idx) * get b (index_of b_idx))
+    for _r = 0 to n_red - 1 do
+      acc := !acc + (get_int a !off_a * get_int b !off_b);
+      let j = ref (rank_red - 1) in
+      let carry = ref true in
+      while !carry && !j >= 0 do
+        red_pos.(!j) <- red_pos.(!j) + 1;
+        off_a := !off_a + wa_red.(!j);
+        off_b := !off_b + wb_red.(!j);
+        if red_pos.(!j) = red_shape.(!j) then begin
+          red_pos.(!j) <- 0;
+          off_a := !off_a - (wa_red.(!j) * red_shape.(!j));
+          off_b := !off_b - (wb_red.(!j) * red_shape.(!j));
+          decr j
+        end
+        else carry := false
+      done
     done;
     set_int out o !acc
   done;

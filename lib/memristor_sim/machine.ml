@@ -251,5 +251,5 @@ let hook (m : t) : Interp.hook =
   | _ -> None
 
 let run m (f : Func.t) args =
-  let results, _ = Interp.run_func ~hooks:[ hook m ] f args in
+  let results, _ = Compile.run_func ~hooks:[ hook m ] f args in
   (results, m.stats)

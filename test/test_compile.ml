@@ -1,0 +1,336 @@
+(* Differential tests for the closure-compiling executor: every scenario —
+   fig10-style CIM matmuls, fig11-style UPMEM kernels, fault injection,
+   hand-built scf control flow, runtime errors, and the bench --json
+   output — must be bit-identical between CINM_INTERP=tree and
+   CINM_INTERP=compiled, at --jobs 1 and --jobs 4. *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_transforms
+open Cinm_interp
+module T = Types
+module Usim = Cinm_upmem_sim
+module Pool = Cinm_support.Pool
+module Fault = Cinm_support.Fault
+module Driver = Cinm_core.Driver
+module Backend = Cinm_core.Backend
+module Report = Cinm_core.Report
+
+let () = Registry.ensure_all ()
+
+let tensor shape = T.Tensor (shape, T.I32)
+let iota shape = Tensor.init shape (fun i -> (i mod 23) - 11)
+
+let with_backend backend f =
+  let prev = Compile.backend () in
+  Compile.set_backend backend;
+  Fun.protect ~finally:(fun () -> Compile.set_backend prev) f
+
+(* Run the same scenario under both backends and hand both outcomes to
+   [check]. The scenario must build its IR fresh on every call (pipelines
+   mutate funcs in place). *)
+let differential run check =
+  let tree = with_backend Compile.Tree run in
+  let compiled = with_backend Compile.Compiled run in
+  check tree compiled
+
+let check_tensors msg a b =
+  List.iter2
+    (fun x y ->
+      if not (Tensor.equal x y) then
+        Alcotest.failf "%s: tensors differ: %s vs %s" msg (Tensor.to_string x)
+          (Tensor.to_string y))
+    a b
+
+(* ----- UPMEM lowering (fig11-style kernels) ----- *)
+
+let force_cnm =
+  Target_select.pass
+    ~policy:{ Target_select.default_policy with forced_target = Some "cnm" }
+    ()
+
+let lower_to_upmem ~cnm_opts f =
+  let m = Func.create_module () in
+  Func.add_func m f;
+  Pass.run_pipeline
+    [ Tosa_to_linalg.pass; Linalg_to_cinm.pass; force_cnm;
+      Cinm_to_cnm.pass ~options:cnm_opts (); Cnm_to_upmem.pass () ]
+    m;
+  List.hd m.Func.funcs
+
+let build_mm m k n () =
+  let f =
+    Func.create ~name:"mm" ~arg_tys:[ tensor [| m; k |]; tensor [| k; n |] ]
+      ~result_tys:[ tensor [| m; n |] ]
+  in
+  let b = Builder.for_func f in
+  Func_d.return b [ Linalg_d.matmul b (Func.param f 0) (Func.param f 1) ];
+  f
+
+let run_upmem ?(jobs = 1) ?(faults = None) ~cnm_opts builder args =
+  Pool.set_default_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs 1)
+    (fun () ->
+      let machine = Usim.Machine.create ~faults (Usim.Config.default ~dimms:1 ()) in
+      let f = lower_to_upmem ~cnm_opts (builder ()) in
+      let results, profile =
+        Compile.run_func ~hooks:[ Usim.Machine.hook machine ] f args
+      in
+      (List.map Rtval.as_tensor results, machine.Usim.Machine.stats, profile))
+
+let check_upmem_equal (r1, s1, p1) (r2, s2, p2) =
+  check_tensors "tree vs compiled" r1 r2;
+  Alcotest.(check bool)
+    (Printf.sprintf "stats identical:\n%s\nvs\n%s" (Usim.Stats.to_string s1)
+       (Usim.Stats.to_string s2))
+    true (Usim.Stats.equal s1 s2);
+  Alcotest.(check bool) "host profiles identical" true (Profile.equal p1 p2)
+
+let gemm_opts =
+  { Cinm_to_cnm.dpus = 8; tasklets = 4; optimize = false; max_rows_per_launch = 8 }
+
+let test_upmem_gemm () =
+  let a = iota [| 32; 8 |] and b = iota [| 8; 6 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor b ] in
+  List.iter
+    (fun jobs ->
+      differential
+        (fun () -> run_upmem ~jobs ~cnm_opts:gemm_opts (build_mm 32 8 6) args)
+        check_upmem_equal)
+    [ 1; 4 ]
+
+let test_upmem_gemm_wram_opt () =
+  (* WRAM-optimized kernels exercise the hook ops (wram_shared_alloc,
+     mram_read/write, barrier_wait) through the generic-fallback path *)
+  let a = iota [| 32; 16 |] and b = iota [| 16; 8 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor b ] in
+  let opts =
+    { Cinm_to_cnm.dpus = 4; tasklets = 4; optimize = true; max_rows_per_launch = 8 }
+  in
+  List.iter
+    (fun jobs ->
+      differential
+        (fun () -> run_upmem ~jobs ~cnm_opts:opts (build_mm 32 16 8) args)
+        check_upmem_equal)
+    [ 1; 4 ]
+
+(* ----- fault scenarios ----- *)
+
+let plan rates = Fault.make ~seed:42 rates
+
+let test_faults_differential () =
+  let a = iota [| 32; 8 |] and b = iota [| 8; 6 |] in
+  let args = [ Rtval.Tensor a; Rtval.Tensor b ] in
+  List.iter
+    (fun rates ->
+      List.iter
+        (fun jobs ->
+          differential
+            (fun () ->
+              run_upmem ~jobs ~faults:(Some (plan rates)) ~cnm_opts:gemm_opts
+                (build_mm 32 8 6) args)
+            check_upmem_equal)
+        [ 1; 4 ])
+    [
+      { Fault.no_rates with Fault.dpu_transient = 0.3 };
+      { Fault.no_rates with Fault.dpu_fail = 0.3 };
+    ]
+
+(* ----- CIM (fig10-style) through the driver ----- *)
+
+let test_cim_differential () =
+  let run () =
+    let backend = Backend.Cim (Backend.default_cim ~min_writes:true ~parallel:false ()) in
+    let results, report =
+      Driver.compile_and_run backend
+        (build_mm 128 128 128 ())
+        [ Rtval.Tensor (iota [| 128; 128 |]); Rtval.Tensor (iota [| 128; 128 |]) ]
+    in
+    (List.map Rtval.as_tensor results, report)
+  in
+  differential run (fun (r1, rep1) (r2, rep2) ->
+      check_tensors "cim tree vs compiled" r1 r2;
+      Alcotest.(check string)
+        "cim reports identical" (Report.to_string rep1) (Report.to_string rep2))
+
+(* ----- hand-built scf control flow ----- *)
+
+(* Loop-carried swap: yield (b, a + b) permutes the iteration-argument
+   slots, which the compiled backend must route through scratch slots. *)
+let test_scf_loop_carried () =
+  let run () =
+    let f =
+      Func.create ~name:"fib" ~arg_tys:[]
+        ~result_tys:[ T.Scalar T.I32; T.Scalar T.I32 ]
+    in
+    let b = Builder.for_func f in
+    let lb = Arith.const_index b 0
+    and ub = Arith.const_index b 10
+    and step = Arith.const_index b 1 in
+    let i0 = Arith.constant b 0 and i1 = Arith.constant b 1 in
+    let results =
+      Scf_d.for_ b ~lb ~ub ~step ~init:[ i0; i1 ] (fun bb _iv iters ->
+          [ iters.(1); Arith.addi bb iters.(0) iters.(1) ])
+    in
+    Func_d.return b results;
+    Compile.run_func f []
+  in
+  differential run (fun (r1, p1) (r2, p2) ->
+      Alcotest.(check bool) "fib results equal" true (r1 = r2);
+      Alcotest.(check bool) "fib profiles equal" true (Profile.equal p1 p2);
+      match r1 with
+      | [ Rtval.Int a; Rtval.Int b ] ->
+        Alcotest.(check int) "fib(10)" 55 a;
+        Alcotest.(check int) "fib(11)" 89 b
+      | _ -> Alcotest.fail "unexpected fib results")
+
+let test_scf_if_cmpi_memref () =
+  let run () =
+    let f = Func.create ~name:"g" ~arg_tys:[ T.Scalar T.I32 ] ~result_tys:[ T.Scalar T.I32 ] in
+    let b = Builder.for_func f in
+    let m = Memref_d.alloc b [| 8 |] T.I32 in
+    let lb = Arith.const_index b 0
+    and ub = Arith.const_index b 8
+    and step = Arith.const_index b 1 in
+    Scf_d.for0 b ~lb ~ub ~step (fun bb iv ->
+        let v = Arith.index_cast bb iv ~to_ty:(T.Scalar T.I32) in
+        Memref_d.store bb (Arith.muli bb v v) m [ iv ]);
+    let x = Func.param f 0 in
+    let neg = Arith.cmpi b Arith.Slt x (Arith.constant b 0) in
+    let r =
+      Scf_d.if_ b neg
+        ~then_:(fun bb -> [ Arith.subi bb (Arith.constant bb 0) x ])
+        ~else_:(fun bb -> [ Memref_d.load bb m [ Arith.const_index bb 5 ] ])
+        ~result_tys:[ T.Scalar T.I32 ]
+    in
+    Func_d.return b r;
+    let minus = Compile.run_func f [ Rtval.Int (-3) ] in
+    let plus = Compile.run_func f [ Rtval.Int 7 ] in
+    (minus, plus)
+  in
+  differential run (fun ((m1, mp1), (p1, pp1)) ((m2, mp2), (p2, pp2)) ->
+      Alcotest.(check bool) "then-branch results equal" true (m1 = m2);
+      Alcotest.(check bool) "else-branch results equal" true (p1 = p2);
+      Alcotest.(check bool) "then-branch profiles equal" true (Profile.equal mp1 mp2);
+      Alcotest.(check bool) "else-branch profiles equal" true (Profile.equal pp1 pp2);
+      Alcotest.(check bool) "then-branch value" true (m1 = [ Rtval.Int 3 ]);
+      Alcotest.(check bool) "else-branch value" true (p1 = [ Rtval.Int 25 ]))
+
+(* ----- error parity ----- *)
+
+let catch run =
+  match run () with
+  | _ -> None
+  | exception e -> Some (Printexc.to_string e)
+
+let test_error_parity () =
+  let oob () =
+    let f = Func.create ~name:"oob" ~arg_tys:[] ~result_tys:[ T.Scalar T.I32 ] in
+    let b = Builder.for_func f in
+    let m = Memref_d.alloc b [| 4 |] T.I32 in
+    Func_d.return b [ Memref_d.load b m [ Arith.const_index b 10 ] ];
+    Compile.run_func f []
+  in
+  let bad_step () =
+    let f = Func.create ~name:"bs" ~arg_tys:[] ~result_tys:[] in
+    let b = Builder.for_func f in
+    let lb = Arith.const_index b 0
+    and ub = Arith.const_index b 4
+    and step = Arith.const_index b 0 in
+    Scf_d.for0 b ~lb ~ub ~step (fun _ _ -> ());
+    Func_d.return b [];
+    Compile.run_func f []
+  in
+  List.iter
+    (fun scenario ->
+      let e_tree = with_backend Compile.Tree (fun () -> catch scenario) in
+      let e_comp = with_backend Compile.Compiled (fun () -> catch scenario) in
+      match (e_tree, e_comp) with
+      | Some a, Some b -> Alcotest.(check string) "same error" a b
+      | _ -> Alcotest.fail "expected both backends to raise")
+    [ oob; bad_step ]
+
+(* ----- bench --json differential ----- *)
+
+(* wall_s is the one field that legitimately differs between two runs;
+   everything else (names, sim_s, runs, jobs, schema) must match byte for
+   byte. *)
+let strip_wall s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let key = "\"wall_s\":" in
+  let klen = String.length key in
+  let i = ref 0 in
+  while !i < n do
+    if !i + klen <= n && String.sub s !i klen = key then begin
+      i := !i + klen;
+      while !i < n && s.[!i] <> ',' do
+        incr i
+      done;
+      if !i < n then incr i;
+      if !i < n && s.[!i] = ' ' then incr i
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* locate the bench executable relative to this test binary, so the test
+   works under both `dune runtest` (cwd test/) and `dune exec` (cwd root) *)
+let bench_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bench" "main.exe"))
+
+let bench_json ~interp ~jobs =
+  let out = Filename.temp_file "cinm_bench" ".json" in
+  let cmd =
+    Printf.sprintf
+      "%s --quick --jobs %d --interp %s --json %s ablation tab4 dialects \
+       >/dev/null 2>&1"
+      (Filename.quote bench_exe) jobs interp (Filename.quote out)
+  in
+  let rc = Sys.command cmd in
+  Alcotest.(check int) (Printf.sprintf "bench exit (%s)" cmd) 0 rc;
+  let s = read_file out in
+  Sys.remove out;
+  strip_wall s
+
+let test_bench_json_differential () =
+  List.iter
+    (fun jobs ->
+      let t = bench_json ~interp:"tree" ~jobs in
+      let c = bench_json ~interp:"compiled" ~jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "--json identical minus wall_s at --jobs %d" jobs)
+        t c)
+    [ 1; 4 ]
+
+let () =
+  Alcotest.run "compile"
+    [ ( "differential",
+        [ Alcotest.test_case "upmem gemm, jobs 1 and 4" `Quick test_upmem_gemm;
+          Alcotest.test_case "upmem gemm wram-opt, jobs 1 and 4" `Quick
+            test_upmem_gemm_wram_opt;
+          Alcotest.test_case "fault scenarios" `Quick test_faults_differential;
+          Alcotest.test_case "cim matmul report" `Quick test_cim_differential;
+        ] );
+      ( "control-flow",
+        [ Alcotest.test_case "loop-carried swap (fib)" `Quick test_scf_loop_carried;
+          Alcotest.test_case "scf.if + cmpi + memref" `Quick test_scf_if_cmpi_memref;
+          Alcotest.test_case "error parity" `Quick test_error_parity;
+        ] );
+      ( "bench-json",
+        [ Alcotest.test_case "bit-identical at jobs 1 and 4" `Quick
+            test_bench_json_differential;
+        ] );
+    ]
