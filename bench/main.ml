@@ -19,6 +19,9 @@
                                      tracking)
           main.exe --interp NAME .. (interpreter backend, tree|compiled;
                                      default CINM_INTERP or tree)
+          main.exe --strict ...     (verify + print->parse->print fixpoint
+                                     after every pass, CINM_STRICT=1
+                                     equivalent; --json output unchanged)
           main.exe --trace FILE ... (Chrome trace-event JSON: compile
                                      passes and per-device simulated
                                      timelines; open in ui.perfetto.dev)
@@ -730,6 +733,11 @@ let () =
     | [ "--jobs" ] ->
       Printf.eprintf "--jobs expects a positive integer\n";
       exit 1
+    | "--strict" :: rest ->
+      (* verify + print->parse->print fixpoint after every pass; the
+         compile stage gets slower but --json output is unchanged *)
+      Cinm_ir.Pass.set_strict true;
+      parse acc rest
     | "--interp" :: b :: rest -> (
       match Cinm_interp.Compile.backend_of_string b with
       | Some backend ->

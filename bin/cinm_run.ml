@@ -20,7 +20,9 @@ let benchmarks () : (string * Benchmark.t) list =
   List.map (fun (b : Benchmark.t) -> (b.Benchmark.name, b)) (ml @ prim)
 
 let run list_benchmarks bench_name backend_name dimms dpus_per_dimm tasklets optimize
-    min_writes parallel show_ir trace_out interp =
+    min_writes parallel show_ir trace_out interp strict max_steps =
+  if strict then Cinm_ir.Pass.set_strict true;
+  if max_steps > 0 then Cinm_interp.Interp.set_default_max_steps max_steps;
   (match interp with
   | "" -> ()
   | s -> (
@@ -88,6 +90,13 @@ let cmd =
       $ Arg.(value & opt string "" & info [ "interp" ] ~docv:"tree|compiled"
                ~doc:"Interpreter backend: tree-walking reference or \
                      closure-compiling executor (default: CINM_INTERP or \
-                     tree)."))
+                     tree).")
+      $ Arg.(value & flag & info [ "strict" ]
+               ~doc:"Strict checking: verify the module and assert the \
+                     print->parse->print fixpoint after every pass (also \
+                     CINM_STRICT=1).")
+      $ Arg.(value & opt int 0 & info [ "max-steps" ] ~docv:"N"
+               ~doc:"Interpreter watchdog: abort any execution after N \
+                     launched ops (also CINM_MAX_STEPS; 0 = unlimited)."))
 
 let () = exit (Cmd.eval' cmd)

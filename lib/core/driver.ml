@@ -129,6 +129,10 @@ let compile ?(verify = true) ?(fallback = true) backend (m : Func.modul) : compi
       | None -> raise (Pass.Pass_failed diag)
       | Some snap ->
         Log.warn "%s; degrading to CPU lowering" (Pass.diag_to_string diag);
+        (match Pass.last_reproducer () with
+        | Some r when r.Pass.diag = diag ->
+          Log.warn "crash reproducer for the failed lowering: %s" r.Pass.path
+        | _ -> ());
         Pass.run_pipeline ~verify cpu_fallback_pipeline snap;
         { modul = snap; backend; fallback = Some diag }))
 

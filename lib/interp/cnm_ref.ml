@@ -103,7 +103,9 @@ let hook ?(on_launch = fun (_ : Profile.t list) -> ()) (st : state) : Interp.hoo
           bufs
       in
       let profile = Profile.create () in
-      let inner = { ctx with Interp.profile = profile } in
+      (* fresh watchdog counter per PU, matching the per-lane budget the
+         UPMEM machine gives its tasklets *)
+      let inner = { ctx with Interp.profile = profile; steps = ref 0 } in
       ignore (Compile.run prep inner args);
       profiles := profile :: !profiles
     done;

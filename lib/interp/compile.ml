@@ -493,6 +493,7 @@ and compile_for st op =
     let i = ref lb in
     while !i < ub do
       p.Profile.alu_ops <- p.Profile.alu_ops + 1 (* induction update/compare *);
+      Interp.check_steps ctx "scf.for";
       frame.(iv_s) <- Rtval.Int !i;
       for j = 0 to nb - 1 do
         body.(j) ctx frame
@@ -574,10 +575,12 @@ and compile_parallel st op =
     let step = Array.map (fun s -> Rtval.as_int frame.(s)) st_s in
     (* no per-iteration accounting, exactly like the tree-walker *)
     let rec go d =
-      if d = n_dims then
+      if d = n_dims then begin
+        Interp.check_steps ctx "scf.parallel";
         for j = 0 to nb - 1 do
           body.(j) ctx frame
         done
+      end
       else begin
         let i = ref lb.(d) in
         while !i < ub.(d) do
@@ -676,17 +679,19 @@ let run_region ctx region args = run (prepare ctx region) ctx args
 
 (* ----- entry points (drop-in for Interp.run_func / run_in_module) ----- *)
 
-let run_func ?(hooks = []) ?profile ?modul (f : Func.t) (args : Rtval.t list) :
-    Rtval.t list * Profile.t =
+let run_func ?(hooks = []) ?profile ?modul ?max_steps (f : Func.t)
+    (args : Rtval.t list) : Rtval.t list * Profile.t =
   match backend () with
-  | Tree -> Interp.run_func ~hooks ?profile ?modul f args
+  | Tree -> Interp.run_func ~hooks ?profile ?modul ?max_steps f args
   | Compiled ->
-    let ctx = Interp.create_ctx ~hooks ?profile ?modul () in
+    let ctx =
+      Interp.create_ctx ~hooks ?profile ?modul ~fname:f.Func.fname ?max_steps ()
+    in
     let code = get_code f.Func.body in
     let caps = Array.map (fun v -> Interp.lookup ctx v) code.cap_values in
     let results = exec code ctx caps args in
     (results, ctx.Interp.profile)
 
-let run_in_module ?(hooks = []) ?profile (m : Func.modul) name args =
+let run_in_module ?(hooks = []) ?profile ?max_steps (m : Func.modul) name args =
   let f = Func.find_func_exn m name in
-  run_func ~hooks ?profile ~modul:m f args
+  run_func ~hooks ?profile ~modul:m ?max_steps f args

@@ -50,11 +50,15 @@ val run_region : Interp.ctx -> Ir.region -> Rtval.t list -> Rtval.t list
     after having been executed (block identity is the cache key). *)
 val clear_cache : unit -> unit
 
-(** Backend-dispatching drop-in for {!Interp.run_func}. *)
+(** Backend-dispatching drop-in for {!Interp.run_func}. [max_steps]
+    bounds the watchdog budget for this run (default: the
+    [CINM_MAX_STEPS] setting); the diagnostic is identical under both
+    backends. *)
 val run_func :
   ?hooks:Interp.hook list ->
   ?profile:Profile.t ->
   ?modul:Func.modul ->
+  ?max_steps:int ->
   Func.t ->
   Rtval.t list ->
   Rtval.t list * Profile.t
@@ -63,6 +67,7 @@ val run_func :
 val run_in_module :
   ?hooks:Interp.hook list ->
   ?profile:Profile.t ->
+  ?max_steps:int ->
   Func.modul ->
   string ->
   Rtval.t list ->

@@ -28,6 +28,14 @@ type ctx = {
       (** per-op [arith.cmpi] predicate decode cache, keyed by [oid]. Kept
           on the context (not a global) so concurrent device lanes never
           share a table; lane contexts must install a fresh one. *)
+  fname : string;  (** function being executed, for watchdog diagnostics *)
+  max_steps : int;
+      (** watchdog: abort once [steps] exceeds this (0 = unlimited).
+          Checked on loop back-edges and calls only, so straight-line
+          code pays nothing. *)
+  steps : int ref;
+      (** back-edges and calls taken so far; a [ref] (not a mutable
+          field) so [{ctx with fname}] copies for callees share it *)
 }
 
 and hook = ctx -> Ir.op -> Rtval.t list option
@@ -35,6 +43,30 @@ and hook = ctx -> Ir.op -> Rtval.t list option
 exception Interp_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Interp_error s)) fmt
+
+(* Default step budget, from CINM_MAX_STEPS (0 = unlimited). *)
+let default_max_steps =
+  ref
+    (match Option.map int_of_string_opt (Sys.getenv_opt "CINM_MAX_STEPS") with
+    | Some (Some n) when n > 0 -> n
+    | _ -> 0)
+
+let set_default_max_steps n = default_max_steps := max 0 n
+
+(* Watchdog check, shared verbatim by the tree-walker and the closure
+   compiler. It counts its own invocations (loop back-edges and calls)
+   rather than consulting the profile, so even a loop whose body is pure
+   control flow trips it; both backends place the check at the same
+   sites, so the count — and therefore this message — is identical in
+   both. *)
+let check_steps ctx (op_name : string) =
+  if ctx.max_steps > 0 then begin
+    incr ctx.steps;
+    if !(ctx.steps) > ctx.max_steps then
+      err
+        "watchdog: function @%s exceeded the step budget at %s: %d steps (max %d); raise CINM_MAX_STEPS / ?max_steps"
+        ctx.fname op_name !(ctx.steps) ctx.max_steps
+  end
 
 let lookup ctx (v : Ir.value) =
   match Hashtbl.find_opt ctx.env v.Ir.vid with
@@ -220,6 +252,7 @@ and eval_op ctx (op : Ir.op) : unit =
       if i >= ub then acc
       else begin
         p.Profile.alu_ops <- p.Profile.alu_ops + 1 (* induction update/compare *);
+        check_steps ctx "scf.for";
         let out = eval_region ctx region (Rtval.Int i :: acc) in
         iterate (i + step) out
       end
@@ -239,7 +272,9 @@ and eval_op ctx (op : Ir.op) : unit =
     in
     let region = Ir.region op 0 in
     let rec loop_dims acc = function
-      | [] -> ignore (eval_region ctx region (List.rev_map (fun i -> Rtval.Int i) acc))
+      | [] ->
+        check_steps ctx "scf.parallel";
+        ignore (eval_region ctx region (List.rev_map (fun i -> Rtval.Int i) acc))
       | (lb, ub, step) :: rest ->
         let i = ref lb in
         while !i < ub do
@@ -255,9 +290,12 @@ and eval_op ctx (op : Ir.op) : unit =
     | None -> err "func.call outside a module context"
     | Some m ->
       let callee = Ir.str_attr op "callee" in
+      check_steps ctx "func.call";
       let f = Func.find_func_exn m callee in
       let args = List.map (lookup ctx) (Array.to_list op.Ir.operands) in
-      set_results (eval_region ctx f.Func.body args))
+      (* same mutable env/profile, but watchdog messages from inside the
+         callee name the callee *)
+      set_results (eval_region { ctx with fname = callee } f.Func.body args))
   (* ----- tensor ----- *)
   | "tensor.empty" -> (
     match (Ir.result op 0).Ir.ty with
@@ -537,17 +575,20 @@ and eval_elementwise ctx op opname =
 
 (* ----- entry points ----- *)
 
-let create_ctx ?(hooks = []) ?profile ?modul () =
+let create_ctx ?(hooks = []) ?profile ?modul ?(fname = "<main>") ?max_steps () =
   let profile = match profile with Some p -> p | None -> Profile.create () in
+  let max_steps =
+    match max_steps with Some n -> max 0 n | None -> !default_max_steps
+  in
   { env = Hashtbl.create 256; profile; hooks; modul; device = Host;
-    cmpi_preds = Hashtbl.create 8 }
+    cmpi_preds = Hashtbl.create 8; fname; max_steps; steps = ref 0 }
 
-let run_func ?(hooks = []) ?profile ?modul (f : Func.t) (args : Rtval.t list) :
-    Rtval.t list * Profile.t =
-  let ctx = create_ctx ~hooks ?profile ?modul () in
+let run_func ?(hooks = []) ?profile ?modul ?max_steps (f : Func.t)
+    (args : Rtval.t list) : Rtval.t list * Profile.t =
+  let ctx = create_ctx ~hooks ?profile ?modul ~fname:f.Func.fname ?max_steps () in
   let results = eval_region ctx f.Func.body args in
   (results, ctx.profile)
 
-let run_in_module ?(hooks = []) ?profile (m : Func.modul) name args =
+let run_in_module ?(hooks = []) ?profile ?max_steps (m : Func.modul) name args =
   let f = Func.find_func_exn m name in
-  run_func ~hooks ?profile ~modul:m f args
+  run_func ~hooks ?profile ~modul:m ?max_steps f args

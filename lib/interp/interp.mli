@@ -26,6 +26,13 @@ type ctx = {
       (** per-op [arith.cmpi] predicate decode cache, keyed by [oid]. Kept
           on the context (not a global) so concurrent device lanes never
           share a table; lane contexts must install a fresh one. *)
+  fname : string;  (** function being executed, for watchdog diagnostics *)
+  max_steps : int;
+      (** watchdog: abort once [steps] exceeds this (0 = unlimited);
+          checked on loop back-edges and calls only *)
+  steps : int ref;
+      (** back-edges and calls taken so far; shared by [{ctx with ...}]
+          copies, so give parallel device lanes a fresh ref *)
 }
 
 and hook = ctx -> Ir.op -> Rtval.t list option
@@ -33,6 +40,17 @@ and hook = ctx -> Ir.op -> Rtval.t list option
     the next hook (or the error path) handle it. *)
 
 exception Interp_error of string
+
+(** Default watchdog step budget for new contexts, initialised from
+    [CINM_MAX_STEPS] (0 = unlimited). *)
+val set_default_max_steps : int -> unit
+
+(** Count one watchdog step (a loop back-edge or call) and raise
+    {!Interp_error} when the context's budget is exhausted, naming the
+    executing function, the op at which the budget tripped and the step
+    count. Shared verbatim by both interpreter backends, which place it
+    at the same sites — so the message is identical in both. *)
+val check_steps : ctx -> string -> unit
 
 (** Raise {!Interp_error} with a formatted message. *)
 val err : ('a, unit, string, 'b) format4 -> 'a
@@ -72,13 +90,22 @@ val eval_region : ctx -> Ir.region -> Rtval.t list -> Rtval.t list
 val eval_op : ctx -> Ir.op -> unit
 
 val create_ctx :
-  ?hooks:hook list -> ?profile:Profile.t -> ?modul:Func.modul -> unit -> ctx
+  ?hooks:hook list ->
+  ?profile:Profile.t ->
+  ?modul:Func.modul ->
+  ?fname:string ->
+  ?max_steps:int ->
+  unit ->
+  ctx
 
-(** Run a function; returns its results and the accumulated profile. *)
+(** Run a function; returns its results and the accumulated profile.
+    [max_steps] bounds the watchdog budget for this run (default: the
+    [CINM_MAX_STEPS] setting). *)
 val run_func :
   ?hooks:hook list ->
   ?profile:Profile.t ->
   ?modul:Func.modul ->
+  ?max_steps:int ->
   Func.t ->
   Rtval.t list ->
   Rtval.t list * Profile.t
@@ -87,6 +114,7 @@ val run_func :
 val run_in_module :
   ?hooks:hook list ->
   ?profile:Profile.t ->
+  ?max_steps:int ->
   Func.modul ->
   string ->
   Rtval.t list ->

@@ -2,17 +2,52 @@
    Hand-rolled scanner + recursive descent; used by the cinm_opt tool and
    by the printer/parser round-trip property tests. *)
 
-exception Parse_error of string
+type error = { message : string; line : int; col : int; context : string }
+
+exception Parse_error of error
+
+(* Render the source line the error points at, with a caret under the
+   offending column. Long lines are windowed around the caret so the
+   snippet stays readable. *)
+let caret_snippet line_text col =
+  let width = 72 in
+  let n = String.length line_text in
+  let start = if col - 1 > width / 2 then min (col - 1 - (width / 2)) (max 0 (n - width)) else 0 in
+  let len = min width (n - start) in
+  let shown = String.sub line_text start len in
+  let prefix = if start > 0 then "... " else "" in
+  let caret_pos = String.length prefix + (col - 1 - start) in
+  Printf.sprintf "  %s%s\n  %s^" prefix shown (String.make (max 0 caret_pos) ' ')
+
+let error_at src pos message =
+  let pos = min pos (String.length src) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  let eol =
+    match String.index_from_opt src !bol '\n' with
+    | Some e -> e
+    | None -> String.length src
+  in
+  let col = pos - !bol + 1 in
+  let context = caret_snippet (String.sub src !bol (eol - !bol)) col in
+  { message; line = !line; col; context }
+
+let error_to_string e =
+  Printf.sprintf "%s at line %d, column %d\n%s" e.message e.line e.col e.context
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error e -> Some ("parse error: " ^ error_to_string e)
+    | _ -> None)
 
 type state = { src : string; mutable pos : int; values : (string, Ir.value) Hashtbl.t }
 
-let fail st msg =
-  let around =
-    let start = max 0 (st.pos - 20) in
-    let len = min 40 (String.length st.src - start) in
-    String.sub st.src start len
-  in
-  raise (Parse_error (Printf.sprintf "%s at offset %d (near %S)" msg st.pos around))
+let fail st msg = raise (Parse_error (error_at st.src st.pos msg))
 
 let eof st = st.pos >= String.length st.src
 
@@ -83,8 +118,35 @@ let lex_quoted st =
       advance st;
       let c = peek_char st in
       advance st;
-      Buffer.add_char buf
-        (match c with 'n' -> '\n' | 't' -> '\t' | '\\' -> '\\' | '"' -> '"' | c -> c);
+      (* the full escape set OCaml's [%S] emits, so any string attribute
+         the printer writes re-parses to the same bytes *)
+      (match c with
+      | 'n' -> Buffer.add_char buf '\n'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 'b' -> Buffer.add_char buf '\b'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '"' -> Buffer.add_char buf '"'
+      | '\'' -> Buffer.add_char buf '\''
+      | '0' .. '9' ->
+        (* decimal escape \ddd *)
+        let d2 = peek_char st in
+        advance st;
+        let d3 = peek_char st in
+        advance st;
+        if
+          not
+            ((d2 >= '0' && d2 <= '9') && d3 >= '0' && d3 <= '9')
+        then fail st "malformed decimal escape in string"
+        else
+          let code =
+            ((Char.code c - Char.code '0') * 100)
+            + ((Char.code d2 - Char.code '0') * 10)
+            + (Char.code d3 - Char.code '0')
+          in
+          if code > 255 then fail st "decimal escape out of range in string"
+          else Buffer.add_char buf (Char.chr code)
+      | c -> Buffer.add_char buf c);
       loop ()
     | c ->
       advance st;
@@ -191,7 +253,7 @@ let rec parse_attr_value st : Attr.t =
       | Attr.Int _ :: _ ->
         Attr.Ints
           (Array.of_list
-             (List.map (function Attr.Int i -> i | _ -> raise (Parse_error "mixed list")) items))
+             (List.map (function Attr.Int i -> i | _ -> fail st "mixed attribute list") items))
       | Attr.Float _ :: _ ->
         Attr.Floats
           (Array.of_list
@@ -199,11 +261,11 @@ let rec parse_attr_value st : Attr.t =
                 (function
                   | Attr.Float f -> f
                   | Attr.Int i -> float_of_int i
-                  | _ -> raise (Parse_error "mixed list"))
+                  | _ -> fail st "mixed attribute list")
                 items))
       | Attr.Str _ :: _ ->
         Attr.Strs
-          (List.map (function Attr.Str s -> s | _ -> raise (Parse_error "mixed list")) items)
+          (List.map (function Attr.Str s -> s | _ -> fail st "mixed attribute list") items)
       | _ -> fail st "unsupported attribute list"
     end
   | '<' ->

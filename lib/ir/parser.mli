@@ -1,6 +1,15 @@
 (** Parser for the textual IR emitted by {!Printer}. *)
 
-exception Parse_error of string
+(** Structured parse diagnostic: the message plus the 1-based source
+    position and a rendered caret snippet of the offending line. *)
+type error = { message : string; line : int; col : int; context : string }
+
+exception Parse_error of error
+
+(** ["<message> at line L, column C"] followed by the caret snippet. A
+    {!Printexc} printer rendering uncaught {!Parse_error}s the same way is
+    registered as a side effect of linking this module. *)
+val error_to_string : error -> string
 
 (** Parse a module (with or without the surrounding [module { }]).
     @raise Parse_error with position context on malformed input. *)

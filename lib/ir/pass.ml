@@ -64,6 +64,109 @@ let split_op message =
      String.trim (String.sub message (i + 1) (String.length message - i - 1)))
   | _ -> (None, message)
 
+(* ----- strict checking mode (mlir's -verify-each equivalent, plus a
+   print->parse->print fixpoint assertion catching printer/parser drift
+   and unprintable attributes). Off by default: the uninstrumented fast
+   path and byte-stable bench output are untouched. ----- *)
+
+let env_truthy name =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt name) with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
+let strict_mode = ref (env_truthy "CINM_STRICT")
+let set_strict b = strict_mode := b
+let strict_enabled () = !strict_mode
+
+(* ----- per-pass wall-time budget ----- *)
+
+let pass_budget_s =
+  ref
+    (match Sys.getenv_opt "CINM_PASS_BUDGET_S" with
+    | Some s -> float_of_string_opt s
+    | None -> None)
+
+let set_pass_budget_s b = pass_budget_s := b
+
+(* ----- crash reproducers (mlir's --mlir-pass-pipeline-crash-reproducer).
+
+   When a reproducer directory is configured, [run_pipeline_result]
+   snapshots the IR before each pass; on failure it writes a standalone
+   .reproducer.mlir holding that snapshot plus a header naming the
+   failing-and-remaining pipeline, so the exact failure replays with one
+   [cinm_opt --run-reproducer] invocation. ----- *)
+
+type reproducer = { path : string; pipeline : string list; diag : diag }
+
+let reproducer_dir = ref (Sys.getenv_opt "CINM_REPRODUCER_DIR")
+let set_reproducer_dir d = reproducer_dir := d
+let last_repro : reproducer option ref = ref None
+let last_reproducer () = !last_repro
+
+(* distinguishes several failures written by one process *)
+let repro_seq = ref 0
+
+let reproducer_header ~pipeline =
+  let flags = if !strict_mode then "--verify-each " else "" in
+  Printf.sprintf "// cinm-opt %s--passes %s" flags (String.concat "," pipeline)
+
+(* The replay pipeline named by a reproducer's header comment, scanning
+   only the leading [//] lines (the parser skips them as comments). *)
+let reproducer_pipeline_of_text text =
+  let header_line line =
+    let toks =
+      String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+    in
+    if List.exists (fun t -> t = "cinm-opt" || t = "cinm_opt") toks then
+      let rec go = function
+        | "--passes" :: spec :: _ ->
+          Some (String.split_on_char ',' spec |> List.filter (fun s -> s <> ""))
+        | _ :: rest -> go rest
+        | [] -> None
+      in
+      go toks
+    else None
+  in
+  let rec scan = function
+    | [] -> None
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" then scan rest
+      else if String.length line >= 2 && String.sub line 0 2 = "//" then (
+        match header_line line with Some p -> Some p | None -> scan rest)
+      else None (* reached the IR without finding a header *)
+  in
+  scan (String.split_on_char '\n' text)
+
+let write_reproducer ~pipeline ~(diag : diag) ir_text =
+  match !reproducer_dir with
+  | None -> None
+  | Some dir ->
+    (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+     with Sys_error _ -> ());
+    incr repro_seq;
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "%s-%d.reproducer.mlir" diag.pass !repro_seq)
+    in
+    (try
+       let oc = open_out path in
+       output_string oc (reproducer_header ~pipeline);
+       output_char oc '\n';
+       List.iter
+         (fun l -> output_string oc ("// failure: " ^ l ^ "\n"))
+         (String.split_on_char '\n' (diag_to_string diag));
+       output_string oc ir_text;
+       close_out oc;
+       let r = { path; pipeline; diag } in
+       last_repro := Some r;
+       Log.warn "wrote crash reproducer %s (replay: cinm_opt --run-reproducer %s)"
+         path path;
+       Some r
+     with Sys_error msg ->
+       Log.warn "could not write crash reproducer in %s: %s" dir msg;
+       None)
+
 (* ----- opt-in IR snapshots (mlir's -print-ir-after-* equivalent) ----- *)
 
 type ir_dump = Dump_never | Dump_after_change | Dump_after_all
@@ -89,26 +192,67 @@ let count_ops (m : Func.modul) =
 
 (* ----- runners ----- *)
 
+(* 1-based first differing line of two texts, for round-trip diagnostics. *)
+let first_diff_line a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | x :: xs, y :: ys -> if x <> y then Some (i, x, y) else go (i + 1) (xs, ys)
+    | [], [] -> None
+    | x :: _, [] -> Some (i, x, "<end of reprint>")
+    | [], y :: _ -> Some (i, "<end of print>", y)
+  in
+  go 1 (la, lb)
+
+(* Strict mode's print->parse->print fixpoint assertion. *)
+let strict_roundtrip pass_name m =
+  let txt = Printer.module_to_string m in
+  match Parser.parse_module_text txt with
+  | exception Parser.Parse_error e ->
+    Error
+      (Printf.sprintf "strict round-trip after %s: printed IR failed to re-parse: %s"
+         pass_name (Parser.error_to_string e))
+  | m2 ->
+    let txt2 = Printer.module_to_string m2 in
+    if String.equal txt txt2 then Ok ()
+    else
+      let detail =
+        match first_diff_line txt txt2 with
+        | Some (i, a, b) ->
+          Printf.sprintf " (first difference at line %d: %S vs %S)" i a b
+        | None -> ""
+      in
+      Error
+        (Printf.sprintf
+           "strict round-trip after %s: print->parse->print is not a fixpoint%s"
+           pass_name detail)
+
 let run_one_result ?(verify = true) pass m =
   let fail message =
     let op, message = split_op message in
     Error { pass = pass.pass_name; op; message }
   in
   let verified () =
-    if not verify then Ok ()
+    if (not verify) && not !strict_mode then Ok ()
     else (
       match Verifier.verify_module m with
-      | [] -> Ok ()
+      | [] ->
+        if not !strict_mode then Ok ()
+        else (
+          match strict_roundtrip pass.pass_name m with
+          | Ok () -> Ok ()
+          | Error msg -> fail msg)
       | errs ->
         fail
           ("post-pass verification failed:\n"
           ^ String.concat "\n" (List.map Verifier.error_to_string errs)))
   in
   let instrumented = Trace.enabled () || Trace.Metrics.enabled () in
-  if (not instrumented) && !ir_dump_mode = Dump_never then (
+  if (not instrumented) && !ir_dump_mode = Dump_never && !pass_budget_s = None
+  then (
     match pass.run m with
     | exception Verifier.Verification_failed msg -> fail msg
     | exception Invalid_argument msg -> fail msg
+    | exception Failure msg -> fail msg
     | () -> verified ())
   else begin
     let before_txt =
@@ -132,9 +276,21 @@ let run_one_result ?(verify = true) pass m =
       with
       | exception Verifier.Verification_failed msg -> fail msg
       | exception Invalid_argument msg -> fail msg
+      | exception Failure msg -> fail msg
       | () -> verified ()
     in
     let wall_s = Trace.now_host () -. t0 in
+    (* over-budget completion converts to a failure: the pipeline stops and
+       the reproducer path captures the input that blew the budget *)
+    let result =
+      match (result, !pass_budget_s) with
+      | Ok (), Some b when wall_s > b ->
+        fail
+          (Printf.sprintf
+             "exceeded the per-pass wall-time budget: %.3fs > %.3fs (CINM_PASS_BUDGET_S)"
+             wall_s b)
+      | _ -> result
+    in
     let ops_after = count_ops m in
     if Trace.Metrics.enabled () then begin
       Trace.Metrics.incr (Printf.sprintf "pass.%s.runs" pass.pass_name);
@@ -186,14 +342,29 @@ let run_one ?verify pass m =
   | Error d -> raise (Pass_failed d)
 
 let run_pipeline_result ?verify ?(trace = false) passes m =
-  let rec go = function
+  let rec go pipeline =
+    match pipeline with
     | [] -> Ok ()
     | pass :: rest -> (
       if trace then Log.info "running pass %s" pass.pass_name
       else Log.debug "running pass %s" pass.pass_name;
+      (* pre-pass snapshot, taken only when reproducers are live: the
+         normal path pays nothing *)
+      let snapshot =
+        if !reproducer_dir = None then None
+        else Some (Printer.module_to_string m)
+      in
       match run_one_result ?verify pass m with
       | Ok () -> go rest
-      | Error d -> Error d)
+      | Error d ->
+        (match snapshot with
+        | Some txt ->
+          ignore
+            (write_reproducer
+               ~pipeline:(List.map (fun p -> p.pass_name) pipeline)
+               ~diag:d txt)
+        | None -> ());
+        Error d)
   in
   go passes
 

@@ -29,6 +29,50 @@ val diag_to_string : diag -> string
 
 exception Pass_failed of diag
 
+(** {2 Strict checking}
+
+    With strict mode on (MLIR's [-verify-each] plus a textual round-trip
+    assertion), every pass run verifies the module {e and} asserts that
+    print→parse→print reaches a fixpoint, converting printer/parser drift
+    into a structured pass failure. Off by default so the uninstrumented
+    fast path and byte-stable bench output are untouched; also enabled by
+    [CINM_STRICT=1]. *)
+
+val set_strict : bool -> unit
+
+val strict_enabled : unit -> bool
+
+(** {2 Per-pass wall-time budget}
+
+    With a budget set (seconds; also via [CINM_PASS_BUDGET_S]), a pass
+    that completes over budget is converted into a pass failure, which
+    stops the pipeline and routes through the reproducer path. [None]
+    (the default) disables the check and keeps the fast path. *)
+
+val set_pass_budget_s : float option -> unit
+
+(** {2 Crash reproducers}
+
+    With a reproducer directory configured (also via
+    [CINM_REPRODUCER_DIR]), {!run_pipeline_result} snapshots the IR before
+    each pass and, when one fails, writes a standalone
+    [<pass>-<n>.reproducer.mlir] file holding the pre-failure IR plus a
+    [// cinm-opt --passes <failing,and,remaining>] header, so the exact
+    failure replays with one [cinm_opt --run-reproducer] invocation
+    (MLIR's pass-pipeline crash reproducers). *)
+
+type reproducer = { path : string; pipeline : string list; diag : diag }
+
+val set_reproducer_dir : string option -> unit
+
+(** The most recent reproducer written by this process, if any. *)
+val last_reproducer : unit -> reproducer option
+
+(** The replay pipeline named by a reproducer file's header comment, or
+    [None] when the leading [//] lines carry no [cinm-opt --passes]
+    header. *)
+val reproducer_pipeline_of_text : string -> string list option
+
 (** Opt-in IR snapshots after passes, printed to stderr (the equivalent of
     MLIR's [-print-ir-after-*]). Also settable via the [CINM_PRINT_IR]
     environment variable ([change] or [all]). *)

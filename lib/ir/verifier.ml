@@ -17,7 +17,7 @@ let verify_op_registered (op : Ir.op) =
    values that dominate their parent op (MLIR semantics), except for ops
    that are [isolated_from_above] (cnm.launch bodies must only reference
    their block arguments, cf. paper Section 3.2.3). *)
-let isolated_from_above = [ "cnm.launch"; "upmem.dpu_kernel" ]
+let isolated_from_above = [ "cnm.launch"; "upmem.launch" ]
 
 let rec verify_region ~fname ~scope (region : Ir.region) : error list =
   List.concat_map (verify_block ~fname ~scope) (Ir.blocks region)

@@ -1,0 +1,291 @@
+(* Delta-debugging IR reducer (the mlir-reduce analogue): given a module
+   and an "interestingness" predicate (typically: a pass pipeline still
+   fails with the same diagnostic class), greedily shrink the module while
+   the predicate holds.
+
+   Moves, applied in rounds until a fixpoint:
+     1. drop whole functions;
+     2. ddmin-style chunked replacement of ops by fresh constants of the
+        same result types (chunk sizes n/2, n/4, ..., 1), rewiring uses —
+        this also deletes whole region bodies when the op owning the
+        region goes;
+     3. rewrite operands to fresh constants, decoupling def-use chains so
+        the producers die in the cleanup sweep;
+     4. delete pure ops whose results are unused (cleanup sweep);
+     5. textually halve tensor/memref/workgroup shape dimensions.
+
+   Every move is built on a deep clone of the current best module and
+   accepted only if the clone is still interesting, so an invalid or
+   diagnostic-changing mutation is simply rejected — moves do not need to
+   preserve validity themselves. *)
+
+open Cinm_ir
+module Log = Cinm_support.Log
+
+type stats = {
+  rounds : int;
+  candidates : int;
+  accepted : int;
+  ops_before : int;
+  ops_after : int;
+}
+
+let clone_module (m : Func.modul) =
+  let m' = Func.create_module () in
+  List.iter (fun f -> Func.add_func m' (Func.clone f)) m.Func.funcs;
+  m'.Func.mattrs <- m.Func.mattrs;
+  m'
+
+let count_ops = Pass.count_ops
+
+(* duplicated from the interpreter to keep this library independent of it *)
+let is_terminator (op : Ir.op) =
+  match op.Ir.name with
+  | "scf.yield" | "func.return" | "cim.yield" | "cnm.terminator" -> true
+  | _ -> false
+
+(* A fresh op producing a trivial value of [ty], or [None] when the type
+   has no constant form (tokens, handles, workgroups, ...). *)
+let materialize (ty : Types.t) : Ir.op option =
+  match ty with
+  | Types.Scalar d when Types.is_float_dtype d ->
+    Some
+      (Ir.create_op ~attrs:[ ("value", Attr.Float 0.) ] ~result_tys:[ ty ]
+         "arith.constant")
+  | Types.Index | Types.Scalar _ ->
+    Some
+      (Ir.create_op ~attrs:[ ("value", Attr.Int 0) ] ~result_tys:[ ty ]
+         "arith.constant")
+  | Types.Tensor _ -> Some (Ir.create_op ~result_tys:[ ty ] "tensor.empty")
+  | Types.MemRef _ -> Some (Ir.create_op ~result_tys:[ ty ] "memref.alloc")
+  | _ -> None
+
+let is_trivial_def (v : Ir.value) =
+  match v.Ir.def with
+  | Ir.Op_result (d, _) -> (
+    match d.Ir.name with
+    | "arith.constant" | "tensor.empty" | "memref.alloc" -> true
+    | _ -> false)
+  | Ir.Block_arg _ -> true
+
+(* Pre-order op array of a function body; deterministic, so indices
+   computed on one clone address the same ops on any other clone. *)
+let ops_of (f : Func.t) : Ir.op array =
+  let acc = ref [] in
+  Func.walk (fun op -> acc := op :: !acc) f;
+  Array.of_list (List.rev !acc)
+
+(* Replace [op] by fresh constants for each of its results (uses rewired
+   across the whole function body, nested regions included), then drop it
+   from its block. False when the op is a terminator, parentless, or has
+   an unmaterializable result type. *)
+let replace_op_with_constants (f : Func.t) (op : Ir.op) : bool =
+  if is_terminator op then false
+  else
+    match op.Ir.parent with
+    | None -> false
+    | Some block ->
+      let consts =
+        Array.map (fun (r : Ir.value) -> materialize r.Ir.ty) op.Ir.results
+      in
+      if Array.exists Option.is_none consts then false
+      else begin
+        let consts = Array.map Option.get consts in
+        Array.iteri
+          (fun i (c : Ir.op) ->
+            Ir.replace_uses_in_region f.Func.body ~old_v:op.Ir.results.(i)
+              ~new_v:(Ir.result c 0))
+          consts;
+        let new_ops =
+          List.concat_map
+            (fun o -> if o == op then Array.to_list consts else [ o ])
+            (Ir.block_ops block)
+        in
+        Ir.set_block_ops block new_ops;
+        true
+      end
+
+(* Rewrite operand [j] of [op] to a fresh constant inserted just before
+   it, decoupling the def-use chain so the producer can die in the sweep. *)
+let rewrite_operand (op : Ir.op) (j : int) : bool =
+  match op.Ir.parent with
+  | None -> false
+  | Some block ->
+    let v = op.Ir.operands.(j) in
+    if is_trivial_def v then false
+    else (
+      match materialize v.Ir.ty with
+      | None -> false
+      | Some c ->
+        op.Ir.operands.(j) <- Ir.result c 0;
+        let new_ops =
+          List.concat_map
+            (fun o -> if o == op then [ c; o ] else [ o ])
+            (Ir.block_ops block)
+        in
+        Ir.set_block_ops block new_ops;
+        true)
+
+(* Delete pure value-producing ops none of whose results are used, to a
+   fixpoint. Result-less (side-effecting) ops are left alone — the chunk
+   move handles those. *)
+let sweep_unused (f : Func.t) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let used = Hashtbl.create 64 in
+    Func.walk
+      (fun op ->
+        Array.iter
+          (fun (v : Ir.value) -> Hashtbl.replace used v.Ir.vid ())
+          op.Ir.operands)
+      f;
+    let removed = ref false in
+    let rec each_region (r : Ir.region) =
+      Ir.iter_blocks
+        (fun b ->
+          if
+            Ir.filter_ops_in_place
+              (fun op ->
+                is_terminator op
+                || Array.length op.Ir.results = 0
+                || Array.exists
+                     (fun (v : Ir.value) -> Hashtbl.mem used v.Ir.vid)
+                     op.Ir.results)
+              b
+          then removed := true;
+          Ir.iter_ops (fun op -> Array.iter each_region op.Ir.regions) b)
+        r
+    in
+    each_region f.Func.body;
+    if !removed then changed := true else continue_ := false
+  done;
+  !changed
+
+(* Halve every shape dimension appearing in the textual IR: a maximal
+   digit run preceded by '<' or 'x' and followed by 'x' is a leading/
+   middle dim; dtype digits (i32, f64) are preceded by a letter and so
+   untouched. Semantic fallout (attr/shape mismatches) is caught by the
+   predicate rejecting the candidate. *)
+let halve_shapes_text txt : string option =
+  let n = String.length txt in
+  let buf = Buffer.create n in
+  let changed = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let c = txt.[!i] in
+    Buffer.add_char buf c;
+    incr i;
+    if c = '<' || c = 'x' then begin
+      let s = !i in
+      while !i < n && txt.[!i] >= '0' && txt.[!i] <= '9' do
+        incr i
+      done;
+      let run = String.sub txt s (!i - s) in
+      if run <> "" && !i < n && txt.[!i] = 'x' then begin
+        let d = int_of_string run in
+        if d > 1 then begin
+          changed := true;
+          Buffer.add_string buf (string_of_int ((d + 1) / 2))
+        end
+        else Buffer.add_string buf run
+      end
+      else Buffer.add_string buf run
+    end
+  done;
+  if !changed then Some (Buffer.contents buf) else None
+
+let reduce ?(max_rounds = 16) ~interesting (m0 : Func.modul) :
+    Func.modul * stats =
+  let ops_before = count_ops m0 in
+  let candidates = ref 0 and accepted = ref 0 in
+  let best = ref (clone_module m0) in
+  let best_ops = ref ops_before in
+  let try_candidate ~allow_equal c =
+    incr candidates;
+    let n = count_ops c in
+    if (n < !best_ops || (allow_equal && n = !best_ops)) && interesting c then begin
+      best := c;
+      best_ops := n;
+      incr accepted;
+      true
+    end
+    else false
+  in
+  let rounds = ref 0 in
+  let progress = ref true in
+  while !progress && !rounds < max_rounds do
+    progress := false;
+    incr rounds;
+    (* move 1: drop whole functions *)
+    let fi = ref 0 in
+    while !fi < List.length !best.Func.funcs && List.length !best.Func.funcs > 1 do
+      let c = clone_module !best in
+      c.Func.funcs <- List.filteri (fun i _ -> i <> !fi) c.Func.funcs;
+      if try_candidate ~allow_equal:false c then progress := true else incr fi
+    done;
+    (* move 2: ddmin chunks of op -> constant replacement, per function *)
+    for fi = 0 to List.length !best.Func.funcs - 1 do
+      let fun_ops () = Array.length (ops_of (List.nth !best.Func.funcs fi)) in
+      let chunk = ref (max 1 (fun_ops () / 2)) in
+      while !chunk >= 1 do
+        let pos = ref 0 in
+        while !pos < fun_ops () do
+          let c = clone_module !best in
+          let f = List.nth c.Func.funcs fi in
+          let ops = ops_of f in
+          let any = ref false in
+          for k = !pos to min (Array.length ops - 1) (!pos + !chunk - 1) do
+            if replace_op_with_constants f ops.(k) then any := true
+          done;
+          if !any then ignore (sweep_unused f);
+          if !any && try_candidate ~allow_equal:false c then progress := true
+          else pos := !pos + !chunk
+        done;
+        chunk := !chunk / 2
+      done
+    done;
+    (* move 3: decouple all operand chains at once, then sweep *)
+    (let c = clone_module !best in
+     let any = ref false in
+     List.iter
+       (fun f ->
+         Array.iter
+           (fun op ->
+             for j = 0 to Array.length op.Ir.operands - 1 do
+               if rewrite_operand op j then any := true
+             done)
+           (ops_of f);
+         if !any then ignore (sweep_unused f))
+       c.Func.funcs;
+     if !any && try_candidate ~allow_equal:false c then progress := true);
+    (* move 4: sweep-only candidate *)
+    (let c = clone_module !best in
+     let any = List.exists (fun b -> b) (List.map sweep_unused c.Func.funcs) in
+     if any && try_candidate ~allow_equal:false c then progress := true);
+    (* move 5: halve shapes until they stop parsing or stop helping *)
+    let shrinking = ref true in
+    while !shrinking do
+      shrinking := false;
+      match halve_shapes_text (Printer.module_to_string !best) with
+      | None -> ()
+      | Some txt -> (
+        match Parser.parse_module_text txt with
+        | exception Parser.Parse_error _ -> ()
+        | c ->
+          if try_candidate ~allow_equal:true c then begin
+            progress := true;
+            shrinking := true
+          end)
+    done;
+    Log.debug "reduce: round %d done, %d ops (%d candidates, %d accepted)"
+      !rounds !best_ops !candidates !accepted
+  done;
+  ( !best,
+    {
+      rounds = !rounds;
+      candidates = !candidates;
+      accepted = !accepted;
+      ops_before;
+      ops_after = !best_ops;
+    } )

@@ -1,0 +1,65 @@
+(* Named pass registry: the single mapping from textual pass names (as
+   used by cinm_opt --passes, reproducer headers, and cinm_reduce) to
+   pass constructors. Kept in the library so every tool that replays a
+   pipeline by name resolves to the same passes. *)
+
+open Cinm_ir
+
+(* A deliberately-failing pass for exercising the crash-reproducer and
+   reducer machinery end to end: fails (with a structured, op-prefixed
+   diagnostic) iff the module contains a cinm.gemm. Used by tests, the CI
+   reduce smoke, and the EXPERIMENTS.md walkthrough; harmless on modules
+   without a gemm. *)
+let debug_fail_on_gemm =
+  Pass.create ~name:"debug-fail-on-gemm" (fun m ->
+      List.iter
+        (Func.walk (fun op ->
+             if op.Ir.name = "cinm.gemm" then
+               invalid_arg
+                 "cinm.gemm: debug-fail-on-gemm: seeded failure (reproducer/reducer testing)"))
+        m.Func.funcs)
+
+let all () : (string * Pass.t) list =
+  [
+    ("torch-to-tosa", Torch_to_tosa.pass);
+    ("tosa-to-linalg", Tosa_to_linalg.pass);
+    ("canonicalize", Canonicalize.pass);
+    ("linalg-to-cinm", Linalg_to_cinm.pass);
+    ("cinm-target-select", Target_select.pass ());
+    ("cinm-target-cnm",
+     Target_select.pass
+       ~policy:{ Target_select.default_policy with forced_target = Some "cnm" } ());
+    ("cinm-target-cim",
+     Target_select.pass
+       ~policy:{ Target_select.default_policy with forced_target = Some "cim" } ());
+    ("cinm-ew-fusion", Ew_fusion.pass);
+    ("cinm-to-cnm", Cinm_to_cnm.pass ());
+    ("cinm-to-scf", Cinm_to_scf.pass);
+    ("cinm-to-cim", Cinm_to_cim.pass ());
+    ("cinm-to-cam", Cinm_to_cam.pass);
+    ("cinm-to-rtm", Cinm_to_rtm.pass ());
+    ("cnm-to-upmem", Cnm_to_upmem.pass ());
+    ("loop-unroll", Loop_unroll.pass);
+    ("cim-assign-tiles", Cim_to_memristor.assign_pass ~tiles:4);
+    ("cim-to-memristor", Cim_to_memristor.pass);
+    ("licm", Licm.pass);
+    ("dce", Dce.pass);
+    ("debug-fail-on-gemm", debug_fail_on_gemm);
+  ]
+
+let lookup name = List.assoc_opt name (all ())
+
+(* Resolve a comma-joined or already-split pipeline spec to passes,
+   reporting the first unknown name instead of resolving partially. *)
+let resolve names : (Pass.t list, string) result =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+      match lookup name with
+      | Some p -> go (p :: acc) rest
+      | None -> Error name)
+  in
+  go [] names
+
+let resolve_spec spec =
+  resolve (String.split_on_char ',' spec |> List.filter (fun s -> s <> ""))

@@ -1,0 +1,22 @@
+(** Named pass registry: the single mapping from textual pass names (as
+    used by [cinm_opt --passes], reproducer headers, and [cinm_reduce]) to
+    pass constructors. *)
+
+open Cinm_ir
+
+(** Fails with a structured diagnostic iff the module contains a
+    [cinm.gemm]; used to seed failures when exercising the reproducer and
+    reducer machinery. Registered as ["debug-fail-on-gemm"]. *)
+val debug_fail_on_gemm : Pass.t
+
+val all : unit -> (string * Pass.t) list
+
+val lookup : string -> Pass.t option
+
+(** Resolve a list of pass names; [Error name] carries the first unknown
+    name. *)
+val resolve : string list -> (Pass.t list, string) result
+
+(** Like {!resolve} for a comma-separated spec; empty segments are
+    dropped. *)
+val resolve_spec : string -> (Pass.t list, string) result

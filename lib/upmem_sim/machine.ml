@@ -599,6 +599,9 @@ let hook (m : t) : Interp.hook =
                  profile = profiles.(d).(tid);
                  device = Dpu_lane { dpu = d; tasklet = tid; wram; wram_used };
                  cmpi_preds = Hashtbl.create 8;
+                 (* per-lane watchdog counter: lanes run on parallel
+                    domains and must not race on the host's ref *)
+                 steps = ref 0;
                }
              in
              ignore (Compile.run prep inner args)

@@ -251,6 +251,52 @@ let test_error_parity () =
       | _ -> Alcotest.fail "expected both backends to raise")
     [ oob; bad_step ]
 
+(* ----- interpreter watchdog ----- *)
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= hn && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+(* A kernel that would run for ~1e9 iterations: the CINM_MAX_STEPS
+   watchdog must abort it in both backends with the exact same message
+   (function, op, step count) — another consequence of the shared profile
+   contract, since the step counter *is* profile.launched_ops. *)
+let test_watchdog_parity () =
+  let spin () =
+    let f = Func.create ~name:"spin" ~arg_tys:[] ~result_tys:[] in
+    let b = Builder.for_func f in
+    let lb = Arith.const_index b 0
+    and ub = Arith.const_index b 1_000_000_000
+    and step = Arith.const_index b 1 in
+    Scf_d.for0 b ~lb ~ub ~step (fun _ _ -> ());
+    Func_d.return b [];
+    Compile.run_func ~max_steps:1000 f []
+  in
+  let e_tree = with_backend Compile.Tree (fun () -> catch spin) in
+  let e_comp = with_backend Compile.Compiled (fun () -> catch spin) in
+  match (e_tree, e_comp) with
+  | Some a, Some b ->
+    Alcotest.(check string) "identical watchdog diagnostics" a b;
+    Alcotest.(check bool) "names the watchdog" true (contains a "watchdog");
+    Alcotest.(check bool) "names the function" true (contains a "@spin");
+    Alcotest.(check bool) "names the op" true (contains a "scf.for");
+    Alcotest.(check bool) "names the budget" true (contains a "max 1000")
+  | _ -> Alcotest.fail "expected both backends to abort"
+
+let test_watchdog_default_off () =
+  (* without a budget the same structure (with a small bound) completes *)
+  let f = Func.create ~name:"ok" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let lb = Arith.const_index b 0
+  and ub = Arith.const_index b 100
+  and step = Arith.const_index b 1 in
+  Scf_d.for0 b ~lb ~ub ~step (fun _ _ -> ());
+  Func_d.return b [];
+  differential
+    (fun () -> Compile.run_func f [])
+    (fun (r1, _) (r2, _) -> Alcotest.(check bool) "both complete" true (r1 = [] && r2 = []))
+
 (* ----- bench --json differential ----- *)
 
 (* wall_s is the one field that legitimately differs between two runs;
@@ -328,6 +374,8 @@ let () =
         [ Alcotest.test_case "loop-carried swap (fib)" `Quick test_scf_loop_carried;
           Alcotest.test_case "scf.if + cmpi + memref" `Quick test_scf_if_cmpi_memref;
           Alcotest.test_case "error parity" `Quick test_error_parity;
+          Alcotest.test_case "watchdog parity" `Quick test_watchdog_parity;
+          Alcotest.test_case "watchdog off by default" `Quick test_watchdog_default_off;
         ] );
       ( "bench-json",
         [ Alcotest.test_case "bit-identical at jobs 1 and 4" `Quick

@@ -108,6 +108,111 @@ let test_verify_rejects_use_before_def () =
   Ir.append_op entry ret;
   Alcotest.(check bool) "has errors" true (Verifier.verify_func f <> [])
 
+(* ----- region scoping edge cases ----- *)
+
+let has_dominance_error errs =
+  List.exists
+    (fun (e : Verifier.error) ->
+      let s = Verifier.error_to_string e in
+      let rec mem i =
+        i + 17 <= String.length s
+        && (String.sub s i 17 = "does not dominate" || mem (i + 1))
+      in
+      mem 0)
+    errs
+
+let test_verify_cross_region_dominance () =
+  (* a value defined inside an scf.for body is not visible after the loop *)
+  let f = Func.create ~name:"esc" ~arg_tys:[] ~result_tys:[ T.Index ] in
+  let b = Builder.for_func f in
+  let c0 = Arith.const_index b 0 in
+  let c1 = Arith.const_index b 1 in
+  let escaped = ref None in
+  let _ =
+    Scf_d.for_ b ~lb:c0 ~ub:c1 ~step:c1 ~init:[] (fun bb _iv _iters ->
+        escaped := Some (Arith.const_index bb 7);
+        [])
+  in
+  Func_d.return b [ Option.get !escaped ];
+  let errs = Verifier.verify_func f in
+  Alcotest.(check bool) "rejected" true (errs <> []);
+  Alcotest.(check bool) "dominance error" true (has_dominance_error errs)
+
+let test_verify_sibling_region_use () =
+  (* a value defined in scf.if's then-region is not visible in its
+     else-region: sibling regions do not dominate each other *)
+  let f = Func.create ~name:"sib" ~arg_tys:[ T.Scalar T.I1 ] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let leaked = ref None in
+  let then_region =
+    Builder.build_region (fun bb _ ->
+        leaked := Some (Arith.const_index bb 1);
+        Scf_d.yield bb [])
+  in
+  let else_region =
+    Builder.build_region (fun bb _ ->
+        let v = Option.get !leaked in
+        let _ = Builder.build1 bb "arith.addi" ~operands:[ v; v ] ~result_tys:[ T.Index ] in
+        Scf_d.yield bb [])
+  in
+  let _ =
+    Builder.build b "scf.if" ~operands:[ Func.param f 0 ]
+      ~regions:[ then_region; else_region ]
+  in
+  Func_d.return b [];
+  let errs = Verifier.verify_func f in
+  Alcotest.(check bool) "rejected" true (errs <> []);
+  Alcotest.(check bool) "dominance error" true (has_dominance_error errs)
+
+let test_verify_region_capture_allowed () =
+  (* non-isolated regions (scf.for) may capture dominating outer values *)
+  let f = Func.create ~name:"cap" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let c0 = Arith.const_index b 0 in
+  let c1 = Arith.const_index b 1 in
+  let outer = Arith.const_index b 5 in
+  Scf_d.for0 b ~lb:c0 ~ub:c1 ~step:c1 (fun bb _iv -> ignore (Arith.addi bb outer outer));
+  Func_d.return b [];
+  Alcotest.(check int) "no errors" 0 (List.length (Verifier.verify_func f))
+
+let test_verify_launch_isolated () =
+  (* the same capture inside a cnm.launch body is rejected: launch bodies
+     are isolated_from_above and may only use their block arguments *)
+  let f = Func.create ~name:"iso" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let wg = Cnm_d.workgroup b ~shape:[| 2 |] ~physical_dims:[ "dpu" ] in
+  let buf = Cnm_d.alloc b wg ~shape:[| 4 |] ~dtype:T.I32 ~level:0 in
+  let outer = Arith.const_index b 3 in
+  let tok =
+    Cnm_d.launch b wg ~ins:[] ~outs:[ buf ] (fun bb _args ->
+        ignore
+          (Builder.build1 bb "arith.addi" ~operands:[ outer; outer ]
+             ~result_tys:[ T.Index ]))
+  in
+  Cnm_d.wait b [ tok ];
+  Func_d.return b [];
+  let errs = Verifier.verify_func f in
+  Alcotest.(check bool) "rejected" true (errs <> []);
+  Alcotest.(check bool) "dominance error" true (has_dominance_error errs)
+
+let test_verify_upmem_launch_isolated () =
+  let f = Func.create ~name:"iso_upmem" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let wg = Upmem_d.alloc_dpus b ~dimms:1 ~dpus:2 ~tasklets:1 in
+  let buf = Upmem_d.alloc b wg ~shape:[| 4 |] ~dtype:T.I32 ~level:0 in
+  let outer = Arith.const_index b 3 in
+  let _ =
+    Upmem_d.launch b wg ~tasklets:1 ~ins:[] ~outs:[ buf ] (fun bb _args ->
+        ignore
+          (Builder.build1 bb "arith.addi" ~operands:[ outer; outer ]
+             ~result_tys:[ T.Index ]))
+  in
+  Upmem_d.free_dpus b wg;
+  Func_d.return b [];
+  let errs = Verifier.verify_func f in
+  Alcotest.(check bool) "rejected" true (errs <> []);
+  Alcotest.(check bool) "dominance error" true (has_dominance_error errs)
+
 let test_clone_independent () =
   let f = build_gemm_func 4 5 6 in
   let g = Func.clone f in
@@ -219,6 +324,43 @@ let test_parse_negative_cases () =
 }
 extra|}
 
+(* ----- parse error diagnostics (line/column + caret context) ----- *)
+
+let parse_error_of text =
+  match Parser.parse_func_text text with
+  | exception Parser.Parse_error e -> e
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parse_error_location () =
+  let e =
+    parse_error_of
+      "func.func @x() -> () {\n  \"func.return\"(%nope) : (i32) -> ()\n}"
+  in
+  Alcotest.(check string) "message" "use of undefined value %nope" e.Parser.message;
+  Alcotest.(check int) "line" 2 e.Parser.line;
+  Alcotest.(check int) "column" 23 e.Parser.col;
+  Alcotest.(check bool) "caret" true (contains e.Parser.context "^");
+  Alcotest.(check bool) "offending line shown" true (contains e.Parser.context "%nope");
+  Alcotest.(check bool) "rendered position" true
+    (contains (Parser.error_to_string e) "at line 2, column 23")
+
+let test_parse_error_messages () =
+  let e =
+    parse_error_of
+      "func.func @x(%arg0: tensor<wat>) -> () {\n  \"func.return\"() : () -> ()\n}"
+  in
+  Alcotest.(check bool) "invalid type" true (contains e.Parser.message "invalid type");
+  Alcotest.(check int) "on line 1" 1 e.Parser.line;
+  let e =
+    parse_error_of "func.func @x() -> () {\n  \"func.return\"() : () -> ()\n}\nextra"
+  in
+  Alcotest.(check string) "trailing input" "trailing input" e.Parser.message;
+  Alcotest.(check int) "on line 4" 4 e.Parser.line;
+  Alcotest.(check int) "at column 1" 1 e.Parser.col;
+  let e = parse_error_of "func.func @x() -> () {\n  \"oops" in
+  Alcotest.(check string) "unterminated" "unterminated string" e.Parser.message;
+  Alcotest.(check int) "on line 2" 2 e.Parser.line
+
 let test_parse_comments_and_whitespace () =
   let f =
     Parser.parse_func_text
@@ -327,6 +469,15 @@ let () =
           Alcotest.test_case "rejects shape mismatch" `Quick test_verify_rejects_bad_gemm;
           Alcotest.test_case "rejects unregistered op" `Quick test_verify_rejects_unregistered;
           Alcotest.test_case "rejects use before def" `Quick test_verify_rejects_use_before_def;
+          Alcotest.test_case "rejects cross-region escape" `Quick
+            test_verify_cross_region_dominance;
+          Alcotest.test_case "rejects sibling-region use" `Quick
+            test_verify_sibling_region_use;
+          Alcotest.test_case "allows dominating capture" `Quick
+            test_verify_region_capture_allowed;
+          Alcotest.test_case "cnm.launch is isolated" `Quick test_verify_launch_isolated;
+          Alcotest.test_case "upmem.launch is isolated" `Quick
+            test_verify_upmem_launch_isolated;
         ] );
       ( "parser",
         [
@@ -337,6 +488,8 @@ let () =
           Alcotest.test_case "attrs roundtrip" `Quick test_parse_attrs;
           Alcotest.test_case "reports errors" `Quick test_parse_error_reported;
           Alcotest.test_case "negative cases" `Quick test_parse_negative_cases;
+          Alcotest.test_case "error location" `Quick test_parse_error_location;
+          Alcotest.test_case "error messages" `Quick test_parse_error_messages;
           Alcotest.test_case "comments + whitespace" `Quick test_parse_comments_and_whitespace;
         ] );
       ( "ir utilities",

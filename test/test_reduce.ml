@@ -1,0 +1,245 @@
+(* Tests for the robustness tool-chain: crash reproducers written by the
+   pass manager, replay from the reproducer header, the per-pass wall-time
+   budget, strict-mode gating, and the cinm-reduce delta-debugger. *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_transforms
+module Reduce = Cinm_reduce_lib.Reduce
+module T = Types
+
+let () = Registry.ensure_all ()
+
+let tensor shape = T.Tensor (shape, T.I32)
+
+(* A deliberately bloated module (>= 50 ops): one cinm.gemm — the op
+   debug-fail-on-gemm trips on — buried in a pile of irrelevant index
+   arithmetic and a second pure-noise function. *)
+let build_bloated_module () =
+  let m = Func.create_module () in
+  let f =
+    Func.create ~name:"victim"
+      ~arg_tys:[ tensor [| 16; 8 |]; tensor [| 8; 12 |] ]
+      ~result_tys:[ tensor [| 16; 12 |] ]
+  in
+  let b = Builder.for_func f in
+  let acc = ref (Arith.const_index b 0) in
+  for i = 1 to 24 do
+    let c = Arith.const_index b i in
+    acc := Arith.addi b !acc c
+  done;
+  let out = Cinm_d.gemm b (Func.param f 0) (Func.param f 1) in
+  Func_d.return b [ out ];
+  Func.add_func m f;
+  let g = Func.create ~name:"noise" ~arg_tys:[ T.Index ] ~result_tys:[ T.Index ] in
+  let b = Builder.for_func g in
+  let acc = ref (Func.param g 0) in
+  for _ = 1 to 10 do
+    acc := Arith.addi b !acc !acc
+  done;
+  Func_d.return b [ !acc ];
+  Func.add_func m g;
+  m
+
+let failing_pipeline () = [ Pass_registry.debug_fail_on_gemm ]
+
+let diag_class (d : Pass.diag) =
+  d.Pass.pass ^ ":" ^ Option.value d.Pass.op ~default:"-"
+
+let pipeline_diag m =
+  match Pass.run_pipeline_result (failing_pipeline ()) (Reduce.clone_module m) with
+  | Ok () -> None
+  | Error d -> Some d
+
+(* ----- crash reproducers ----- *)
+
+let with_reproducer_dir dir f =
+  Pass.set_reproducer_dir (Some dir);
+  Fun.protect ~finally:(fun () -> Pass.set_reproducer_dir None) f
+
+let test_reproducer_written_and_replays () =
+  let m = build_bloated_module () in
+  let dir = "repro_out" in
+  let diag =
+    with_reproducer_dir dir (fun () ->
+        match Pass.run_pipeline_result (failing_pipeline ()) m with
+        | Ok () -> Alcotest.fail "seeded pipeline unexpectedly succeeded"
+        | Error d -> d)
+  in
+  Alcotest.(check string) "failing pass" "debug-fail-on-gemm" diag.Pass.pass;
+  let repro =
+    match Pass.last_reproducer () with
+    | Some r -> r
+    | None -> Alcotest.fail "no reproducer recorded"
+  in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists repro.Pass.path);
+  Alcotest.(check (list string))
+    "recorded pipeline" [ "debug-fail-on-gemm" ] repro.Pass.pipeline;
+  (* replay exactly as cinm_opt --run-reproducer does: header names the
+     pipeline, the body re-parses, and the failure reproduces verbatim *)
+  let text = In_channel.with_open_text repro.Pass.path In_channel.input_all in
+  let names =
+    match Pass.reproducer_pipeline_of_text text with
+    | Some names -> names
+    | None -> Alcotest.fail "reproducer has no pipeline header"
+  in
+  let passes =
+    match Pass_registry.resolve names with
+    | Ok passes -> passes
+    | Error name -> Alcotest.failf "reproducer names unknown pass %S" name
+  in
+  let m' = Parser.parse_module_text text in
+  (match Pass.run_pipeline_result passes m' with
+  | Ok () -> Alcotest.fail "replay did not reproduce the failure"
+  | Error d ->
+    Alcotest.(check string) "same diagnostic" (Pass.diag_to_string diag)
+      (Pass.diag_to_string d))
+
+let test_reproducer_not_written_when_disabled () =
+  Pass.set_reproducer_dir None;
+  let before = Pass.last_reproducer () in
+  let m = build_bloated_module () in
+  (match Pass.run_pipeline_result (failing_pipeline ()) m with
+  | Ok () -> Alcotest.fail "seeded pipeline unexpectedly succeeded"
+  | Error _ -> ());
+  let same =
+    match (before, Pass.last_reproducer ()) with
+    | None, None -> true
+    | Some a, Some b -> a.Pass.path = b.Pass.path
+    | _ -> false
+  in
+  Alcotest.(check bool) "no new reproducer" true same
+
+(* ----- per-pass wall-time budget ----- *)
+
+let test_pass_budget_exceeded () =
+  Pass.set_pass_budget_s (Some 0.0);
+  Fun.protect
+    ~finally:(fun () -> Pass.set_pass_budget_s None)
+    (fun () ->
+      let m = build_bloated_module () in
+      let nop = Pass.create ~name:"nop" (fun _ -> ()) in
+      match Pass.run_one_result nop m with
+      | Ok () -> Alcotest.fail "expected a budget failure"
+      | Error d ->
+        Alcotest.(check string) "failing pass" "nop" d.Pass.pass;
+        Alcotest.(check bool) "names the budget" true
+          (let s = d.Pass.message in
+           let rec mem i =
+             i + 16 <= String.length s
+             && (String.sub s i 16 = "wall-time budget" || mem (i + 1))
+           in
+           mem 0))
+
+(* ----- strict mode gating ----- *)
+
+let test_strict_forces_verification () =
+  (* an invalid module slips through ~verify:false normally, but not under
+     CINM_STRICT *)
+  let broken () =
+    let m = Func.create_module () in
+    let f = Func.create ~name:"bad" ~arg_tys:[] ~result_tys:[] in
+    let b = Builder.for_func f in
+    Builder.build0 b "bogus.op";
+    Func_d.return b [];
+    Func.add_func m f;
+    m
+  in
+  let nop = Pass.create ~name:"nop" (fun _ -> ()) in
+  let was = Pass.strict_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Pass.set_strict was)
+    (fun () ->
+      Pass.set_strict false;
+      (match Pass.run_one_result ~verify:false nop (broken ()) with
+      | Ok () -> ()
+      | Error d ->
+        Alcotest.failf "unexpected failure with strict off: %s" (Pass.diag_to_string d));
+      Pass.set_strict true;
+      match Pass.run_one_result ~verify:false nop (broken ()) with
+      | Ok () -> Alcotest.fail "strict mode did not verify"
+      | Error _ -> ())
+
+(* ----- cinm-reduce ----- *)
+
+let test_reduce_shrinks_preserving_failure () =
+  Pass.set_reproducer_dir None;
+  let m = build_bloated_module () in
+  let ops_before = Pass.count_ops m in
+  Alcotest.(check bool) "module is >= 50 ops" true (ops_before >= 50);
+  let cls =
+    match pipeline_diag m with
+    | Some d -> diag_class d
+    | None -> Alcotest.fail "seeded module is not failing"
+  in
+  let interesting c =
+    Verifier.verify_module c = []
+    && (match pipeline_diag c with Some d -> diag_class d = cls | None -> false)
+  in
+  let reduced, stats = Reduce.reduce ~interesting m in
+  Alcotest.(check int) "stats.ops_before" ops_before stats.Reduce.ops_before;
+  Alcotest.(check int) "stats.ops_after" (Pass.count_ops reduced) stats.Reduce.ops_after;
+  (* the acceptance bar: at least an 80% reduction *)
+  Alcotest.(check bool)
+    (Printf.sprintf "shrank >= 80%% (%d -> %d)" stats.Reduce.ops_before
+       stats.Reduce.ops_after)
+    true
+    (stats.Reduce.ops_after * 5 <= stats.Reduce.ops_before);
+  (* ... while still failing the same way *)
+  (match pipeline_diag reduced with
+  | Some d -> Alcotest.(check string) "failure class preserved" cls (diag_class d)
+  | None -> Alcotest.fail "reduced module no longer fails");
+  Alcotest.(check int) "reduced module verifies" 0
+    (List.length (Verifier.verify_module reduced));
+  (* and the reduced artifact still round-trips through the printer *)
+  let text = Printer.module_to_string reduced in
+  Alcotest.(check string) "reduced IR is printable/parsable" text
+    (Printer.module_to_string (Parser.parse_module_text text))
+
+let test_reduce_keeps_interesting_input_intact () =
+  (* reduction of an already-minimal module is the identity *)
+  Pass.set_reproducer_dir None;
+  let m = Func.create_module () in
+  let f =
+    Func.create ~name:"tiny" ~arg_tys:[ tensor [| 2; 2 |]; tensor [| 2; 2 |] ]
+      ~result_tys:[ tensor [| 2; 2 |] ]
+  in
+  let b = Builder.for_func f in
+  let out = Cinm_d.gemm b (Func.param f 0) (Func.param f 1) in
+  Func_d.return b [ out ];
+  Func.add_func m f;
+  let cls =
+    match pipeline_diag m with
+    | Some d -> diag_class d
+    | None -> Alcotest.fail "tiny module is not failing"
+  in
+  let interesting c =
+    Verifier.verify_module c = []
+    && (match pipeline_diag c with Some d -> diag_class d = cls | None -> false)
+  in
+  let reduced, stats = Reduce.reduce ~interesting m in
+  Alcotest.(check int) "cannot drop the gemm or the return" 2 stats.Reduce.ops_after;
+  match pipeline_diag reduced with
+  | Some d -> Alcotest.(check string) "failure class preserved" cls (diag_class d)
+  | None -> Alcotest.fail "reduced module no longer fails"
+
+let () =
+  Alcotest.run "reduce"
+    [
+      ( "reproducers",
+        [
+          Alcotest.test_case "written and replays" `Quick test_reproducer_written_and_replays;
+          Alcotest.test_case "disabled by default" `Quick
+            test_reproducer_not_written_when_disabled;
+        ] );
+      ( "pass budget",
+        [ Alcotest.test_case "over budget fails" `Quick test_pass_budget_exceeded ] );
+      ( "strict mode",
+        [ Alcotest.test_case "forces verification" `Quick test_strict_forces_verification ] );
+      ( "reducer",
+        [
+          Alcotest.test_case "shrinks >= 80%" `Quick test_reduce_shrinks_preserving_failure;
+          Alcotest.test_case "minimal input is a fixpoint" `Quick
+            test_reduce_keeps_interesting_input_intact;
+        ] );
+    ]
