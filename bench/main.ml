@@ -25,6 +25,14 @@
           main.exe --trace FILE ... (Chrome trace-event JSON: compile
                                      passes and per-device simulated
                                      timelines; open in ui.perfetto.dev)
+          main.exe --batch ...      (run the selected experiments
+                                     concurrently on the domain pool,
+                                     buffering output per experiment;
+                                     printed report and --json minus
+                                     wall_s are byte-identical to a
+                                     sequential run. CINM_BENCH_BATCH=1
+                                     equivalent; --trace forces
+                                     sequential)
           main.exe --faults SPEC --seed N
                                     (seeded fault injection, e.g.
                                      dpu_fail=0.05; the retry/remap runtime
@@ -46,15 +54,45 @@ let scaled_dpus_per_dimm = 8
 
 let quick = ref false
 
+(* ----- output routing (--batch) -----
+
+   All experiment printing flows through these shims. Sequentially (the
+   default) they write straight to stdout. Under --batch each experiment
+   runs on a pool domain with a per-domain buffer installed; the buffers
+   are flushed in canonical experiment order once the batch completes, so
+   batched output is byte-identical to a sequential run. *)
+
+let out_buf : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let print_string s =
+  match Domain.DLS.get out_buf with
+  | Some b -> Buffer.add_string b s
+  | None -> Stdlib.print_string s
+
+let print_endline s =
+  print_string s;
+  print_string "\n"
+
+let print_newline () = print_string "\n"
+
+module Printf = struct
+  include Printf
+
+  let printf fmt = Printf.ksprintf print_string fmt
+end
+
 (* ----- measurement accounting (--json) ----- *)
 
 (* Simulated seconds and run counts accumulate while an experiment
    executes; [timed] snapshots them per experiment and --json dumps the
-   records for regression tracking across PRs. *)
-let sim_s_acc = ref 0.0
-let sim_runs_acc = ref 0
+   records for regression tracking across PRs. The accumulators are
+   per-domain so batched experiments (each pinned to one pool domain for
+   its whole duration) never race. *)
+let sim_acc : (float ref * int ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref 0.0, ref 0))
 
 let note_report (r : Report.t) =
+  let sim_s_acc, sim_runs_acc = Domain.DLS.get sim_acc in
   sim_s_acc := !sim_s_acc +. r.Report.total_s;
   incr sim_runs_acc
 
@@ -80,9 +118,8 @@ end
 
 type json_record = { exp : string; wall_s : float; sim_s : float; runs : int }
 
-let json_records : json_record list ref = ref []
-
 let timed name f =
+  let sim_s_acc, sim_runs_acc = Domain.DLS.get sim_acc in
   sim_s_acc := 0.0;
   sim_runs_acc := 0;
   let module Trace = Cinm_support.Trace in
@@ -97,18 +134,15 @@ let timed name f =
       ~clock:Trace.Host ~pid:Trace.host_pid ~track:"bench" ~ts:span_t0
       ~dur:(Trace.now_host () -. span_t0)
       ("exp:" ^ name);
-  json_records :=
-    { exp = name; wall_s; sim_s = !sim_s_acc; runs = !sim_runs_acc }
-    :: !json_records
+  { exp = name; wall_s; sim_s = !sim_s_acc; runs = !sim_runs_acc }
 
-let write_json path =
+let write_json path recs =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Printf.bprintf b "  \"schema\": \"cinm-bench-1\",\n";
   Printf.bprintf b "  \"quick\": %b,\n" !quick;
   Printf.bprintf b "  \"jobs\": %d,\n" (Cinm_support.Pool.default_jobs ());
   Buffer.add_string b "  \"experiments\": [\n";
-  let recs = List.rev !json_records in
   let n = List.length recs in
   List.iteri
     (fun i r ->
@@ -690,15 +724,46 @@ let run_experiment name =
 let all_experiments =
   [ "fig10"; "fig10-energy"; "fig11"; "fig12"; "tab4"; "tab5"; "dialects"; "ablation" ]
 
+(* Batched execution: experiments are independent (each builds its own
+   benchmark descriptors and machines), so they can share the domain
+   pool. Nested machine-level [Pool.run] calls inside an experiment fall
+   back to sequential execution via the pool's re-entrancy guard, and
+   sim stats are host-order-deterministic by construction, so the --json
+   records (minus wall_s) and the printed report are byte-identical to a
+   sequential run. Output is buffered per experiment (see [out_buf]) and
+   flushed in canonical order. *)
+let run_batch cmds =
+  let arr = Array.of_list cmds in
+  let n = Array.length arr in
+  let outputs = Array.make n "" in
+  let recs : json_record option array = Array.make n None in
+  let pool = Cinm_support.Pool.default () in
+  Fun.protect
+    ~finally:(fun () -> Array.iter Stdlib.print_string outputs)
+    (fun () ->
+      Cinm_support.Pool.run pool n (fun i ->
+          let b = Buffer.create 65536 in
+          Domain.DLS.set out_buf (Some b);
+          Fun.protect
+            ~finally:(fun () ->
+              Domain.DLS.set out_buf None;
+              outputs.(i) <- Buffer.contents b)
+            (fun () -> recs.(i) <- Some (run_experiment arr.(i)))));
+  Array.to_list recs |> List.filter_map Fun.id
+
 let () =
   let json_out = ref None in
   let trace_out = ref None in
   let fault_rates = ref None in
   let fault_seed = ref None in
+  let batch = ref (Sys.getenv_opt "CINM_BENCH_BATCH" <> None) in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--quick" :: rest ->
       quick := true;
+      parse acc rest
+    | "--batch" :: rest ->
+      batch := true;
       parse acc rest
     | "--faults" :: spec :: rest -> (
       match Cinm_support.Fault.parse spec with
@@ -785,8 +850,13 @@ let () =
     | [] | [ "all" ] -> all_experiments
     | cmds -> cmds
   in
-  List.iter run_experiment cmds;
-  Option.iter write_json !json_out;
+  let records =
+    (* tracing needs the sequential host timeline, so --trace wins *)
+    if !batch && List.length cmds > 1 && not (Cinm_support.Trace.enabled ())
+    then run_batch cmds
+    else List.map run_experiment cmds
+  in
+  Option.iter (fun path -> write_json path records) !json_out;
   Option.iter
     (fun file ->
       Cinm_support.Trace.write file;

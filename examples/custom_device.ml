@@ -77,8 +77,8 @@ type fim_state = {
 }
 
 let fim_hook (st : fim_state) : Interp.hook =
- fun ctx op ->
-  let operand i = Interp.lookup ctx (Ir.operand op i) in
+ fun _ctx op ops ->
+  let operand i = ops.(i) in
   match op.Ir.name with
   | "fimdram.alloc_banks" ->
     st.next <- st.next + 1;

@@ -111,8 +111,8 @@ let score ~metric entry_row query width =
   !acc
 
 let hook (m : t) : Interp.hook =
- fun ctx op ->
-  let operand i = Interp.lookup ctx (Ir.operand op i) in
+ fun _ctx op ops ->
+  let operand i = ops.(i) in
   let c = m.config in
   match op.Ir.name with
   (* ----- CAM ----- *)

@@ -183,6 +183,9 @@ let run_upmem_func ?(backend_name = "upmem") ?host_model ?modul ~sim_config f ar
         ("dpu->cpu", stats.Usim.Stats.device_to_host_s);
       ]
   in
+  (* the machine dies with this run and gathers copy out of device
+     buffers, so their storage can recycle through the arena now *)
+  Usim.Machine.recycle machine;
   ( results,
     {
       Report.backend = backend_name;
@@ -293,6 +296,8 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
           ("io", stats.Msim.Stats.io_s);
         ]
     in
+    (* tile staging copies die with the machine; MVM results were fresh *)
+    Msim.Machine.recycle machine;
     ( results,
       {
         Report.backend = backend_name;

@@ -57,8 +57,8 @@ let gather_tensor (buf : buffer) (_wg : workgroup) ~result_shape =
 (* The hook. [on_launch] is called once per launch with the per-PU profile
    list; the default ignores it (reference semantics are untimed). *)
 let hook ?(on_launch = fun (_ : Profile.t list) -> ()) (st : state) : Interp.hook =
- fun ctx op ->
-  let operand i = Interp.lookup ctx (Ir.operand op i) in
+ fun ctx op ops ->
+  let operand i = ops.(i) in
   match op.Ir.name with
   | "cnm.workgroup" -> (
     match (Ir.result op 0).Ir.ty with
@@ -94,6 +94,9 @@ let hook ?(on_launch = fun (_ : Profile.t list) -> ()) (st : state) : Interp.hoo
        share the context's environment and predicate cache) *)
     let prep = Compile.prepare ctx region in
     let profiles = ref [] in
+    (* kernel-local allocations cannot escape the launch (results are
+       discarded, stores copy elements), so they recycle via the arena *)
+    let scratch = ref [] in
     for p = 0 to n_pus wg - 1 do
       let args =
         List.map
@@ -105,10 +108,13 @@ let hook ?(on_launch = fun (_ : Profile.t list) -> ()) (st : state) : Interp.hoo
       let profile = Profile.create () in
       (* fresh watchdog counter per PU, matching the per-lane budget the
          UPMEM machine gives its tasklets *)
-      let inner = { ctx with Interp.profile = profile; steps = ref 0 } in
+      let inner =
+        { ctx with Interp.profile = profile; steps = ref 0; scratch = Some scratch }
+      in
       ignore (Compile.run prep inner args);
       profiles := profile :: !profiles
     done;
+    List.iter Tensor.Arena.release !scratch;
     on_launch (List.rev !profiles);
     Some [ Rtval.Token ]
   | "cnm.wait" -> Some []

@@ -1,12 +1,24 @@
 (* Closure-compiling executor: a one-shot pass over a kernel's IR that
-   resolves every SSA value to a fixed integer slot in a flat register
-   file (an [Rtval.t array]) and specializes each op into an OCaml
-   closure — name dispatch, binop selection, cmpi predicate decode and
-   attribute decoding all happen once at compile time instead of once per
-   evaluated op. The resulting closure tree is cached per kernel and
-   shared read-only across DPU-lane domains; every lane executes it on a
-   private register file, so the parallel launch path needs no
-   per-lane copy of the interpreter environment.
+   resolves every SSA value to a fixed slot in a register file and
+   specializes each op into an OCaml closure — name dispatch, binop
+   selection, cmpi predicate decode and attribute decoding all happen once
+   at compile time instead of once per evaluated op. The resulting closure
+   tree is cached per kernel and shared read-only across DPU-lane domains;
+   every lane executes it on a private register file, so the parallel
+   launch path needs no per-lane copy of the interpreter environment.
+
+   The register file is *split by static type*: values whose IR type is
+   [index] or a non-i1 integer scalar live in a flat [int array] (the
+   "int frame"); everything else — tensors, memrefs, handles, floats,
+   i1 (whose runtime representation may be [Rtval.Bool]) — lives in an
+   [Rtval.t array] (the "gen frame"). A slot id encodes its frame in its
+   sign: [s >= 0] indexes the gen frame, [s < 0] indexes the int frame at
+   [-1 - s]. Integer arithmetic, comparisons, loop induction and the
+   rank-1/2 load/store fast paths then run *monomorphic*: unboxed ints in,
+   unboxed ints out, no [Rtval.Int] allocation, no payload-variant
+   dispatch (integer tensors are accessed through their raw [int array]
+   payload after one explicit bounds check), and wrap-at-width
+   specialized per result dtype at compile time.
 
    Parity contract: compiled execution must be *bit-identical* to the
    tree-walking interpreter — same results, same [Profile] increments
@@ -64,12 +76,13 @@ let set_backend b = backend_ref := b
 
 (* ----- compiled code ----- *)
 
-(* One compiled op: reads/writes the register file, accounts into the
+(* One compiled op: reads/writes the two frames, accounts into the
    context's profile, and may call hooks through the context. *)
-type instr = Interp.ctx -> Rtval.t array -> unit
+type instr = Interp.ctx -> Rtval.t array -> int array -> unit
 
 type code = {
-  nslots : int;
+  ngen : int;  (** gen-frame ([Rtval.t]) slot count *)
+  nint : int;  (** int-frame (unboxed [int]) slot count *)
   arg_slots : int array;  (** slots of the entry block's parameters *)
   cap_values : Ir.value array;
       (** free values of the unit (defined outside the compiled region);
@@ -86,15 +99,32 @@ type code = {
 exception Punt
 
 type cstate = {
-  mutable nslots : int;
-  slots : (int, int) Hashtbl.t;  (** vid -> slot *)
+  mutable ngen : int;
+  mutable nint : int;
+  slots : (int, int) Hashtbl.t;  (** vid -> encoded slot *)
   mutable caps : (Ir.value * int) list;  (** reverse order of first use *)
 }
 
-let new_slot st =
-  let s = st.nslots in
-  st.nslots <- s + 1;
+(* A value lives in the int frame iff its static type guarantees its
+   runtime representation is [Rtval.Int]. i1 stays in the gen frame: the
+   tree-walker represents cmpi results as [Rtval.Bool], and that identity
+   must survive pass-through ops (select, yields, returns). *)
+let int_class (v : Ir.value) =
+  match v.Ir.ty with
+  | Types.Index | Types.Scalar (Types.I8 | Types.I16 | Types.I32 | Types.I64) -> true
+  | _ -> false
+
+let new_gen st =
+  let s = st.ngen in
+  st.ngen <- s + 1;
   s
+
+let new_int st =
+  let k = st.nint in
+  st.nint <- k + 1;
+  -1 - k
+
+let new_slot st (v : Ir.value) = if int_class v then new_int st else new_gen st
 
 (* Slot of a value being read. A value never defined inside the unit is a
    capture: it gets a slot filled from the host environment at launch. *)
@@ -102,7 +132,7 @@ let use_slot st (v : Ir.value) =
   match Hashtbl.find_opt st.slots v.Ir.vid with
   | Some s -> s
   | None ->
-    let s = new_slot st in
+    let s = new_slot st v in
     Hashtbl.add st.slots v.Ir.vid s;
     st.caps <- (v, s) :: st.caps;
     s
@@ -114,7 +144,7 @@ let def_slot st (v : Ir.value) =
   match Hashtbl.find_opt st.slots v.Ir.vid with
   | Some s -> s
   | None ->
-    let s = new_slot st in
+    let s = new_slot st v in
     Hashtbl.add st.slots v.Ir.vid s;
     s
 
@@ -122,9 +152,43 @@ let def_slot st (v : Ir.value) =
    argument slots, which hold the final loop-carried values on exit). *)
 let alias_slot st (v : Ir.value) slot = Hashtbl.replace st.slots v.Ir.vid slot
 
-let nop_instr : instr = fun _ _ -> ()
+let nop_instr : instr = fun _ _ _ -> ()
 let rt_true = Rtval.Bool true
 let rt_false = Rtval.Bool false
+
+(* ----- frame access (slot ids are compile-time constants, bounds are
+   guaranteed by construction, so accesses are unsafe) ----- *)
+
+let geti (gf : Rtval.t array) (iframe : int array) s =
+  if s >= 0 then Rtval.as_int (Array.unsafe_get gf s)
+  else Array.unsafe_get iframe (-1 - s)
+
+let getf (gf : Rtval.t array) (iframe : int array) s =
+  if s >= 0 then Rtval.as_float (Array.unsafe_get gf s)
+  else float_of_int (Array.unsafe_get iframe (-1 - s))
+
+let getb (gf : Rtval.t array) (iframe : int array) s =
+  if s >= 0 then Rtval.as_bool (Array.unsafe_get gf s)
+  else Array.unsafe_get iframe (-1 - s) <> 0
+
+(* Read a slot as an [Rtval.t]; int slots materialize as [Rtval.Int] (the
+   representation the tree-walker binds for every int-class value). *)
+let get_rt (gf : Rtval.t array) (iframe : int array) s =
+  if s >= 0 then Array.unsafe_get gf s else Rtval.Int (Array.unsafe_get iframe (-1 - s))
+
+let set_rt (gf : Rtval.t array) (iframe : int array) s rv =
+  if s >= 0 then Array.unsafe_set gf s rv
+  else Array.unsafe_set iframe (-1 - s) (Rtval.as_int rv)
+
+(* Store an int result: unboxed into an int slot, boxed into a gen slot. *)
+let seti (gf : Rtval.t array) (iframe : int array) s v =
+  if s >= 0 then Array.unsafe_set gf s (Rtval.Int v)
+  else Array.unsafe_set iframe (-1 - s) v
+
+(* Slot-to-slot copy (loop-carried values, branch yields, select). *)
+let move (gf : Rtval.t array) (iframe : int array) dst src =
+  if dst >= 0 then Array.unsafe_set gf dst (get_rt gf iframe src)
+  else Array.unsafe_set iframe (-1 - dst) (geti gf iframe src)
 
 (* Free values of [op]'s nested regions: operands used under the op's
    entry blocks (the only blocks the interpreter ever evaluates) that are
@@ -181,17 +245,64 @@ let compile_generic st (op : Ir.op) : instr =
   let result_binds =
     Array.map (fun (v : Ir.value) -> (v.Ir.vid, def_slot st v)) op.Ir.results
   in
-  fun ctx frame ->
+  (* Tree-walk through [Interp.eval_op]: stage operands and free values
+     into the environment, evaluate, read the results back into slots. *)
+  let slow ctx gf iframe =
     let env = ctx.Interp.env in
-    Array.iter (fun (vid, s) -> Hashtbl.replace env vid frame.(s)) operand_binds;
-    Array.iter (fun (vid, s) -> Hashtbl.replace env vid frame.(s)) free_binds;
+    Array.iter (fun (vid, s) -> Hashtbl.replace env vid (get_rt gf iframe s)) operand_binds;
+    Array.iter (fun (vid, s) -> Hashtbl.replace env vid (get_rt gf iframe s)) free_binds;
     Interp.eval_op ctx op;
     Array.iter
       (fun (vid, s) ->
         match Hashtbl.find_opt env vid with
-        | Some rv -> frame.(s) <- rv
+        | Some rv -> set_rt gf iframe s rv
         | None -> Interp.err "%s: result %%%d not bound" op.Ir.name vid)
       result_binds
+  in
+  if Array.length op.Ir.regions > 0 then slow
+  else begin
+    (* Region-free op: hooks only need the operand values, so try them
+       straight off the register file — no environment staging, which is
+       the dominant cost of the per-element device ops (mram_read/write)
+       kernels execute by the million. Builtin ops never reach hooks
+       ([Interp.eval_op] dispatches them by name first), so a [None] here
+       means the op is either builtin-generic or an error — both handled
+       by the slow path. The [launched_ops] bookkeeping mirrors [eval_op]:
+       counted before dispatch, uncounted again if we fall through (the
+       slow path's [eval_op] re-counts). *)
+    let operand_slots = Array.map snd operand_binds in
+    let result_slots = Array.map snd result_binds in
+    let n_operands = Array.length operand_slots in
+    fun ctx gf iframe ->
+      match ctx.Interp.hooks with
+      | [] -> slow ctx gf iframe
+      | _ -> (
+        let ops = Array.make n_operands Rtval.Token in
+        for i = 0 to n_operands - 1 do
+          Array.unsafe_set ops i
+            (get_rt gf iframe (Array.unsafe_get operand_slots i))
+        done;
+        let p = ctx.Interp.profile in
+        p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+        match Interp.dispatch_hooks ctx op ops with
+        | Some [] ->
+          (* the common per-element device ops (DMA, barriers) produce no
+             results: return without touching the register file *)
+          if Array.length result_slots <> 0 then
+            Interp.err "%s: produced 0 values for %d results" op.Ir.name
+              (Array.length result_slots)
+        | Some vals ->
+          let n = List.length vals in
+          if n <> Array.length result_slots then
+            Interp.err "%s: produced %d values for %d results" op.Ir.name n
+              (Array.length result_slots);
+          List.iteri
+            (fun i rv -> set_rt gf iframe (Array.unsafe_get result_slots i) rv)
+            vals
+        | None ->
+          p.Profile.launched_ops <- p.Profile.launched_ops - 1;
+          slow ctx gf iframe)
+  end
 
 (* ----- native op compilers ----- *)
 
@@ -248,85 +359,138 @@ and compile_native st (op : Ir.op) : instr option =
       | None -> None))
 
 and compile_constant st op =
-  let rv =
-    match Ir.attr_exn op "value" with
-    | Attr.Int i -> Rtval.Int (Tensor.wrap (Interp.scalar_result_dtype op) i)
-    | Attr.Float f -> Rtval.Float f
-    | _ -> raise Punt
-  in
-  let r = def_slot st op.Ir.results.(0) in
-  fun ctx frame ->
-    let p = ctx.Interp.profile in
-    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-    frame.(r) <- rv
+  match Ir.attr_exn op "value" with
+  | Attr.Int i ->
+    let n = Tensor.wrap (Interp.scalar_result_dtype op) i in
+    let r = def_slot st op.Ir.results.(0) in
+    if r < 0 then begin
+      let ri = -1 - r in
+      fun ctx _gf iframe ->
+        let p = ctx.Interp.profile in
+        p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+        Array.unsafe_set iframe ri n
+    end
+    else begin
+      (* i1 constants stay in the gen frame as the shared [Rtval.Int] the
+         tree-walker would bind *)
+      let rv = Rtval.Int n in
+      fun ctx gf _iframe ->
+        let p = ctx.Interp.profile in
+        p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+        Array.unsafe_set gf r rv
+    end
+  | Attr.Float f ->
+    let rv = Rtval.Float f in
+    let r = def_slot st op.Ir.results.(0) in
+    fun ctx gf iframe ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      set_rt gf iframe r rv
+  | _ -> raise Punt
 
 and compile_int_bin st op bucket f =
   let dt = Interp.scalar_result_dtype op in
   let a = use_slot st op.Ir.operands.(0) in
   let b = use_slot st op.Ir.operands.(1) in
   let r = def_slot st op.Ir.results.(0) in
-  fun ctx frame ->
-    let p = ctx.Interp.profile in
-    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-    Interp.account_int_binop p bucket;
-    frame.(r) <-
-      Rtval.Int (Tensor.wrap dt (f (Rtval.as_int frame.(a)) (Rtval.as_int frame.(b))))
+  if a < 0 && b < 0 && r < 0 then begin
+    (* fully monomorphic: unboxed operands, unboxed result, wrap
+       specialized on the result dtype — zero allocation *)
+    let ai = -1 - a and bi = -1 - b and ri = -1 - r in
+    match dt with
+    | Types.I64 ->
+      fun ctx _gf iframe ->
+        let p = ctx.Interp.profile in
+        p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+        Interp.account_int_binop p bucket;
+        Array.unsafe_set iframe ri
+          (f (Array.unsafe_get iframe ai) (Array.unsafe_get iframe bi))
+    | _ ->
+      let bits = Types.dtype_bits dt in
+      let mask = (1 lsl bits) - 1
+      and half = 1 lsl (bits - 1)
+      and full = 1 lsl bits in
+      fun ctx _gf iframe ->
+        let p = ctx.Interp.profile in
+        p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+        Interp.account_int_binop p bucket;
+        let v = f (Array.unsafe_get iframe ai) (Array.unsafe_get iframe bi) land mask in
+        Array.unsafe_set iframe ri (if v >= half then v - full else v)
+  end
+  else
+    fun ctx gf iframe ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      Interp.account_int_binop p bucket;
+      seti gf iframe r (Tensor.wrap dt (f (geti gf iframe a) (geti gf iframe b)))
 
 and compile_float_bin st op f =
   let a = use_slot st op.Ir.operands.(0) in
   let b = use_slot st op.Ir.operands.(1) in
   let r = def_slot st op.Ir.results.(0) in
-  fun ctx frame ->
+  fun ctx gf iframe ->
     let p = ctx.Interp.profile in
     p.Profile.launched_ops <- p.Profile.launched_ops + 1;
     p.Profile.alu_ops <- p.Profile.alu_ops + 1;
-    frame.(r) <- Rtval.Float (f (Rtval.as_float frame.(a)) (Rtval.as_float frame.(b)))
+    set_rt gf iframe r (Rtval.Float (f (getf gf iframe a) (getf gf iframe b)))
 
 and compile_cmpi st op =
   let pred = Interp.decode_cmpi_predicate op in
   let a = use_slot st op.Ir.operands.(0) in
   let b = use_slot st op.Ir.operands.(1) in
   let r = def_slot st op.Ir.results.(0) in
-  fun ctx frame ->
-    let p = ctx.Interp.profile in
-    p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-    let av = Rtval.as_int frame.(a) and bv = Rtval.as_int frame.(b) in
-    p.Profile.alu_ops <- p.Profile.alu_ops + 1;
-    frame.(r) <- (if pred av bv then rt_true else rt_false)
+  if a < 0 && b < 0 && r >= 0 then begin
+    let ai = -1 - a and bi = -1 - b in
+    fun ctx gf iframe ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let av = Array.unsafe_get iframe ai and bv = Array.unsafe_get iframe bi in
+      p.Profile.alu_ops <- p.Profile.alu_ops + 1;
+      Array.unsafe_set gf r (if pred av bv then rt_true else rt_false)
+  end
+  else
+    fun ctx gf iframe ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let av = geti gf iframe a and bv = geti gf iframe b in
+      p.Profile.alu_ops <- p.Profile.alu_ops + 1;
+      set_rt gf iframe r (if pred av bv then rt_true else rt_false)
 
 and compile_select st op =
   let c = use_slot st op.Ir.operands.(0) in
   let t = use_slot st op.Ir.operands.(1) in
   let e = use_slot st op.Ir.operands.(2) in
   let r = def_slot st op.Ir.results.(0) in
-  fun ctx frame ->
+  fun ctx gf iframe ->
     let p = ctx.Interp.profile in
     p.Profile.launched_ops <- p.Profile.launched_ops + 1;
     p.Profile.alu_ops <- p.Profile.alu_ops + 1;
-    frame.(r) <- (if Rtval.as_bool frame.(c) then frame.(t) else frame.(e))
+    move gf iframe r (if getb gf iframe c then t else e)
 
 and compile_index_cast st op =
   let a = use_slot st op.Ir.operands.(0) in
   let r = def_slot st op.Ir.results.(0) in
-  fun ctx frame ->
+  fun ctx gf iframe ->
     let p = ctx.Interp.profile in
     p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-    frame.(r) <- Rtval.Int (Rtval.as_int frame.(a))
+    seti gf iframe r (geti gf iframe a)
 
 and compile_alloc st op =
   match (Ir.result op 0).Ir.ty with
   | Types.MemRef (shape, dt) ->
     let r = def_slot st op.Ir.results.(0) in
-    fun ctx frame ->
+    fun ctx gf _iframe ->
       let p = ctx.Interp.profile in
       p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-      frame.(r) <- Rtval.Memref (Tensor.zeros shape dt)
+      Array.unsafe_set gf r (Rtval.Memref (Interp.alloc_tensor ctx shape dt))
   | _ -> raise Punt
 
 (* memref.load / tensor.extract. Ranks 1 and 2 are specialized to flat
    indexing with the bounds checks of [Util.linearize] inlined (same
-   failure message); other ranks build the index array per access like the
-   tree-walker does. *)
+   failure message) and, when every scalar involved is int-class, direct
+   unboxed access to integer payloads — no [Rtval] boxing, no payload
+   dispatch on the fast path. Other ranks build the index array per access
+   like the tree-walker does. *)
 and compile_indexed_load st op =
   let n_idx = Ir.num_operands op - 1 in
   if n_idx < 0 then raise Punt;
@@ -334,46 +498,86 @@ and compile_indexed_load st op =
   let idx_s = Array.init n_idx (fun i -> use_slot st op.Ir.operands.(i + 1)) in
   let r = def_slot st op.Ir.results.(0) in
   match idx_s with
+  | [| i0 |] when m_s >= 0 && i0 < 0 && r < 0 ->
+    let i0i = -1 - i0 and ri = -1 - r in
+    fun ctx gf iframe ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let m = Rtval.as_tensor (Array.unsafe_get gf m_s) in
+      let i = Array.unsafe_get iframe i0i in
+      p.Profile.loads <- p.Profile.loads + 1;
+      Array.unsafe_set iframe ri
+        (let shape = m.Tensor.shape in
+         if Array.length shape = 1 then begin
+           if i < 0 || i >= Array.unsafe_get shape 0 then
+             invalid_arg "Util.linearize: out of bounds";
+           match m.Tensor.data with
+           | Tensor.I a -> Array.unsafe_get a i
+           | _ -> Tensor.get_int m i
+         end
+         else Tensor.get m [| i |])
   | [| i0 |] ->
-    fun ctx frame ->
+    fun ctx gf iframe ->
       let p = ctx.Interp.profile in
       p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-      let m = Rtval.as_tensor frame.(m_s) in
-      let i = Rtval.as_int frame.(i0) in
+      let m = Rtval.as_tensor (get_rt gf iframe m_s) in
+      let i = geti gf iframe i0 in
       p.Profile.loads <- p.Profile.loads + 1;
-      frame.(r) <-
-        Rtval.Int
-          (if Array.length m.Tensor.shape = 1 then begin
-             if i < 0 || i >= m.Tensor.shape.(0) then
-               invalid_arg "Util.linearize: out of bounds";
-             Tensor.get_int m i
-           end
-           else Tensor.get m [| i |])
+      seti gf iframe r
+        (if Array.length m.Tensor.shape = 1 then begin
+           if i < 0 || i >= m.Tensor.shape.(0) then
+             invalid_arg "Util.linearize: out of bounds";
+           Tensor.get_int m i
+         end
+         else Tensor.get m [| i |])
+  | [| i0; i1 |] when m_s >= 0 && i0 < 0 && i1 < 0 && r < 0 ->
+    let i0i = -1 - i0 and i1i = -1 - i1 and ri = -1 - r in
+    fun ctx gf iframe ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let m = Rtval.as_tensor (Array.unsafe_get gf m_s) in
+      let a = Array.unsafe_get iframe i0i in
+      let b = Array.unsafe_get iframe i1i in
+      p.Profile.loads <- p.Profile.loads + 1;
+      Array.unsafe_set iframe ri
+        (let shape = m.Tensor.shape in
+         if Array.length shape = 2 then begin
+           if
+             a < 0
+             || a >= Array.unsafe_get shape 0
+             || b < 0
+             || b >= Array.unsafe_get shape 1
+           then invalid_arg "Util.linearize: out of bounds";
+           let flat = (a * Array.unsafe_get shape 1) + b in
+           match m.Tensor.data with
+           | Tensor.I arr -> Array.unsafe_get arr flat
+           | _ -> Tensor.get_int m flat
+         end
+         else Tensor.get m [| a; b |])
   | [| i0; i1 |] ->
-    fun ctx frame ->
+    fun ctx gf iframe ->
       let p = ctx.Interp.profile in
       p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-      let m = Rtval.as_tensor frame.(m_s) in
-      let a = Rtval.as_int frame.(i0) in
-      let b = Rtval.as_int frame.(i1) in
+      let m = Rtval.as_tensor (get_rt gf iframe m_s) in
+      let a = geti gf iframe i0 in
+      let b = geti gf iframe i1 in
       p.Profile.loads <- p.Profile.loads + 1;
-      frame.(r) <-
-        Rtval.Int
-          (let shape = m.Tensor.shape in
-           if Array.length shape = 2 then begin
-             if a < 0 || a >= shape.(0) || b < 0 || b >= shape.(1) then
-               invalid_arg "Util.linearize: out of bounds";
-             Tensor.get_int m ((a * shape.(1)) + b)
-           end
-           else Tensor.get m [| a; b |])
+      seti gf iframe r
+        (let shape = m.Tensor.shape in
+         if Array.length shape = 2 then begin
+           if a < 0 || a >= shape.(0) || b < 0 || b >= shape.(1) then
+             invalid_arg "Util.linearize: out of bounds";
+           Tensor.get_int m ((a * shape.(1)) + b)
+         end
+         else Tensor.get m [| a; b |])
   | _ ->
-    fun ctx frame ->
+    fun ctx gf iframe ->
       let p = ctx.Interp.profile in
       p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-      let m = Rtval.as_tensor frame.(m_s) in
-      let idx = Array.map (fun s -> Rtval.as_int frame.(s)) idx_s in
+      let m = Rtval.as_tensor (get_rt gf iframe m_s) in
+      let idx = Array.map (fun s -> geti gf iframe s) idx_s in
       p.Profile.loads <- p.Profile.loads + 1;
-      frame.(r) <- Rtval.Int (Tensor.get m idx)
+      seti gf iframe r (Tensor.get m idx)
 
 and compile_store st op =
   let n_idx = Ir.num_operands op - 2 in
@@ -382,13 +586,31 @@ and compile_store st op =
   let m_s = use_slot st op.Ir.operands.(1) in
   let idx_s = Array.init n_idx (fun i -> use_slot st op.Ir.operands.(i + 2)) in
   match idx_s with
-  | [| i0 |] ->
-    fun ctx frame ->
+  | [| i0 |] when m_s >= 0 && v_s < 0 && i0 < 0 ->
+    let vi = -1 - v_s and i0i = -1 - i0 in
+    fun ctx gf iframe ->
       let p = ctx.Interp.profile in
       p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-      let v = Rtval.as_int frame.(v_s) in
-      let m = Rtval.as_tensor frame.(m_s) in
-      let i = Rtval.as_int frame.(i0) in
+      let v = Array.unsafe_get iframe vi in
+      let m = Rtval.as_tensor (Array.unsafe_get gf m_s) in
+      let i = Array.unsafe_get iframe i0i in
+      p.Profile.stores <- p.Profile.stores + 1;
+      let shape = m.Tensor.shape in
+      if Array.length shape = 1 then begin
+        if i < 0 || i >= Array.unsafe_get shape 0 then
+          invalid_arg "Util.linearize: out of bounds";
+        match m.Tensor.data with
+        | Tensor.I a -> Array.unsafe_set a i (Tensor.wrap m.Tensor.dtype v)
+        | _ -> Tensor.set_int m i v
+      end
+      else Tensor.set m [| i |] v
+  | [| i0 |] ->
+    fun ctx gf iframe ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let v = geti gf iframe v_s in
+      let m = Rtval.as_tensor (get_rt gf iframe m_s) in
+      let i = geti gf iframe i0 in
       p.Profile.stores <- p.Profile.stores + 1;
       if Array.length m.Tensor.shape = 1 then begin
         if i < 0 || i >= m.Tensor.shape.(0) then
@@ -396,14 +618,38 @@ and compile_store st op =
         Tensor.set_int m i v
       end
       else Tensor.set m [| i |] v
-  | [| i0; i1 |] ->
-    fun ctx frame ->
+  | [| i0; i1 |] when m_s >= 0 && v_s < 0 && i0 < 0 && i1 < 0 ->
+    let vi = -1 - v_s and i0i = -1 - i0 and i1i = -1 - i1 in
+    fun ctx gf iframe ->
       let p = ctx.Interp.profile in
       p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-      let v = Rtval.as_int frame.(v_s) in
-      let m = Rtval.as_tensor frame.(m_s) in
-      let a = Rtval.as_int frame.(i0) in
-      let b = Rtval.as_int frame.(i1) in
+      let v = Array.unsafe_get iframe vi in
+      let m = Rtval.as_tensor (Array.unsafe_get gf m_s) in
+      let a = Array.unsafe_get iframe i0i in
+      let b = Array.unsafe_get iframe i1i in
+      p.Profile.stores <- p.Profile.stores + 1;
+      let shape = m.Tensor.shape in
+      if Array.length shape = 2 then begin
+        if
+          a < 0
+          || a >= Array.unsafe_get shape 0
+          || b < 0
+          || b >= Array.unsafe_get shape 1
+        then invalid_arg "Util.linearize: out of bounds";
+        let flat = (a * Array.unsafe_get shape 1) + b in
+        match m.Tensor.data with
+        | Tensor.I arr -> Array.unsafe_set arr flat (Tensor.wrap m.Tensor.dtype v)
+        | _ -> Tensor.set_int m flat v
+      end
+      else Tensor.set m [| a; b |] v
+  | [| i0; i1 |] ->
+    fun ctx gf iframe ->
+      let p = ctx.Interp.profile in
+      p.Profile.launched_ops <- p.Profile.launched_ops + 1;
+      let v = geti gf iframe v_s in
+      let m = Rtval.as_tensor (get_rt gf iframe m_s) in
+      let a = geti gf iframe i0 in
+      let b = geti gf iframe i1 in
       p.Profile.stores <- p.Profile.stores + 1;
       let shape = m.Tensor.shape in
       if Array.length shape = 2 then begin
@@ -413,12 +659,12 @@ and compile_store st op =
       end
       else Tensor.set m [| a; b |] v
   | _ ->
-    fun ctx frame ->
+    fun ctx gf iframe ->
       let p = ctx.Interp.profile in
       p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-      let v = Rtval.as_int frame.(v_s) in
-      let m = Rtval.as_tensor frame.(m_s) in
-      let idx = Array.map (fun s -> Rtval.as_int frame.(s)) idx_s in
+      let v = geti gf iframe v_s in
+      let m = Rtval.as_tensor (get_rt gf iframe m_s) in
+      let idx = Array.map (fun s -> geti gf iframe s) idx_s in
       p.Profile.stores <- p.Profile.stores + 1;
       Tensor.set m idx v
 
@@ -475,34 +721,36 @@ and compile_for st op =
   let body, term = compile_block st block in
   let yield_s = match term with Some a -> a | None -> [||] in
   (* a yield operand may be an iteration argument (slot permutation), so
-     loop-carried values go through scratch slots *)
-  let scratch = Array.init (Array.length yield_s) (fun _ -> new_slot st) in
+     loop-carried values go through scratch slots of the matching class *)
+  let scratch =
+    Array.map (fun y -> if y >= 0 then new_gen st else new_int st) yield_s
+  in
   Array.iteri (fun i v -> alias_slot st v iter_s.(i)) op.Ir.results;
   let nb = Array.length body in
   let ny = Array.length yield_s in
-  fun ctx frame ->
+  fun ctx gf iframe ->
     let p = ctx.Interp.profile in
     p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-    let lb = Rtval.as_int frame.(lb_s)
-    and ub = Rtval.as_int frame.(ub_s)
-    and step = Rtval.as_int frame.(step_s) in
+    let lb = geti gf iframe lb_s
+    and ub = geti gf iframe ub_s
+    and step = geti gf iframe step_s in
     if step <= 0 then Interp.err "scf.for: non-positive step %d" step;
     for k = 0 to n_res - 1 do
-      frame.(iter_s.(k)) <- frame.(init_s.(k))
+      move gf iframe iter_s.(k) init_s.(k)
     done;
     let i = ref lb in
     while !i < ub do
       p.Profile.alu_ops <- p.Profile.alu_ops + 1 (* induction update/compare *);
       Interp.check_steps ctx "scf.for";
-      frame.(iv_s) <- Rtval.Int !i;
+      seti gf iframe iv_s !i;
       for j = 0 to nb - 1 do
-        body.(j) ctx frame
+        body.(j) ctx gf iframe
       done;
       for k = 0 to ny - 1 do
-        frame.(scratch.(k)) <- frame.(yield_s.(k))
+        move gf iframe scratch.(k) yield_s.(k)
       done;
       for k = 0 to ny - 1 do
-        frame.(iter_s.(k)) <- frame.(scratch.(k))
+        move gf iframe iter_s.(k) scratch.(k)
       done;
       i := !i + step
     done
@@ -541,18 +789,18 @@ and compile_if st op =
   let then_b = compile_branch 0 in
   let else_b = compile_branch 1 in
   let res_s = Array.map (fun v -> def_slot st v) op.Ir.results in
-  fun ctx frame ->
+  fun ctx gf iframe ->
     let p = ctx.Interp.profile in
     p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-    let c = Rtval.as_bool frame.(c_s) in
+    let c = getb gf iframe c_s in
     match if c then then_b else else_b with
     | None -> ()
     | Some (body, ys) ->
       for j = 0 to Array.length body - 1 do
-        body.(j) ctx frame
+        body.(j) ctx gf iframe
       done;
       for k = 0 to Array.length ys - 1 do
-        frame.(res_s.(k)) <- frame.(ys.(k))
+        move gf iframe res_s.(k) ys.(k)
       done
 
 and compile_parallel st op =
@@ -567,24 +815,24 @@ and compile_parallel st op =
   let arg_s = Array.map (fun v -> def_slot st v) block.Ir.args in
   let body, _term = compile_block st block in
   let nb = Array.length body in
-  fun ctx frame ->
+  fun ctx gf iframe ->
     let p = ctx.Interp.profile in
     p.Profile.launched_ops <- p.Profile.launched_ops + 1;
-    let lb = Array.map (fun s -> Rtval.as_int frame.(s)) lb_s in
-    let ub = Array.map (fun s -> Rtval.as_int frame.(s)) ub_s in
-    let step = Array.map (fun s -> Rtval.as_int frame.(s)) st_s in
+    let lb = Array.map (fun s -> geti gf iframe s) lb_s in
+    let ub = Array.map (fun s -> geti gf iframe s) ub_s in
+    let step = Array.map (fun s -> geti gf iframe s) st_s in
     (* no per-iteration accounting, exactly like the tree-walker *)
     let rec go d =
       if d = n_dims then begin
         Interp.check_steps ctx "scf.parallel";
         for j = 0 to nb - 1 do
-          body.(j) ctx frame
+          body.(j) ctx gf iframe
         done
       end
       else begin
         let i = ref lb.(d) in
         while !i < ub.(d) do
-          frame.(arg_s.(d)) <- Rtval.Int !i;
+          seti gf iframe arg_s.(d) !i;
           go (d + 1);
           i := !i + step.(d)
         done
@@ -595,14 +843,15 @@ and compile_parallel st op =
 (* ----- unit compilation, cache, execution ----- *)
 
 let compile_unit (region : Ir.region) : code =
-  let st = { nslots = 0; slots = Hashtbl.create 64; caps = [] } in
+  let st = { ngen = 0; nint = 0; slots = Hashtbl.create 64; caps = [] } in
   let block = Ir.entry_block region in
   let arg_slots = Array.map (fun v -> def_slot st v) block.Ir.args in
   let body, term = compile_block st block in
   let term_slots = match term with Some a -> a | None -> [||] in
   let caps = Array.of_list (List.rev st.caps) in
   {
-    nslots = st.nslots;
+    ngen = st.ngen;
+    nint = st.nint;
     arg_slots;
     cap_values = Array.map fst caps;
     cap_slots = Array.map snd caps;
@@ -641,14 +890,15 @@ let exec (code : code) ctx (caps : Rtval.t array) (args : Rtval.t list) : Rtval.
   if Array.length code.arg_slots <> n_args then
     Interp.err "region arity mismatch: %d args for %d params" n_args
       (Array.length code.arg_slots);
-  let frame = Array.make code.nslots Rtval.Token in
-  Array.iteri (fun i rv -> frame.(code.cap_slots.(i)) <- rv) caps;
-  List.iteri (fun i rv -> frame.(code.arg_slots.(i)) <- rv) args;
+  let gf = Array.make code.ngen Rtval.Token in
+  let iframe = Array.make code.nint 0 in
+  Array.iteri (fun i rv -> set_rt gf iframe code.cap_slots.(i) rv) caps;
+  List.iteri (fun i rv -> set_rt gf iframe code.arg_slots.(i) rv) args;
   let body = code.body in
   for j = 0 to Array.length body - 1 do
-    body.(j) ctx frame
+    body.(j) ctx gf iframe
   done;
-  Array.to_list (Array.map (fun s -> frame.(s)) code.term_slots)
+  Array.to_list (Array.map (fun s -> get_rt gf iframe s) code.term_slots)
 
 (* ----- launch API ----- *)
 

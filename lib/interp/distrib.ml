@@ -1,6 +1,9 @@
 (* Data distribution between a host tensor and per-PU buffers, shared by
    the reference CNM executor and the UPMEM simulator. The "map" names
-   match the cnm.scatter attribute. *)
+   match the cnm.scatter attribute. All four maps and the gather reduce to
+   {!Tensor.blit}/{!Tensor.blit_strided}, whose fallback loop preserves the
+   exact elementwise [set_int dst (get_int src)] semantics (and bounds
+   errors) of the original per-element copies. *)
 
 let scatter ?(halo = 0) ~map (t : Tensor.t) (per_pu : Tensor.t array) =
   let pus = Array.length per_pu in
@@ -12,27 +15,19 @@ let scatter ?(halo = 0) ~map (t : Tensor.t) (per_pu : Tensor.t array) =
        neighbouring buffers (sliding-window kernels) *)
     let chunk = per_pu_elems - halo in
     for p = 0 to pus - 1 do
-      for i = 0 to per_pu_elems - 1 do
-        Tensor.set_int per_pu.(p) i (Tensor.get_int t ((p * chunk) + i))
-      done
+      Tensor.blit t (p * chunk) per_pu.(p) 0 per_pu_elems
     done
   | "broadcast" ->
     for p = 0 to pus - 1 do
-      for i = 0 to per_pu_elems - 1 do
-        Tensor.set_int per_pu.(p) i (Tensor.get_int t i)
-      done
+      Tensor.blit t 0 per_pu.(p) 0 per_pu_elems
     done
   | "block" ->
     for p = 0 to pus - 1 do
-      for i = 0 to per_pu_elems - 1 do
-        Tensor.set_int per_pu.(p) i (Tensor.get_int t ((p * per_pu_elems) + i))
-      done
+      Tensor.blit t (p * per_pu_elems) per_pu.(p) 0 per_pu_elems
     done
   | "cyclic" ->
     for p = 0 to pus - 1 do
-      for i = 0 to per_pu_elems - 1 do
-        Tensor.set_int per_pu.(p) i (Tensor.get_int t ((i * pus) + p))
-      done
+      Tensor.blit_strided t p pus per_pu.(p) 0 per_pu_elems
     done
   | m -> invalid_arg ("Distrib.scatter: unknown map " ^ m)
 
@@ -42,8 +37,6 @@ let gather (per_pu : Tensor.t array) ~result_shape ~dtype =
   let per_pu_elems = Tensor.num_elements per_pu.(0) in
   let out = Tensor.zeros result_shape dtype in
   for p = 0 to pus - 1 do
-    for i = 0 to per_pu_elems - 1 do
-      Tensor.set_int out ((p * per_pu_elems) + i) (Tensor.get_int per_pu.(p) i)
-    done
+    Tensor.blit per_pu.(p) 0 out (p * per_pu_elems) per_pu_elems
   done;
   out

@@ -36,9 +36,18 @@ type ctx = {
   steps : int ref;
       (** back-edges and calls taken so far; a [ref] (not a mutable
           field) so [{ctx with fname}] copies for callees share it *)
+  scratch : Tensor.t list ref option;
+      (** when set (device lanes executing a launch region), tensors
+          allocated by [memref.alloc]/[upmem.wram_alloc] come from the
+          {!Tensor.Arena} and are recorded here; the machine releases
+          them after the launch. Kernel-local allocations cannot escape
+          a launch region (regions yield tokens, stores copy elements),
+          so the recycling is invisible to program semantics. [None]
+          (host execution) allocates normally — host allocations can
+          escape through [func.return]. *)
 }
 
-and hook = ctx -> Ir.op -> Rtval.t list option
+and hook = ctx -> Ir.op -> Rtval.t array -> Rtval.t list option
 
 exception Interp_error of string
 
@@ -74,6 +83,28 @@ let lookup ctx (v : Ir.value) =
   | None -> err "use of unbound value %%%d : %s" v.Ir.vid (Types.to_string v.Ir.ty)
 
 let bind ctx (v : Ir.value) rv = Hashtbl.replace ctx.env v.Ir.vid rv
+
+(* First hook that implements [op] wins; [ops] are the op's operand
+   values, pre-fetched by the calling backend. Shared by both backends so
+   hook dispatch order (and therefore behavior) is identical. *)
+let dispatch_hooks ctx op ops =
+  let rec go = function
+    | [] -> None
+    | h :: rest -> ( match h ctx op ops with Some _ as r -> r | None -> go rest)
+  in
+  go ctx.hooks
+
+(* Allocation point of [memref.alloc]/[upmem.wram_alloc] under both
+   backends: arena-recycled (and recorded for release) inside a launch,
+   fresh on the host. Arena tensors are zero-filled, so the two sources
+   are indistinguishable to the program. *)
+let alloc_tensor ctx shape dt =
+  match ctx.scratch with
+  | Some l ->
+    let t = Tensor.Arena.alloc shape dt in
+    l := t :: !l;
+    t
+  | None -> Tensor.zeros shape dt
 
 let operand ctx op i = lookup ctx (Ir.operand op i)
 let t_operand ctx op i = Rtval.as_tensor (operand ctx op i)
@@ -346,7 +377,7 @@ and eval_op ctx (op : Ir.op) : unit =
   (* ----- memref ----- *)
   | "memref.alloc" | "upmem.wram_alloc" -> (
     match (Ir.result op 0).Ir.ty with
-    | Types.MemRef (shape, dt) -> set_results [ Rtval.Memref (Tensor.zeros shape dt) ]
+    | Types.MemRef (shape, dt) -> set_results [ Rtval.Memref (alloc_tensor ctx shape dt) ]
     | ty -> err "%s: %s" name (Types.to_string ty))
   | "memref.load" ->
     let m = t_operand ctx op 0 in
@@ -363,9 +394,7 @@ and eval_op ctx (op : Ir.op) : unit =
     let src = t_operand ctx op 0 and dst = t_operand ctx op 1 in
     let n = Tensor.num_elements src in
     account_move p n;
-    for i = 0 to n - 1 do
-      Tensor.set_int dst i (Tensor.get_int src i)
-    done;
+    Tensor.blit src 0 dst 0 n;
     set_results []
   | "memref.dealloc" -> set_results []
   (* ----- elementwise cinm / linalg / tosa ----- *)
@@ -549,13 +578,11 @@ and eval_op ctx (op : Ir.op) : unit =
     done;
     set_results [ Rtval.Tensor out ]
   (* ----- device ops: delegate to hooks ----- *)
-  | _ ->
-    let rec try_hooks = function
-      | [] -> err "no interpreter semantics for %s" name
-      | h :: rest -> (
-        match h ctx op with Some vals -> set_results vals | None -> try_hooks rest)
-    in
-    try_hooks ctx.hooks
+  | _ -> (
+    let ops = Array.map (fun v -> lookup ctx v) op.Ir.operands in
+    match dispatch_hooks ctx op ops with
+    | Some vals -> set_results vals
+    | None -> err "no interpreter semantics for %s" name)
 
 and add_dyn_offsets ctx op ~skip offsets =
   let n_dyn = Ir.num_operands op - skip in
@@ -581,7 +608,7 @@ let create_ctx ?(hooks = []) ?profile ?modul ?(fname = "<main>") ?max_steps () =
     match max_steps with Some n -> max 0 n | None -> !default_max_steps
   in
   { env = Hashtbl.create 256; profile; hooks; modul; device = Host;
-    cmpi_preds = Hashtbl.create 8; fname; max_steps; steps = ref 0 }
+    cmpi_preds = Hashtbl.create 8; fname; max_steps; steps = ref 0; scratch = None }
 
 let run_func ?(hooks = []) ?profile ?modul ?max_steps (f : Func.t)
     (args : Rtval.t list) : Rtval.t list * Profile.t =

@@ -33,11 +33,20 @@ type ctx = {
   steps : int ref;
       (** back-edges and calls taken so far; shared by [{ctx with ...}]
           copies, so give parallel device lanes a fresh ref *)
+  scratch : Tensor.t list ref option;
+      (** when set, [memref.alloc]/[upmem.wram_alloc] allocate from the
+          {!Tensor.Arena} and record here for release after the launch;
+          [None] (host execution) allocates normally *)
 }
 
-and hook = ctx -> Ir.op -> Rtval.t list option
-(** A hook returns [Some results] when it implements the op, [None] to let
-    the next hook (or the error path) handle it. *)
+and hook = ctx -> Ir.op -> Rtval.t array -> Rtval.t list option
+(** A hook receives the op's operand values — pre-fetched by the executing
+    backend, so the compiled backend feeds them straight from its register
+    file without staging an environment — and returns [Some results] when
+    it implements the op, [None] to let the next hook (or the error path)
+    handle it. Hooks that evaluate the op's regions resolve free values
+    through the context environment, which both backends populate before
+    dispatching a region-carrying op. *)
 
 exception Interp_error of string
 
@@ -75,9 +84,19 @@ val bucket_div : int
 (** Count one scalar integer binop in the given bucket. *)
 val account_int_binop : Profile.t -> int -> unit
 
+(** Allocation point of [memref.alloc]/[upmem.wram_alloc] under both
+    backends: arena-recycled and recorded when the context has a
+    [scratch] list, fresh {!Tensor.zeros} otherwise. *)
+val alloc_tensor : ctx -> int array -> Types.dtype -> Tensor.t
+
 (** Look up an SSA value's runtime binding.
     @raise Interp_error when unbound. *)
 val lookup : ctx -> Ir.value -> Rtval.t
+
+(** Dispatch [op] (with its operand values) to the context's hooks, first
+    match wins; [None] when no hook implements it. Shared by both backends
+    so hook dispatch order is identical. *)
+val dispatch_hooks : ctx -> Ir.op -> Rtval.t array -> Rtval.t list option
 
 val bind : ctx -> Ir.value -> Rtval.t -> unit
 

@@ -7,7 +7,13 @@
 open Cinm_ir
 module Util = Cinm_support.Util
 
-type payload = I of int array | F of float array
+(* Storage is selected by dtype: i8/i16 tensors pack into [Bytes] (one and
+   two bytes per element; [Bytes.set_int8]/[set_int16_le] truncate on store
+   and [get_int8]/[get_int16_le] sign-extend on load, which is exactly the
+   signed wrap-at-width semantics of [wrap]), i1/i32/i64 use a flat
+   [int array] with explicit wrap on store, floats a flat [float array].
+   All four layouts are unboxed. *)
+type payload = I of int array | I8 of Bytes.t | I16 of Bytes.t | F of float array
 
 type t = { shape : int array; dtype : Types.dtype; data : payload }
 
@@ -25,15 +31,47 @@ let wrap dtype x =
     let m = x land ((1 lsl bits) - 1) in
     if m >= 1 lsl (bits - 1) then m - (1 lsl bits) else m
 
+let alloc_payload dtype n =
+  match dtype with
+  | Types.F32 | Types.F64 -> F (Array.make n 0.0)
+  | Types.I8 -> I8 (Bytes.make n '\000')
+  | Types.I16 -> I16 (Bytes.make (2 * n) '\000')
+  | _ -> I (Array.make n 0)
+
 let zeros shape dtype =
-  let n = Util.product_of_shape shape in
-  let data = if Types.is_float_dtype dtype then F (Array.make n 0.0) else I (Array.make n 0) in
-  { shape; dtype; data }
+  { shape; dtype; data = alloc_payload dtype (Util.product_of_shape shape) }
+
+let get_int t i =
+  match t.data with
+  | I a -> a.(i)
+  | I8 b -> Bytes.get_int8 b i
+  | I16 b -> Bytes.get_int16_le b (2 * i)
+  | F a -> int_of_float a.(i)
+
+let get_float t i =
+  match t.data with
+  | F a -> a.(i)
+  | _ -> float_of_int (get_int t i)
+
+let set_int t i v =
+  match t.data with
+  | I a -> a.(i) <- wrap t.dtype v
+  | I8 b -> Bytes.set_int8 b i v
+  | I16 b -> Bytes.set_int16_le b (2 * i) v
+  | F a -> a.(i) <- float_of_int v
+
+let set_float t i v =
+  match t.data with F a -> a.(i) <- v | _ -> set_int t i (int_of_float v)
 
 let of_int_array ?(dtype = Types.I32) shape arr =
   if Array.length arr <> Util.product_of_shape shape then
     invalid_arg "Tensor.of_int_array: size mismatch";
-  { shape; dtype; data = I (Array.map (wrap dtype) arr) }
+  match dtype with
+  | Types.I8 | Types.I16 ->
+    let t = zeros shape dtype in
+    Array.iteri (fun i v -> set_int t i v) arr;
+    t
+  | _ -> { shape; dtype; data = I (Array.map (wrap dtype) arr) }
 
 let of_float_array ?(dtype = Types.F32) shape arr =
   if Array.length arr <> Util.product_of_shape shape then
@@ -41,40 +79,58 @@ let of_float_array ?(dtype = Types.F32) shape arr =
   { shape; dtype; data = F arr }
 
 let init ?(dtype = Types.I32) shape f =
-  let n = Util.product_of_shape shape in
-  { shape; dtype; data = I (Array.init n (fun i -> wrap dtype (f i))) }
+  match dtype with
+  | Types.I8 | Types.I16 ->
+    let t = zeros shape dtype in
+    for i = 0 to num_elements t - 1 do
+      set_int t i (f i)
+    done;
+    t
+  | _ ->
+    let n = Util.product_of_shape shape in
+    { shape; dtype; data = I (Array.init n (fun i -> wrap dtype (f i))) }
 
 let copy t =
-  let data = match t.data with I a -> I (Array.copy a) | F a -> F (Array.copy a) in
+  let data =
+    match t.data with
+    | I a -> I (Array.copy a)
+    | I8 b -> I8 (Bytes.copy b)
+    | I16 b -> I16 (Bytes.copy b)
+    | F a -> F (Array.copy a)
+  in
   { t with data }
-
-let get_int t i =
-  match t.data with I a -> a.(i) | F a -> int_of_float a.(i)
-
-let get_float t i =
-  match t.data with I a -> float_of_int a.(i) | F a -> a.(i)
-
-let set_int t i v =
-  match t.data with
-  | I a -> a.(i) <- wrap t.dtype v
-  | F a -> a.(i) <- float_of_int v
-
-let set_float t i v =
-  match t.data with I a -> a.(i) <- wrap t.dtype (int_of_float v) | F a -> a.(i) <- v
 
 let get t idx = get_int t (Util.linearize t.shape idx)
 let set t idx v = set_int t (Util.linearize t.shape idx) v
 
 let to_int_array t =
-  match t.data with I a -> Array.copy a | F a -> Array.map int_of_float a
+  match t.data with
+  | I a -> Array.copy a
+  | F a -> Array.map int_of_float a
+  | I8 _ | I16 _ -> Array.init (num_elements t) (fun i -> get_int t i)
+
+(* Dtype and shape are compared before the payload: same-data tensors of
+   different dtypes are *not* equal. Float comparison is NaN-aware (NaN
+   equals NaN positionally; 0.0 still equals -0.0). *)
+let float_eq (x : float) (y : float) = x = y || (x <> x && y <> y)
 
 let equal a b =
-  a.shape = b.shape
+  a.dtype = b.dtype
+  && a.shape = b.shape
   &&
   match (a.data, b.data) with
   | I x, I y -> x = y
-  | F x, F y -> x = y
-  | I x, F y | F y, I x -> Array.for_all2 (fun i f -> float_of_int i = f) x y
+  | I8 x, I8 y | I16 x, I16 y -> Bytes.equal x y
+  | F x, F y ->
+    let n = Array.length x in
+    let ok = ref (Array.length y = n) in
+    let i = ref 0 in
+    while !ok && !i < n do
+      if not (float_eq x.(!i) y.(!i)) then ok := false;
+      incr i
+    done;
+    !ok
+  | _ -> false
 
 let to_string ?(max_elems = 16) t =
   let n = num_elements t in
@@ -82,7 +138,7 @@ let to_string ?(max_elems = 16) t =
   let elems =
     List.init shown (fun i ->
         match t.data with
-        | I a -> string_of_int a.(i)
+        | I _ | I8 _ | I16 _ -> string_of_int (get_int t i)
         | F a -> Printf.sprintf "%g" a.(i))
   in
   Printf.sprintf "tensor<%s>[%s%s]"
@@ -122,21 +178,54 @@ let map2 name a b =
   if a.shape <> b.shape then invalid_arg "Tensor.map2: shape mismatch";
   match (a.data, b.data) with
   | I x, I y ->
-    { a with data = I (Array.init (Array.length x) (fun i -> wrap a.dtype (int_binop name x.(i) y.(i)))) }
+    (* binop and dtype resolved once, not per element; every index is in
+       range (x and y have equal shapes) *)
+    let f = int_binop name in
+    let n = Array.length x in
+    let out = Array.make n 0 in
+    (match a.dtype with
+    | Types.I64 ->
+      for i = 0 to n - 1 do
+        Array.unsafe_set out i
+          (f (Array.unsafe_get x i) (Array.unsafe_get y i))
+      done
+    | dt ->
+      for i = 0 to n - 1 do
+        Array.unsafe_set out i
+          (wrap dt (f (Array.unsafe_get x i) (Array.unsafe_get y i)))
+      done);
+    { a with data = I out }
   | F x, F y ->
     { a with data = F (Array.init (Array.length x) (fun i -> float_binop name x.(i) y.(i))) }
+  | (I _ | I8 _ | I16 _), (I _ | I8 _ | I16 _) ->
+    let f = int_binop name in
+    let out = zeros a.shape a.dtype in
+    for i = 0 to num_elements a - 1 do
+      set_int out i (f (get_int a i) (get_int b i))
+    done;
+    out
   | _ -> invalid_arg "Tensor.map2: mixed payloads"
 
 let map_not a =
   match a.data with
   | I x -> { a with data = I (Array.map (fun v -> wrap a.dtype (lnot v)) x) }
+  | I8 _ | I16 _ ->
+    let out = zeros a.shape a.dtype in
+    for i = 0 to num_elements a - 1 do
+      set_int out i (lnot (get_int a i))
+    done;
+    out
   | F _ -> invalid_arg "Tensor.map_not: float tensor"
 
 let fill_scalar shape dtype v =
   let t = zeros shape dtype in
   (match t.data with
   | I a -> Array.fill a 0 (Array.length a) (wrap dtype v)
-  | F a -> Array.fill a 0 (Array.length a) (float_of_int v));
+  | F a -> Array.fill a 0 (Array.length a) (float_of_int v)
+  | I8 _ | I16 _ ->
+    for i = 0 to num_elements t - 1 do
+      set_int t i v
+    done);
   t
 
 (* ----- linear algebra ----- *)
@@ -151,26 +240,77 @@ let matmul a b =
        element still accumulates over p in ascending order, so results are
        bit-identical to the naive order. *)
     if is_int a then begin
-      let x = match a.data with I v -> v | _ -> assert false in
-      let y = match b.data with I v -> v | _ -> assert false in
-      let z = match out.data with I v -> v | _ -> assert false in
-      let row = Array.make n 0 in
-      for i = 0 to m - 1 do
-        Array.fill row 0 n 0;
-        for p = 0 to k - 1 do
-          let xv = x.((i * k) + p) in
-          if xv <> 0 then begin
-            let yoff = p * n in
-            for j = 0 to n - 1 do
-              row.(j) <- row.(j) + (xv * y.(yoff + j))
-            done
-          end
-        done;
-        let zoff = i * n in
-        for j = 0 to n - 1 do
-          z.(zoff + j) <- wrap a.dtype row.(j)
+      match (a.data, b.data, out.data) with
+      | I x, I y, I z ->
+        (* every index below is in range by construction (x: m*k, y: k*n,
+           z: m*n, row: n), so the checks are elided in the hot loop *)
+        let row = Array.make n 0 in
+        for i = 0 to m - 1 do
+          Array.fill row 0 n 0;
+          (* p unrolled by 4: native ints add exactly (mod 2^63), so
+             combining four products before the accumulator add is
+             bit-identical to the scalar order while quartering the
+             accumulator-row load/store traffic *)
+          let xoff = i * k in
+          let p = ref 0 in
+          while !p + 3 < k do
+            let p0 = !p in
+            let xv0 = Array.unsafe_get x (xoff + p0)
+            and xv1 = Array.unsafe_get x (xoff + p0 + 1)
+            and xv2 = Array.unsafe_get x (xoff + p0 + 2)
+            and xv3 = Array.unsafe_get x (xoff + p0 + 3) in
+            if xv0 lor xv1 lor xv2 lor xv3 <> 0 then begin
+              let y0 = p0 * n in
+              let y1 = y0 + n in
+              let y2 = y1 + n in
+              let y3 = y2 + n in
+              for j = 0 to n - 1 do
+                Array.unsafe_set row j
+                  (Array.unsafe_get row j
+                  + (xv0 * Array.unsafe_get y (y0 + j))
+                  + (xv1 * Array.unsafe_get y (y1 + j))
+                  + (xv2 * Array.unsafe_get y (y2 + j))
+                  + (xv3 * Array.unsafe_get y (y3 + j)))
+              done
+            end;
+            p := p0 + 4
+          done;
+          while !p < k do
+            let xv = Array.unsafe_get x (xoff + !p) in
+            if xv <> 0 then begin
+              let yoff = !p * n in
+              for j = 0 to n - 1 do
+                Array.unsafe_set row j
+                  (Array.unsafe_get row j + (xv * Array.unsafe_get y (yoff + j)))
+              done
+            end;
+            incr p
+          done;
+          let zoff = i * n in
+          for j = 0 to n - 1 do
+            Array.unsafe_set z (zoff + j) (wrap a.dtype (Array.unsafe_get row j))
+          done
         done
-      done
+      | _ ->
+        (* narrow (Bytes-backed) payloads: same loop order and row
+           accumulator, element access through the generic getters *)
+        let row = Array.make n 0 in
+        for i = 0 to m - 1 do
+          Array.fill row 0 n 0;
+          for p = 0 to k - 1 do
+            let xv = get_int a ((i * k) + p) in
+            if xv <> 0 then begin
+              let yoff = p * n in
+              for j = 0 to n - 1 do
+                row.(j) <- row.(j) + (xv * get_int b (yoff + j))
+              done
+            end
+          done;
+          let zoff = i * n in
+          for j = 0 to n - 1 do
+            set_int out (zoff + j) row.(j)
+          done
+        done
     end
     else begin
       let row = Array.make n 0.0 in
@@ -554,6 +694,14 @@ let einsum ~spec a b =
   let wa_out, wa_red = weights a_idx a.shape in
   let wb_out, wb_red = weights b_idx b.shape in
   let red_pos = Array.make rank_red 0 in
+  (* int-array payloads skip the per-element payload dispatch; the offsets
+     are in range by construction of the stride weights *)
+  let ga, gb =
+    match (a.data, b.data) with
+    | I xa, I xb ->
+      ((fun i -> Array.unsafe_get xa i), fun i -> Array.unsafe_get xb i)
+    | _ -> ((fun i -> get_int a i), fun i -> get_int b i)
+  in
   for o = 0 to n_out - 1 do
     let out_pos = Util.delinearize out_shape o in
     let base_a = ref 0 and base_b = ref 0 in
@@ -565,7 +713,7 @@ let einsum ~spec a b =
     let off_a = ref !base_a and off_b = ref !base_b in
     let acc = ref 0 in
     for _r = 0 to n_red - 1 do
-      acc := !acc + (get_int a !off_a * get_int b !off_b);
+      acc := !acc + (ga !off_a * gb !off_b);
       let j = ref (rank_red - 1) in
       let carry = ref true in
       while !carry && !j >= 0 do
@@ -584,3 +732,115 @@ let einsum ~spec a b =
     set_int out o !acc
   done;
   out
+
+(* ----- flat copies (scatter / gather / DMA fast paths) ----- *)
+
+(* Contiguous flat-range copy with the exact semantics of the elementwise
+   loop [set_int dst (doff+i) (get_int src (soff+i))]. Same-dtype integer
+   payloads take a raw blit (already-wrapped values, so bit-identical);
+   everything else — float payloads, dtype or payload mismatches, and
+   out-of-range arguments — falls back to the loop so error behavior and
+   the int<->float truncating round-trip are unchanged. *)
+let blit src soff dst doff len =
+  let slow () =
+    for i = 0 to len - 1 do
+      set_int dst (doff + i) (get_int src (soff + i))
+    done
+  in
+  let fits =
+    len >= 0 && soff >= 0 && doff >= 0
+    && soff + len <= num_elements src
+    && doff + len <= num_elements dst
+  in
+  if fits && src.dtype = dst.dtype then
+    match (src.data, dst.data) with
+    | I a, I b -> Array.blit a soff b doff len
+    | I8 a, I8 b -> Bytes.blit a soff b doff len
+    | I16 a, I16 b -> Bytes.blit a (2 * soff) b (2 * doff) (2 * len)
+    | _ -> slow ()
+  else slow ()
+
+(* Strided gather into a contiguous range: copies
+   [src.(soff + i*sstride)] to [dst.(doff + i)] for [i < len], with the
+   same fallback rules as {!blit}. Serves the cyclic distribution map. *)
+let blit_strided src soff sstride dst doff len =
+  let slow () =
+    for i = 0 to len - 1 do
+      set_int dst (doff + i) (get_int src (soff + (i * sstride)))
+    done
+  in
+  let fits =
+    len >= 0 && soff >= 0 && doff >= 0 && sstride >= 0
+    && soff + ((len - 1) * sstride) < num_elements src
+    && doff + len <= num_elements dst
+  in
+  if len > 0 then
+    if fits && src.dtype = dst.dtype then
+      match (src.data, dst.data) with
+      | I a, I b ->
+        for i = 0 to len - 1 do
+          Array.unsafe_set b (doff + i) (Array.unsafe_get a (soff + (i * sstride)))
+        done
+      | _ -> slow ()
+    else slow ()
+
+(* ----- arena: recycled tensor storage ----- *)
+
+(* The simulators allocate short-lived tensors at a high rate: per-PU MRAM
+   buffers per run, WRAM scratch per launch, staging copies per crossbar
+   program. The arena keeps free lists of released storage keyed by
+   (layout class, element count) so those allocations recycle instead of
+   churning the major heap. [alloc] zero-fills recycled storage, so an
+   arena tensor is indistinguishable from [zeros]. Callers own the
+   lifetime discipline: release only tensors that can no longer be
+   reached (and at most once). *)
+module Arena = struct
+  let lock = Mutex.create ()
+  let pools : (int * int, payload list ref) Hashtbl.t = Hashtbl.create 64
+
+  (* cap per free list: bounds arena growth when sizes never repeat *)
+  let max_per_key = 64
+
+  let class_of_dtype = function
+    | Types.F32 | Types.F64 -> 3
+    | Types.I8 -> 1
+    | Types.I16 -> 2
+    | _ -> 0
+
+  let alloc shape dtype =
+    let n = Util.product_of_shape shape in
+    let recycled =
+      Mutex.lock lock;
+      let r =
+        match Hashtbl.find_opt pools (class_of_dtype dtype, n) with
+        | Some ({ contents = p :: tl } as r) ->
+          r := tl;
+          Some p
+        | _ -> None
+      in
+      Mutex.unlock lock;
+      r
+    in
+    match recycled with
+    | None -> zeros shape dtype
+    | Some p ->
+      (match p with
+      | I a -> Array.fill a 0 n 0
+      | I8 b -> Bytes.fill b 0 n '\000'
+      | I16 b -> Bytes.fill b 0 (2 * n) '\000'
+      | F a -> Array.fill a 0 n 0.0);
+      { shape; dtype; data = p }
+
+  let release t =
+    let key = (class_of_dtype t.dtype, num_elements t) in
+    Mutex.lock lock;
+    (match Hashtbl.find_opt pools key with
+    | Some r -> if List.length !r < max_per_key then r := t.data :: !r
+    | None -> Hashtbl.replace pools key (ref [ t.data ]));
+    Mutex.unlock lock
+
+  let clear () =
+    Mutex.lock lock;
+    Hashtbl.reset pools;
+    Mutex.unlock lock
+end

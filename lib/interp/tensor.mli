@@ -5,7 +5,11 @@
 
 open Cinm_ir
 
-type payload = I of int array | F of float array
+(** Unboxed storage selected by dtype: [I] for i1/i32/i64 (explicit wrap on
+    store), [I8]/[I16] for the narrow widths ([Bytes] accessors truncate on
+    store and sign-extend on load — the wrap semantics for free), [F] for
+    floats. *)
+type payload = I of int array | I8 of Bytes.t | I16 of Bytes.t | F of float array
 
 type t = { shape : int array; dtype : Types.dtype; data : payload }
 
@@ -37,8 +41,24 @@ val get : t -> int array -> int
 
 val set : t -> int array -> int -> unit
 val to_int_array : t -> int array
+
+(** Structural equality, dtype and shape first: same-data tensors of
+    different dtypes are not equal. Float comparison is NaN-aware (NaNs
+    compare equal positionally; [0.0] = [-0.0]). *)
 val equal : t -> t -> bool
+
 val to_string : ?max_elems:int -> t -> string
+
+(** [blit src soff dst doff len] copies a contiguous flat range with the
+    exact semantics of [set_int dst (doff+i) (get_int src (soff+i))];
+    same-dtype integer payloads take a raw blit, everything else (floats,
+    mismatches, out-of-range) falls back to that elementwise loop. *)
+val blit : t -> int -> t -> int -> int -> unit
+
+(** [blit_strided src soff sstride dst doff len] copies
+    [src.(soff + i*sstride)] to [dst.(doff + i)], same fallback rules as
+    {!blit}. *)
+val blit_strided : t -> int -> int -> t -> int -> int -> unit
 
 (** {1 Element-wise} *)
 
@@ -89,3 +109,18 @@ val im2col : t -> kh:int -> kw:int -> t
 
 (** Two-operand einsum, e.g. [einsum ~spec:"aebf,dfce->abcd" a b]. *)
 val einsum : spec:string -> t -> t -> t
+
+(** {1 Arena}
+
+    Free lists of recycled tensor storage, keyed by layout class and
+    element count, shared process-wide (thread-safe). [alloc] is a drop-in
+    for {!zeros} (recycled storage is zero-filled); [release] returns a
+    tensor's storage to the arena — callers must guarantee the tensor is
+    unreachable afterwards and release it at most once. *)
+module Arena : sig
+  val alloc : int array -> Types.dtype -> t
+  val release : t -> unit
+
+  (** Drop all pooled storage (tests). *)
+  val clear : unit -> unit
+end

@@ -37,22 +37,23 @@ and block = {
 
 and region = { blocks : block Vec.t; mutable parent_op : op option }
 
-let value_counter = ref 0
-let op_counter = ref 0
-let block_counter = ref 0
+(* Id counters are atomic so IR can be *built* from parallel domains
+   (e.g. batched bench experiments compiling concurrently); individual
+   funcs/modules still belong to one domain at a time. *)
+let value_counter = Atomic.make 0
+let op_counter = Atomic.make 0
+let block_counter = Atomic.make 0
 
-let fresh_value ty def =
-  incr value_counter;
-  { vid = !value_counter; ty; def }
+let fresh_value ty def = { vid = Atomic.fetch_and_add value_counter 1 + 1; ty; def }
 
 (* ----- construction ----- *)
 
 let create_region () = { blocks = Vec.create (); parent_op = None }
 
 let create_block ?(arg_tys = []) () =
-  incr block_counter;
   let block =
-    { bid = !block_counter; args = [||]; ops = Vec.create (); parent_region = None }
+    { bid = Atomic.fetch_and_add block_counter 1 + 1;
+      args = [||]; ops = Vec.create (); parent_region = None }
   in
   block.args <-
     Array.of_list (List.mapi (fun i ty -> fresh_value ty (Block_arg (block, i))) arg_tys);
@@ -81,10 +82,9 @@ let set_region_blocks region bs =
   List.iter (fun b -> add_block region b) bs
 
 let create_op ?(operands = []) ?(result_tys = []) ?(attrs = []) ?(regions = []) name =
-  incr op_counter;
   let op =
     {
-      oid = !op_counter;
+      oid = Atomic.fetch_and_add op_counter 1 + 1;
       name;
       operands = Array.of_list operands;
       results = [||];

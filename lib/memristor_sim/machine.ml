@@ -85,9 +85,28 @@ let makespan m d =
 let tensor_bytes (t : Tensor.t) =
   Tensor.num_elements t * Types.dtype_bytes t.Tensor.dtype
 
+(* Tile-resident staging data (programmed weights, staged inputs) is owned
+   exclusively by its tile, so the copies recycle through the arena: a
+   replaced or released copy returns its storage for the next one. *)
+let stage_copy (t : Tensor.t) =
+  let c = Tensor.Arena.alloc t.Tensor.shape t.Tensor.dtype in
+  Tensor.blit t 0 c 0 (Tensor.num_elements t);
+  c
+
+let release_opt = function Some t -> Tensor.Arena.release t | None -> ()
+
+let release_tiles d =
+  Array.iter
+    (fun tile ->
+      release_opt tile.weights;
+      tile.weights <- None;
+      release_opt tile.staged_input;
+      tile.staged_input <- None)
+    d.tiles
+
 let hook (m : t) : Interp.hook =
- fun ctx op ->
-  let operand i = Interp.lookup ctx (Ir.operand op i) in
+ fun _ctx op ops ->
+  let operand i = ops.(i) in
   let c = m.config in
   match op.Ir.name with
   | "memristor.alloc" ->
@@ -111,7 +130,7 @@ let hook (m : t) : Interp.hook =
         (Printf.sprintf "memristor.store_tile: weights %s exceed %dx%d crossbar"
            (Cinm_support.Util.shape_to_string w.Tensor.shape)
            c.Config.rows c.Config.cols));
-    let stored = Tensor.copy w in
+    let stored = stage_copy w in
     let stuck_before = m.stats.Stats.stuck_cells in
     (* Device non-ideality, applied to the *programmed* conductances.
        Stuck-at cells clamp to off (0) / on (1) conductance regardless of
@@ -132,6 +151,7 @@ let hook (m : t) : Interp.hook =
         | None -> ()
       done
     | _ -> ());
+    release_opt tile.weights;
     tile.weights <- Some stored;
     let rows = w.Tensor.shape.(0) in
     let cells = Tensor.num_elements w in
@@ -189,7 +209,8 @@ let hook (m : t) : Interp.hook =
     (match input.Tensor.shape with
     | [| _m; kk |] when kk <= c.Config.rows -> ()
     | _ -> invalid_arg "memristor.copy_tile: input must be (M x rows<=crossbar)");
-    tile.staged_input <- Some (Tensor.copy input);
+    release_opt tile.staged_input;
+    tile.staged_input <- Some (stage_copy input);
     let bytes = tensor_bytes input in
     let t_stage = float_of_int bytes *. c.Config.t_input_stage_per_byte in
     if tracing m then
@@ -246,9 +267,17 @@ let hook (m : t) : Interp.hook =
         ~clock:Trace.Device ~pid:m.trace_pid ~track:"io" ~ts:(makespan m d)
         "release";
     m.stats.Stats.makespan_s <- Float.max m.stats.Stats.makespan_s (makespan m d);
+    release_tiles d;
     Hashtbl.remove m.devices (Rtval.as_handle (operand 0));
     Some []
   | _ -> None
+
+(* Return every live device's tile storage to the arena, at the end of a
+   run (devices the program never released). MVM results are fresh
+   tensors, so host results never alias tile storage. *)
+let recycle m =
+  Hashtbl.iter (fun _ d -> release_tiles d) m.devices;
+  Hashtbl.reset m.devices
 
 let run m (f : Func.t) args =
   let results, _ = Compile.run_func ~hooks:[ hook m ] f args in

@@ -49,4 +49,9 @@ val create : ?faults:Cinm_support.Fault.plan option -> Config.t -> t
     raise [Invalid_argument]. *)
 val hook : t -> Interp.hook
 
+(** Return every live device's tile storage to the {!Tensor.Arena}, for
+    the end of a run (devices the program never released). MVM results are
+    fresh tensors, so host results never alias tile storage. *)
+val recycle : t -> unit
+
 val run : t -> Func.t -> Rtval.t list -> Rtval.t list * Stats.t

@@ -404,43 +404,37 @@ let account_launch m ~launch (profiles : Profile.t array array) =
 
 (* DMA data movement between an "MRAM" memref (the PU's buffer) and a WRAM
    scratchpad: copies [count] contiguous elements between the two offsets. *)
-let exec_dma ~to_wram ctx op =
-  let mram = Rtval.as_tensor (Interp.lookup ctx (Ir.operand op 0)) in
-  let wram = Rtval.as_tensor (Interp.lookup ctx (Ir.operand op 1)) in
-  let mram_off = Rtval.as_int (Interp.lookup ctx (Ir.operand op 2)) in
-  let wram_off = Rtval.as_int (Interp.lookup ctx (Ir.operand op 3)) in
+let dma_oob ctx op name off count n =
+  let where =
+    match ctx.Interp.device with
+    | Dpu_lane l -> Printf.sprintf " on DPU %d (tasklet %d)" l.dpu l.tasklet
+    | _ -> ""
+  in
+  invalid_arg
+    (Printf.sprintf "%s: %s range [%d, %d) out of bounds for %d elements%s"
+       op.Ir.name name off (off + count) n where)
+
+let exec_dma ~to_wram ctx op (ops : Rtval.t array) =
+  let mram = Rtval.as_tensor ops.(0) in
+  let wram = Rtval.as_tensor ops.(1) in
+  let mram_off = Rtval.as_int ops.(2) in
+  let wram_off = Rtval.as_int ops.(3) in
   let count = Ir.int_attr op "count" in
   let elem_bytes = Types.dtype_bytes mram.Tensor.dtype in
-  let check name t off =
-    let n = Tensor.num_elements t in
-    if off < 0 || count < 0 || off + count > n then begin
-      let where =
-        match ctx.Interp.device with
-        | Dpu_lane l -> Printf.sprintf " on DPU %d (tasklet %d)" l.dpu l.tasklet
-        | _ -> ""
-      in
-      invalid_arg
-        (Printf.sprintf "%s: %s range [%d, %d) out of bounds for %d elements%s"
-           op.Ir.name name off (off + count) n where)
-    end
-  in
-  check "MRAM" mram mram_off;
-  check "WRAM" wram wram_off;
-  if to_wram then
-    for i = 0 to count - 1 do
-      Tensor.set_int wram (wram_off + i) (Tensor.get_int mram (mram_off + i))
-    done
-  else
-    for i = 0 to count - 1 do
-      Tensor.set_int mram (mram_off + i) (Tensor.get_int wram (wram_off + i))
-    done;
+  (let n = Tensor.num_elements mram in
+   if mram_off < 0 || count < 0 || mram_off + count > n then
+     dma_oob ctx op "MRAM" mram_off count n);
+  (let n = Tensor.num_elements wram in
+   if wram_off < 0 || count < 0 || wram_off + count > n then
+     dma_oob ctx op "WRAM" wram_off count n);
+  if to_wram then Tensor.blit mram mram_off wram wram_off count
+  else Tensor.blit wram wram_off mram mram_off count;
   let p = ctx.Interp.profile in
   p.Profile.dma_transfers <- p.Profile.dma_transfers + 1;
   p.Profile.dma_bytes <- p.Profile.dma_bytes + (count * elem_bytes)
 
 let hook (m : t) : Interp.hook =
- fun ctx op ->
-  let operand i = Interp.lookup ctx (Ir.operand op i) in
+ fun ctx op ops ->
   match op.Ir.name with
   | "upmem.alloc_dpus" -> (
     match (Ir.result op 0).Ir.ty with
@@ -457,7 +451,7 @@ let hook (m : t) : Interp.hook =
       Some [ register m (Wg { wg_shape = shape; phys; wg_mram = 0 }) ]
     | _ -> invalid_arg "upmem.alloc_dpus: bad result type")
   | "cnm.alloc" | "upmem.alloc" -> (
-    let op0 = operand 0 in
+    let op0 = ops.(0) in
     let w = find_wg m op0 in
     match (Ir.result op 0).Ir.ty with
     | Types.Buffer { shape; dtype; level } ->
@@ -475,7 +469,7 @@ let hook (m : t) : Interp.hook =
           (Printf.sprintf
              "upmem machine: MRAM exhausted (%d B allocated per DPU, %d B available)"
              m.mram_used_per_dpu m.config.Config.mram_bytes);
-      let per_pu = Array.init n (fun _ -> Tensor.zeros shape dtype) in
+      let per_pu = Array.init n (fun _ -> Tensor.Arena.alloc shape dtype) in
       if tracing m then
         Trace.instant ~cat:"alloc"
           ~args:
@@ -487,9 +481,9 @@ let hook (m : t) : Interp.hook =
       Some [ register m (Buf { per_pu; dtype; level }) ]
     | _ -> invalid_arg "upmem buffer alloc: bad result type")
   | "upmem.scatter" ->
-    let tensor = Rtval.as_tensor (operand 0) in
-    let buf = find_buf m (operand 1) in
-    let w = find_wg m (operand 2) in
+    let tensor = Rtval.as_tensor (ops.(0)) in
+    let buf = find_buf m (ops.(1)) in
+    let w = find_wg m (ops.(2)) in
     let halo = match Ir.attr op "halo" with Some (Attr.Int h) -> h | _ -> 0 in
     Distrib.scatter ~halo ~map:(Ir.str_attr op "map") tensor buf.per_pu;
     let scatter = m.scatter_seq in
@@ -523,8 +517,8 @@ let hook (m : t) : Interp.hook =
       ~to_device:true;
     Some [ Rtval.Token ]
   | "upmem.gather" -> (
-    let buf = find_buf m (operand 0) in
-    let w = find_wg m (operand 1) in
+    let buf = find_buf m (ops.(0)) in
+    let w = find_wg m (ops.(1)) in
     match Types.shape_of (Ir.result op 0).Ir.ty with
     | Some result_shape ->
       let out = Distrib.gather buf.per_pu ~result_shape ~dtype:buf.dtype in
@@ -534,10 +528,10 @@ let hook (m : t) : Interp.hook =
       Some [ Rtval.Tensor out; Rtval.Token ]
     | None -> invalid_arg "upmem.gather: unshaped result")
   | "upmem.launch" ->
-    let w = find_wg m (operand 0) in
+    let w = find_wg m (ops.(0)) in
     let dpus = w.wg_shape.(0) and tasklets = w.wg_shape.(1) in
     let n_buffers = Ir.num_operands op - 1 in
-    let bufs = Array.init n_buffers (fun i -> find_buf m (operand (i + 1))) in
+    let bufs = Array.init n_buffers (fun i -> find_buf m (ops.(i + 1))) in
     let region = Ir.region op 0 in
     Hashtbl.reset m.host_wram;
     m.host_wram_used <- 0;
@@ -580,6 +574,12 @@ let hook (m : t) : Interp.hook =
         in
         let wram = Hashtbl.create 16 in
         let wram_used = ref 0 in
+        (* launch-scoped allocations ([memref.alloc] inside the kernel and
+           this DPU's shared-WRAM buffers) recycle through the arena: they
+           cannot escape the launch — kernel results are discarded and
+           stores copy elements — so they are released wholesale once the
+           DPU's tasklets are done. *)
+        let scratch = ref [] in
         (try
            for tid = 0 to tasklets - 1 do
              let pu = (d * tasklets) + tid in
@@ -602,11 +602,14 @@ let hook (m : t) : Interp.hook =
                  (* per-lane watchdog counter: lanes run on parallel
                     domains and must not race on the host's ref *)
                  steps = ref 0;
+                 scratch = Some scratch;
                }
              in
              ignore (Compile.run prep inner args)
            done
          with e -> outcomes.(d) <- Some (Printexc.to_string e));
+        List.iter Tensor.Arena.release !scratch;
+        Hashtbl.iter (fun _ t -> Tensor.Arena.release t) wram;
         wram_highwater.(d) <- !wram_used);
     (* surface the lowest-DPU failure deterministically *)
     (let fail = ref None in
@@ -628,7 +631,7 @@ let hook (m : t) : Interp.hook =
     (* the workgroup's buffers die with it: release *its* MRAM accounting
        (not the whole machine's — another workgroup may still be alive).
        Unknown or doubly-freed handles are ignored. *)
-    (match operand 0 with
+    (match ops.(0) with
     | Rtval.Handle id -> (
       match Hashtbl.find_opt m.entries id with
       | Some (Wg w) ->
@@ -671,25 +674,42 @@ let hook (m : t) : Interp.hook =
                   (capacity %d B)"
                  op.Ir.name where bytes !used m.config.Config.wram_bytes);
           used := !used + bytes;
-          (match ctx.Interp.device with
-          | Dpu_lane _ -> ()
-          | _ -> m.host_wram_used <- !used);
-          let t = Tensor.zeros shape dt in
+          let t =
+            match ctx.Interp.device with
+            | Dpu_lane _ ->
+              (* launch-scoped: the lane loop releases the whole table *)
+              Tensor.Arena.alloc shape dt
+            | _ ->
+              m.host_wram_used <- !used;
+              Tensor.zeros shape dt
+          in
           Hashtbl.replace table op.Ir.oid t;
           t
       in
       Some [ Rtval.Memref t ]
     | _ -> invalid_arg "upmem.wram_shared_alloc: bad result type")
   | "upmem.mram_read" ->
-    exec_dma ~to_wram:true ctx op;
+    exec_dma ~to_wram:true ctx op ops;
     Some []
   | "upmem.mram_write" ->
-    exec_dma ~to_wram:false ctx op;
+    exec_dma ~to_wram:false ctx op ops;
     Some []
   | "upmem.barrier_wait" ->
     ctx.Interp.profile.Profile.barriers <- ctx.Interp.profile.Profile.barriers + 1;
     Some []
   | _ -> None
+
+(* Return every device buffer's storage to the arena, at the end of a
+   run. Callers must guarantee no live value aliases device memory —
+   gathers copy out, so host results never do. *)
+let recycle m =
+  Hashtbl.iter
+    (fun _ e ->
+      match e with Buf b -> Array.iter Tensor.Arena.release b.per_pu | Wg _ -> ())
+    m.entries;
+  Hashtbl.reset m.entries;
+  Hashtbl.iter (fun _ t -> Tensor.Arena.release t) m.host_wram;
+  Hashtbl.reset m.host_wram
 
 (* Run a host function on this machine; returns results and stats. *)
 let run m (f : Func.t) args =

@@ -81,5 +81,10 @@ val create : ?faults:Cinm_support.Fault.plan option -> Config.t -> t
     ops that survive lowering). *)
 val hook : t -> Interp.hook
 
+(** Return every device buffer's storage to the {!Tensor.Arena}, for the
+    end of a run. Callers must guarantee no live value aliases device
+    memory — gathers copy out, so host results never do. *)
+val recycle : t -> unit
+
 (** Run a lowered host function on this machine. *)
 val run : t -> Func.t -> Rtval.t list -> Rtval.t list * Stats.t

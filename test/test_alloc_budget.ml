@@ -1,0 +1,70 @@
+(* Allocation-budget smoke test: the compiled backend's scalar hot path
+   (scf.for driving memref load / arith / store on the int frame) must not
+   allocate per iteration. A regression back to per-element Rtval boxing
+   costs >= 3 minor words per iteration and trips the budget below. *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_interp
+module T = Types
+
+let () = Registry.ensure_all ()
+
+let iters = 200_000
+
+(* sum over a counted loop doing load / addi / store on one i32 cell *)
+let build () =
+  let f = Func.create ~name:"hot" ~arg_tys:[] ~result_tys:[ T.Scalar T.I32 ] in
+  let b = Builder.for_func f in
+  let m = Memref_d.alloc b [| 1 |] T.I32 in
+  let i0 = Arith.const_index b 0 in
+  Memref_d.store b (Arith.constant b 0) m [ i0 ];
+  let c0 = Arith.const_index b 0
+  and c1 = Arith.const_index b 1
+  and cn = Arith.const_index b iters in
+  let c3 = Arith.constant b 3 in
+  Scf_d.for0 b ~lb:c0 ~ub:cn ~step:c1 (fun bb i ->
+      ignore i;
+      let v = Memref_d.load bb m [ i0 ] in
+      Memref_d.store bb (Arith.addi bb v c3) m [ i0 ]);
+  Func_d.return b [ Memref_d.load b m [ i0 ] ];
+  f
+
+let with_backend backend f =
+  let prev = Compile.backend () in
+  Compile.set_backend backend;
+  Fun.protect ~finally:(fun () -> Compile.set_backend prev) f
+
+let test_compiled_loop_alloc_budget () =
+  with_backend Compile.Compiled (fun () ->
+      let f = build () in
+      let run () =
+        match Compile.run_func f [] with
+        | [ v ], _ -> Rtval.as_int v
+        | _ -> Alcotest.fail "expected one result"
+      in
+      (* first run compiles the unit and warms caches *)
+      let expect = iters * 3 in
+      Alcotest.(check int) "loop result" expect (run ());
+      let before = Gc.minor_words () in
+      Alcotest.(check int) "loop result (measured run)" expect (run ());
+      let delta = Gc.minor_words () -. before in
+      (* generous: < 1 word per iteration on average. The loop body itself
+         allocates nothing; the budget absorbs the per-run constant
+         (register file, profile, result list). *)
+      let budget = float_of_int iters in
+      if delta > budget then
+        Alcotest.failf
+          "compiled hot loop allocated %.0f minor words over %d iterations \
+           (budget %.0f) — per-element boxing is back"
+          delta iters budget)
+
+let () =
+  Alcotest.run "alloc_budget"
+    [
+      ( "compiled",
+        [
+          Alcotest.test_case "hot loop stays unboxed" `Quick
+            test_compiled_loop_alloc_budget;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+(* Pinned unit tests for strict Tensor.equal (dtype and shape first,
+   NaN-aware float comparison) and for the unboxed narrow payloads'
+   wrap-on-store semantics. *)
+
+open Cinm_ir
+open Cinm_interp
+module T = Types
+
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+(* ----- strict equality ----- *)
+
+let test_equal_dtype_strict () =
+  let a = Tensor.of_int_array ~dtype:T.I32 [| 4 |] [| 1; 2; 3; 4 |] in
+  let b = Tensor.of_int_array ~dtype:T.I64 [| 4 |] [| 1; 2; 3; 4 |] in
+  check_bool "same data, different dtype is not equal" false (Tensor.equal a b);
+  check_bool "copy is equal" true (Tensor.equal a (Tensor.copy a))
+
+let test_equal_shape_strict () =
+  let a = Tensor.of_int_array [| 4 |] [| 1; 2; 3; 4 |] in
+  let b = Tensor.of_int_array [| 2; 2 |] [| 1; 2; 3; 4 |] in
+  check_bool "same data, different shape is not equal" false (Tensor.equal a b)
+
+let test_equal_narrow_payloads () =
+  let a = Tensor.of_int_array ~dtype:T.I8 [| 3 |] [| 1; -2; 127 |] in
+  let b = Tensor.of_int_array ~dtype:T.I8 [| 3 |] [| 1; -2; 127 |] in
+  check_bool "i8 payloads equal" true (Tensor.equal a b);
+  let c = Tensor.of_int_array ~dtype:T.I16 [| 3 |] [| 1; -2; 127 |] in
+  check_bool "i8 vs i16 with same values is not equal" false (Tensor.equal a c);
+  Tensor.set_int b 1 (-3);
+  check_bool "i8 payloads with one differing byte" false (Tensor.equal a b)
+
+let test_equal_nan_aware () =
+  let mk v = Tensor.of_float_array [| 3 |] [| 1.0; v; 3.0 |] in
+  check_bool "NaN equals NaN positionally" true
+    (Tensor.equal (mk Float.nan) (mk Float.nan));
+  check_bool "NaN does not equal a number" false
+    (Tensor.equal (mk Float.nan) (mk 2.0));
+  check_bool "0.0 equals -0.0" true (Tensor.equal (mk 0.0) (mk (-0.0)))
+
+(* ----- wrap-on-store of the unboxed narrow payloads ----- *)
+
+let test_i8_wrap_pinned () =
+  let t = Tensor.init ~dtype:T.I8 [| 4 |] (fun i -> 126 + i) in
+  check_ints "i8 wraps at +128"
+    [ 126; 127; -128; -127 ]
+    (Array.to_list (Tensor.to_int_array t));
+  let u = Tensor.init ~dtype:T.I8 [| 4 |] (fun i -> -126 - i) in
+  check_ints "i8 wraps at -129"
+    [ -126; -127; -128; 127 ]
+    (Array.to_list (Tensor.to_int_array u));
+  Tensor.set_int t 0 330;
+  Alcotest.(check int) "i8 store 330 reads back 74" 74 (Tensor.get_int t 0);
+  Tensor.set_int t 0 (-130);
+  Alcotest.(check int) "i8 store -130 reads back 126" 126 (Tensor.get_int t 0)
+
+let test_i16_wrap_pinned () =
+  let t = Tensor.init ~dtype:T.I16 [| 4 |] (fun i -> 32766 + i) in
+  check_ints "i16 wraps at +32768"
+    [ 32766; 32767; -32768; -32767 ]
+    (Array.to_list (Tensor.to_int_array t));
+  Tensor.set_int t 0 40000;
+  Alcotest.(check int) "i16 store 40000 reads back -25536" (-25536)
+    (Tensor.get_int t 0);
+  Tensor.set_int t 0 (-32769);
+  Alcotest.(check int) "i16 store -32769 reads back 32767" 32767
+    (Tensor.get_int t 0)
+
+let test_wrap_function_pinned () =
+  Alcotest.(check int) "wrap i8 128" (-128) (Tensor.wrap T.I8 128);
+  Alcotest.(check int) "wrap i8 -129" 127 (Tensor.wrap T.I8 (-129));
+  Alcotest.(check int) "wrap i16 32768" (-32768) (Tensor.wrap T.I16 32768);
+  Alcotest.(check int) "wrap i32 2^31" (-2147483648) (Tensor.wrap T.I32 2147483648);
+  Alcotest.(check int) "wrap i1 3" 1 (Tensor.wrap T.I1 3);
+  Alcotest.(check int) "wrap i64 is identity" max_int (Tensor.wrap T.I64 max_int)
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "equal",
+        [
+          Alcotest.test_case "dtype strict" `Quick test_equal_dtype_strict;
+          Alcotest.test_case "shape strict" `Quick test_equal_shape_strict;
+          Alcotest.test_case "narrow payloads" `Quick test_equal_narrow_payloads;
+          Alcotest.test_case "nan aware" `Quick test_equal_nan_aware;
+        ] );
+      ( "wrap",
+        [
+          Alcotest.test_case "i8 pinned" `Quick test_i8_wrap_pinned;
+          Alcotest.test_case "i16 pinned" `Quick test_i16_wrap_pinned;
+          Alcotest.test_case "wrap function" `Quick test_wrap_function_pinned;
+        ] );
+    ]

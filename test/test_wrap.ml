@@ -1,0 +1,136 @@
+(* Differential i8/i16 wrap tests: narrow-width store/load round trips and
+   signed-boundary arithmetic must be bit-identical between the tree walker
+   and the compiled backend, and must match pinned values derived from the
+   Tensor.wrap reference semantics. *)
+
+open Cinm_ir
+open Cinm_dialects
+open Cinm_interp
+module T = Types
+
+let () = Registry.ensure_all ()
+
+let with_backend backend f =
+  let prev = Compile.backend () in
+  Compile.set_backend backend;
+  Fun.protect ~finally:(fun () -> Compile.set_backend prev) f
+
+let run1 build =
+  let f = build () in
+  match Compile.run_func f [] with
+  | [ v ], _ -> Rtval.as_int v
+  | vs, _ -> Alcotest.failf "expected 1 result, got %d" (List.length vs)
+
+(* Run [build] under both backends; they must agree with each other and
+   with the pinned [expected] value. The func is rebuilt per backend so
+   each one compiles/walks fresh IR. *)
+let differential name build expected =
+  let tree = with_backend Compile.Tree (fun () -> run1 build) in
+  let compiled = with_backend Compile.Compiled (fun () -> run1 build) in
+  Alcotest.(check int) (name ^ ": tree = compiled") tree compiled;
+  Alcotest.(check int) (name ^ ": pinned") expected tree
+
+(* Store an i32-typed constant into a 1-element memref of [dtype] and load
+   it back: the store must truncate, the load must sign-extend. *)
+let store_load dtype v () =
+  let f =
+    Func.create ~name:"store_load" ~arg_tys:[] ~result_tys:[ T.Scalar dtype ]
+  in
+  let b = Builder.for_func f in
+  let m = Memref_d.alloc b [| 1 |] dtype in
+  let i0 = Arith.const_index b 0 in
+  Memref_d.store b (Arith.constant b v) m [ i0 ];
+  Func_d.return b [ Memref_d.load b m [ i0 ] ];
+  f
+
+(* Boundary arithmetic in the narrow type itself: addi/muli on i8/i16
+   scalars wrap at the declared width. *)
+let arith_boundary dtype a op bv () =
+  let ty = T.Scalar dtype in
+  let f = Func.create ~name:"arith_boundary" ~arg_tys:[] ~result_tys:[ ty ] in
+  let b = Builder.for_func f in
+  let ca = Arith.constant b ~ty a and cb = Arith.constant b ~ty bv in
+  let r = match op with `Add -> Arith.addi b ca cb | `Mul -> Arith.muli b ca cb in
+  Func_d.return b [ r ];
+  f
+
+(* Loop round trip: store wrap32(i*scale + off) into a [dtype] memref for
+   every i, then re-load and accumulate into a [dtype]-typed running sum
+   (so the accumulation itself also wraps at the narrow width). *)
+let roundtrip dtype n scale off () =
+  let ty = T.Scalar dtype in
+  let f = Func.create ~name:"roundtrip" ~arg_tys:[] ~result_tys:[ ty ] in
+  let b = Builder.for_func f in
+  let m = Memref_d.alloc b [| n |] dtype in
+  let c0 = Arith.const_index b 0
+  and c1 = Arith.const_index b 1
+  and cn = Arith.const_index b n in
+  let cscale = Arith.constant b scale and coff = Arith.constant b off in
+  Scf_d.for0 b ~lb:c0 ~ub:cn ~step:c1 (fun bb i ->
+      let iv = Arith.index_cast bb i ~to_ty:(T.Scalar T.I32) in
+      Memref_d.store bb (Arith.addi bb (Arith.muli bb iv cscale) coff) m [ i ]);
+  let init = Arith.constant b ~ty 0 in
+  let sum =
+    Scf_d.for_ b ~lb:c0 ~ub:cn ~step:c1 ~init:[ init ] (fun bb i iters ->
+        [ Arith.addi bb iters.(0) (Memref_d.load bb m [ i ]) ])
+  in
+  Func_d.return b [ List.hd sum ];
+  f
+
+let expected_roundtrip dtype n scale off =
+  let sum = ref 0 in
+  for i = 0 to n - 1 do
+    let stored = Tensor.wrap dtype (Tensor.wrap T.I32 ((i * scale) + off)) in
+    sum := Tensor.wrap dtype (!sum + stored)
+  done;
+  !sum
+
+let test_i8_store_load () =
+  differential "i8 store 128" (store_load T.I8 128) (-128);
+  differential "i8 store 130" (store_load T.I8 130) (-126);
+  differential "i8 store -129" (store_load T.I8 (-129)) 127;
+  differential "i8 store 255" (store_load T.I8 255) (-1)
+
+let test_i16_store_load () =
+  differential "i16 store 32768" (store_load T.I16 32768) (-32768);
+  differential "i16 store 40000" (store_load T.I16 40000) (-25536);
+  differential "i16 store -32769" (store_load T.I16 (-32769)) 32767
+
+let test_i8_arith_boundary () =
+  differential "i8 127+1" (arith_boundary T.I8 127 `Add 1) (-128);
+  differential "i8 -128 + -1" (arith_boundary T.I8 (-128) `Add (-1)) 127;
+  differential "i8 16*16" (arith_boundary T.I8 16 `Mul 16) 0
+
+let test_i16_arith_boundary () =
+  differential "i16 32767+1" (arith_boundary T.I16 32767 `Add 1) (-32768);
+  differential "i16 300*300" (arith_boundary T.I16 300 `Mul 300) 24464
+
+let test_i8_roundtrip () =
+  differential "i8 roundtrip"
+    (roundtrip T.I8 16 37 100)
+    (expected_roundtrip T.I8 16 37 100)
+
+let test_i16_roundtrip () =
+  differential "i16 roundtrip"
+    (roundtrip T.I16 16 1000 30000)
+    (expected_roundtrip T.I16 16 1000 30000)
+
+let () =
+  Alcotest.run "wrap"
+    [
+      ( "store-load",
+        [
+          Alcotest.test_case "i8 boundaries" `Quick test_i8_store_load;
+          Alcotest.test_case "i16 boundaries" `Quick test_i16_store_load;
+        ] );
+      ( "arith",
+        [
+          Alcotest.test_case "i8 boundaries" `Quick test_i8_arith_boundary;
+          Alcotest.test_case "i16 boundaries" `Quick test_i16_arith_boundary;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "i8" `Quick test_i8_roundtrip;
+          Alcotest.test_case "i16" `Quick test_i16_roundtrip;
+        ] );
+    ]
