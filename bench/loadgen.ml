@@ -1,0 +1,291 @@
+(* loadgen: a load generator + torture harness for the cinm_serve daemon.
+
+   Two modes:
+
+   - the default latency sweep starts an in-process daemon, drives it
+     with well-formed run/compile/health requests at several concurrency
+     levels, and reports p50/p95/p99 latency and request throughput per
+     level (--json writes the pinned BENCH_pr7.json);
+
+   - --smoke is the robustness torture test: a fixed mixed stream of
+     good, malformed, oversized, over-budget, deadline-doomed and
+     fault-injected requests (>= 1000 by default). It asserts that every
+     request gets exactly one well-formed JSON response (ok or a
+     structured error with a known code), that the daemon never dies
+     mid-stream, and that shutdown is clean; exit status reports the
+     verdict, so CI can run it directly.
+
+   The daemon runs in-process on a background thread (the event loop
+   blocks in select, workers are pool domains) and clients are plain
+   blocking threads — the harness measures the service, not the harness. *)
+
+module Server = Cinm_serve_lib.Server
+module Client = Cinm_serve_lib.Client
+module Json = Cinm_serve_lib.Json
+module Config = Cinm_support.Config
+
+let known_codes =
+  [
+    "parse_error"; "oversized"; "bad_request"; "unknown_benchmark";
+    "pass_failed"; "watchdog"; "deadline_exceeded"; "cancelled";
+    "overloaded"; "shutting_down"; "internal";
+  ]
+
+(* ----- request mix ----- *)
+
+let benchmarks = [| "va"; "red"; "mm"; "mv"; "sel"; "hst-l" |]
+
+(* Deterministic per-index request line. In sweep mode every request is
+   well-formed; in torture mode every 5th request is hostile (malformed
+   JSON, oversized line, watchdog bait, micro-deadline, unknown
+   benchmark) and every 7th runs under an injected fault plan. *)
+let request_line ~torture i =
+  let bench = benchmarks.(i mod Array.length benchmarks) in
+  let id = Printf.sprintf "r%d" i in
+  if torture && i mod 5 = 3 then
+    match i mod 25 with
+    | 3 -> "{\"op\": run, oops"
+    | 8 -> String.make 5000 'x'
+    | 13 ->
+      Json.to_string
+        (Client.make_request ~id ~benchmark:bench ~max_steps:7 "run")
+    | 18 ->
+      Json.to_string
+        (Client.make_request ~id ~benchmark:bench ~deadline_s:1e-6 "run")
+    | _ -> Json.to_string (Client.make_request ~id ~benchmark:"no-such" "run")
+  else if torture && i mod 7 = 0 then
+    Json.to_string
+      (Client.make_request ~id ~benchmark:bench ~faults:"dpu_fail=0.05" "run")
+  else if i mod 11 = 10 then Json.to_string (Client.make_request ~id "health")
+  else if i mod 13 = 12 then
+    Json.to_string (Client.make_request ~id ~benchmark:bench "compile")
+  else Json.to_string (Client.make_request ~id ~benchmark:bench "run")
+
+(* ----- one client worker ----- *)
+
+type outcome = {
+  mutable n_ok : int;
+  mutable n_error : int;
+  mutable n_degraded : int;
+  mutable n_bad : int;  (* responses violating the protocol contract *)
+  mutable latencies : float list;  (* seconds, well-formed requests only *)
+}
+
+let new_outcome () =
+  { n_ok = 0; n_error = 0; n_degraded = 0; n_bad = 0; latencies = [] }
+
+let check_response out line =
+  match Json.parse line with
+  | exception Json.Parse_error _ -> out.n_bad <- out.n_bad + 1
+  | j -> (
+    match Json.bool_field j "ok" with
+    | Some true ->
+      out.n_ok <- out.n_ok + 1;
+      if Json.bool_field j "degraded" = Some true then
+        out.n_degraded <- out.n_degraded + 1
+    | Some false -> (
+      let code =
+        match Json.member "error" j with
+        | Some err -> Json.string_field err "code"
+        | None -> None
+      in
+      match code with
+      | Some c when List.mem c known_codes -> out.n_error <- out.n_error + 1
+      | _ -> out.n_bad <- out.n_bad + 1)
+    | None -> out.n_bad <- out.n_bad + 1)
+
+let client_worker ~torture ~socket ~first ~count out =
+  let c = Client.connect ~attempts:40 socket in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      for i = first to first + count - 1 do
+        let line = request_line ~torture i in
+        let t0 = Unix.gettimeofday () in
+        match Client.request_raw c line with
+        | resp ->
+          let dt = Unix.gettimeofday () -. t0 in
+          check_response out resp;
+          (* hostile requests have no latency contract; measure the rest *)
+          if not (torture && (i mod 5 = 3 || i mod 7 = 0)) then
+            out.latencies <- dt :: out.latencies
+        | exception Client.Server_gone _ -> out.n_bad <- out.n_bad + 1
+      done)
+
+(* ----- percentiles ----- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+(* ----- daemon lifecycle ----- *)
+
+let start_daemon ~socket ~jobs ~max_inflight =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let opts =
+    {
+      (Server.default_opts ~socket_path:socket ()) with
+      Server.jobs;
+      max_inflight;
+      drain_grace_s = 30.0;
+    }
+  in
+  let srv = Server.create opts in
+  (srv, Thread.create Server.run srv)
+
+let stop_daemon ~socket thread =
+  let c = Client.connect socket in
+  let resp = Client.request c (Client.make_request "shutdown") in
+  Client.close c;
+  Thread.join thread;
+  Json.bool_field resp "ok" = Some true
+
+(* ----- modes ----- *)
+
+let run_level ~torture ~socket ~concurrency ~requests =
+  let per = requests / concurrency in
+  let outs = Array.init concurrency (fun _ -> new_outcome ()) in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init concurrency (fun k ->
+        Thread.create
+          (fun () ->
+            client_worker ~torture ~socket ~first:(k * per) ~count:per outs.(k))
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let total = new_outcome () in
+  Array.iter
+    (fun o ->
+      total.n_ok <- total.n_ok + o.n_ok;
+      total.n_error <- total.n_error + o.n_error;
+      total.n_degraded <- total.n_degraded + o.n_degraded;
+      total.n_bad <- total.n_bad + o.n_bad;
+      total.latencies <- o.latencies @ total.latencies)
+    outs;
+  (total, wall, concurrency * per)
+
+let sweep ~socket ~jobs ~levels ~requests ~json_out =
+  let srv_jobs = jobs in
+  let _srv, thread =
+    start_daemon ~socket ~jobs:srv_jobs ~max_inflight:(16 * List.length levels * 8)
+  in
+  (* warm: first connection compiles the hot benchmarks once *)
+  let c = Client.connect ~attempts:40 socket in
+  Array.iter
+    (fun b ->
+      ignore (Client.request c (Client.make_request ~benchmark:b "run")))
+    benchmarks;
+  Client.close c;
+  let rows =
+    List.map
+      (fun concurrency ->
+        let total, wall, sent =
+          run_level ~torture:false ~socket ~concurrency ~requests
+        in
+        let lat =
+          Array.of_list (List.sort compare total.latencies)
+        in
+        let ms p = percentile lat p *. 1e3 in
+        Printf.printf
+          "c=%-3d  %6d req  %8.1f req/s  p50 %6.2f ms  p95 %6.2f ms  p99 %6.2f ms%s\n%!"
+          concurrency sent
+          (float_of_int sent /. wall)
+          (ms 0.50) (ms 0.95) (ms 0.99)
+          (if total.n_bad > 0 then Printf.sprintf "  [%d BAD]" total.n_bad else "");
+        (concurrency, sent, wall, ms 0.50, ms 0.95, ms 0.99, total))
+      levels
+  in
+  let ok = stop_daemon ~socket thread in
+  if not ok then prerr_endline "loadgen: shutdown response was not ok";
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"schema\": \"cinm-loadgen-1\",\n  \"levels\": [\n";
+    List.iteri
+      (fun i (c, sent, wall, p50, p95, p99, total) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"concurrency\": %d, \"requests\": %d, \"req_per_s\": %.1f, \
+              \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \
+              \"errors\": %d}%s\n"
+             c sent
+             (float_of_int sent /. wall)
+             p50 p95 p99 total.n_error
+             (if i = List.length rows - 1 then "" else ","));
+        ignore total)
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path);
+  let bad = List.fold_left (fun a (_, _, _, _, _, _, t) -> a + t.n_bad) 0 rows in
+  if bad > 0 then 1 else 0
+
+let smoke ~socket ~jobs ~requests ~concurrency =
+  Printf.printf
+    "loadgen --smoke: %d mixed requests at concurrency %d (faults + \
+     watchdog + deadlines + malformed + oversized)\n%!"
+    requests concurrency;
+  let _srv, thread = start_daemon ~socket ~jobs ~max_inflight:256 in
+  let total, wall, sent = run_level ~torture:true ~socket ~concurrency ~requests in
+  let clean = stop_daemon ~socket thread in
+  Printf.printf
+    "served %d requests in %.2f s: %d ok (%d degraded), %d structured \
+     errors, %d protocol violations; shutdown %s\n%!"
+    sent wall total.n_ok total.n_degraded total.n_error total.n_bad
+    (if clean then "clean" else "DIRTY");
+  let pass =
+    total.n_bad = 0 && clean
+    && total.n_ok + total.n_error = sent
+    && total.n_error > 0 (* the hostile mix must actually exercise errors *)
+    && total.n_ok > 0
+  in
+  Printf.printf "SMOKE %s\n%!" (if pass then "PASS" else "FAIL");
+  if pass then 0 else 1
+
+(* ----- argv ----- *)
+
+let () =
+  let smoke_mode = ref false in
+  let json_out = ref "" in
+  let requests = ref 0 in
+  let jobs = ref 4 in
+  let concurrency = ref 8 in
+  let socket = ref "" in
+  let spec =
+    [
+      ("--smoke", Arg.Set smoke_mode, " torture mode: mixed hostile stream, exit 0 iff clean");
+      ("--json", Arg.Set_string json_out, "FILE write the latency sweep as JSON");
+      ("--requests", Arg.Set_int requests, "N per-level requests (default: 480 sweep / 1200 smoke)");
+      ("--jobs", Arg.Set_int jobs, "N daemon worker domains (default 4)");
+      ("--concurrency", Arg.Set_int concurrency, "N smoke-mode client threads (default 8)");
+      ("--socket", Arg.Set_string socket, "PATH socket path (default: a fresh one in TMPDIR)");
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "loadgen [--smoke] [--json FILE] [--requests N] [--jobs N]";
+  let socket =
+    if !socket <> "" then !socket
+    else
+      Filename.concat
+        (try Sys.getenv "TMPDIR" with Not_found -> "/tmp")
+        (Printf.sprintf "cinm-loadgen-%d.sock" (Unix.getpid ()))
+  in
+  let code =
+    if !smoke_mode then
+      smoke ~socket ~jobs:!jobs
+        ~requests:(if !requests > 0 then !requests else 1200)
+        ~concurrency:!concurrency
+    else
+      sweep ~socket ~jobs:!jobs
+        ~levels:[ 1; 4; 8 ]
+        ~requests:(if !requests > 0 then !requests else 480)
+        ~json_out:(if !json_out = "" then None else Some !json_out)
+  in
+  exit code

@@ -17,6 +17,7 @@ module Camsim = Cinm_cam_sim
 module Cpu = Cinm_cpu_sim
 module Trace = Cinm_support.Trace
 module Log = Cinm_support.Log
+module Config = Cinm_support.Config
 
 let () = Cinm_dialects.Registry.ensure_all ()
 
@@ -111,18 +112,19 @@ let cpu_fallback_pipeline =
     Cinm_to_scf.pass; Canonicalize.pass;
   ]
 
-let compile ?(verify = true) ?(fallback = true) backend (m : Func.modul) : compiled =
+let compile ?(verify = true) ?(fallback = true) ?config backend (m : Func.modul)
+    : compiled =
   with_span ("compile:" ^ Backend.to_string backend) @@ fun () ->
   match backend with
   | Backend.Host_xeon | Backend.Host_arm ->
-    Pass.run_pipeline ~verify (pipeline backend) m;
+    Pass.run_pipeline ~verify ?config (pipeline backend) m;
     { modul = m; backend; fallback = None }
   | Backend.Upmem _ | Backend.Cim _ -> (
     (* device lowerings can fail on capacity/config limits; keep a pristine
        snapshot so the failed (possibly half-transformed) module can be
        abandoned and re-lowered for the CPU *)
     let snapshot = if fallback then Some (clone_module m) else None in
-    match Pass.run_pipeline_result ~verify (pipeline backend) m with
+    match Pass.run_pipeline_result ~verify ?config (pipeline backend) m with
     | Ok () -> { modul = m; backend; fallback = None }
     | Error diag -> (
       match snapshot with
@@ -133,13 +135,13 @@ let compile ?(verify = true) ?(fallback = true) backend (m : Func.modul) : compi
         | Some r when r.Pass.diag = diag ->
           Log.warn "crash reproducer for the failed lowering: %s" r.Pass.path
         | _ -> ());
-        Pass.run_pipeline ~verify cpu_fallback_pipeline snap;
+        Pass.run_pipeline ~verify ?config cpu_fallback_pipeline snap;
         { modul = snap; backend; fallback = Some diag }))
 
-let compile_func ?verify ?fallback backend (f : Func.t) : compiled =
+let compile_func ?verify ?fallback ?config backend (f : Func.t) : compiled =
   let m = Func.create_module () in
   Func.add_func m f;
-  compile ?verify ?fallback backend m
+  compile ?verify ?fallback ?config backend m
 
 (* ----- execution ----- *)
 
@@ -149,14 +151,23 @@ let upmem_sim_config (c : Backend.upmem_config) =
     Usim.Config.dpus_per_dimm = c.Backend.dpus_per_dimm;
   }
 
+(* The machine fault plan a request's config asks for: an explicit plan
+   overrides the process default (CINM_FAULTS via Fault.default), which
+   machines apply when the argument is omitted. *)
+let machine_faults config =
+  match config with Some { Config.faults = Some p; _ } -> Some (Some p) | _ -> None
+
 (* Run an already-lowered upmem-level function on the machine simulator
    (used both by the driver and by the hand-written PrIM baselines). *)
-let run_upmem_func ?(backend_name = "upmem") ?host_model ?modul ~sim_config f args =
-  let machine = Usim.Machine.create sim_config in
+let run_upmem_func ?(backend_name = "upmem") ?host_model ?modul ?config
+    ~sim_config f args =
+  let machine = Usim.Machine.create ?faults:(machine_faults config) sim_config in
   let profile = Profile.create () in
   let results, _ =
     with_span ("execute:" ^ backend_name) @@ fun () ->
-    Compile.run_func ~hooks:[ Usim.Machine.hook machine ] ~profile ?modul f args
+    Compile.run_func
+      ~hooks:[ Usim.Machine.hook machine ]
+      ~profile ?modul ?config f args
   in
   let stats = machine.Usim.Machine.stats in
   let host_model = Option.value host_model ~default:Cpu.Model.xeon_opt in
@@ -213,8 +224,8 @@ let run_upmem_func ?(backend_name = "upmem") ?host_model ?modul ~sim_config f ar
           ]);
     } )
 
-let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
-    Rtval.t list * Report.t =
+let run ?(fname = "") ?host_model ?config (compiled : compiled)
+    (args : Rtval.t list) : Rtval.t list * Report.t =
   let f =
     match fname with
     | "" -> List.hd compiled.modul.Func.funcs
@@ -224,7 +235,7 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
   let run_on_host ~backend_name model =
     let results, profile =
       with_span ("execute:" ^ backend_name) @@ fun () ->
-      Compile.run_func ~modul:compiled.modul f args
+      Compile.run_func ~modul:compiled.modul ?config f args
     in
     let est = Cpu.Model.estimate model profile in
     ( results,
@@ -255,11 +266,12 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
     in
     run_on_host ~backend_name model
   | Backend.Upmem c ->
-    run_upmem_func ~backend_name ?host_model ~modul:compiled.modul
+    run_upmem_func ~backend_name ?host_model ~modul:compiled.modul ?config
       ~sim_config:(upmem_sim_config c) f args
   | Backend.Cim c ->
     let machine =
       Msim.Machine.create
+        ?faults:(machine_faults config)
         {
           (Msim.Config.default ~tiles:c.Backend.tiles ()) with
           Msim.Config.rows = c.Backend.rows;
@@ -272,7 +284,7 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
       with_span ("execute:" ^ backend_name) @@ fun () ->
       Compile.run_func
         ~hooks:[ Msim.Machine.hook machine; Camsim.Cam_machine.hook cam ]
-        ~profile ~modul:compiled.modul f args
+        ~profile ~modul:compiled.modul ?config f args
     in
     let stats = machine.Msim.Machine.stats in
     let cam_stats = cam.Camsim.Cam_machine.stats in
@@ -319,6 +331,6 @@ let run ?(fname = "") ?host_model (compiled : compiled) (args : Rtval.t list) :
       } )
 
 (* Compile and run in one step (used by examples and the bench harness). *)
-let compile_and_run ?verify ?fallback ?host_model backend f args =
-  let compiled = compile_func ?verify ?fallback backend (Func.clone f) in
-  run ?host_model compiled args
+let compile_and_run ?verify ?fallback ?host_model ?config backend f args =
+  let compiled = compile_func ?verify ?fallback ?config backend (Func.clone f) in
+  run ?host_model ?config compiled args

@@ -25,10 +25,20 @@ type compiled = {
     the CPU (so [compiled.modul] is then that clone, and {!run} executes
     it on the host interpreter). With [~fallback:false] — or when
     verification fails on a host backend — {!Pass.Pass_failed} is
-    raised. *)
-val compile : ?verify:bool -> ?fallback:bool -> Backend.t -> Func.modul -> compiled
+    raised.
 
-val compile_func : ?verify:bool -> ?fallback:bool -> Backend.t -> Func.t -> compiled
+    [config] is a per-request {!Cinm_support.Config} snapshot threaded
+    through the pass pipelines (strict/budget/reproducers) and, in the
+    run entry points below, the interpreter (watchdog/deadline/cancel/
+    backend) and the machine simulators (fault plan). Omitted, process
+    defaults apply — the one-shot CLI behavior. *)
+val compile :
+  ?verify:bool -> ?fallback:bool -> ?config:Cinm_support.Config.t -> Backend.t ->
+  Func.modul -> compiled
+
+val compile_func :
+  ?verify:bool -> ?fallback:bool -> ?config:Cinm_support.Config.t -> Backend.t ->
+  Func.t -> compiled
 
 (** UPMEM simulator configuration corresponding to a backend config. *)
 val upmem_sim_config : Backend.upmem_config -> Usim.Config.t
@@ -39,6 +49,7 @@ val run_upmem_func :
   ?backend_name:string ->
   ?host_model:Cpu.Model.t ->
   ?modul:Func.modul ->
+  ?config:Cinm_support.Config.t ->
   sim_config:Usim.Config.t ->
   Func.t ->
   Rtval.t list ->
@@ -49,6 +60,7 @@ val run_upmem_func :
 val run :
   ?fname:string ->
   ?host_model:Cpu.Model.t ->
+  ?config:Cinm_support.Config.t ->
   compiled ->
   Rtval.t list ->
   Rtval.t list * Report.t
@@ -58,6 +70,7 @@ val compile_and_run :
   ?verify:bool ->
   ?fallback:bool ->
   ?host_model:Cpu.Model.t ->
+  ?config:Cinm_support.Config.t ->
   Backend.t ->
   Func.t ->
   Rtval.t list ->

@@ -47,6 +47,7 @@
    yield operand may itself be an iteration argument. *)
 
 open Cinm_ir
+module Config = Cinm_support.Config
 
 (* ----- backend selection ----- *)
 
@@ -60,19 +61,31 @@ let backend_of_string s =
 
 let backend_name = function Tree -> "tree" | Compiled -> "compiled"
 
+let backend_of_string_exn s =
+  match backend_of_string s with
+  | Some b -> b
+  | None ->
+    invalid_arg
+      (Printf.sprintf "CINM_INTERP=%s: unknown interpreter backend (tree|compiled)" s)
+
+(* The process default comes from the Config snapshot (CINM_INTERP). *)
 let initial_backend () =
-  match Sys.getenv_opt "CINM_INTERP" with
-  | None | Some "" -> Tree
-  | Some s -> (
-    match backend_of_string s with
-    | Some b -> b
-    | None ->
-      invalid_arg
-        (Printf.sprintf "CINM_INTERP=%s: unknown interpreter backend (tree|compiled)" s))
+  match (Config.default ()).Config.interp with
+  | "" -> Tree
+  | s -> backend_of_string_exn s
 
 let backend_ref = ref (initial_backend ())
 let backend () = !backend_ref
-let set_backend b = backend_ref := b
+
+let set_backend b =
+  backend_ref := b;
+  Config.update_default (fun c -> { c with Config.interp = backend_name b })
+
+(* The backend a given execution context asked for: its [interp] field
+   when set (per-request choice carried on the context, so even machine
+   hooks deep inside a launch honor it), else the process default. *)
+let backend_of_ctx (ctx : Interp.ctx) =
+  match ctx.Interp.interp with "" -> backend () | s -> backend_of_string_exn s
 
 (* ----- compiled code ----- *)
 
@@ -862,10 +875,37 @@ let compile_unit (region : Ir.region) : code =
 (* Compiled units cached by the entry block's identity. Hooks are not part
    of the key: compiled closures resolve hooks through the executing
    context at runtime, so the same code serves any hook stack. The cache
-   is append-only and mutex-protected — kernels are compiled once and then
-   shared read-only across all DPU-lane domains. *)
+   is mutex-protected — kernels are compiled once and then shared
+   read-only across all DPU-lane domains. In a long-lived server the cache
+   is cross-request state (a request re-running a cached module hits it),
+   so it carries hit/miss/eviction counters and a size cap: at
+   [max_cache_entries] the table is bulk-reset (block ids are dense and
+   never reused, so there is no better victim order than "everything";
+   re-compilation is cheap relative to execution). *)
 let cache : (int, code) Hashtbl.t = Hashtbl.create 64
 let cache_mutex = Mutex.create ()
+let max_cache_entries = ref 1024
+
+type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let stats_hits = ref 0
+let stats_misses = ref 0
+let stats_evictions = ref 0
+
+let cache_stats () =
+  Mutex.lock cache_mutex;
+  let s =
+    {
+      hits = !stats_hits;
+      misses = !stats_misses;
+      evictions = !stats_evictions;
+      entries = Hashtbl.length cache;
+    }
+  in
+  Mutex.unlock cache_mutex;
+  s
+
+let set_max_cache_entries n = max_cache_entries := max 1 n
 
 let clear_cache () =
   Mutex.lock cache_mutex;
@@ -879,8 +919,15 @@ let get_code (region : Ir.region) : code =
     ~finally:(fun () -> Mutex.unlock cache_mutex)
     (fun () ->
       match Hashtbl.find_opt cache key with
-      | Some c -> c
+      | Some c ->
+        incr stats_hits;
+        c
       | None ->
+        incr stats_misses;
+        if Hashtbl.length cache >= !max_cache_entries then begin
+          stats_evictions := !stats_evictions + Hashtbl.length cache;
+          Hashtbl.reset cache
+        end;
         let c = compile_unit region in
         Hashtbl.add cache key c;
         c)
@@ -912,7 +959,7 @@ type prepared =
    result is shared read-only across lanes, each of which executes on its
    own register file. *)
 let prepare ctx (region : Ir.region) : prepared =
-  match backend () with
+  match backend_of_ctx ctx with
   | Tree -> Tree_region region
   | Compiled ->
     let code = get_code region in
@@ -929,19 +976,26 @@ let run_region ctx region args = run (prepare ctx region) ctx args
 
 (* ----- entry points (drop-in for Interp.run_func / run_in_module) ----- *)
 
-let run_func ?(hooks = []) ?profile ?modul ?max_steps (f : Func.t)
+let run_func ?(hooks = []) ?profile ?modul ?max_steps ?config (f : Func.t)
     (args : Rtval.t list) : Rtval.t list * Profile.t =
-  match backend () with
-  | Tree -> Interp.run_func ~hooks ?profile ?modul ?max_steps f args
+  let chosen =
+    match config with
+    | Some c when c.Config.interp <> "" -> backend_of_string_exn c.Config.interp
+    | _ -> backend ()
+  in
+  match chosen with
+  | Tree -> Interp.run_func ~hooks ?profile ?modul ?max_steps ?config f args
   | Compiled ->
     let ctx =
-      Interp.create_ctx ~hooks ?profile ?modul ~fname:f.Func.fname ?max_steps ()
+      Interp.create_ctx ~hooks ?profile ?modul ~fname:f.Func.fname ?max_steps
+        ?config ()
     in
     let code = get_code f.Func.body in
     let caps = Array.map (fun v -> Interp.lookup ctx v) code.cap_values in
     let results = exec code ctx caps args in
     (results, ctx.Interp.profile)
 
-let run_in_module ?(hooks = []) ?profile ?max_steps (m : Func.modul) name args =
+let run_in_module ?(hooks = []) ?profile ?max_steps ?config (m : Func.modul)
+    name args =
   let f = Func.find_func_exn m name in
-  run_func ~hooks ?profile ~modul:m ?max_steps f args
+  run_func ~hooks ?profile ~modul:m ?max_steps ?config f args

@@ -25,6 +25,11 @@ val set_backend : backend -> unit
 val backend_of_string : string -> backend option
 val backend_name : backend -> string
 
+(** The backend an execution context asked for: its [interp] field when
+    set (per-request choice, see {!Cinm_support.Config}), else the
+    process default. @raise Invalid_argument on an unknown name. *)
+val backend_of_ctx : Interp.ctx -> backend
+
 (** A region resolved for execution under the currently selected backend:
     either the region itself (tree) or cached compiled code with its
     captured values resolved from the preparing context. *)
@@ -50,15 +55,30 @@ val run_region : Interp.ctx -> Ir.region -> Rtval.t list -> Rtval.t list
     after having been executed (block identity is the cache key). *)
 val clear_cache : unit -> unit
 
+(** Cumulative counters of the compiled-unit cache since process start
+    (or the last {!clear_cache}, for [entries]). In a long-lived server
+    the cache is cross-request state: these are exported through the
+    daemon's [stats] endpoint. *)
+type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val cache_stats : unit -> cache_stats
+
+(** Cap on cached compiled units; at the cap the cache is bulk-reset
+    (counted under [evictions]). Default 1024. *)
+val set_max_cache_entries : int -> unit
+
 (** Backend-dispatching drop-in for {!Interp.run_func}. [max_steps]
     bounds the watchdog budget for this run (default: the
     [CINM_MAX_STEPS] setting); the diagnostic is identical under both
-    backends. *)
+    backends. [config] supplies the per-request backend choice (its
+    [interp] field, when non-empty, overrides the process default),
+    watchdog budget, deadline and cancellation flag. *)
 val run_func :
   ?hooks:Interp.hook list ->
   ?profile:Profile.t ->
   ?modul:Func.modul ->
   ?max_steps:int ->
+  ?config:Cinm_support.Config.t ->
   Func.t ->
   Rtval.t list ->
   Rtval.t list * Profile.t
@@ -68,6 +88,7 @@ val run_in_module :
   ?hooks:Interp.hook list ->
   ?profile:Profile.t ->
   ?max_steps:int ->
+  ?config:Cinm_support.Config.t ->
   Func.modul ->
   string ->
   Rtval.t list ->

@@ -6,6 +6,7 @@
 
 open Cinm_ir
 module Util = Cinm_support.Util
+module Config = Cinm_support.Config
 
 (* Execution identity: which processing element the interpreter is
    currently simulating. [Host] is ordinary host execution; device
@@ -36,6 +37,19 @@ type ctx = {
   steps : int ref;
       (** back-edges and calls taken so far; a [ref] (not a mutable
           field) so [{ctx with fname}] copies for callees share it *)
+  deadline : float;
+      (** absolute host time after which execution aborts (0. = none);
+          checked every 1024 watchdog steps so the hot path never calls
+          the clock *)
+  cancel : bool Atomic.t;
+      (** cooperative cancellation, set by a server to tear the request
+          down; device-lane copies share the flag, so cancelling the
+          request cancels every lane *)
+  interp : string;
+      (** per-request interpreter backend ("tree" | "compiled"); ""
+          defers to the process default ({!Compile.backend}). Carried on
+          the context so machine hooks evaluating kernel regions honor
+          the request's choice without a global *)
   scratch : Tensor.t list ref option;
       (** when set (device lanes executing a launch region), tensors
           allocated by [memref.alloc]/[upmem.wram_alloc] come from the
@@ -53,28 +67,51 @@ exception Interp_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Interp_error s)) fmt
 
-(* Default step budget, from CINM_MAX_STEPS (0 = unlimited). *)
-let default_max_steps =
-  ref
-    (match Option.map int_of_string_opt (Sys.getenv_opt "CINM_MAX_STEPS") with
-    | Some (Some n) when n > 0 -> n
-    | _ -> 0)
+(* Default step budget; the process-level Config snapshot owns the
+   CINM_MAX_STEPS parse (0 = unlimited). *)
+let default_max_steps = ref (Config.default ()).Config.max_steps
 
-let set_default_max_steps n = default_max_steps := max 0 n
+let set_default_max_steps n =
+  default_max_steps := max 0 n;
+  Config.update_default (fun c -> { c with Config.max_steps = max 0 n })
 
 (* Watchdog check, shared verbatim by the tree-walker and the closure
    compiler. It counts its own invocations (loop back-edges and calls)
    rather than consulting the profile, so even a loop whose body is pure
    control flow trips it; both backends place the check at the same
    sites, so the count — and therefore this message — is identical in
-   both. *)
+   both.
+
+   The same sites double as deadline/cancellation points for server
+   requests: the cancel flag is a single atomic load per back-edge, and
+   the deadline consults the clock only every 1024 steps. Both raise
+   {!Config.Cancelled}, which is not an [Interp_error] — callers that
+   convert interpreter failures into diagnostics must let it escape. With
+   no budget, no deadline and the shared never-cancelled flag, the whole
+   check is one branch, preserving the uninstrumented fast path. *)
 let check_steps ctx (op_name : string) =
-  if ctx.max_steps > 0 then begin
+  if
+    ctx.max_steps > 0 || ctx.deadline > 0.
+    || ctx.cancel != Config.never_cancelled
+  then begin
     incr ctx.steps;
-    if !(ctx.steps) > ctx.max_steps then
+    if ctx.max_steps > 0 && !(ctx.steps) > ctx.max_steps then
       err
         "watchdog: function @%s exceeded the step budget at %s: %d steps (max %d); raise CINM_MAX_STEPS / ?max_steps"
-        ctx.fname op_name !(ctx.steps) ctx.max_steps
+        ctx.fname op_name !(ctx.steps) ctx.max_steps;
+    if Atomic.get ctx.cancel then
+      raise
+        (Config.Cancelled
+           (Printf.sprintf "request cancelled in @%s at %s" ctx.fname op_name));
+    if
+      ctx.deadline > 0.
+      && !(ctx.steps) land 1023 = 0
+      && Unix.gettimeofday () > ctx.deadline
+    then
+      raise
+        (Config.Cancelled
+           (Printf.sprintf "deadline exceeded in @%s at %s (%d steps)"
+              ctx.fname op_name !(ctx.steps)))
   end
 
 let lookup ctx (v : Ir.value) =
@@ -602,20 +639,34 @@ and eval_elementwise ctx op opname =
 
 (* ----- entry points ----- *)
 
-let create_ctx ?(hooks = []) ?profile ?modul ?(fname = "<main>") ?max_steps () =
+let create_ctx ?(hooks = []) ?profile ?modul ?(fname = "<main>") ?max_steps
+    ?config () =
   let profile = match profile with Some p -> p | None -> Profile.create () in
+  (* explicit argument > request config > process default *)
   let max_steps =
-    match max_steps with Some n -> max 0 n | None -> !default_max_steps
+    match (max_steps, config) with
+    | Some n, _ -> max 0 n
+    | None, Some c -> c.Config.max_steps
+    | None, None -> !default_max_steps
+  in
+  let deadline, cancel, interp =
+    match config with
+    | Some c -> (c.Config.deadline, c.Config.cancel, c.Config.interp)
+    | None -> (0., Config.never_cancelled, "")
   in
   { env = Hashtbl.create 256; profile; hooks; modul; device = Host;
-    cmpi_preds = Hashtbl.create 8; fname; max_steps; steps = ref 0; scratch = None }
+    cmpi_preds = Hashtbl.create 8; fname; max_steps; steps = ref 0;
+    deadline; cancel; interp; scratch = None }
 
-let run_func ?(hooks = []) ?profile ?modul ?max_steps (f : Func.t)
+let run_func ?(hooks = []) ?profile ?modul ?max_steps ?config (f : Func.t)
     (args : Rtval.t list) : Rtval.t list * Profile.t =
-  let ctx = create_ctx ~hooks ?profile ?modul ~fname:f.Func.fname ?max_steps () in
+  let ctx =
+    create_ctx ~hooks ?profile ?modul ~fname:f.Func.fname ?max_steps ?config ()
+  in
   let results = eval_region ctx f.Func.body args in
   (results, ctx.profile)
 
-let run_in_module ?(hooks = []) ?profile ?max_steps (m : Func.modul) name args =
+let run_in_module ?(hooks = []) ?profile ?max_steps ?config (m : Func.modul)
+    name args =
   let f = Func.find_func_exn m name in
-  run_func ~hooks ?profile ~modul:m ?max_steps f args
+  run_func ~hooks ?profile ~modul:m ?max_steps ?config f args

@@ -33,6 +33,18 @@ type ctx = {
   steps : int ref;
       (** back-edges and calls taken so far; shared by [{ctx with ...}]
           copies, so give parallel device lanes a fresh ref *)
+  deadline : float;
+      (** absolute host time after which execution aborts with
+          {!Cinm_support.Config.Cancelled} (0. = none); the clock is
+          consulted only every 1024 watchdog steps *)
+  cancel : bool Atomic.t;
+      (** cooperative cancellation flag, polled at every watchdog site;
+          [{ctx with ...}] lane copies share it, so cancelling a request
+          cancels all its device lanes *)
+  interp : string;
+      (** per-request interpreter backend ("tree" | "compiled", "" =
+          process default); consulted by [Compile.prepare] so machine
+          hooks honor the request's choice without a global *)
   scratch : Tensor.t list ref option;
       (** when set, [memref.alloc]/[upmem.wram_alloc] allocate from the
           {!Tensor.Arena} and record here for release after the launch;
@@ -58,7 +70,10 @@ val set_default_max_steps : int -> unit
     {!Interp_error} when the context's budget is exhausted, naming the
     executing function, the op at which the budget tripped and the step
     count. Shared verbatim by both interpreter backends, which place it
-    at the same sites — so the message is identical in both. *)
+    at the same sites — so the message is identical in both. The same
+    sites enforce the context's deadline and cancellation flag, raising
+    {!Cinm_support.Config.Cancelled} (not an {!Interp_error}) so server
+    aborts are distinguishable from program failures. *)
 val check_steps : ctx -> string -> unit
 
 (** Raise {!Interp_error} with a formatted message. *)
@@ -114,17 +129,21 @@ val create_ctx :
   ?modul:Func.modul ->
   ?fname:string ->
   ?max_steps:int ->
+  ?config:Cinm_support.Config.t ->
   unit ->
   ctx
 
 (** Run a function; returns its results and the accumulated profile.
     [max_steps] bounds the watchdog budget for this run (default: the
-    [CINM_MAX_STEPS] setting). *)
+    [CINM_MAX_STEPS] setting). [config] is a per-request snapshot
+    supplying max-steps (unless given explicitly), deadline, cancellation
+    flag and interpreter backend. *)
 val run_func :
   ?hooks:hook list ->
   ?profile:Profile.t ->
   ?modul:Func.modul ->
   ?max_steps:int ->
+  ?config:Cinm_support.Config.t ->
   Func.t ->
   Rtval.t list ->
   Rtval.t list * Profile.t
@@ -134,6 +153,7 @@ val run_in_module :
   ?hooks:hook list ->
   ?profile:Profile.t ->
   ?max_steps:int ->
+  ?config:Cinm_support.Config.t ->
   Func.modul ->
   string ->
   Rtval.t list ->

@@ -843,4 +843,28 @@ module Arena = struct
     Mutex.lock lock;
     Hashtbl.reset pools;
     Mutex.unlock lock
+
+  type stats = { keys : int; pooled : int; largest_pool : int }
+
+  (* Snapshot for tests and the serve daemon's stats endpoint; also the
+     observable contract of [max_per_key] (largest_pool never exceeds
+     it), which the churn test asserts under concurrent load. *)
+  let stats () =
+    Mutex.lock lock;
+    let s =
+      Hashtbl.fold
+        (fun _ r acc ->
+          let n = List.length !r in
+          {
+            keys = acc.keys + 1;
+            pooled = acc.pooled + n;
+            largest_pool = max acc.largest_pool n;
+          })
+        pools
+        { keys = 0; pooled = 0; largest_pool = 0 }
+    in
+    Mutex.unlock lock;
+    s
+
+  let max_per_key () = max_per_key
 end

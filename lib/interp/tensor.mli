@@ -123,4 +123,15 @@ module Arena : sig
 
   (** Drop all pooled storage (tests). *)
   val clear : unit -> unit
+
+  (** Free-list snapshot: number of (class, size) keys holding storage,
+      total pooled payloads, and the largest single free list — the
+      latter is bounded by {!max_per_key} at all times, which the
+      concurrent churn test asserts. *)
+  type stats = { keys : int; pooled : int; largest_pool : int }
+
+  val stats : unit -> stats
+
+  (** The per-key free-list cap. *)
+  val max_per_key : unit -> int
 end

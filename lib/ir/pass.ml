@@ -10,6 +10,7 @@
 
 module Trace = Cinm_support.Trace
 module Log = Cinm_support.Log
+module Config = Cinm_support.Config
 
 type t = {
   pass_name : string;
@@ -69,24 +70,28 @@ let split_op message =
    and unprintable attributes). Off by default: the uninstrumented fast
    path and byte-stable bench output are untouched. ----- *)
 
-let env_truthy name =
-  match Option.map String.lowercase_ascii (Sys.getenv_opt name) with
-  | Some ("1" | "true" | "on" | "yes") -> true
-  | _ -> false
+(* The process defaults live in {!Cinm_support.Config} (parsed from the
+   environment exactly once); the setters below are the CLI-facing
+   mutators and delegate there. Runners take an optional per-request
+   [?config] snapshot that overrides the process default wholesale —
+   that is what lets a server run concurrent pipelines with different
+   strictness/budgets without racing on process state. *)
 
-let strict_mode = ref (env_truthy "CINM_STRICT")
-let set_strict b = strict_mode := b
+let strict_mode = ref (Config.default ()).Config.strict
+
+let set_strict b =
+  strict_mode := b;
+  Config.update_default (fun c -> { c with Config.strict = b })
+
 let strict_enabled () = !strict_mode
 
 (* ----- per-pass wall-time budget ----- *)
 
-let pass_budget_s =
-  ref
-    (match Sys.getenv_opt "CINM_PASS_BUDGET_S" with
-    | Some s -> float_of_string_opt s
-    | None -> None)
+let pass_budget_s = ref (Config.default ()).Config.pass_budget_s
 
-let set_pass_budget_s b = pass_budget_s := b
+let set_pass_budget_s b =
+  pass_budget_s := b;
+  Config.update_default (fun c -> { c with Config.pass_budget_s = b })
 
 (* ----- crash reproducers (mlir's --mlir-pass-pipeline-crash-reproducer).
 
@@ -98,16 +103,26 @@ let set_pass_budget_s b = pass_budget_s := b
 
 type reproducer = { path : string; pipeline : string list; diag : diag }
 
-let reproducer_dir = ref (Sys.getenv_opt "CINM_REPRODUCER_DIR")
-let set_reproducer_dir d = reproducer_dir := d
-let last_repro : reproducer option ref = ref None
-let last_reproducer () = !last_repro
+let reproducer_dir = ref (Config.default ()).Config.reproducer_dir
 
-(* distinguishes several failures written by one process *)
-let repro_seq = ref 0
+let set_reproducer_dir d =
+  reproducer_dir := d;
+  Config.update_default (fun c -> { c with Config.reproducer_dir = d })
 
-let reproducer_header ~pipeline =
-  let flags = if !strict_mode then "--verify-each " else "" in
+(* Domain-local: a server runs each request's pipeline on one pool
+   domain, so concurrent requests never observe each other's reproducer
+   (the CLI runs everything on one domain and is unaffected). *)
+let last_repro : reproducer option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let last_reproducer () = Domain.DLS.get last_repro
+
+(* distinguishes several failures written by one process; atomic so
+   concurrent requests never reuse a filename *)
+let repro_seq = Atomic.make 0
+
+let reproducer_header ~strict ~pipeline =
+  let flags = if strict then "--verify-each " else "" in
   Printf.sprintf "// cinm-opt %s--passes %s" flags (String.concat "," pipeline)
 
 (* The replay pipeline named by a reproducer's header comment, scanning
@@ -138,34 +153,31 @@ let reproducer_pipeline_of_text text =
   in
   scan (String.split_on_char '\n' text)
 
-let write_reproducer ~pipeline ~(diag : diag) ir_text =
-  match !reproducer_dir with
-  | None -> None
-  | Some dir ->
-    (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
-     with Sys_error _ -> ());
-    incr repro_seq;
-    let path =
-      Filename.concat dir
-        (Printf.sprintf "%s-%d.reproducer.mlir" diag.pass !repro_seq)
-    in
-    (try
-       let oc = open_out path in
-       output_string oc (reproducer_header ~pipeline);
-       output_char oc '\n';
-       List.iter
-         (fun l -> output_string oc ("// failure: " ^ l ^ "\n"))
-         (String.split_on_char '\n' (diag_to_string diag));
-       output_string oc ir_text;
-       close_out oc;
-       let r = { path; pipeline; diag } in
-       last_repro := Some r;
-       Log.warn "wrote crash reproducer %s (replay: cinm_opt --run-reproducer %s)"
-         path path;
-       Some r
-     with Sys_error msg ->
-       Log.warn "could not write crash reproducer in %s: %s" dir msg;
-       None)
+let write_reproducer ~dir ~strict ~pipeline ~(diag : diag) ir_text =
+  (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+   with Sys_error _ -> ());
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s-%d.reproducer.mlir" diag.pass
+         (Atomic.fetch_and_add repro_seq 1 + 1))
+  in
+  try
+    let oc = open_out path in
+    output_string oc (reproducer_header ~strict ~pipeline);
+    output_char oc '\n';
+    List.iter
+      (fun l -> output_string oc ("// failure: " ^ l ^ "\n"))
+      (String.split_on_char '\n' (diag_to_string diag));
+    output_string oc ir_text;
+    close_out oc;
+    let r = { path; pipeline; diag } in
+    Domain.DLS.set last_repro (Some r);
+    Log.warn "wrote crash reproducer %s (replay: cinm_opt --run-reproducer %s)"
+      path path;
+    Some r
+  with Sys_error msg ->
+    Log.warn "could not write crash reproducer in %s: %s" dir msg;
+    None
 
 (* ----- opt-in IR snapshots (mlir's -print-ir-after-* equivalent) ----- *)
 
@@ -203,6 +215,17 @@ let first_diff_line a b =
   in
   go 1 (la, lb)
 
+(* Effective per-run settings: the request snapshot when given, else the
+   process defaults the CLI setters mutate. *)
+let eff_strict config =
+  match config with Some c -> c.Config.strict | None -> !strict_mode
+
+let eff_budget config =
+  match config with Some c -> c.Config.pass_budget_s | None -> !pass_budget_s
+
+let eff_reproducer_dir config =
+  match config with Some c -> c.Config.reproducer_dir | None -> !reproducer_dir
+
 (* Strict mode's print->parse->print fixpoint assertion. *)
 let strict_roundtrip pass_name m =
   let txt = Printer.module_to_string m in
@@ -226,17 +249,19 @@ let strict_roundtrip pass_name m =
            "strict round-trip after %s: print->parse->print is not a fixpoint%s"
            pass_name detail)
 
-let run_one_result ?(verify = true) pass m =
+let run_one_result ?(verify = true) ?config pass m =
+  let strict = eff_strict config in
+  let budget = eff_budget config in
   let fail message =
     let op, message = split_op message in
     Error { pass = pass.pass_name; op; message }
   in
   let verified () =
-    if (not verify) && not !strict_mode then Ok ()
+    if (not verify) && not strict then Ok ()
     else (
       match Verifier.verify_module m with
       | [] ->
-        if not !strict_mode then Ok ()
+        if not strict then Ok ()
         else (
           match strict_roundtrip pass.pass_name m with
           | Ok () -> Ok ()
@@ -247,7 +272,7 @@ let run_one_result ?(verify = true) pass m =
           ^ String.concat "\n" (List.map Verifier.error_to_string errs)))
   in
   let instrumented = Trace.enabled () || Trace.Metrics.enabled () in
-  if (not instrumented) && !ir_dump_mode = Dump_never && !pass_budget_s = None
+  if (not instrumented) && !ir_dump_mode = Dump_never && budget = None
   then (
     match pass.run m with
     | exception Verifier.Verification_failed msg -> fail msg
@@ -283,7 +308,7 @@ let run_one_result ?(verify = true) pass m =
     (* over-budget completion converts to a failure: the pipeline stops and
        the reproducer path captures the input that blew the budget *)
     let result =
-      match (result, !pass_budget_s) with
+      match (result, budget) with
       | Ok (), Some b when wall_s > b ->
         fail
           (Printf.sprintf
@@ -336,39 +361,44 @@ let run_one_result ?(verify = true) pass m =
     result
   end
 
-let run_one ?verify pass m =
-  match run_one_result ?verify pass m with
+let run_one ?verify ?config pass m =
+  match run_one_result ?verify ?config pass m with
   | Ok () -> ()
   | Error d -> raise (Pass_failed d)
 
-let run_pipeline_result ?verify ?(trace = false) passes m =
+let run_pipeline_result ?verify ?(trace = false) ?config passes m =
+  let repro_dir = eff_reproducer_dir config in
   let rec go pipeline =
     match pipeline with
     | [] -> Ok ()
     | pass :: rest -> (
+      (* the inter-pass cancellation point: a request past its deadline
+         (or cancelled by the server) aborts before the next pass starts;
+         Config.Cancelled propagates — it is not a pass failure and must
+         not trigger degradation paths like the CPU fallback *)
+      (match config with Some c -> Config.check c | None -> ());
       if trace then Log.info "running pass %s" pass.pass_name
       else Log.debug "running pass %s" pass.pass_name;
       (* pre-pass snapshot, taken only when reproducers are live: the
          normal path pays nothing *)
       let snapshot =
-        if !reproducer_dir = None then None
-        else Some (Printer.module_to_string m)
+        if repro_dir = None then None else Some (Printer.module_to_string m)
       in
-      match run_one_result ?verify pass m with
+      match run_one_result ?verify ?config pass m with
       | Ok () -> go rest
       | Error d ->
-        (match snapshot with
-        | Some txt ->
+        (match (snapshot, repro_dir) with
+        | Some txt, Some dir ->
           ignore
-            (write_reproducer
+            (write_reproducer ~dir ~strict:(eff_strict config)
                ~pipeline:(List.map (fun p -> p.pass_name) pipeline)
                ~diag:d txt)
-        | None -> ());
+        | _ -> ());
         Error d)
   in
   go passes
 
-let run_pipeline ?verify ?trace passes m =
-  match run_pipeline_result ?verify ?trace passes m with
+let run_pipeline ?verify ?trace ?config passes m =
+  match run_pipeline_result ?verify ?trace ?config passes m with
   | Ok () -> ()
   | Error d -> raise (Pass_failed d)

@@ -65,7 +65,9 @@ type reproducer = { path : string; pipeline : string list; diag : diag }
 
 val set_reproducer_dir : string option -> unit
 
-(** The most recent reproducer written by this process, if any. *)
+(** The most recent reproducer written {e by the calling domain}
+    (domain-local, so a server's concurrent requests — each pinned to one
+    pool domain — never observe each other's failures). *)
 val last_reproducer : unit -> reproducer option
 
 (** The replay pipeline named by a reproducer file's header comment, or
@@ -87,16 +89,28 @@ val count_ops : Func.modul -> int
     afterwards. Failures are returned as a {!diag} — the module may have
     been left partially transformed, so on [Error] the caller should
     discard it (drivers re-lower a pristine clone). A failing pass still
-    gets its span, with an [error] attribute holding the diagnostic. *)
-val run_one_result : ?verify:bool -> t -> Func.modul -> (unit, diag) result
+    gets its span, with an [error] attribute holding the diagnostic.
+
+    [config] is a per-request {!Cinm_support.Config} snapshot; when given
+    it overrides the process-level strict/budget/reproducer settings
+    wholesale, so concurrent pipelines never race on process state. *)
+val run_one_result :
+  ?verify:bool -> ?config:Cinm_support.Config.t -> t -> Func.modul ->
+  (unit, diag) result
 
 (** Like {!run_one_result} but raising {!Pass_failed}. *)
-val run_one : ?verify:bool -> t -> Func.modul -> unit
+val run_one : ?verify:bool -> ?config:Cinm_support.Config.t -> t -> Func.modul -> unit
 
 (** Run passes in order, stopping at the first failure. [trace] promotes
     the per-pass progress line from debug to info level (see
-    {!Cinm_support.Log}). *)
+    {!Cinm_support.Log}). With [config], the runner checks the request's
+    deadline/cancel flag between passes and raises
+    {!Cinm_support.Config.Cancelled} — deliberately not a pass failure,
+    so cancellation aborts outright instead of triggering fallbacks. *)
 val run_pipeline_result :
-  ?verify:bool -> ?trace:bool -> t list -> Func.modul -> (unit, diag) result
+  ?verify:bool -> ?trace:bool -> ?config:Cinm_support.Config.t -> t list ->
+  Func.modul -> (unit, diag) result
 
-val run_pipeline : ?verify:bool -> ?trace:bool -> t list -> Func.modul -> unit
+val run_pipeline :
+  ?verify:bool -> ?trace:bool -> ?config:Cinm_support.Config.t -> t list ->
+  Func.modul -> unit

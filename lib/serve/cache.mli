@@ -1,0 +1,28 @@
+(** Cross-request pipeline cache: compiled modules keyed by
+    (benchmark, backend, strict), shared read-only across requests, FIFO
+    eviction under a size cap. Only clean (non-fallback) compiles are
+    cached. Reusing the same module object across requests is also what
+    lets the compiled-unit cache (keyed by block identity) hit across
+    requests. *)
+
+type key = { benchmark : string; backend : string; strict : bool }
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val create : ?capacity:int -> unit -> t
+
+(** Counted lookup: every call bumps hits or misses. *)
+val find : t -> key -> Cinm_core.Driver.compiled option
+
+(** Insert a compile result; no-op for fallback (degraded) artifacts and
+    when the key is already present (first insert wins). Evicts FIFO at
+    capacity. *)
+val add : t -> key -> Cinm_core.Driver.compiled -> unit
+
+(** Empty the cache, including the compiled-unit (closure) cache its
+    modules pin. *)
+val invalidate : t -> unit
+
+val stats : t -> stats

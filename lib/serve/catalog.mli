@@ -1,0 +1,13 @@
+(** The daemon's shared benchmark catalog (quick-scale ML + PrIM suites).
+    Descriptors are shared across requests so their memoized inputs and
+    host references act as a cross-request reference cache; [build] still
+    yields fresh IR per call. *)
+
+val find : string -> Cinm_benchmarks.Benchmark.t option
+
+(** Catalog names, sorted (the [health] endpoint reports them). *)
+val names : unit -> string list
+
+(** Compute every host reference up front (deterministic first-request
+    latency; avoids benign ref_cache races under concurrent load). *)
+val warm_references : unit -> unit

@@ -1,0 +1,86 @@
+(* A small blocking client for the serve protocol: one request line out,
+   one response line in. Used by the loadgen harness, the serve tests and
+   the smoke script; a production client would pipeline and match
+   responses by id, but serialized request/response keeps test assertions
+   exact. *)
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  mutable closed : bool;
+}
+
+exception Server_gone of string
+
+let connect ?(attempts = 1) path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd; ic = Unix.in_channel_of_descr fd; closed = false }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 1 ->
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      go (n - 1)
+    | exception e ->
+      Unix.close fd;
+      raise e
+  in
+  go (max 1 attempts)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_line t line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length data in
+  let off = ref 0 in
+  try
+    while !off < n do
+      let w = Unix.write t.fd data !off (n - !off) in
+      if w <= 0 then raise Exit;
+      off := !off + w
+    done
+  with Exit | Unix.Unix_error _ -> raise (Server_gone "write failed")
+
+let recv_line t =
+  match input_line t.ic with
+  | line -> line
+  | exception End_of_file -> raise (Server_gone "connection closed")
+
+(* Send a raw line (not necessarily valid JSON — tests use this to probe
+   protocol hardening) and read one response line back. *)
+let request_raw t line =
+  send_line t line;
+  recv_line t
+
+let request t (req : Json.t) : Json.t =
+  Json.parse (request_raw t (Json.to_string req))
+
+(* Convenience: build a request object from optional fields. *)
+let make_request ?id ?benchmark ?backend ?strict ?interp ?max_steps ?deadline_s
+    ?pass_budget_s ?faults ?fallback ?check ?repeats op : Json.t
+    =
+  let add name v fields =
+    match v with None -> fields | Some v -> (name, v) :: fields
+  in
+  let str v = Option.map (fun s -> Json.String s) v in
+  Json.Obj
+    (("op", Json.String op)
+    :: ([]
+       |> add "id" (str id)
+       |> add "benchmark" (str benchmark)
+       |> add "backend" (str backend)
+       |> add "strict" (Option.map (fun b -> Json.Bool b) strict)
+       |> add "interp" (str interp)
+       |> add "max_steps" (Option.map (fun i -> Json.Int i) max_steps)
+       |> add "deadline_s" (Option.map (fun f -> Json.Float f) deadline_s)
+       |> add "pass_budget_s" (Option.map (fun f -> Json.Float f) pass_budget_s)
+       |> add "faults" (str faults)
+       |> add "fallback" (Option.map (fun b -> Json.Bool b) fallback)
+       |> add "check" (Option.map (fun b -> Json.Bool b) check)
+       |> add "repeats" (Option.map (fun i -> Json.Int i) repeats)
+       |> List.rev))

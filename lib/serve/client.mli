@@ -1,0 +1,37 @@
+(** Blocking client for the serve protocol: one request line out, one
+    response line in, over a Unix-domain socket. *)
+
+type t
+
+(** Raised when the daemon closes the connection or a write fails. *)
+exception Server_gone of string
+
+(** [connect ?attempts path] connects to the daemon's socket, retrying
+    [attempts] times at 50 ms intervals (for just-started daemons). *)
+val connect : ?attempts:int -> string -> t
+
+val close : t -> unit
+
+(** Send a raw line (need not be valid JSON — protocol-hardening tests
+    use this) and read one response line back. *)
+val request_raw : t -> string -> string
+
+(** Send a request object, read and parse the response. *)
+val request : t -> Json.t -> Json.t
+
+(** Build a request object from optional protocol fields. *)
+val make_request :
+  ?id:string ->
+  ?benchmark:string ->
+  ?backend:string ->
+  ?strict:bool ->
+  ?interp:string ->
+  ?max_steps:int ->
+  ?deadline_s:float ->
+  ?pass_budget_s:float ->
+  ?faults:string ->
+  ?fallback:bool ->
+  ?check:bool ->
+  ?repeats:int ->
+  string ->
+  Json.t

@@ -1,0 +1,300 @@
+(* Minimal JSON: the serve protocol's wire format. Hand-rolled (the tree
+   is five constructors and the daemon needs exact control over error
+   reporting) with the same line/column/caret error discipline as the IR
+   parser — a malformed request line comes back to the client with the
+   offending position marked, never as a closed connection.
+
+   Numbers: anything with '.', 'e' or 'E' parses as [Float], the rest as
+   [Int] (OCaml 63-bit, plenty for the protocol). Strings support the
+   JSON escapes minus \u beyond Latin-1 (the protocol is ASCII). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+type error = { message : string; line : int; col : int; context : string }
+
+exception Parse_error of error
+
+(* Mirrors Parser.caret_snippet: the offending line (windowed around the
+   column when long) with a caret under the column. *)
+let caret_snippet line_text col =
+  let len0 = String.length line_text in
+  let start = if col - 1 > 60 then col - 1 - 40 else 0 in
+  let len = min (len0 - start) 80 in
+  let shown = String.sub line_text start len in
+  let prefix = if start > 0 then "... " else "" in
+  let caret_pos = String.length prefix + (col - 1 - start) in
+  Printf.sprintf "  %s%s\n  %s^" prefix shown (String.make (max 0 caret_pos) ' ')
+
+let error_at src pos message =
+  let pos = min pos (String.length src) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  let eol =
+    match String.index_from_opt src !bol '\n' with
+    | Some e -> e
+    | None -> String.length src
+  in
+  let col = pos - !bol + 1 in
+  let context = caret_snippet (String.sub src !bol (eol - !bol)) col in
+  { message; line = !line; col; context }
+
+let error_to_string e =
+  Printf.sprintf "%s at line %d, column %d\n%s" e.message e.line e.col e.context
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error e -> Some ("json parse error: " ^ error_to_string e)
+    | _ -> None)
+
+(* ----- parsing ----- *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (error_at st.src st.pos msg))
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\255' else st.src.[st.pos]
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while (not (eof st)) && (match peek st with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance st
+  done
+
+let expect st c =
+  if peek st <> c then fail st (Printf.sprintf "expected '%c'" c);
+  advance st
+
+let parse_literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected '%s'" word)
+
+let parse_string_body st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated string";
+    match peek st with
+    | '"' -> advance st
+    | '\\' ->
+      advance st;
+      (if eof st then fail st "unterminated escape";
+       let c = peek st in
+       advance st;
+       match c with
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | '/' -> Buffer.add_char b '/'
+       | 'n' -> Buffer.add_char b '\n'
+       | 't' -> Buffer.add_char b '\t'
+       | 'r' -> Buffer.add_char b '\r'
+       | 'b' -> Buffer.add_char b '\b'
+       | 'f' -> Buffer.add_char b '\012'
+       | 'u' ->
+         if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+         let hex = String.sub st.src st.pos 4 in
+         (match int_of_string_opt ("0x" ^ hex) with
+         | Some code when code < 256 ->
+           st.pos <- st.pos + 4;
+           Buffer.add_char b (Char.chr code)
+         | Some _ ->
+           st.pos <- st.pos + 4;
+           Buffer.add_char b '?' (* non-Latin-1: protocol is ASCII *)
+         | None -> fail st "invalid \\u escape")
+       | _ -> fail st (Printf.sprintf "invalid escape '\\%c'" c));
+      go ()
+    | c ->
+      advance st;
+      Buffer.add_char b c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  if peek st = '-' then advance st;
+  let is_float = ref false in
+  let rec go () =
+    match peek st with
+    | '0' .. '9' ->
+      advance st;
+      go ()
+    | '.' | 'e' | 'E' | '+' | '-' ->
+      is_float := true;
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None ->
+      st.pos <- start;
+      fail st (Printf.sprintf "invalid number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None ->
+      st.pos <- start;
+      fail st (Printf.sprintf "invalid number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws st;
+        let key = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (key, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | ',' ->
+          advance st;
+          members ()
+        | '}' -> advance st
+        | _ -> fail st "expected ',' or '}'"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | ',' ->
+          advance st;
+          elements ()
+        | ']' -> advance st
+        | _ -> fail st "expected ',' or ']'"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | '"' -> String (parse_string_body st)
+  | 't' -> parse_literal st "true" (Bool true)
+  | 'f' -> parse_literal st "false" (Bool false)
+  | 'n' -> parse_literal st "null" Null
+  | '-' | '0' .. '9' -> parse_number st
+  | '\255' -> fail st "unexpected end of input"
+  | c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if not (eof st) then fail st "trailing characters after JSON value";
+  v
+
+(* ----- printing ----- *)
+
+let escape_to b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    (* %.17g round-trips any float; JSON has no NaN/inf, degrade to null *)
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+    else Buffer.add_string b "null"
+  | String s ->
+    Buffer.add_char b '"';
+    escape_to b s;
+    Buffer.add_char b '"'
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        to_buffer b v)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        escape_to b k;
+        Buffer.add_string b "\":";
+        to_buffer b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  to_buffer b v;
+  Buffer.contents b
+
+(* ----- accessors (tolerant: absent/mistyped gives None) ----- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let get_string = function String s -> Some s | _ -> None
+let get_bool = function Bool b -> Some b | _ -> None
+let get_int = function Int i -> Some i | _ -> None
+
+let get_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let string_field j key = Option.bind (member key j) get_string
+let bool_field j key = Option.bind (member key j) get_bool
+let int_field j key = Option.bind (member key j) get_int
+let float_field j key = Option.bind (member key j) get_float

@@ -1,0 +1,40 @@
+(** Minimal JSON tree, parser and printer — the serve protocol's wire
+    format. The parser reports failures with line/column and a caret
+    snippet (the same discipline as {!Cinm_ir.Parser}), so a malformed
+    request can be answered with a structured error that points at the
+    offending byte instead of closing the connection. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+type error = { message : string; line : int; col : int; context : string }
+
+exception Parse_error of error
+
+val error_to_string : error -> string
+
+(** Parse one complete JSON value ([Parse_error] on malformed input,
+    including trailing garbage). *)
+val parse : string -> t
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+(** {2 Tolerant accessors} — absent or mistyped fields give [None].
+    [get_float] accepts ints. *)
+
+val member : string -> t -> t option
+val get_string : t -> string option
+val get_bool : t -> bool option
+val get_int : t -> int option
+val get_float : t -> float option
+val string_field : t -> string -> string option
+val bool_field : t -> string -> bool option
+val int_field : t -> string -> int option
+val float_field : t -> string -> float option

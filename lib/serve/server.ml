@@ -1,0 +1,662 @@
+(* cinm_serve: a persistent compile-and-run daemon over a Unix socket.
+
+   Architecture (see DESIGN.md, "The serve daemon"):
+
+   - One event-loop thread owns the listening socket and every
+     connection's read side: select(2), accept, newline-split, parse,
+     decode. Cheap ops (health, stats, shutdown, every protocol error)
+     are answered inline from the loop.
+   - Heavy ops (compile / run / bench) are admitted against a bounded
+     in-flight budget and submitted to the shared domain pool as tasks;
+     the worker executes the request under a per-request Config snapshot
+     and writes the response itself. Each connection carries a write
+     mutex, so responses from the loop and from workers never interleave
+     bytes; responses to concurrently admitted requests may come back in
+     any order — clients match them by ["id"].
+   - Admission control: when admitted (queued + executing) requests reach
+     [max_inflight], new work is refused immediately with an [overloaded]
+     error (load shedding — the client sees structured backpressure, the
+     daemon never builds an unbounded queue).
+   - Crash isolation: a worker converts *every* failure of its request —
+     pass failure (with crash-reproducer path attached), watchdog trip,
+     deadline, malformed program, any exception — into a structured error
+     response. The daemon itself dies only on shutdown.
+   - Degraded service: device faults (per-request "faults" plans) and
+     CPU fallback mark the response ["degraded": true] instead of failing
+     it; fault-injected requests still verify against the host reference.
+   - Graceful shutdown: the "shutdown" op (or SIGTERM/SIGINT) stops
+     accepting connections, refuses new work with [shutting_down], lets
+     in-flight requests finish ([drain_grace_s] seconds, then their
+     cancel flags are set so the interpreter aborts them at the next
+     watchdog point), and finally drains the pool. *)
+
+module Config = Cinm_support.Config
+module Fault = Cinm_support.Fault
+module Pool = Cinm_support.Pool
+module Trace = Cinm_support.Trace
+module Log = Cinm_support.Log
+module Pass = Cinm_ir.Pass
+module Interp = Cinm_interp.Interp
+module Compile = Cinm_interp.Compile
+module Tensor = Cinm_interp.Tensor
+module Driver = Cinm_core.Driver
+module Backend = Cinm_core.Backend
+module Report = Cinm_core.Report
+module Benchmark = Cinm_benchmarks.Benchmark
+module P = Protocol
+
+type opts = {
+  socket_path : string;
+  jobs : int;  (** domain-pool size (0 = the default pool's size) *)
+  max_inflight : int;  (** admitted (queued + executing) request cap *)
+  max_request_bytes : int;  (** per-line cap; larger lines are shed *)
+  default_deadline_s : float;  (** applied when a request names none; 0 = none *)
+  cache_capacity : int;  (** pipeline-cache entries *)
+  drain_grace_s : float;  (** shutdown: seconds before cancelling in-flight *)
+  base_config : Config.t;  (** per-request configs start from this *)
+}
+
+let default_opts ?(socket_path = "cinm-serve.sock") () =
+  {
+    socket_path;
+    jobs = 0;
+    max_inflight = 64;
+    max_request_bytes = 65536;
+    default_deadline_s = 0.0;
+    cache_capacity = 256;
+    drain_grace_s = 10.0;
+    base_config = Config.default ();
+  }
+
+(* ----- connection state (owned by the event loop; write side shared
+   with workers under [wmutex]) ----- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;
+  rbuf : Buffer.t;  (** partial line *)
+  mutable skipping : bool;  (** oversized line: discard until newline *)
+  mutable peer_open : bool;  (** false after EOF/write error *)
+  mutable refs : int;  (** outstanding worker tasks for this connection *)
+}
+
+type counters = {
+  mutable served : int;  (** responses written, ok or error *)
+  mutable ok : int;
+  mutable errors : int;
+  mutable degraded : int;
+  mutable rejected : int;  (** overloaded + shutting_down + oversized *)
+}
+
+type t = {
+  opts : opts;
+  pool : Pool.t;
+  cache : Cache.t;
+  listen_fd : Unix.file_descr;
+  mutex : Mutex.t;  (** guards conns / inflight / counters / in-flight table *)
+  mutable conns : conn list;
+  mutable inflight : int;
+  mutable draining : bool;
+  counters : counters;
+  live : (int, bool Atomic.t) Hashtbl.t;  (** seq -> cancel flag, for drain *)
+  mutable seq : int;
+  shutdown_flag : bool Atomic.t;  (** set by signals / the shutdown op *)
+}
+
+(* ----- response writing ----- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write fd b !off (n - !off) in
+    if w <= 0 then raise Exit;
+    off := !off + w
+  done
+
+let send srv conn (resp : Json.t) =
+  let line = Json.to_string resp ^ "\n" in
+  (* account before writing: once the client has read this response, a
+     follow-up "stats" request must already see it counted *)
+  let is_error = Json.bool_field resp "ok" = Some false in
+  let is_degraded = Json.bool_field resp "degraded" = Some true in
+  Mutex.lock srv.mutex;
+  srv.counters.served <- srv.counters.served + 1;
+  if is_error then srv.counters.errors <- srv.counters.errors + 1
+  else srv.counters.ok <- srv.counters.ok + 1;
+  if is_degraded then srv.counters.degraded <- srv.counters.degraded + 1;
+  Mutex.unlock srv.mutex;
+  Mutex.lock conn.wmutex;
+  (try if conn.peer_open then write_all conn.fd line
+   with Exit | Unix.Unix_error _ -> conn.peer_open <- false);
+  Mutex.unlock conn.wmutex
+
+let send_error srv conn ?id ?op ?detail ~code message =
+  (match code with
+  | P.Overloaded | P.Shutting_down | P.Oversized ->
+    Mutex.lock srv.mutex;
+    srv.counters.rejected <- srv.counters.rejected + 1;
+    Mutex.unlock srv.mutex
+  | _ -> ());
+  send srv conn (P.error_response ?id ?op ?detail ~code message)
+
+(* ----- per-request configuration ----- *)
+
+(* Build the request's Config snapshot from the server's base config and
+   the request's overrides. The fault spec is parsed here (bad specs are
+   a bad_request, not a crash); the deadline is absolute from admission
+   time, so queueing counts against it. *)
+let request_config srv (req : P.request) : (Config.t, string) result =
+  let base = srv.opts.base_config in
+  let faults =
+    match req.P.faults with
+    | None -> Ok base.Config.faults
+    | Some "" -> Ok None
+    | Some spec -> (
+      match Fault.parse spec with
+      | Ok plan -> Ok (Some plan)
+      | Error msg -> Error (Printf.sprintf "field \"faults\": %s" msg))
+  in
+  match faults with
+  | Error _ as e -> e
+  | Ok faults ->
+    let deadline_s =
+      match req.P.deadline_s with
+      | Some d -> d
+      | None -> srv.opts.default_deadline_s
+    in
+    Ok
+      {
+        Config.strict = Option.value req.P.strict ~default:base.Config.strict;
+        pass_budget_s =
+          (match req.P.pass_budget_s with
+          | Some b -> Some b
+          | None -> base.Config.pass_budget_s);
+        reproducer_dir = base.Config.reproducer_dir;
+        max_steps = Option.value req.P.max_steps ~default:base.Config.max_steps;
+        interp = Option.value req.P.interp ~default:base.Config.interp;
+        faults;
+        deadline =
+          (if deadline_s > 0.0 then Unix.gettimeofday () +. deadline_s else 0.0);
+        cancel = Atomic.make false;
+      }
+
+(* ----- request execution (worker side) ----- *)
+
+(* The serve backends: deliberately small device configs so a request is
+   tens of milliseconds, not seconds — the daemon optimizes for request
+   throughput, and speedup ratios are not its product. *)
+let backend_of_name = function
+  | "host" -> Backend.Host_xeon
+  | "cim" -> Backend.Cim (Backend.default_cim ())
+  | _ -> Backend.Upmem (Backend.default_upmem ~dimms:1 ~dpus_per_dimm:4 ~tasklets:4 ())
+
+let degraded_of_report (compiled : Driver.compiled) (report : Report.t) =
+  compiled.Driver.fallback <> None
+  || Report.counter report "retries" > 0
+  || Report.counter report "failed_dpus" > 0
+
+let report_fields (r : Report.t) =
+  [
+    ("backend", Json.String r.Report.backend);
+    ("sim_total_s", Json.Float r.Report.total_s);
+    ("sim_device_s", Json.Float r.Report.device_s);
+    ("retries", Json.Int (Report.counter r "retries"));
+    ("failed_dpus", Json.Int (Report.counter r "failed_dpus"));
+  ]
+
+(* Compile via the cross-request pipeline cache; returns the artifact and
+   "hit"/"miss". Degraded (fallback) artifacts are not cached. *)
+let compile_cached srv (req : P.request) config (bench : Benchmark.t) =
+  let key =
+    {
+      Cache.benchmark = req.P.benchmark;
+      backend = req.P.backend;
+      strict = config.Config.strict;
+    }
+  in
+  match Cache.find srv.cache key with
+  | Some compiled -> (compiled, "hit")
+  | None ->
+    let compiled =
+      Driver.compile_func ~fallback:req.P.fallback ~config
+        (backend_of_name req.P.backend)
+        (bench.Benchmark.build ())
+    in
+    Cache.add srv.cache key compiled;
+    (compiled, "miss")
+
+let run_once (req : P.request) config (bench : Benchmark.t)
+    (compiled : Driver.compiled) =
+  let results, report = Driver.run ~config compiled (bench.Benchmark.inputs ()) in
+  if req.P.check && compiled.Driver.fallback = None then
+    if not (Benchmark.results_match bench results) then
+      failwith (req.P.benchmark ^ ": device results differ from the host reference");
+  report
+
+let execute_request srv (req : P.request) config : Json.t =
+  match Catalog.find req.P.benchmark with
+  | None ->
+    P.error_response ?id:req.P.id ~op:req.P.op ~code:P.Unknown_benchmark
+      (Printf.sprintf "unknown benchmark %S (see \"health\" for the catalog)"
+         req.P.benchmark)
+  | Some bench -> (
+    Config.check config;
+    let compiled, cache_state = compile_cached srv req config bench in
+    let base =
+      [
+        ("benchmark", Json.String req.P.benchmark);
+        ("cache", Json.String cache_state);
+        ("degraded", Json.Bool (compiled.Driver.fallback <> None));
+      ]
+    in
+    let fallback_fields =
+      match compiled.Driver.fallback with
+      | Some diag ->
+        [ ("fallback", Json.String (Pass.diag_to_string diag)) ]
+      | None -> []
+    in
+    match req.P.op with
+    | P.Compile ->
+      P.ok_response ?id:req.P.id ~op:req.P.op
+        (base @ fallback_fields
+        @ [ ("ops", Json.Int (Pass.count_ops compiled.Driver.modul)) ])
+    | P.Run ->
+      let report = run_once req config bench compiled in
+      let degraded = degraded_of_report compiled report in
+      P.ok_response ?id:req.P.id ~op:req.P.op
+        (List.remove_assoc "degraded" base
+        @ [ ("degraded", Json.Bool degraded) ]
+        @ fallback_fields @ report_fields report)
+    | P.Bench ->
+      let sim_s = ref 0.0 and wall = ref [] in
+      for _ = 1 to req.P.repeats do
+        Config.check config;
+        let t0 = Unix.gettimeofday () in
+        let report = run_once req config bench compiled in
+        wall := (Unix.gettimeofday () -. t0) :: !wall;
+        sim_s := !sim_s +. report.Report.total_s
+      done;
+      let wall = List.rev !wall in
+      P.ok_response ?id:req.P.id ~op:req.P.op
+        (base @ fallback_fields
+        @ [
+            ("runs", Json.Int req.P.repeats);
+            ("sim_s", Json.Float !sim_s);
+            ("wall_s", Json.List (List.map (fun w -> Json.Float w) wall));
+          ])
+    | P.Health | P.Stats | P.Shutdown -> assert false (* handled inline *))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Convert any failure of a request into its structured error response.
+   This function must not raise: it is the daemon's crash-isolation
+   boundary.
+
+   Classification caveat: an exception raised *inside* a DPU launch
+   reaches us wrapped as [Usim.Machine.Dpu_failed] (resp. the CIM
+   equivalent) with the original exception stringified into its message —
+   the simulators stringify per-DPU outcomes to pick the lowest failing
+   DPU deterministically. So watchdog / deadline / cancellation trips are
+   recognized by message substring, not only by exception constructor.
+   Injected device faults never take this path (they are absorbed by the
+   retry/remap pre-pass), so a "watchdog:" or "deadline exceeded" match
+   is unambiguous. *)
+let execute_request_safe srv (req : P.request) config : Json.t =
+  match execute_request srv req config with
+  | resp -> resp
+  | exception Config.Cancelled msg ->
+    let code =
+      if Atomic.get config.Config.cancel then P.Cancelled else P.Deadline_exceeded
+    in
+    P.error_response ?id:req.P.id ~op:req.P.op ~code msg
+  | exception Pass.Pass_failed diag ->
+    (* reproducers are domain-local; this worker's last one is ours *)
+    let detail =
+      match Pass.last_reproducer () with
+      | Some r when r.Pass.diag = diag ->
+        [ ("reproducer", Json.String r.Pass.path) ]
+      | _ -> []
+    in
+    P.error_response ?id:req.P.id ~op:req.P.op ~detail ~code:P.Pass_failed
+      (Pass.diag_to_string diag)
+  | exception e ->
+    let msg =
+      match e with Interp.Interp_error m -> m | e -> Printexc.to_string e
+    in
+    let code =
+      if contains msg "watchdog:" then P.Watchdog
+      else if contains msg "deadline exceeded" then P.Deadline_exceeded
+      else if contains msg "request cancelled" then P.Cancelled
+      else P.Internal
+    in
+    P.error_response ?id:req.P.id ~op:req.P.op ~code msg
+
+(* ----- inline ops ----- *)
+
+let health_response srv (req : P.request) =
+  Mutex.lock srv.mutex;
+  let inflight = srv.inflight and draining = srv.draining in
+  Mutex.unlock srv.mutex;
+  P.ok_response ?id:req.P.id ~op:req.P.op
+    [
+      ("status", Json.String (if draining then "draining" else "ok"));
+      ("inflight", Json.Int inflight);
+      ("capacity", Json.Int srv.opts.max_inflight);
+      ("benchmarks", Json.List (List.map (fun n -> Json.String n) (Catalog.names ())));
+    ]
+
+let stats_response srv (req : P.request) =
+  Mutex.lock srv.mutex;
+  let c = srv.counters in
+  let served = c.served and ok = c.ok and errors = c.errors in
+  let degraded = c.degraded and rejected = c.rejected in
+  let inflight = srv.inflight in
+  Mutex.unlock srv.mutex;
+  let pc = Cache.stats srv.cache in
+  let cc = Compile.cache_stats () in
+  let ar = Tensor.Arena.stats () in
+  P.ok_response ?id:req.P.id ~op:req.P.op
+    [
+      ("served", Json.Int served);
+      ("ok", Json.Int ok);
+      ("errors", Json.Int errors);
+      ("degraded", Json.Int degraded);
+      ("rejected", Json.Int rejected);
+      ("inflight", Json.Int inflight);
+      ( "pipeline_cache",
+        Json.Obj
+          [
+            ("hits", Json.Int pc.Cache.hits);
+            ("misses", Json.Int pc.Cache.misses);
+            ("evictions", Json.Int pc.Cache.evictions);
+            ("entries", Json.Int pc.Cache.entries);
+          ] );
+      ( "code_cache",
+        Json.Obj
+          [
+            ("hits", Json.Int cc.Compile.hits);
+            ("misses", Json.Int cc.Compile.misses);
+            ("evictions", Json.Int cc.Compile.evictions);
+            ("entries", Json.Int cc.Compile.entries);
+          ] );
+      ( "arena",
+        Json.Obj
+          [
+            ("keys", Json.Int ar.Tensor.Arena.keys);
+            ("pooled", Json.Int ar.Tensor.Arena.pooled);
+            ("largest_pool", Json.Int ar.Tensor.Arena.largest_pool);
+          ] );
+    ]
+
+(* ----- admission (event-loop side) ----- *)
+
+let finish_request srv conn seq =
+  Mutex.lock srv.mutex;
+  srv.inflight <- srv.inflight - 1;
+  Hashtbl.remove srv.live seq;
+  conn.refs <- conn.refs - 1;
+  Mutex.unlock srv.mutex
+
+let admit srv conn (req : P.request) =
+  match request_config srv req with
+  | Error msg -> send_error srv conn ?id:req.P.id ~op:req.P.op ~code:P.Bad_request msg
+  | Ok config ->
+    Mutex.lock srv.mutex;
+    if srv.draining then begin
+      Mutex.unlock srv.mutex;
+      send_error srv conn ?id:req.P.id ~op:req.P.op ~code:P.Shutting_down
+        "daemon is shutting down"
+    end
+    else if srv.inflight >= srv.opts.max_inflight then begin
+      Mutex.unlock srv.mutex;
+      send_error srv conn ?id:req.P.id ~op:req.P.op ~code:P.Overloaded
+        (Printf.sprintf "%d requests in flight (capacity %d); retry later"
+           srv.inflight srv.opts.max_inflight)
+    end
+    else begin
+      srv.inflight <- srv.inflight + 1;
+      srv.seq <- srv.seq + 1;
+      let seq = srv.seq in
+      Hashtbl.replace srv.live seq config.Config.cancel;
+      conn.refs <- conn.refs + 1;
+      Mutex.unlock srv.mutex;
+      let task () =
+        let t0 = if Trace.enabled () then Trace.now_host () else 0.0 in
+        Fun.protect
+          ~finally:(fun () -> finish_request srv conn seq)
+          (fun () ->
+            let resp = execute_request_safe srv req config in
+            if Trace.enabled () then
+              Trace.complete ~cat:"serve" ~clock:Trace.Host ~pid:Trace.host_pid
+                ~track:"serve" ~ts:t0
+                ~dur:(Trace.now_host () -. t0)
+                ~args:
+                  [
+                    ("benchmark", Trace.Str req.P.benchmark);
+                    ( "ok",
+                      Trace.Str
+                        (if Json.bool_field resp "ok" = Some true then "true"
+                         else "false") );
+                  ]
+                (P.op_name req.P.op ^ ":" ^ req.P.benchmark);
+            send srv conn resp)
+      in
+      if not (Pool.submit srv.pool task) then begin
+        finish_request srv conn seq;
+        send_error srv conn ?id:req.P.id ~op:req.P.op ~code:P.Shutting_down
+          "daemon is shutting down"
+      end
+    end
+
+(* One complete request line from a connection. Never raises; never
+   closes the connection — every outcome is a response. *)
+let handle_line srv conn line =
+  if String.length line > srv.opts.max_request_bytes then
+    send_error srv conn ~code:P.Oversized
+      (Printf.sprintf "request of %d bytes exceeds the %d-byte limit"
+         (String.length line) srv.opts.max_request_bytes)
+  else if String.trim line = "" then () (* blank lines are keep-alive noise *)
+  else
+    match Json.parse line with
+    | exception Json.Parse_error e ->
+      send_error srv conn ~detail:(P.parse_error_detail e) ~code:P.Parse_error_code
+        e.Json.message
+    | j -> (
+      match P.decode j with
+      | Error msg ->
+        let id = Json.string_field j "id" in
+        send_error srv conn ?id ~code:P.Bad_request msg
+      | Ok req -> (
+        match req.P.op with
+        | P.Health -> send srv conn (health_response srv req)
+        | P.Stats -> send srv conn (stats_response srv req)
+        | P.Shutdown ->
+          send srv conn
+            (P.ok_response ?id:req.P.id ~op:req.P.op
+               [ ("status", Json.String "draining") ]);
+          Atomic.set srv.shutdown_flag true
+        | P.Compile | P.Run | P.Bench -> admit srv conn req))
+
+(* ----- the event loop ----- *)
+
+(* Split complete lines off a connection's read buffer, handling each;
+   the remainder stays buffered. Oversized partial lines flip the
+   connection into skip-until-newline mode so the stream resyncs instead
+   of closing or buffering without bound. *)
+let drain_buffer srv conn =
+  let data = Buffer.contents conn.rbuf in
+  Buffer.clear conn.rbuf;
+  let n = String.length data in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       match String.index_from_opt data !pos '\n' with
+       | Some nl ->
+         let line = String.sub data !pos (nl - !pos) in
+         if conn.skipping then conn.skipping <- false
+         else handle_line srv conn line;
+         pos := nl + 1
+       | None ->
+         let rest = n - !pos in
+         if conn.skipping then () (* drop bytes until a newline shows up *)
+         else if rest > srv.opts.max_request_bytes then begin
+           (* unbounded line: shed it now, resync at the next newline *)
+           send_error srv conn ~code:P.Oversized
+             (Printf.sprintf
+                "request exceeds the %d-byte limit; discarding until newline"
+                srv.opts.max_request_bytes);
+           conn.skipping <- true
+         end
+         else Buffer.add_substring conn.rbuf data !pos rest;
+         pos := n
+     done
+   with e ->
+     (* handle_line is not supposed to raise; contain it so the event
+        loop survives even if it does *)
+     Log.warn "serve: request handler raised: %s" (Printexc.to_string e))
+
+let read_chunk srv conn scratch =
+  match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+  | 0 -> conn.peer_open <- false
+  | n ->
+    Buffer.add_subbytes conn.rbuf scratch 0 n;
+    drain_buffer srv conn
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    conn.peer_open <- false
+  | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+
+let create (opts : opts) : t =
+  (match Unix.lstat opts.socket_path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink opts.socket_path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX opts.socket_path);
+  Unix.listen listen_fd 64;
+  (* With dedicated workers ([jobs > 0]) the daemon optimizes for request
+     throughput: each request runs single-threaded on its worker domain
+     and the *default* pool is shrunk to one, so a request's device loops
+     (the simulators parallel-for DPU lanes over the default pool) run
+     inline instead of contending — N concurrent requests beat one
+     request's DPU loop going N-wide. With [jobs = 0] the daemon shares
+     the default pool and keeps the one-shot CLI behavior (a single
+     request's launches go parallel). *)
+  let pool =
+    if opts.jobs > 0 then begin
+      Pool.set_default_jobs 1;
+      Pool.create ~jobs:opts.jobs ()
+    end
+    else Pool.default ()
+  in
+  {
+    opts;
+    pool;
+    cache = Cache.create ~capacity:opts.cache_capacity ();
+    listen_fd;
+    mutex = Mutex.create ();
+    conns = [];
+    inflight = 0;
+    draining = false;
+    counters = { served = 0; ok = 0; errors = 0; degraded = 0; rejected = 0 };
+    live = Hashtbl.create 64;
+    seq = 0;
+    shutdown_flag = Atomic.make false;
+  }
+
+let install_signal_handlers srv =
+  (* a dead client mid-write must be a failed send, not a dead daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let request_shutdown _ = Atomic.set srv.shutdown_flag true in
+  try
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_shutdown);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_shutdown)
+  with Invalid_argument _ -> ()
+
+let shutdown srv =
+  Mutex.lock srv.mutex;
+  srv.draining <- true;
+  Mutex.unlock srv.mutex;
+  (* in-flight requests get [drain_grace_s] to finish; after that their
+     cancel flags are set and the interpreter aborts them at the next
+     watchdog point (they still answer, as [cancelled] errors) *)
+  let deadline = Unix.gettimeofday () +. srv.opts.drain_grace_s in
+  let cancelled = ref false in
+  let rec wait () =
+    Mutex.lock srv.mutex;
+    let n = srv.inflight in
+    if n > 0 && (not !cancelled) && Unix.gettimeofday () > deadline then begin
+      Hashtbl.iter (fun _ flag -> Atomic.set flag true) srv.live;
+      cancelled := true;
+      Log.warn "serve: drain grace expired; cancelled %d in-flight request(s)" n
+    end;
+    Mutex.unlock srv.mutex;
+    if n > 0 then begin
+      Unix.sleepf 0.01;
+      wait ()
+    end
+  in
+  wait ();
+  Pool.shutdown srv.pool;
+  Mutex.lock srv.mutex;
+  let conns = srv.conns in
+  srv.conns <- [];
+  Mutex.unlock srv.mutex;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink srv.opts.socket_path with Unix.Unix_error _ -> ()
+
+(* Serve until shutdown is requested (the "shutdown" op, SIGTERM or
+   SIGINT), then drain and clean up. *)
+let run srv =
+  install_signal_handlers srv;
+  let scratch = Bytes.create 65536 in
+  while not (Atomic.get srv.shutdown_flag) do
+    let conn_fds = List.map (fun c -> c.fd) srv.conns in
+    (match Unix.select (srv.listen_fd :: conn_fds) [] [] 0.1 with
+    | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = srv.listen_fd then begin
+            match Unix.accept srv.listen_fd with
+            | cfd, _ ->
+              let conn =
+                {
+                  fd = cfd;
+                  wmutex = Mutex.create ();
+                  rbuf = Buffer.create 1024;
+                  skipping = false;
+                  peer_open = true;
+                  refs = 0;
+                }
+              in
+              Mutex.lock srv.mutex;
+              srv.conns <- conn :: srv.conns;
+              Mutex.unlock srv.mutex
+            | exception Unix.Unix_error _ -> ()
+          end
+          else
+            match List.find_opt (fun c -> c.fd = fd) srv.conns with
+            | Some conn -> read_chunk srv conn scratch
+            | None -> ())
+        readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> ());
+    (* reap closed connections whose workers have all finished *)
+    Mutex.lock srv.mutex;
+    let dead, alive =
+      List.partition (fun c -> (not c.peer_open) && c.refs = 0) srv.conns
+    in
+    srv.conns <- alive;
+    Mutex.unlock srv.mutex;
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) dead
+  done;
+  shutdown srv
+
+let serve opts =
+  let srv = create opts in
+  run srv

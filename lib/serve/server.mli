@@ -1,0 +1,39 @@
+(** The cinm_serve daemon: a fault-isolated compile-and-run service over
+    a Unix-domain socket (newline-delimited JSON, see {!Protocol}).
+
+    One event-loop thread owns all sockets; compile/run/bench requests
+    are admitted against a bounded in-flight budget and executed on the
+    shared domain pool under per-request {!Cinm_support.Config}
+    snapshots (deadline, cancellation, strictness, step budget,
+    interpreter backend, fault plan). Every failure of a request becomes
+    a structured error response — the daemon only exits on shutdown. *)
+
+type opts = {
+  socket_path : string;
+  jobs : int;  (** domain-pool size (0 = the default pool's size) *)
+  max_inflight : int;  (** admitted (queued + executing) request cap *)
+  max_request_bytes : int;  (** per-line cap; larger lines are shed *)
+  default_deadline_s : float;
+      (** applied when a request names none; 0 = none *)
+  cache_capacity : int;  (** pipeline-cache entries *)
+  drain_grace_s : float;
+      (** shutdown: seconds before in-flight requests are cancelled *)
+  base_config : Cinm_support.Config.t;
+      (** per-request configs start from this *)
+}
+
+val default_opts : ?socket_path:string -> unit -> opts
+
+type t
+
+(** Bind the socket (replacing a stale socket file) and create the
+    server, but do not serve yet. *)
+val create : opts -> t
+
+(** Serve until shutdown is requested (the ["shutdown"] op, SIGTERM or
+    SIGINT), then drain in-flight work, tear the pool down, close every
+    connection and unlink the socket. *)
+val run : t -> unit
+
+(** [create] + [run]. *)
+val serve : opts -> unit

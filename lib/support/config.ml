@@ -1,0 +1,106 @@
+(* Per-request execution configuration.
+
+   Before the serve daemon existed, every robustness knob was a process
+   global initialized from an environment variable at module-load time
+   (CINM_STRICT in the pass manager, CINM_MAX_STEPS in the interpreter,
+   CINM_PASS_BUDGET_S, CINM_REPRODUCER_DIR, CINM_INTERP, CINM_FAULTS).
+   That is fine for a one-shot CLI process but races badly in a long-lived
+   server: two concurrent requests that want different step budgets would
+   fight over one ref.
+
+   This module is the single snapshot point. [from_env] parses the
+   environment exactly once into an immutable record; [default] is the
+   mutable *process* default (what the CLI flags mutate, preserving the
+   old behavior); a server builds one [t] per request — starting from its
+   own base config, overriding per-request fields — and threads it
+   explicitly through the pass manager, the driver and the interpreter.
+   Nothing on a hot path reads [Sys.getenv] anymore.
+
+   Deadlines and cancellation: [deadline] is an absolute host timestamp
+   (0. = none) and [cancel] a shared flag a server may set to tear a
+   request down cooperatively. [check] raises {!Cancelled} when either
+   trips; the pass manager calls it between passes and the interpreter
+   watchdog calls it on loop back-edges, so a request dies at the next
+   safe point instead of taking the process with it. [Cancelled] is
+   deliberately not one of the exceptions the pass runner converts into a
+   structured pass-failure diagnostic: a request past its deadline must
+   abort outright, not trigger the CPU-fallback retry path. *)
+
+type t = {
+  strict : bool;  (** verify + print->parse->print fixpoint after every pass *)
+  pass_budget_s : float option;  (** per-pass wall-time budget *)
+  reproducer_dir : string option;  (** crash-reproducer output directory *)
+  max_steps : int;  (** interpreter watchdog budget; 0 = unlimited *)
+  interp : string;  (** "tree" | "compiled" | "" = process default *)
+  faults : Fault.plan option;  (** None = the process-default plan *)
+  deadline : float;  (** absolute host time (Unix epoch); 0. = none *)
+  cancel : bool Atomic.t;  (** cooperative cancellation flag *)
+}
+
+exception Cancelled of string
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled msg -> Some (Printf.sprintf "request cancelled: %s" msg)
+    | _ -> None)
+
+(* A single shared never-set flag for configs that are not cancellable,
+   so the watchdog's [Atomic.get] is always valid without an option. *)
+let never_cancelled : bool Atomic.t = Atomic.make false
+
+let truthy s =
+  match String.lowercase_ascii s with
+  | "1" | "true" | "on" | "yes" -> true
+  | _ -> false
+
+let env_truthy name =
+  match Sys.getenv_opt name with Some s -> truthy s | None -> false
+
+let from_env () =
+  {
+    strict = env_truthy "CINM_STRICT";
+    pass_budget_s =
+      (match Sys.getenv_opt "CINM_PASS_BUDGET_S" with
+      | Some s -> float_of_string_opt s
+      | None -> None);
+    reproducer_dir = Sys.getenv_opt "CINM_REPRODUCER_DIR";
+    max_steps =
+      (match Option.map int_of_string_opt (Sys.getenv_opt "CINM_MAX_STEPS") with
+      | Some (Some n) when n > 0 -> n
+      | _ -> 0);
+    interp = Option.value (Sys.getenv_opt "CINM_INTERP") ~default:"";
+    faults = None (* resolved through Fault.default, which owns CINM_FAULTS *);
+    deadline = 0.0;
+    cancel = never_cancelled;
+  }
+
+(* The process default: parsed from the environment on first use, mutated
+   by the CLI entry points through the legacy setters (Pass.set_strict,
+   Interp.set_default_max_steps, ...), which delegate here. *)
+let process_default : t option ref = ref None
+
+let default () =
+  match !process_default with
+  | Some c -> c
+  | None ->
+    let c = from_env () in
+    process_default := Some c;
+    c
+
+let set_default c = process_default := Some c
+let update_default f = set_default (f (default ()))
+
+let cancelled c = Atomic.get c.cancel
+
+let past_deadline c = c.deadline > 0.0 && Unix.gettimeofday () > c.deadline
+
+let check c =
+  if Atomic.get c.cancel then raise (Cancelled "cancelled by the server");
+  if past_deadline c then
+    raise
+      (Cancelled
+         (Printf.sprintf "deadline exceeded (%.3fs past)"
+            (Unix.gettimeofday () -. c.deadline)))
+
+let remaining_s c =
+  if c.deadline <= 0.0 then None else Some (c.deadline -. Unix.gettimeofday ())

@@ -1,19 +1,34 @@
-(* A small reusable domain pool for data-parallel loops (OCaml 5 domains).
+(* A small reusable domain pool for data-parallel loops and background
+   tasks (OCaml 5 domains).
 
    The UPMEM machine simulator executes every DPU of a launch through this
    pool; real hardware runs all DPUs concurrently, and the simulation is
-   embarrassingly parallel at DPU granularity. The pool is deliberately
-   minimal: one parallel-for primitive over [0, n), a fixed set of worker
-   domains spawned lazily on first use, and a sequential fallback whenever
-   parallelism cannot help (1 job, 1 item) or would be unsafe (re-entrant
-   use from inside a worker).
+   embarrassingly parallel at DPU granularity. The serve daemon also
+   multiplexes whole requests over the same pool as *tasks*: a submitted
+   task occupies one worker for its duration, and any parallel-for the
+   task issues (a simulated launch) is served by whichever workers are
+   free at that moment — so request concurrency and per-request simulation
+   parallelism share one fixed set of domains.
+
+   Primitives:
+   - [run]: one parallel-for over [0, n), the calling domain participates;
+     sequential fallback whenever parallelism cannot help (1 job, 1 item)
+     or would be unsafe (re-entrant use while another loop is in flight).
+   - [submit]: enqueue an independent task; workers prefer parallel-for
+     indices (they are short and a caller is blocked on them) and drain
+     tasks otherwise. Returns [false] once shutdown has begun.
 
    Sizing: [CINM_JOBS] in the environment, or [set_default_jobs] (the
    bench harness's [--jobs] flag), or [Domain.recommended_domain_count].
 
    Determinism: [run] only schedules; callers index into pre-allocated
    result slots, so the output of a parallel loop is independent of the
-   interleaving. *)
+   interleaving.
+
+   Shutdown is graceful and idempotent: the first [shutdown] call rejects
+   all further submissions, lets the in-flight parallel-for and every
+   already-accepted task finish (workers drain the queue before exiting),
+   and joins the workers; later calls return immediately. *)
 
 type t = {
   jobs : int;
@@ -27,7 +42,11 @@ type t = {
   mutable unfinished : int;  (** claimed-or-unclaimed indices not yet done *)
   mutable exn : (exn * Printexc.raw_backtrace) option;
   mutable busy : bool;  (** a [run] is in flight (re-entrancy guard) *)
+  (* background tasks, guarded by [mutex] *)
+  tasks : (unit -> unit) Queue.t;
+  mutable active_tasks : int;  (** claimed tasks currently executing *)
   mutable shutting_down : bool;
+  mutable shutdown_done : bool;  (** a shutdown call already ran to completion *)
   mutable workers : unit Domain.t list;  (** spawned lazily *)
 }
 
@@ -46,7 +65,10 @@ let create ?jobs () =
     unfinished = 0;
     exn = None;
     busy = false;
+    tasks = Queue.create ();
+    active_tasks = 0;
     shutting_down = false;
+    shutdown_done = false;
     workers = [];
   }
 
@@ -68,34 +90,91 @@ let run_index p f i =
   p.unfinished <- p.unfinished - 1;
   if p.unfinished = 0 then Condition.broadcast p.all_done
 
+(* Run one claimed task outside the lock. A task owns its own error
+   handling (the daemon wraps every request); anything that still escapes
+   is contained here so a misbehaving task can never kill its worker. *)
+let run_task p task =
+  p.active_tasks <- p.active_tasks + 1;
+  Mutex.unlock p.mutex;
+  (try task ()
+   with e -> Log.warn "pool task raised: %s" (Printexc.to_string e));
+  Mutex.lock p.mutex;
+  p.active_tasks <- p.active_tasks - 1
+
 let worker_loop p =
   Mutex.lock p.mutex;
   let stop = ref false in
   while not !stop do
-    if p.shutting_down then stop := true
-    else
-      match p.body with
-      | Some f when p.next < p.total ->
-        let i = p.next in
-        p.next <- p.next + 1;
-        run_index p f i
-      | _ -> Condition.wait p.has_work p.mutex
+    match p.body with
+    | Some f when p.next < p.total ->
+      let i = p.next in
+      p.next <- p.next + 1;
+      run_index p f i
+    | _ ->
+      if not (Queue.is_empty p.tasks) then run_task p (Queue.pop p.tasks)
+      else if p.shutting_down then stop := true
+      else Condition.wait p.has_work p.mutex
   done;
   Mutex.unlock p.mutex
 
-(* Must be called with the mutex held. *)
-let ensure_workers p =
-  if p.workers = [] && p.jobs > 1 then
-    p.workers <- List.init (p.jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p))
+(* Must be called with the mutex held. [min_workers] lets [submit] insist
+   on at least one worker even on a 1-job pool, so tasks always make
+   progress (parallel-for on a 1-job pool stays sequential regardless). *)
+let ensure_workers ?(min_workers = 0) p =
+  if p.workers = [] && not p.shutting_down then begin
+    let n = max min_workers (p.jobs - 1) in
+    if n > 0 then
+      p.workers <- List.init n (fun _ -> Domain.spawn (fun () -> worker_loop p))
+  end
+
+let submit p task =
+  Mutex.lock p.mutex;
+  if p.shutting_down then begin
+    Mutex.unlock p.mutex;
+    false
+  end
+  else begin
+    Queue.push task p.tasks;
+    ensure_workers ~min_workers:1 p;
+    Condition.broadcast p.has_work;
+    Mutex.unlock p.mutex;
+    true
+  end
+
+let pending p =
+  Mutex.lock p.mutex;
+  let n = Queue.length p.tasks + p.active_tasks in
+  Mutex.unlock p.mutex;
+  n
 
 let shutdown p =
   Mutex.lock p.mutex;
-  p.shutting_down <- true;
-  Condition.broadcast p.has_work;
-  let workers = p.workers in
-  p.workers <- [];
+  if p.shutdown_done then Mutex.unlock p.mutex
+  else begin
+    p.shutdown_done <- true;
+    p.shutting_down <- true;
+    Condition.broadcast p.has_work;
+    let workers = p.workers in
+    p.workers <- [];
+    Mutex.unlock p.mutex;
+    (* workers drain the task queue before exiting, so joining them is the
+       drain barrier *)
+    List.iter Domain.join workers;
+    (* a 0-worker pool (jobs = 1, nothing ever submitted) has no one to
+       drain a queue for; run anything still queued here so accepted work
+       is never dropped *)
+    Mutex.lock p.mutex;
+    while not (Queue.is_empty p.tasks) do
+      run_task p (Queue.pop p.tasks)
+    done;
+    Mutex.unlock p.mutex
+  end
+
+let shutting_down p =
+  Mutex.lock p.mutex;
+  let s = p.shutting_down in
   Mutex.unlock p.mutex;
-  List.iter Domain.join workers
+  s
 
 (* Apply [f] to every index in [0, n), possibly in parallel. Blocks until
    all calls completed; re-raises the first exception any of them threw. *)

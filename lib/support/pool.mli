@@ -1,26 +1,47 @@
-(** A small reusable domain pool for data-parallel loops.
+(** A small reusable domain pool for data-parallel loops and background
+    tasks.
 
     [run p n f] applies [f] to every index in [0, n), distributing the
     calls over the pool's domains (the calling domain participates). It
     returns once every call has completed and re-raises the first
     exception raised by any call. Scheduling never affects results as
     long as distinct indices touch disjoint state: callers write into
-    pre-allocated per-index slots, so outputs are deterministic. *)
+    pre-allocated per-index slots, so outputs are deterministic.
+
+    [submit p task] enqueues an independent background task (the serve
+    daemon's unit of request execution). Workers prefer parallel-for
+    indices over tasks, so a task that issues [run] internally is served
+    by whichever workers are free. *)
 
 type t
 
 (** [create ?jobs ()] makes a pool of [jobs] domains (including the
     caller); defaults to [Domain.recommended_domain_count]. Worker
-    domains are spawned lazily on first parallel [run]. *)
+    domains are spawned lazily on first parallel [run] or [submit]. *)
 val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
 val run : t -> int -> (int -> unit) -> unit
 
-(** Wake and join all worker domains. The pool afterwards degrades to
-    sequential execution. *)
+(** Enqueue a background task; at least one worker domain is spawned even
+    on a 1-job pool so tasks always make progress. Returns [false] (task
+    not accepted) once {!shutdown} has begun. A task that raises is
+    contained and logged; it can never kill its worker. *)
+val submit : t -> (unit -> unit) -> bool
+
+(** Tasks accepted but not yet finished (queued + executing). *)
+val pending : t -> int
+
+(** Graceful shutdown: reject all further submissions, let the in-flight
+    parallel-for and every accepted task finish (workers drain the queue
+    before exiting), then join the workers. Idempotent — later calls
+    return immediately. The pool afterwards degrades to sequential
+    execution for [run]. *)
 val shutdown : t -> unit
+
+(** True once {!shutdown} has begun ([submit] will refuse). *)
+val shutting_down : t -> bool
 
 (** The process-wide pool, sized by [CINM_JOBS] when set (and valid),
     else [Domain.recommended_domain_count]. Created on first use; torn
