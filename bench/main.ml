@@ -25,6 +25,10 @@
           main.exe --trace FILE ... (Chrome trace-event JSON: compile
                                      passes and per-device simulated
                                      timelines; open in ui.perfetto.dev)
+          main.exe --metrics ...    (collect the telemetry registry and
+                                     dump it to stderr at exit; report
+                                     and --json minus wall_s are
+                                     byte-identical either way)
           main.exe --batch ...      (run the selected experiments
                                      concurrently on the domain pool,
                                      buffering output per experiment;
@@ -827,6 +831,15 @@ let () =
     | [ "--trace" ] ->
       Printf.eprintf "--trace expects a file name\n";
       exit 1
+    | "--metrics" :: rest ->
+      (* collect the telemetry registry (histograms per pass, codegen
+         counters, ...) and dump it to stderr at exit; the printed
+         report and --json minus wall_s must be byte-identical with or
+         without this flag — CI asserts that *)
+      Cinm_support.Trace.Metrics.enable ();
+      at_exit (fun () ->
+          Printf.eprintf "%s%!" (Cinm_support.Trace.Metrics.dump ()));
+      parse acc rest
     | cmd :: rest -> parse (cmd :: acc) rest
   in
   let cmds = parse [] (List.tl (Array.to_list Sys.argv)) in

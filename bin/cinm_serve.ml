@@ -19,8 +19,8 @@ module Config = Cinm_support.Config
 let () = Cinm_dialects.Registry.ensure_all ()
 
 let serve socket jobs max_inflight max_request_bytes deadline_s cache_capacity
-    drain_grace_s strict interp max_steps pass_budget_s reproducer_dir warm
-    trace_out =
+    drain_grace_s metrics_port trace_dir slow_request_s strict interp max_steps
+    pass_budget_s reproducer_dir warm trace_out =
   (match interp with
   | "" | "tree" | "compiled" -> ()
   | s ->
@@ -57,6 +57,9 @@ let serve socket jobs max_inflight max_request_bytes deadline_s cache_capacity
       default_deadline_s = deadline_s;
       cache_capacity;
       drain_grace_s;
+      metrics_port;
+      trace_dir = (if trace_dir = "" then None else Some trace_dir);
+      slow_request_s;
       base_config = base;
     }
   in
@@ -113,6 +116,26 @@ let cmd =
               ~doc:
                 "On shutdown, how long in-flight requests may run before \
                  being cooperatively cancelled.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "metrics-port" ] ~docv:"PORT"
+              ~doc:
+                "Serve Prometheus text exposition on \
+                 http://127.0.0.1:PORT/metrics (0 = off; the `metrics' \
+                 protocol op works either way).")
+      $ Arg.(
+          value & opt string ""
+          & info [ "trace-dir" ] ~docv:"DIR"
+              ~doc:
+                "Write per-request traces (requests with \"trace\": true) \
+                 to DIR/<req_id>.trace.json instead of inlining the JSON \
+                 in the response.")
+      $ Arg.(
+          value & opt float 0.0
+          & info [ "slow-request-s" ] ~docv:"SECONDS"
+              ~doc:
+                "Warn (with the request's phase breakdown) about requests \
+                 slower than this, admission to response (0 = off).")
       $ Arg.(
           value & flag
           & info [ "strict" ]

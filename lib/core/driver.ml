@@ -76,17 +76,38 @@ let pipeline (backend : Backend.t) : Pass.t list =
     ]
 
 (* One host-clock driver span (compile / execute), emitted even when [f]
-   raises so the trace shows where a failing run died. *)
-let with_span name f =
-  if not (Trace.enabled ()) then f ()
+   raises so the trace shows where a failing run died. The same timing
+   feeds the phase histograms (cinm_driver_compile_seconds /
+   cinm_driver_execute_seconds) when metrics are collected; with both
+   tracing and metrics off this is a single branch around [f]. *)
+let with_span ?config name f =
+  let tracing = Trace.enabled () and metrics = Trace.Metrics.enabled () in
+  if not (tracing || metrics) then f ()
   else begin
     let t0 = Trace.now_host () in
     Fun.protect
       ~finally:(fun () ->
-        Trace.complete ~cat:"driver" ~clock:Trace.Host ~pid:Trace.host_pid
-          ~track:"driver" ~ts:t0
-          ~dur:(Trace.now_host () -. t0)
-          name)
+        let dur = Trace.now_host () -. t0 in
+        if tracing then begin
+          let args =
+            match config with
+            | Some c when c.Config.req_id <> "" ->
+              [ ("req_id", Trace.Str c.Config.req_id) ]
+            | _ -> []
+          in
+          Trace.complete ~cat:"driver" ~args ~clock:Trace.Host
+            ~pid:Trace.host_pid ~track:"driver" ~ts:t0 ~dur name
+        end;
+        if metrics then begin
+          let phase =
+            match String.index_opt name ':' with
+            | Some i -> String.sub name 0 i
+            | None -> name
+          in
+          Trace.Metrics.observe
+            (Printf.sprintf "cinm_driver_%s_seconds" phase)
+            dur
+        end)
       f
   end
 
@@ -114,7 +135,7 @@ let cpu_fallback_pipeline =
 
 let compile ?(verify = true) ?(fallback = true) ?config backend (m : Func.modul)
     : compiled =
-  with_span ("compile:" ^ Backend.to_string backend) @@ fun () ->
+  with_span ?config ("compile:" ^ Backend.to_string backend) @@ fun () ->
   match backend with
   | Backend.Host_xeon | Backend.Host_arm ->
     Pass.run_pipeline ~verify ?config (pipeline backend) m;
@@ -164,7 +185,7 @@ let run_upmem_func ?(backend_name = "upmem") ?host_model ?modul ?config
   let machine = Usim.Machine.create ?faults:(machine_faults config) sim_config in
   let profile = Profile.create () in
   let results, _ =
-    with_span ("execute:" ^ backend_name) @@ fun () ->
+    with_span ?config ("execute:" ^ backend_name) @@ fun () ->
     Compile.run_func
       ~hooks:[ Usim.Machine.hook machine ]
       ~profile ?modul ?config f args
@@ -234,7 +255,7 @@ let run ?(fname = "") ?host_model ?config (compiled : compiled)
   let backend_name = Backend.to_string compiled.backend in
   let run_on_host ~backend_name model =
     let results, profile =
-      with_span ("execute:" ^ backend_name) @@ fun () ->
+      with_span ?config ("execute:" ^ backend_name) @@ fun () ->
       Compile.run_func ~modul:compiled.modul ?config f args
     in
     let est = Cpu.Model.estimate model profile in
@@ -281,7 +302,7 @@ let run ?(fname = "") ?host_model ?config (compiled : compiled)
     let cam = Camsim.Cam_machine.create (Camsim.Cam_machine.default_config ()) in
     let profile = Profile.create () in
     let results, _ =
-      with_span ("execute:" ^ backend_name) @@ fun () ->
+      with_span ?config ("execute:" ^ backend_name) @@ fun () ->
       Compile.run_func
         ~hooks:[ Msim.Machine.hook machine; Camsim.Cam_machine.hook cam ]
         ~profile ~modul:compiled.modul ?config f args

@@ -48,6 +48,7 @@
 
 open Cinm_ir
 module Config = Cinm_support.Config
+module Trace = Cinm_support.Trace
 
 (* ----- backend selection ----- *)
 
@@ -914,23 +915,35 @@ let clear_cache () =
 
 let get_code (region : Ir.region) : code =
   let key = (Ir.entry_block region).Ir.bid in
-  Mutex.lock cache_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock cache_mutex)
-    (fun () ->
-      match Hashtbl.find_opt cache key with
-      | Some c ->
-        incr stats_hits;
-        c
-      | None ->
-        incr stats_misses;
-        if Hashtbl.length cache >= !max_cache_entries then begin
-          stats_evictions := !stats_evictions + Hashtbl.length cache;
-          Hashtbl.reset cache
-        end;
-        let c = compile_unit region in
-        Hashtbl.add cache key c;
-        c)
+  (* codegen wall time on a miss, observed after the mutex is released
+     so the metrics registry is never entered with the cache lock held *)
+  let miss_s = ref (-1.0) in
+  let code =
+    Mutex.lock cache_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock cache_mutex)
+      (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some c ->
+          incr stats_hits;
+          c
+        | None ->
+          incr stats_misses;
+          if Hashtbl.length cache >= !max_cache_entries then begin
+            stats_evictions := !stats_evictions + Hashtbl.length cache;
+            Hashtbl.reset cache
+          end;
+          let t0 = if Trace.Metrics.enabled () then Unix.gettimeofday () else 0.0 in
+          let c = compile_unit region in
+          if t0 > 0.0 then miss_s := Unix.gettimeofday () -. t0;
+          Hashtbl.add cache key c;
+          c)
+  in
+  if !miss_s >= 0.0 && Trace.Metrics.enabled () then begin
+    Trace.Metrics.incr "cinm_codegen_regions_total";
+    Trace.Metrics.observe "cinm_codegen_seconds" !miss_s
+  end;
+  code
 
 let exec (code : code) ctx (caps : Rtval.t array) (args : Rtval.t list) : Rtval.t list =
   let n_args = List.length args in

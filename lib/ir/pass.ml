@@ -153,7 +153,7 @@ let reproducer_pipeline_of_text text =
   in
   scan (String.split_on_char '\n' text)
 
-let write_reproducer ~dir ~strict ~pipeline ~(diag : diag) ir_text =
+let write_reproducer ?(req_id = "") ~dir ~strict ~pipeline ~(diag : diag) ir_text =
   (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
    with Sys_error _ -> ());
   let path =
@@ -165,6 +165,9 @@ let write_reproducer ~dir ~strict ~pipeline ~(diag : diag) ir_text =
     let oc = open_out path in
     output_string oc (reproducer_header ~strict ~pipeline);
     output_char oc '\n';
+    (* correlate the artifact with the server request that produced it;
+       a leading comment line, so the replay parser is unaffected *)
+    if req_id <> "" then output_string oc ("// req-id: " ^ req_id ^ "\n");
     List.iter
       (fun l -> output_string oc ("// failure: " ^ l ^ "\n"))
       (String.split_on_char '\n' (diag_to_string diag));
@@ -341,6 +344,12 @@ let run_one_result ?(verify = true) ?config pass m =
         | Ok () -> []
         | Error d -> [ ("error", Trace.Str (diag_to_string d)) ]
       in
+      let rid =
+        match config with
+        | Some c when c.Config.req_id <> "" ->
+          [ ("req_id", Trace.Str c.Config.req_id) ]
+        | _ -> []
+      in
       Trace.complete ~cat:"pass"
         ~args:
           ([
@@ -348,7 +357,7 @@ let run_one_result ?(verify = true) ?config pass m =
              ("ops_after", Trace.Int ops_after);
              ("ops_delta", Trace.Int (ops_after - ops_before));
            ]
-          @ hit_args @ err)
+          @ hit_args @ err @ rid)
         ~clock:Trace.Host ~pid:Trace.host_pid ~track:"passes" ~ts:t0
         ~dur:wall_s
         ("pass:" ^ pass.pass_name)
@@ -389,8 +398,11 @@ let run_pipeline_result ?verify ?(trace = false) ?config passes m =
       | Error d ->
         (match (snapshot, repro_dir) with
         | Some txt, Some dir ->
+          let req_id =
+            match config with Some c -> c.Config.req_id | None -> ""
+          in
           ignore
-            (write_reproducer ~dir ~strict:(eff_strict config)
+            (write_reproducer ~req_id ~dir ~strict:(eff_strict config)
                ~pipeline:(List.map (fun p -> p.pass_name) pipeline)
                ~diag:d txt)
         | _ -> ());

@@ -62,7 +62,7 @@ let request t (req : Json.t) : Json.t =
 
 (* Convenience: build a request object from optional fields. *)
 let make_request ?id ?benchmark ?backend ?strict ?interp ?max_steps ?deadline_s
-    ?pass_budget_s ?faults ?fallback ?check ?repeats op : Json.t
+    ?pass_budget_s ?faults ?fallback ?check ?repeats ?trace op : Json.t
     =
   let add name v fields =
     match v with None -> fields | Some v -> (name, v) :: fields
@@ -83,4 +83,5 @@ let make_request ?id ?benchmark ?backend ?strict ?interp ?max_steps ?deadline_s
        |> add "fallback" (Option.map (fun b -> Json.Bool b) fallback)
        |> add "check" (Option.map (fun b -> Json.Bool b) check)
        |> add "repeats" (Option.map (fun i -> Json.Int i) repeats)
+       |> add "trace" (Option.map (fun b -> Json.Bool b) trace)
        |> List.rev))

@@ -33,5 +33,6 @@ val make_request :
   ?fallback:bool ->
   ?check:bool ->
   ?repeats:int ->
+  ?trace:bool ->
   string ->
   Json.t

@@ -4,12 +4,13 @@
    bench responses may come back in any order — pipelining clients match
    them by ["id"].
 
-   Request shape (only [op] is required):
+   Request shape (only [op] is required; "metrics" returns the
+   telemetry registry, "trace": true captures the request's spans):
 
      {"op": "run", "id": "r42", "benchmark": "va", "backend": "upmem",
       "strict": true, "interp": "compiled", "max_steps": 100000,
       "deadline_s": 5.0, "pass_budget_s": 0.5, "faults": "dpu_fail=0.05",
-      "fallback": false, "check": true, "repeats": 3}
+      "fallback": false, "check": true, "repeats": 3, "trace": true}
 
    Responses always carry ["ok"] and echo ["id"]/["op"]; failures carry a
    structured ["error"] object with a stable [code], a human [message]
@@ -18,7 +19,7 @@
    is a [bad_request], not a silent default — but lenient about unknown
    fields, so clients can grow. *)
 
-type op = Compile | Run | Bench | Health | Stats | Shutdown
+type op = Compile | Run | Bench | Health | Stats | Metrics | Shutdown
 
 let op_name = function
   | Compile -> "compile"
@@ -26,6 +27,7 @@ let op_name = function
   | Bench -> "bench"
   | Health -> "health"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Shutdown -> "shutdown"
 
 let op_of_string = function
@@ -34,6 +36,7 @@ let op_of_string = function
   | "bench" -> Some Bench
   | "health" -> Some Health
   | "stats" -> Some Stats
+  | "metrics" -> Some Metrics
   | "shutdown" -> Some Shutdown
   | _ -> None
 
@@ -51,6 +54,9 @@ type request = {
   fallback : bool;  (** CPU fallback on device-lowering failure *)
   check : bool;  (** verify device results against the host reference *)
   repeats : int;  (** bench: number of timed runs *)
+  trace : bool;
+      (** capture this request's spans in isolation and attach the
+          Perfetto JSON (or a --trace-dir path) to the response *)
 }
 
 (* Stable machine-readable failure taxonomy; the loadgen and CI smoke
@@ -109,7 +115,8 @@ let decode (j : Json.t) : (request, string) result =
         | None ->
           Error
             (Printf.sprintf
-               "unknown op %S (expected compile|run|bench|health|stats|shutdown)" s))
+               "unknown op %S (expected compile|run|bench|health|stats|metrics|shutdown)"
+               s))
     in
     let* benchmark = opt_field j "benchmark" Json.get_string "a string" in
     let* backend = opt_field j "backend" Json.get_string "a string" in
@@ -122,6 +129,7 @@ let decode (j : Json.t) : (request, string) result =
     let* fallback = opt_field j "fallback" Json.get_bool "a boolean" in
     let* check = opt_field j "check" Json.get_bool "a boolean" in
     let* repeats = opt_field j "repeats" Json.get_int "an integer" in
+    let* trace = opt_field j "trace" Json.get_bool "a boolean" in
     let* () =
       match interp with
       | Some s when s <> "tree" && s <> "compiled" ->
@@ -172,6 +180,7 @@ let decode (j : Json.t) : (request, string) result =
         fallback = Option.value fallback ~default:true;
         check = Option.value check ~default:true;
         repeats = Option.value repeats ~default:1;
+        trace = Option.value trace ~default:false;
       }
   | _ -> Error "request must be a JSON object"
 
@@ -179,16 +188,22 @@ let decode (j : Json.t) : (request, string) result =
 
 let id_fields id = match id with Some s -> [ ("id", Json.String s) ] | None -> []
 
-let ok_response ?id ~op fields =
+(* the server-minted correlation id; "" (outside a server) emits nothing *)
+let req_id_fields req_id =
+  match req_id with
+  | Some r when r <> "" -> [ ("req_id", Json.String r) ]
+  | _ -> []
+
+let ok_response ?id ?req_id ~op fields =
   Json.Obj
-    (id_fields id
+    (id_fields id @ req_id_fields req_id
     @ [ ("ok", Json.Bool true); ("op", Json.String (op_name op)) ]
     @ fields)
 
-let error_response ?id ?op ?(detail = []) ~code message =
+let error_response ?id ?req_id ?op ?(detail = []) ~code message =
   let op_field = match op with Some o -> [ ("op", Json.String (op_name o)) ] | None -> [] in
   Json.Obj
-    (id_fields id
+    (id_fields id @ req_id_fields req_id
     @ [ ("ok", Json.Bool false) ]
     @ op_field
     @ [

@@ -1,7 +1,7 @@
 (** The serve wire protocol: newline-delimited JSON requests and
     responses. See the implementation header for the request shape. *)
 
-type op = Compile | Run | Bench | Health | Stats | Shutdown
+type op = Compile | Run | Bench | Health | Stats | Metrics | Shutdown
 
 val op_name : op -> string
 val op_of_string : string -> op option
@@ -20,6 +20,9 @@ type request = {
   fallback : bool;  (** CPU fallback on device-lowering failure *)
   check : bool;  (** verify device results against the host reference *)
   repeats : int;  (** bench: number of timed runs *)
+  trace : bool;
+      (** capture this request's spans in isolation and attach Perfetto
+          JSON (inline or as a --trace-dir path) to the response *)
 }
 
 (** Stable machine-readable failure taxonomy — clients and the CI smoke
@@ -44,10 +47,14 @@ val code_name : error_code -> string
     ignored so clients can grow. *)
 val decode : Json.t -> (request, string) result
 
-val ok_response : ?id:string -> op:op -> (string * Json.t) list -> Json.t
+(** Responses echo the client ["id"] and, when the server passes one,
+    carry the server-minted ["req_id"] correlation id. *)
+val ok_response :
+  ?id:string -> ?req_id:string -> op:op -> (string * Json.t) list -> Json.t
 
 val error_response :
   ?id:string ->
+  ?req_id:string ->
   ?op:op ->
   ?detail:(string * Json.t) list ->
   code:error_code ->

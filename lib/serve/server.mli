@@ -18,6 +18,17 @@ type opts = {
   cache_capacity : int;  (** pipeline-cache entries *)
   drain_grace_s : float;
       (** shutdown: seconds before in-flight requests are cancelled *)
+  metrics_port : int;
+      (** serve Prometheus text exposition over HTTP on this localhost
+          port ([GET /metrics]), multiplexed onto the daemon's select
+          loop; 0 disables the listener (the "metrics" op still works) *)
+  trace_dir : string option;
+      (** when set, per-request traces ("trace": true) are written to
+          [<dir>/<req_id>.trace.json] and the response carries
+          ["trace_path"]; when unset the Perfetto JSON is inlined *)
+  slow_request_s : float;
+      (** requests slower than this (admission to response) emit one
+          structured warning with the phase breakdown; 0 disables *)
   base_config : Cinm_support.Config.t;
       (** per-request configs start from this *)
 }

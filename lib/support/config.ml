@@ -35,6 +35,7 @@ type t = {
   faults : Fault.plan option;  (** None = the process-default plan *)
   deadline : float;  (** absolute host time (Unix epoch); 0. = none *)
   cancel : bool Atomic.t;  (** cooperative cancellation flag *)
+  req_id : string;  (** correlation id minted at accept time; "" outside a server *)
 }
 
 exception Cancelled of string
@@ -72,6 +73,7 @@ let from_env () =
     faults = None (* resolved through Fault.default, which owns CINM_FAULTS *);
     deadline = 0.0;
     cancel = never_cancelled;
+    req_id = "";
   }
 
 (* The process default: parsed from the environment on first use, mutated

@@ -19,6 +19,10 @@ type t = {
   faults : Fault.plan option;  (** [None] = the process-default plan *)
   deadline : float;  (** absolute host time (Unix epoch); 0. = none *)
   cancel : bool Atomic.t;  (** cooperative cancellation flag *)
+  req_id : string;
+      (** correlation id minted by the server at accept time and echoed in
+          responses, log lines, trace spans and crash reproducers; [""]
+          outside a server *)
 }
 
 (** Raised by {!check} (and the interpreter watchdog / pass manager

@@ -34,7 +34,21 @@ let enabled l = severity l >= !threshold
 let sink : (level -> string -> unit) option ref = ref None
 let set_sink s = sink := s
 
+(* Per-domain request context: the serve daemon sets the request id
+   around request execution, and every line the request logs — from the
+   pass manager, the driver, a simulator — carries it. Domain-local so
+   concurrent requests on different workers never mix prefixes. *)
+let ctx_key : string Domain.DLS.key = Domain.DLS.new_key (fun () -> "")
+
+let context () = Domain.DLS.get ctx_key
+
+let with_context id f =
+  let prev = Domain.DLS.get ctx_key in
+  Domain.DLS.set ctx_key id;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key prev) f
+
 let emit l s =
+  let s = match context () with "" -> s | id -> "[req:" ^ id ^ "] " ^ s in
   match !sink with
   | Some f -> f l s
   | None -> (

@@ -25,6 +25,15 @@ val enabled : level -> bool
     prefix) to a custom sink — used by tests; [None] restores stderr. *)
 val set_sink : (level -> string -> unit) option -> unit
 
+(** Run [f] with a per-domain request context: every line emitted by
+    this domain inside [f] is prefixed with ["[req:<id>] "] (sinks see
+    the prefixed string too). [""] clears the prefix. Restored on exit,
+    even on exceptions; nested contexts shadow. *)
+val with_context : string -> (unit -> 'a) -> 'a
+
+(** The calling domain's current request context ([""] when none). *)
+val context : unit -> string
+
 val debug : ('a, unit, string, unit) format4 -> 'a
 val info : ('a, unit, string, unit) format4 -> 'a
 val warn : ('a, unit, string, unit) format4 -> 'a

@@ -147,6 +147,21 @@ let pending p =
   Mutex.unlock p.mutex;
   n
 
+type stats = { st_jobs : int; st_queued : int; st_active : int; st_par_busy : bool }
+
+let stats p =
+  Mutex.lock p.mutex;
+  let s =
+    {
+      st_jobs = p.jobs;
+      st_queued = Queue.length p.tasks;
+      st_active = p.active_tasks;
+      st_par_busy = p.busy;
+    }
+  in
+  Mutex.unlock p.mutex;
+  s
+
 let shutdown p =
   Mutex.lock p.mutex;
   if p.shutdown_done then Mutex.unlock p.mutex

@@ -33,6 +33,13 @@ val submit : t -> (unit -> unit) -> bool
 (** Tasks accepted but not yet finished (queued + executing). *)
 val pending : t -> int
 
+(** One consistent sample of the pool's load, for gauges: worker count,
+    tasks still queued, tasks executing, and whether a parallel-for is
+    in flight. *)
+type stats = { st_jobs : int; st_queued : int; st_active : int; st_par_busy : bool }
+
+val stats : t -> stats
+
 (** Graceful shutdown: reject all further submissions, let the in-flight
     parallel-for and every accepted task finish (workers drain the queue
     before exiting), then join the workers. Idempotent — later calls

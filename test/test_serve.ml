@@ -466,6 +466,164 @@ let test_daemon_shutdown_rejects () =
   Thread.join thread;
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
 
+(* ----- telemetry: metrics op, req_id correlation, trace capture ----- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_daemon_metrics_endpoint () =
+  with_daemon (fun socket ->
+      let c = Client.connect ~attempts:40 socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          ignore (Client.request c (Client.make_request ~benchmark:"sel" "run"));
+          ignore (Client.request c (Client.make_request ~benchmark:"sel" "run"));
+          let m = Client.request c (Client.make_request "metrics") in
+          Alcotest.(check (option bool)) "metrics ok" (Some true)
+            (Json.bool_field m "ok");
+          let hist =
+            match Json.member "histograms" m with
+            | Some hs -> Json.member "cinm_serve_request_seconds" hs
+            | None -> None
+          in
+          (match hist with
+          | None -> Alcotest.fail "no cinm_serve_request_seconds histogram"
+          | Some h ->
+            Alcotest.(check bool) "latency histogram counted both runs" true
+              (match Json.int_field h "count" with
+              | Some n -> n >= 2
+              | None -> false);
+            Alcotest.(check bool) "p95 covers p50" true
+              (match (Json.float_field h "p50", Json.float_field h "p95") with
+              | Some p50, Some p95 -> p95 >= p50 && p50 > 0.0
+              | _ -> false));
+          (match Json.member "counters" m with
+          | Some (Json.Obj fields) ->
+            Alcotest.(check bool) "ok responses counted" true
+              (match List.assoc_opt "cinm_serve_responses_total{code=\"ok\"}" fields with
+              | Some (Json.Int n) -> n >= 2
+              | _ -> false);
+            Alcotest.(check bool) "pipeline cache hit counted" true
+              (match
+                 List.assoc_opt "cinm_serve_pipeline_cache_hits_total" fields
+               with
+              | Some (Json.Int n) -> n >= 1
+              | _ -> false)
+          | _ -> Alcotest.fail "no counters object");
+          (match Json.member "gauges" m with
+          | Some (Json.Obj fields) ->
+            Alcotest.(check bool) "uptime gauge present" true
+              (List.mem_assoc "cinm_serve_uptime_seconds" fields)
+          | _ -> Alcotest.fail "no gauges object")))
+
+let test_daemon_req_id () =
+  with_daemon (fun socket ->
+      let c = Client.connect ~attempts:40 socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let rid resp = Json.string_field resp "req_id" in
+          let r1 = Client.request c (Client.make_request ~benchmark:"va" "run") in
+          let r2 = Client.request c (Client.make_request "health") in
+          (* error responses carry the id too, even protocol errors *)
+          let r3 =
+            Client.request c (Client.make_request ~benchmark:"no-such" "run")
+          in
+          let r4 = Json.parse (Client.request_raw c "{\"op\": nope") in
+          let ids = List.map rid [ r1; r2; r3; r4 ] in
+          List.iteri
+            (fun i id ->
+              Alcotest.(check bool)
+                (Printf.sprintf "response %d has a req_id" i)
+                true
+                (match id with Some s -> s <> "" | None -> false))
+            ids;
+          let distinct = List.sort_uniq compare ids in
+          Alcotest.(check int) "req_ids are unique per request" 4
+            (List.length distinct)))
+
+let test_daemon_trace_isolation () =
+  with_daemon (fun socket ->
+      (* two clients concurrently tracing different benchmarks: each
+         capture must contain its own serve span and never the other's,
+         even though both run on the same worker pool *)
+      let traces = Array.make 2 "" in
+      let worker idx bench =
+        Thread.create
+          (fun () ->
+            let c = Client.connect ~attempts:40 socket in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                for _ = 1 to 3 do
+                  let r =
+                    Client.request c
+                      (Client.make_request ~benchmark:bench ~trace:true "run")
+                  in
+                  Alcotest.(check (option bool))
+                    (bench ^ " traced run ok")
+                    (Some true) (Json.bool_field r "ok");
+                  match Json.string_field r "trace" with
+                  | Some t -> traces.(idx) <- t
+                  | None -> Alcotest.fail (bench ^ ": no trace in response")
+                done))
+          ()
+      in
+      let t1 = worker 0 "va" and t2 = worker 1 "hst-l" in
+      Thread.join t1;
+      Thread.join t2;
+      Alcotest.(check bool) "va trace has its serve span" true
+        (contains traces.(0) "run:va");
+      Alcotest.(check bool) "va trace is isolated" false
+        (contains traces.(0) "run:hst-l");
+      Alcotest.(check bool) "hst-l trace has its serve span" true
+        (contains traces.(1) "run:hst-l");
+      Alcotest.(check bool) "hst-l trace is isolated" false
+        (contains traces.(1) "run:va");
+      (* untraced requests must not pay for (or carry) a capture *)
+      let c = Client.connect ~attempts:40 socket in
+      let r = Client.request c (Client.make_request ~benchmark:"va" "run") in
+      Client.close c;
+      Alcotest.(check bool) "no trace field without trace:true" true
+        (Json.member "trace" r = None))
+
+let test_daemon_trace_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cinm-traces-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  with_daemon
+    ~opts_f:(fun o -> { o with Server.trace_dir = Some dir })
+    (fun socket ->
+      let c = Client.connect ~attempts:40 socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let r =
+            Client.request c
+              (Client.make_request ~benchmark:"sel" ~trace:true "run")
+          in
+          Alcotest.(check bool) "trace not inlined with --trace-dir" true
+            (Json.member "trace" r = None);
+          match Json.string_field r "trace_path" with
+          | None -> Alcotest.fail "no trace_path in response"
+          | Some path ->
+            Alcotest.(check bool) "trace file exists" true
+              (Sys.file_exists path);
+            let ic = open_in path in
+            let len = in_channel_length ic in
+            let body = really_input_string ic len in
+            close_in ic;
+            (* a parseable trace document naming this benchmark *)
+            ignore (Json.parse body);
+            Alcotest.(check bool) "trace file has the serve span" true
+              (contains body "run:sel");
+            Sys.remove path))
+
 let () =
   Alcotest.run "serve"
     [
@@ -494,5 +652,14 @@ let () =
             test_daemon_admission_and_shutdown;
           Alcotest.test_case "shutdown rejects" `Quick
             test_daemon_shutdown_rejects;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics endpoint" `Quick
+            test_daemon_metrics_endpoint;
+          Alcotest.test_case "req_id correlation" `Quick test_daemon_req_id;
+          Alcotest.test_case "trace isolation" `Quick
+            test_daemon_trace_isolation;
+          Alcotest.test_case "trace dir" `Quick test_daemon_trace_dir;
         ] );
     ]
