@@ -11,12 +11,22 @@
    has only 4 tiles). See EXPERIMENTS.md.
 
    Usage: main.exe [fig10|fig10-energy|fig11|fig12|tab4|tab5|dialects|bechamel|all]
+          main.exe [hetero|scaling] (heterogeneous partitioning across
+                                     cpu+upmem+memristor+cam with
+                                     DMA/compute overlap, and the
+                                     multi-rank UPMEM scaling sweep; not
+                                     part of "all" — the single-device
+                                     baselines above pin their own
+                                     benchmark lists)
           main.exe --quick ...      (smaller inputs, for CI)
           main.exe --jobs N ...     (simulation domains; default CINM_JOBS
-                                     or the machine's core count)
+                                     or the machine's core count; 0 =
+                                     auto-detect, same as unset)
           main.exe --json FILE ...  (write per-experiment wall-clock and
                                      simulated seconds for regression
-                                     tracking)
+                                     tracking; experiments that run the
+                                     multi-stream executor also record
+                                     per-machine compute/dma/idle tracks)
           main.exe --interp NAME .. (interpreter backend, tree|compiled;
                                      default CINM_INTERP or tree)
           main.exe --strict ...     (verify + print->parse->print fixpoint
@@ -95,10 +105,46 @@ end
 let sim_acc : (float ref * int ref) Domain.DLS.key =
   Domain.DLS.new_key (fun () -> (ref 0.0, ref 0))
 
+(* Per-machine simulated-time tracks (multi-stream executor runs only),
+   summed across the runs of one experiment in first-appearance order.
+   Empty for the single-device experiments, whose --json records are
+   byte-identical to before the field existed. *)
+let tracks_acc : (string * (float * float * float)) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Named per-benchmark scalars an experiment wants pinned in --json (the
+   hetero overlap ratios, the per-rank scaling curve). Experiments that
+   never call [note_series] keep their records byte-identical. *)
+let series_acc : (string * float) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let note_series name v =
+  let s = Domain.DLS.get series_acc in
+  s := !s @ [ (name, v) ]
+
 let note_report (r : Report.t) =
   let sim_s_acc, sim_runs_acc = Domain.DLS.get sim_acc in
   sim_s_acc := !sim_s_acc +. r.Report.total_s;
-  incr sim_runs_acc
+  incr sim_runs_acc;
+  let module Sched = Cinm_support.Schedule in
+  let tracks = Domain.DLS.get tracks_acc in
+  List.iter
+    (fun (t : Sched.track) ->
+      let m = t.Sched.tr_machine in
+      let c, d, i =
+        Option.value ~default:(0.0, 0.0, 0.0) (List.assoc_opt m !tracks)
+      in
+      let entry =
+        ( m,
+          ( c +. t.Sched.tr_compute_s,
+            d +. t.Sched.tr_dma_s,
+            i +. t.Sched.tr_idle_s ) )
+      in
+      tracks :=
+        if List.mem_assoc m !tracks then
+          List.map (fun (m', v) -> if m' = m then entry else (m', v)) !tracks
+        else !tracks @ [ entry ])
+    r.Report.tracks
 
 (* Every simulated run flows through these shims, so the accounting covers
    all experiments without touching each call site. *)
@@ -118,14 +164,31 @@ module Driver = struct
     in
     note_report report;
     (results, report)
+
+  let run ?fname ?host_model compiled args =
+    let results, report = Driver.run ?fname ?host_model compiled args in
+    note_report report;
+    (results, report)
 end
 
-type json_record = { exp : string; wall_s : float; sim_s : float; runs : int }
+type json_record = {
+  exp : string;
+  wall_s : float;
+  sim_s : float;
+  runs : int;
+  tracks : (string * (float * float * float)) list;
+      (** machine -> summed (compute_s, dma_s, idle_s); empty unless the
+          experiment ran the multi-stream executor *)
+  series : (string * float) list;
+      (** named per-benchmark scalars (overlap ratios, scaling curves) *)
+}
 
 let timed name f =
   let sim_s_acc, sim_runs_acc = Domain.DLS.get sim_acc in
   sim_s_acc := 0.0;
   sim_runs_acc := 0;
+  (Domain.DLS.get tracks_acc) := [];
+  (Domain.DLS.get series_acc) := [];
   let module Trace = Cinm_support.Trace in
   let span_t0 = if Trace.enabled () then Trace.now_host () else 0.0 in
   let t0 = Unix.gettimeofday () in
@@ -138,7 +201,14 @@ let timed name f =
       ~clock:Trace.Host ~pid:Trace.host_pid ~track:"bench" ~ts:span_t0
       ~dur:(Trace.now_host () -. span_t0)
       ("exp:" ^ name);
-  { exp = name; wall_s; sim_s = !sim_s_acc; runs = !sim_runs_acc }
+  {
+    exp = name;
+    wall_s;
+    sim_s = !sim_s_acc;
+    runs = !sim_runs_acc;
+    tracks = !(Domain.DLS.get tracks_acc);
+    series = !(Domain.DLS.get series_acc);
+  }
 
 let write_json path recs =
   let b = Buffer.create 1024 in
@@ -150,9 +220,32 @@ let write_json path recs =
   let n = List.length recs in
   List.iteri
     (fun i r ->
+      (* tracks render only when present so records of the single-device
+         experiments stay byte-identical to the pinned baselines *)
+      let tracks =
+        match r.tracks with
+        | [] -> ""
+        | ts ->
+          Printf.sprintf ", \"tracks\": [%s]"
+            (String.concat ", "
+               (List.map
+                  (fun (m, (c, d, idle)) ->
+                    Printf.sprintf
+                      "{ \"machine\": %S, \"compute_s\": %.9f, \"dma_s\": %.9f, \"idle_s\": %.9f }"
+                      m c d idle)
+                  ts))
+      in
+      let series =
+        match r.series with
+        | [] -> ""
+        | ss ->
+          Printf.sprintf ", \"series\": { %s }"
+            (String.concat ", "
+               (List.map (fun (k, v) -> Printf.sprintf "%S: %.9f" k v) ss))
+      in
       Printf.bprintf b
-        "    { \"name\": %S, \"wall_s\": %.6f, \"sim_s\": %.9f, \"runs\": %d }%s\n"
-        r.exp r.wall_s r.sim_s r.runs
+        "    { \"name\": %S, \"wall_s\": %.6f, \"sim_s\": %.9f, \"runs\": %d%s%s }%s\n"
+        r.exp r.wall_s r.sim_s r.runs tracks series
         (if i = n - 1 then "" else ","))
     recs;
   Buffer.add_string b "  ]\n}\n";
@@ -703,6 +796,120 @@ let bechamel () =
         results)
     tests
 
+(* ----- heterogeneous partitioning + async DMA/compute overlap ----- *)
+
+(* One module split across cpu + upmem + memristor + cam by the
+   dependency-aware partitioner, executed on the multi-stream runtime.
+   The e2e columns come from the same event logs replayed under the two
+   disciplines (Schedule.summarize), so "overlap" is a pure simulated
+   ratio, independent of host job count. *)
+
+let hetero_backend ~ranks =
+  Backend.default_hetero ~ranks ~dimms:2 ~dpus_per_dimm:scaled_dpus_per_dimm ()
+
+let hetero_suite () =
+  let het =
+    if !quick then
+      [
+        Hetero_kernels.mix ~m:256 ~ew:16384 ~db:1024 ~q:64 ();
+        Hetero_kernels.batch ~n:4096 ();
+      ]
+    else Hetero_kernels.all ()
+  in
+  let ml = Suites.ml_suite () in
+  het @ [ Suites.find "mm" ml; Suites.find "3mm" ml; Suites.find "mlp" ml ]
+
+let run_hetero ~backend (bench : Benchmark.t) =
+  let compiled = Driver.compile_func backend (bench.Benchmark.build ()) in
+  let plan =
+    match compiled.Driver.modul.Func.funcs with
+    | f :: _ -> (
+      match List.assoc_opt "partition" f.Func.fattrs with
+      | Some (Attr.Str s) -> s
+      | _ -> "-")
+    | [] -> "-"
+  in
+  let results, report = Driver.run compiled (bench.Benchmark.inputs ()) in
+  if not (Benchmark.results_match bench results) then
+    failwith (bench.Benchmark.name ^ ": hetero results differ from host reference!");
+  (plan, report)
+
+let hetero () =
+  header
+    "Heterogeneous partitioning: one module on cpu+upmem+memristor+cam, \
+     DMA/compute overlapped";
+  let backend = hetero_backend ~ranks:4 in
+  let overlaps = ref [] in
+  let rows =
+    List.map
+      (fun (b : Benchmark.t) ->
+        let plan, r = run_hetero ~backend b in
+        let ovl = List.assoc "e2e_overlapped" r.Report.breakdown in
+        let seq = List.assoc "e2e_sequential" r.Report.breakdown in
+        let busy = List.assoc "max_channel_busy" r.Report.breakdown in
+        note_series (b.Benchmark.name ^ ".e2e_overlapped_s") ovl;
+        note_series (b.Benchmark.name ^ ".e2e_sequential_s") seq;
+        note_series (b.Benchmark.name ^ ".overlap_speedup") (seq /. ovl);
+        overlaps := (seq /. ovl) :: !overlaps;
+        [ b.Benchmark.name; plan; ms ovl; ms seq; x (seq /. ovl); ms busy ])
+      (hetero_suite ())
+  in
+  print_table
+    ([
+       "benchmark"; "partition"; "e2e-ovl (ms)"; "e2e-seq (ms)"; "overlap";
+       "busiest engine (ms)";
+     ]
+    :: rows);
+  Printf.printf "\ngeomean overlap speedup (sequential sum / overlapped critical path): %.2fx\n"
+    (geomean !overlaps);
+  print_endline
+    "expected: het-* split across all four machines and overlap >= 1.5x; the\n\
+     single-kernel ml benchmarks stay on their best device (overlap ~1x)"
+
+(* ----- multi-rank UPMEM scaling ----- *)
+
+let scaling () =
+  header "Multi-rank UPMEM scaling: kernel time vs ranks (1 DIMM, 8 DPUs/rank)";
+  let ranks_list = if !quick then [ 1; 4; 16 ] else [ 1; 4; 16; 64 ] in
+  let n = if !quick then 65536 else 262144 in
+  let suite = [ Prim_kernels.va ~n (); Prim_kernels.red ~n () ] in
+  let rows =
+    List.map
+      (fun (b : Benchmark.t) ->
+        let times =
+          List.map
+            (fun ranks ->
+              let config =
+                Backend.default_upmem ~ranks ~dimms:1
+                  ~dpus_per_dimm:scaled_dpus_per_dimm ~tasklets:16
+                  ~optimize:true ()
+              in
+              let t = dpu_time (run_cinm_upmem ~config b) in
+              note_series
+                (Printf.sprintf "%s.kernel_s@%dr" b.Benchmark.name ranks)
+                t;
+              t)
+            ranks_list
+        in
+        let t1 = List.hd times in
+        b.Benchmark.name
+        :: List.concat
+             (List.map2
+                (fun ranks t ->
+                  [ Printf.sprintf "%dr: %s" ranks (ms t); x (t1 /. t) ])
+                ranks_list times))
+      suite
+  in
+  print_table
+    (("benchmark"
+     :: List.concat_map
+          (fun r -> [ Printf.sprintf "kernel @%dr (ms)" r; "speedup" ])
+          ranks_list)
+    :: rows);
+  print_endline
+    "expected: near-linear until the rows run out, then the extra ranks idle;\n\
+     every configuration checks its tensors against the host reference"
+
 (* ----- entry point ----- *)
 
 let run_experiment name =
@@ -717,9 +924,11 @@ let run_experiment name =
     | "dialects" -> dialects
     | "bechamel" -> bechamel
     | "ablation" -> ablation
+    | "hetero" -> hetero
+    | "scaling" -> scaling
     | cmd ->
       Printf.eprintf
-        "unknown experiment %S (expected fig10|fig10-energy|fig11|fig12|tab4|tab5|dialects|ablation|bechamel|all)\n"
+        "unknown experiment %S (expected fig10|fig10-energy|fig11|fig12|tab4|tab5|dialects|ablation|bechamel|hetero|scaling|all)\n"
         cmd;
       exit 1
   in
@@ -793,14 +1002,16 @@ let () =
       exit 1
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
-      | Some j when j >= 1 ->
+      | Some j when j >= 0 ->
+        (* 0 = auto-detect (Domain.recommended_domain_count), same as an
+           unset CINM_JOBS; the pool resolves it *)
         Cinm_support.Pool.set_default_jobs j;
         parse acc rest
       | _ ->
-        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        Printf.eprintf "--jobs expects a non-negative integer (0 = auto), got %S\n" n;
         exit 1)
     | [ "--jobs" ] ->
-      Printf.eprintf "--jobs expects a positive integer\n";
+      Printf.eprintf "--jobs expects a non-negative integer (0 = auto)\n";
       exit 1
     | "--strict" :: rest ->
       (* verify + print->parse->print fixpoint after every pass; the

@@ -35,6 +35,9 @@ type t = {
   stats : stats;
   devices : (int, entry) Hashtbl.t;
   mutable next : int;
+  events : Cinm_support.Schedule.ev Cinm_support.Vec.t;
+      (** schedule-event log: one entry per timed op, duration = the
+          [busy_s] increment; sliced by the async executor *)
 }
 
 and entry

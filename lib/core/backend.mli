@@ -2,6 +2,7 @@
     configurations). *)
 
 type upmem_config = {
+  ranks : int;  (** DIMM ranks; DPUs scale as ranks * dimms * dpus_per_dimm *)
   dimms : int;
   dpus_per_dimm : int;
       (** 128 on the real machine; benchmarks may scale this down so the
@@ -25,8 +26,12 @@ type t =
   | Host_arm  (** the in-order ARM baseline of the OCC/gem5 setup *)
   | Upmem of upmem_config
   | Cim of cim_config
+  | Hetero of upmem_config * cim_config
+      (** partitioned across UPMEM + memristor + CAM + host simultaneously,
+          run on the async multi-stream executor *)
 
 val default_upmem :
+  ?ranks:int ->
   ?dimms:int ->
   ?dpus_per_dimm:int ->
   ?tasklets:int ->
@@ -44,5 +49,10 @@ val default_cim :
   ?parallel:bool ->
   unit ->
   cim_config
+
+(** [Hetero] with default device configs; [ranks]/[dimms]/[dpus_per_dimm]
+    size the UPMEM side. *)
+val default_hetero :
+  ?ranks:int -> ?dimms:int -> ?dpus_per_dimm:int -> unit -> t
 
 val to_string : t -> string

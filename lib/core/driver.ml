@@ -41,7 +41,10 @@ let pipeline (backend : Backend.t) : Pass.t list =
   | Backend.Upmem c ->
     let cnm_opts =
       {
-        Cinm_to_cnm.dpus = c.Backend.dimms * c.Backend.dpus_per_dimm;
+        (* ranks scale the DPU grid like extra DIMMs (per-rank fault
+           domains live in the simulator, not the lowering) *)
+        Cinm_to_cnm.dpus =
+          c.Backend.ranks * c.Backend.dimms * c.Backend.dpus_per_dimm;
         tasklets = c.Backend.tasklets;
         optimize = c.Backend.optimize;
         max_rows_per_launch = c.Backend.max_rows_per_launch;
@@ -73,6 +76,51 @@ let pipeline (backend : Backend.t) : Pass.t list =
       Cinm_to_cim.pass ~options:cim_opts (); Loop_unroll.pass;
       Cim_to_memristor.assign_pass ~tiles:c.Backend.tiles; Cim_to_memristor.pass;
       Licm.pass; Licm.pass; Canonicalize.pass;
+    ]
+  | Backend.Hetero (u, ci) ->
+    (* one module partitioned across all devices: the dependency-aware
+       partitioner replaces forced target selection, then *every* device
+       lowering runs — each claims the ops whose "target" the partitioner
+       assigned to it, everything left runs natively on the host *)
+    let total_dpus = u.Backend.ranks * u.Backend.dimms * u.Backend.dpus_per_dimm in
+    let cnm_opts =
+      {
+        Cinm_to_cnm.dpus = total_dpus;
+        tasklets = u.Backend.tasklets;
+        optimize = u.Backend.optimize;
+        max_rows_per_launch = u.Backend.max_rows_per_launch;
+      }
+    in
+    let up_opts =
+      { Cnm_to_upmem.default_options with dpus_per_dimm = u.Backend.dpus_per_dimm }
+    in
+    let cim_opts =
+      {
+        Cinm_to_cim.rows = ci.Backend.rows;
+        cols = ci.Backend.cols;
+        tiles = ci.Backend.tiles;
+        input_chunk = ci.Backend.input_chunk;
+        interchange = ci.Backend.min_writes;
+        parallel = ci.Backend.parallel;
+      }
+    in
+    let part_policy =
+      {
+        Partition.default_policy with
+        Partition.upmem_dpus = total_dpus;
+        cim_rows = ci.Backend.rows;
+        cim_cols = ci.Backend.cols;
+      }
+    in
+    [
+      Torch_to_tosa.pass; Tosa_to_linalg.pass; Linalg_to_cinm.pass;
+      Partition.pass ~policy:part_policy (); Ew_fusion.pass;
+      Cinm_to_cam.pass; Cinm_to_rtm.pass ();
+      Cinm_to_cim.pass ~options:cim_opts (); Loop_unroll.pass;
+      Cim_to_memristor.assign_pass ~tiles:ci.Backend.tiles; Cim_to_memristor.pass;
+      Licm.pass; Licm.pass;
+      Cinm_to_cnm.pass ~options:cnm_opts (); Cnm_to_upmem.pass ~options:up_opts ();
+      Canonicalize.pass;
     ]
 
 (* One host-clock driver span (compile / execute), emitted even when [f]
@@ -140,7 +188,7 @@ let compile ?(verify = true) ?(fallback = true) ?config backend (m : Func.modul)
   | Backend.Host_xeon | Backend.Host_arm ->
     Pass.run_pipeline ~verify ?config (pipeline backend) m;
     { modul = m; backend; fallback = None }
-  | Backend.Upmem _ | Backend.Cim _ -> (
+  | Backend.Upmem _ | Backend.Cim _ | Backend.Hetero _ -> (
     (* device lowerings can fail on capacity/config limits; keep a pristine
        snapshot so the failed (possibly half-transformed) module can be
        abandoned and re-lowered for the CPU *)
@@ -168,7 +216,7 @@ let compile_func ?verify ?fallback ?config backend (f : Func.t) : compiled =
 
 let upmem_sim_config (c : Backend.upmem_config) =
   {
-    (Usim.Config.default ~dimms:c.Backend.dimms ()) with
+    (Usim.Config.default ~ranks:c.Backend.ranks ~dimms:c.Backend.dimms ()) with
     Usim.Config.dpus_per_dimm = c.Backend.dpus_per_dimm;
   }
 
@@ -243,6 +291,7 @@ let run_upmem_func ?(backend_name = "upmem") ?host_model ?modul ?config
             ("retries", stats.Usim.Stats.retries);
             ("failed_dpus", stats.Usim.Stats.failed_dpus);
           ]);
+      tracks = [];
     } )
 
 let run ?(fname = "") ?host_model ?config (compiled : compiled)
@@ -269,6 +318,7 @@ let run ?(fname = "") ?host_model ?config (compiled : compiled)
           [ ("compute", est.Cpu.Model.compute_s); ("memory", est.Cpu.Model.memory_s) ];
         energy_j = est.Cpu.Model.energy_j;
         counters = [ ("ops", Profile.total_scalar_ops profile) ];
+        tracks = [];
       } )
   in
   match compiled.backend with
@@ -349,6 +399,93 @@ let run ?(fname = "") ?host_model ?config (compiled : compiled)
             ("cam_searches", cam_stats.Camsim.Cam_machine.cam_searches);
             ("rtm_reads", cam_stats.Camsim.Cam_machine.rtm_reads);
           ];
+        tracks = [];
+      } )
+  | Backend.Hetero (u, ci) ->
+    let machines =
+      {
+        Stream_exec.upmem =
+          Usim.Machine.create ?faults:(machine_faults config) (upmem_sim_config u);
+        memristor =
+          Msim.Machine.create
+            ?faults:(machine_faults config)
+            {
+              (Msim.Config.default ~tiles:ci.Backend.tiles ()) with
+              Msim.Config.rows = ci.Backend.rows;
+              cols = ci.Backend.cols;
+            };
+        cam = Camsim.Cam_machine.create (Camsim.Cam_machine.default_config ());
+      }
+    in
+    (* as on the cim path, the in-order ARM core orchestrates the
+       accelerators and runs whatever the partitioner kept on the host *)
+    let host_model = Option.value host_model ~default:Cpu.Model.arm_inorder in
+    let host_cost p = (Cpu.Model.estimate host_model p).Cpu.Model.time_s in
+    let outcome =
+      with_span ?config ("execute:" ^ backend_name) @@ fun () ->
+      Stream_exec.run ?config ~modul:compiled.modul ~host_cost ~machines f args
+    in
+    let s = outcome.Stream_exec.summary in
+    let ustats = machines.Stream_exec.upmem.Usim.Machine.stats in
+    let mstats = machines.Stream_exec.memristor.Msim.Machine.stats in
+    let cstats = machines.Stream_exec.cam.Camsim.Cam_machine.stats in
+    Usim.Machine.recycle machines.Stream_exec.upmem;
+    Msim.Machine.recycle machines.Stream_exec.memristor;
+    let module Sched = Cinm_support.Schedule in
+    let track_busy pred =
+      List.fold_left
+        (fun acc (t : Sched.track) ->
+          if pred t.Sched.tr_machine then
+            acc +. t.Sched.tr_compute_s +. t.Sched.tr_dma_s
+          else acc)
+        0.0 s.Sched.tracks
+    in
+    let host_energy = (Cpu.Model.estimate host_model outcome.Stream_exec.profile).Cpu.Model.energy_j in
+    ( outcome.Stream_exec.results,
+      {
+        (* e2e is the overlapped critical path: >= the busiest engine,
+           <= host_s + device_s (the single-stream sum) *)
+        Report.backend = backend_name;
+        total_s = s.Sched.e2e_s;
+        host_s = track_busy (String.equal Sched.host_machine);
+        device_s = track_busy (fun m -> not (String.equal Sched.host_machine m));
+        breakdown =
+          [
+            ("e2e_overlapped", s.Sched.e2e_s);
+            ("e2e_sequential", s.Sched.seq_s);
+            ("max_channel_busy", s.Sched.max_channel_busy_s);
+          ]
+          @ List.concat_map
+              (fun (t : Sched.track) ->
+                [
+                  (t.Sched.tr_machine ^ ".compute", t.Sched.tr_compute_s);
+                  (t.Sched.tr_machine ^ ".dma", t.Sched.tr_dma_s);
+                  (t.Sched.tr_machine ^ ".idle", t.Sched.tr_idle_s);
+                ])
+              s.Sched.tracks;
+        energy_j =
+          Usim.Stats.(ustats.energy_j)
+          +. mstats.Msim.Stats.energy_j
+          +. cstats.Camsim.Cam_machine.energy_j +. host_energy;
+        counters =
+          [
+            ("launches", ustats.Usim.Stats.launches);
+            ("dma_bytes", ustats.Usim.Stats.dma_bytes);
+            ("transferred_bytes", ustats.Usim.Stats.transferred_bytes);
+            ("mvms", mstats.Msim.Stats.mvms);
+            ("cells_written", mstats.Msim.Stats.cells_written);
+            ("cam_searches", cstats.Camsim.Cam_machine.cam_searches);
+            ("rtm_reads", cstats.Camsim.Cam_machine.rtm_reads);
+          ]
+          @
+          if ustats.Usim.Stats.retries = 0 && ustats.Usim.Stats.failed_dpus = 0
+          then []
+          else
+            [
+              ("retries", ustats.Usim.Stats.retries);
+              ("failed_dpus", ustats.Usim.Stats.failed_dpus);
+            ];
+        tracks = s.Sched.tracks;
       } )
 
 (* Compile and run in one step (used by examples and the bench harness). *)

@@ -8,6 +8,10 @@ type t = {
   breakdown : (string * float) list;  (** named sub-phases, seconds *)
   energy_j : float;
   counters : (string * int) list;  (** e.g. crossbar writes, DPU launches *)
+  tracks : Cinm_support.Schedule.track list;
+      (** per-machine simulated-time tracks (compute/dma busy and idle
+          under the overlapped schedule); non-empty only for backends run
+          on the multi-stream executor *)
 }
 
 val total_ms : t -> float

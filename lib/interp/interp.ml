@@ -557,7 +557,15 @@ and eval_op ctx (op : Ir.op) : unit =
     let db = t_operand ctx op 0 and q = t_operand ctx op 1 in
     let k = Ir.int_attr op "k" and metric = Ir.str_attr op "metric" in
     let n = Tensor.num_elements db and m = Tensor.num_elements q in
-    account_matmul p (max 1 (n - m + 1)) 1 m;
+    let windows = max 1 (n - m + 1) in
+    (if metric = "hamming" then begin
+       (* per element: xor plus a ~5-step SWAR popcount with mask
+          constants and an accumulate — pure ALU work, no multiplies *)
+       p.Profile.alu_ops <- p.Profile.alu_ops + (windows * m * 12);
+       p.Profile.loads <- p.Profile.loads + (2 * windows * m);
+       p.Profile.stores <- p.Profile.stores + windows
+     end
+     else account_matmul p windows 1 m);
     let values, indices = Tensor.sim_search ~metric ~k db q in
     set_results [ Rtval.Tensor values; Rtval.Tensor indices ]
   | "cinm.merge_partial" ->

@@ -38,6 +38,10 @@ type t = {
           stats-bucket increments (cat ["program"]/["mvm"]/["io"]), so
           {!Cinm_support.Trace.device_total} reproduces them bit for
           bit. *)
+  events : Cinm_support.Schedule.ev Cinm_support.Vec.t;
+      (** schedule-event log: one entry per timed op (store/copy/gemm
+          tile), duration = the op's serialized busy increment; sliced by
+          the async executor to build overlapped schedules *)
 }
 
 val create : ?faults:Cinm_support.Fault.plan option -> Config.t -> t

@@ -44,7 +44,7 @@ type request = {
   id : string option;
   op : op;
   benchmark : string;  (** "" for benchmark-less ops *)
-  backend : string;  (** "host" | "upmem" | "cim" *)
+  backend : string;  (** "host" | "upmem" | "cim" | "hetero" *)
   strict : bool option;
   interp : string option;
   max_steps : int option;
@@ -162,8 +162,10 @@ let decode (j : Json.t) : (request, string) result =
     let backend = Option.value backend ~default:"upmem" in
     let* () =
       match backend with
-      | "host" | "upmem" | "cim" -> Ok ()
-      | s -> Error (Printf.sprintf "field \"backend\" must be host|upmem|cim, got %S" s)
+      | "host" | "upmem" | "cim" | "hetero" -> Ok ()
+      | s ->
+        Error
+          (Printf.sprintf "field \"backend\" must be host|upmem|cim|hetero, got %S" s)
     in
     Ok
       {

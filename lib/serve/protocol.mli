@@ -10,7 +10,7 @@ type request = {
   id : string option;
   op : op;
   benchmark : string;  (** "" for benchmark-less ops *)
-  backend : string;  (** "host" | "upmem" | "cim" *)
+  backend : string;  (** "host" | "upmem" | "cim" | "hetero" *)
   strict : bool option;
   interp : string option;
   max_steps : int option;

@@ -262,6 +262,10 @@ type phases = {
 let backend_of_name = function
   | "host" -> Backend.Host_xeon
   | "cim" -> Backend.Cim (Backend.default_cim ())
+  | "hetero" ->
+    (* partitioned across all devices on the multi-stream executor; the
+       same small DPU grid as the upmem backend keeps requests fast *)
+    Backend.default_hetero ~dimms:1 ~dpus_per_dimm:4 ()
   | _ -> Backend.Upmem (Backend.default_upmem ~dimms:1 ~dpus_per_dimm:4 ~tasklets:4 ())
 
 let degraded_of_report (compiled : Driver.compiled) (report : Report.t) =
@@ -270,6 +274,7 @@ let degraded_of_report (compiled : Driver.compiled) (report : Report.t) =
   || Report.counter report "failed_dpus" > 0
 
 let report_fields (r : Report.t) =
+  let module Sched = Cinm_support.Schedule in
   [
     ("backend", Json.String r.Report.backend);
     ("sim_total_s", Json.Float r.Report.total_s);
@@ -277,6 +282,26 @@ let report_fields (r : Report.t) =
     ("retries", Json.Int (Report.counter r "retries"));
     ("failed_dpus", Json.Int (Report.counter r "failed_dpus"));
   ]
+  @
+  (* per-machine simulated-time tracks — only the multi-stream (hetero)
+     executor fills these, so single-device responses are unchanged *)
+  match r.Report.tracks with
+  | [] -> []
+  | tracks ->
+    [
+      ( "tracks",
+        Json.List
+          (List.map
+             (fun (t : Sched.track) ->
+               Json.Obj
+                 [
+                   ("machine", Json.String t.Sched.tr_machine);
+                   ("compute_s", Json.Float t.Sched.tr_compute_s);
+                   ("dma_s", Json.Float t.Sched.tr_dma_s);
+                   ("idle_s", Json.Float t.Sched.tr_idle_s);
+                 ])
+             tracks) );
+    ]
 
 (* Compile via the cross-request pipeline cache; returns the artifact and
    "hit"/"miss". Degraded (fallback) artifacts are not cached. *)
@@ -329,6 +354,15 @@ let execute_request srv (req : P.request) config ~(phases : phases) : Json.t =
         ("cache", Json.String cache_state);
         ("degraded", Json.Bool (compiled.Driver.fallback <> None));
       ]
+      @
+      (* the partitioner's device plan, recorded as a function attribute
+         by the hetero pipeline ("cpu=2 upmem=1 ... est_speedup=1.9x") *)
+      match compiled.Driver.modul.Cinm_ir.Func.funcs with
+      | f :: _ -> (
+        match List.assoc_opt "partition" f.Cinm_ir.Func.fattrs with
+        | Some (Cinm_ir.Attr.Str s) -> [ ("partition", Json.String s) ]
+        | _ -> [])
+      | [] -> []
     in
     let fallback_fields =
       match compiled.Driver.fallback with

@@ -238,6 +238,8 @@ let env_jobs () =
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some j when j >= 1 -> Some j
+    (* 0 = auto-detect, same as unset: size by the machine *)
+    | Some 0 -> Some (Domain.recommended_domain_count ())
     | _ -> None)
   | None -> None
 
@@ -254,7 +256,9 @@ let default () =
 
 let set_default_jobs j =
   (match !default_pool with Some p -> shutdown p | None -> ());
-  let p = create ~jobs:(max 1 j) () in
+  (* 0 = auto-detect: size by the machine, like an unset CINM_JOBS *)
+  let jobs = if j <= 0 then Domain.recommended_domain_count () else j in
+  let p = create ~jobs () in
   default_pool := Some p;
   at_exit (fun () -> shutdown p)
 

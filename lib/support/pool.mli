@@ -51,12 +51,14 @@ val shutdown : t -> unit
 val shutting_down : t -> bool
 
 (** The process-wide pool, sized by [CINM_JOBS] when set (and valid),
-    else [Domain.recommended_domain_count]. Created on first use; torn
-    down via [at_exit]. *)
+    else [Domain.recommended_domain_count]. [CINM_JOBS=0] means
+    auto-detect — the same machine-sized default as leaving it unset.
+    Created on first use; torn down via [at_exit]. *)
 val default : unit -> t
 
 (** Replace the default pool with one of the given size (the [--jobs]
-    flag of the bench harness). *)
+    flag of the bench harness); [0] auto-detects
+    [Domain.recommended_domain_count]. *)
 val set_default_jobs : int -> unit
 
 val default_jobs : unit -> int

@@ -73,8 +73,12 @@ let cim_reference ?(rows = 64) ?(cols = 64) ?(t_mvm = 100e-9) ?(t_write_row = 50
         | None -> None);
   }
 
-(* UPMEM model: weighted op throughput across all DPUs plus host transfers. *)
-let cnm_reference ?(dpus = 2048) ?(freq = 350e6) ?(host_bw = 7e9) () =
+(* UPMEM model: weighted op throughput across all DPUs plus host transfers.
+   [gemm_cycles]/[ew_cycles] are per-MAC / per-element DPU cycle costs;
+   the defaults describe ideal hand-written kernels, while the partitioner
+   passes costs calibrated to the interpreted-kernel simulator. *)
+let cnm_reference ?(dpus = 2048) ?(freq = 350e6) ?(host_bw = 7e9)
+    ?(gemm_cycles = 12.0) ?(ew_cycles = 4.0) () =
   {
     device = "cnm";
     model_name = "upmem-analytic";
@@ -85,11 +89,60 @@ let cnm_reference ?(dpus = 2048) ?(freq = 350e6) ?(host_bw = 7e9) () =
         else
           let work_cycles =
             match gemm_dims op with
-            | Some (m, k, n') -> float_of_int (m * k * n') *. 12.0
-            | None -> float_of_int n *. 4.0
+            | Some (m, k, n') -> float_of_int (m * k * n') *. gemm_cycles
+            | None -> float_of_int n *. ew_cycles
           in
           let transfer = float_of_int (n * 4) /. host_bw in
           Some ((work_cycles /. (freq *. float_of_int dpus)) +. transfer));
+  }
+
+(* CAM/RTM model (C4CAM/PIRM-class): a similarity search programs the
+   database rows once, then each of the k results costs one parallel
+   search; a popcount shifts the data into RTM tracks and issues
+   transverse reads over every bit-plane. Constants mirror the cam_sim
+   defaults. *)
+let cam_reference ?(t_search = 10e-9) ?(t_write_entry = 200e-9) ?(tracks = 64)
+    ?(tr_distance = 8.0) ?(t_shift = 1e-9) ?(t_transverse_read = 2e-9) () =
+  {
+    device = "cam";
+    model_name = "cam-analytic";
+    estimate =
+      (fun op ->
+        match op.Ir.name with
+        | "cinm.sim_search" -> (
+          (* the database's windows become CAM entries (cinm_to_cam): a
+             flat [n] database with an [m] query programs n-m+1 rows *)
+          let entries =
+            match
+              ( Types.shape_of (Ir.operand op 0).Ir.ty,
+                Types.shape_of (Ir.operand op 1).Ir.ty )
+            with
+            | Some [| n |], Some [| m |] when n >= m -> Some (n - m + 1)
+            | Some [| entries; _ |], _ -> Some entries
+            | _ -> None
+          in
+          match entries with
+          | Some entries ->
+            let k =
+              match Ir.attr op "k" with Some (Attr.Int k) -> k | _ -> 1
+            in
+            Some
+              ((float_of_int entries *. t_write_entry)
+              +. (float_of_int k *. t_search))
+          | None -> None)
+        | "cinm.pop_count" ->
+          let n = elements op in
+          if n = 0 then None
+          else
+            let domains = Cinm_support.Util.ceil_div n tracks in
+            let shifts = 32 * n / tracks in
+            let reads =
+              int_of_float (ceil (32.0 *. float_of_int domains /. tr_distance))
+            in
+            Some
+              ((float_of_int shifts *. t_shift)
+              +. (float_of_int reads *. t_transverse_read))
+        | _ -> None);
   }
 
 let host_reference ?(gops = 50e9) () =
@@ -101,7 +154,28 @@ let host_reference ?(gops = 50e9) () =
         let work =
           match gemm_dims op with
           | Some (m, k, n) -> float_of_int (m * k * n)
-          | None -> float_of_int (elements op)
+          | None -> (
+            match op.Ir.name with
+            | "cinm.sim_search" -> (
+              (* scoring every window costs windows x query-width MACs,
+                 matching the interpreter's accounting *)
+              match
+                ( Types.shape_of (Ir.operand op 0).Ir.ty,
+                  Types.shape_of (Ir.operand op 1).Ir.ty )
+              with
+              | Some dbs, Some qs ->
+                let n = Cinm_support.Util.product_of_shape dbs in
+                let m = Cinm_support.Util.product_of_shape qs in
+                (* hamming scoring is xor + popcount per element, ~3x the
+                   cycles of a multiply-accumulate on a scalar core *)
+                let per_elt =
+                  match Ir.attr op "metric" with
+                  | Some (Attr.Str "hamming") -> 3.0
+                  | _ -> 1.0
+                in
+                float_of_int (max 1 (n - m + 1) * m) *. per_elt
+              | _ -> 0.0)
+            | _ -> float_of_int (elements op))
         in
         if work = 0.0 then None else Some (work /. gops));
   }

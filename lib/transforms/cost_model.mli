@@ -20,6 +20,28 @@ val best_device : Cinm_ir.Ir.op -> string option
 val cim_reference :
   ?rows:int -> ?cols:int -> ?t_mvm:float -> ?t_write_row:float -> unit -> t
 
-val cnm_reference : ?dpus:int -> ?freq:float -> ?host_bw:float -> unit -> t
+(** [gemm_cycles]/[ew_cycles]: DPU cycles per MAC / per element (defaults
+    describe ideal hand-written kernels). *)
+val cnm_reference :
+  ?dpus:int ->
+  ?freq:float ->
+  ?host_bw:float ->
+  ?gemm_cycles:float ->
+  ?ew_cycles:float ->
+  unit ->
+  t
+
+(** CAM similarity-search / RTM popcount model (constants mirror the
+    cam_sim defaults); covers [cinm.sim_search] and [cinm.pop_count]. *)
+val cam_reference :
+  ?t_search:float ->
+  ?t_write_entry:float ->
+  ?tracks:int ->
+  ?tr_distance:float ->
+  ?t_shift:float ->
+  ?t_transverse_read:float ->
+  unit ->
+  t
+
 val host_reference : ?gops:float -> unit -> t
 val register_reference_models : unit -> unit

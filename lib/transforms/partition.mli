@@ -1,0 +1,74 @@
+(** Heterogeneous multi-device partitioner (paper §3.2.2/§3.3): a
+    dependency-aware generalization of {!Target_select} that schedules a
+    function's cinm ops across UPMEM, the memristor crossbar, the CAM/RTM
+    engines and the host CPU simultaneously, using HEFT-style list
+    scheduling over the registered cost models with host-staged transfer
+    costs.
+
+    Each scheduled op is annotated with ["target"] (what the existing
+    lowerings dispatch on), ["device"] (the concrete machine:
+    ["cpu"|"upmem"|"memristor"|"cam"]), ["stream"] (int id of the device's
+    execution stream) and, when operands must move, ["xfer_in_bytes"].
+
+    The plan is a pure function of the module: byte-identical at any job
+    count and for tree and compiled interpreters. *)
+
+type policy = {
+  use_upmem : bool;
+  use_memristor : bool;
+  use_cam : bool;
+  upmem_dpus : int;  (** DPU grid the cnm cost model assumes *)
+  cim_rows : int;
+  cim_cols : int;
+  host_bw : float;  (** bytes/s for host-staged cross-device transfers *)
+  host_gops : float;
+      (** effective scalar-MAC throughput of the orchestrating host core
+          (the in-order ARM of the OCC setup at ~4 cycles per
+          multiply-accumulate): what an op costs if kept on the host *)
+  max_offload_bytes : int option;  (** capacity guard, as in Target_select *)
+}
+
+val default_policy : policy
+
+(** Fixed device order; an op's ["stream"] attr indexes into this. *)
+val devices : string array
+
+val stream_of_device : string -> int
+
+(** ["cpu"] -> ["host"], ["upmem"] -> ["cnm"], ["memristor"]/["cam"] ->
+    ["cim"]. *)
+val target_of_device : string -> string
+
+type assignment = {
+  a_op : string;
+  a_oid : int;
+  a_device : string;
+  a_stream : int;
+  a_est_s : float;  (** cost-model estimate on the chosen device *)
+  a_xfer_in_bytes : int;  (** operand bytes staged from other devices *)
+  a_start_s : float;
+  a_finish_s : float;
+}
+
+type plan = {
+  assignments : assignment list;
+  per_device : (string * int) list;  (** ops per device, fixed order *)
+  est_makespan_s : float;  (** last estimated finish across devices *)
+  est_sequential_s : float;  (** single-stream sum of the same estimates *)
+}
+
+(** One-line plan summary ("cpu=1 upmem=2 ... est_speedup=1.80x"); also
+    recorded on the partitioned function as the ["partition"] fattr. *)
+val plan_summary_string : plan -> string
+
+(** Annotate the function's top-level cinm ops in place (and record the
+    ["partition"] fattr) and return the schedule. *)
+val run_on_func : policy -> Cinm_ir.Func.t -> plan
+
+(** Like {!run_on_func} but on a clone: the input is left unannotated. *)
+val plan_func : policy -> Cinm_ir.Func.t -> plan
+
+(** Plan of the module's first function (modules here are single-func). *)
+val plan_module : policy -> Cinm_ir.Func.modul -> plan
+
+val pass : ?policy:policy -> unit -> Cinm_ir.Pass.t

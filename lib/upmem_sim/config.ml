@@ -7,6 +7,7 @@
    per DPU with a fixed setup cost per transfer. *)
 
 type t = {
+  ranks : int;  (** DIMM ranks; DPUs and host bandwidth scale linearly *)
   dimms : int;
   dpus_per_dimm : int;
   max_tasklets : int;
@@ -32,9 +33,10 @@ type t = {
   energy_per_host_byte : float;
 }
 
-let default ?(dimms = 16) ?(tasklets = 16) () =
+let default ?(ranks = 1) ?(dimms = 16) ?(tasklets = 16) () =
   ignore tasklets;
   {
+    ranks;
     dimms;
     dpus_per_dimm = 128;
     max_tasklets = 24;
@@ -56,4 +58,8 @@ let default ?(dimms = 16) ?(tasklets = 16) () =
     energy_per_host_byte = 60e-12;
   }
 
-let total_dpus c = c.dimms * c.dpus_per_dimm
+let total_dpus c = c.ranks * c.dimms * c.dpus_per_dimm
+
+(* DPUs of one rank: the granularity of physical-id sharding and fault
+   domains (a failed DPU only ever remaps to a spare of its own rank). *)
+let rank_dpus c = c.dimms * c.dpus_per_dimm

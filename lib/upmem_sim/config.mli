@@ -4,6 +4,10 @@
     characterization. *)
 
 type t = {
+  ranks : int;
+      (** DIMM ranks (default 1, the paper's machine). Multi-rank scales
+          the DPU grid and host transfer parallelism linearly; each rank
+          is its own fault domain with its own spare DPUs *)
   dimms : int;
   dpus_per_dimm : int;
   max_tasklets : int;
@@ -25,5 +29,9 @@ type t = {
   energy_per_host_byte : float;
 }
 
-val default : ?dimms:int -> ?tasklets:int -> unit -> t
+val default : ?ranks:int -> ?dimms:int -> ?tasklets:int -> unit -> t
 val total_dpus : t -> int
+
+(** DPUs of one rank ([dimms * dpus_per_dimm]); the sharding unit of
+    physical ids, spares and fault domains. *)
+val rank_dpus : t -> int

@@ -28,6 +28,8 @@ open Cinm_ir
 open Cinm_interp
 module Fault = Cinm_support.Fault
 module Trace = Cinm_support.Trace
+module Schedule = Cinm_support.Schedule
+module Vec = Cinm_support.Vec
 
 type wg = {
   wg_shape : int array; (* [dpus; tasklets] *)
@@ -84,11 +86,17 @@ type t = {
   faults : Fault.plan option;
   mutable launch_seq : int;  (** fault-site id of the next launch *)
   mutable scatter_seq : int;  (** fault-site id of the next scatter *)
-  mutable spare_cursor : int;  (** next physical DPU to try as a spare *)
+  spare_cursors : int array;
+      (** per rank: next physical DPU to try as a spare — spares never
+          cross rank boundaries, so each rank is its own fault domain *)
   masked : (int, unit) Hashtbl.t;
       (** permanently-failed physical DPUs already counted in stats *)
   mutable trace_pid : int;
       (** this machine's trace process id; 0 until tracing first sees it *)
+  events : Schedule.ev Vec.t;
+      (** one entry per timed device op (scatter/launch/gather), in
+          execution order; the async executor slices this log to build
+          the overlapped schedule *)
 }
 
 let create ?(faults = Fault.default ()) config =
@@ -103,11 +111,13 @@ let create ?(faults = Fault.default ()) config =
     faults;
     launch_seq = 0;
     scatter_seq = 0;
-    spare_cursor =
-      (let total = Config.total_dpus config in
-       total + max 2 (total / 4) - 1);
+    spare_cursors =
+      (let rd = Config.rank_dpus config in
+       let per_rank = rd + max 2 (rd / 4) in
+       Array.init config.Config.ranks (fun r -> (r * per_rank) + per_rank - 1));
     masked = Hashtbl.create 8;
     trace_pid = 0;
+    events = Vec.create ();
   }
 
 (* ----- tracing -----
@@ -126,7 +136,11 @@ let tracing m =
        if m.trace_pid = 0 then
          m.trace_pid <-
            Trace.new_device
-             (Printf.sprintf "upmem rank (%d DPUs)" (Config.total_dpus m.config));
+             (if m.config.Config.ranks > 1 then
+                Printf.sprintf "upmem %d ranks (%d DPUs)" m.config.Config.ranks
+                  (Config.total_dpus m.config)
+              else
+                Printf.sprintf "upmem rank (%d DPUs)" (Config.total_dpus m.config));
        true
      end
 
@@ -167,43 +181,68 @@ let note_masked m p =
    masking and remapping draw from. Physical identity only feeds the
    fault hash; the timing model keeps using the workgroup's logical
    shape. *)
-let phys_total m =
-  let total = Config.total_dpus m.config in
-  total + max 2 (total / 4)
+(* Physical ids are sharded per rank: rank r owns the id range
+   [r * per_rank_phys, (r+1) * per_rank_phys), each rank carrying its own
+   spares above its nominal DPUs. Masking, remapping and the fault hash
+   all work on these per-rank ranges, so a failure in one rank never
+   touches another rank's DPUs or spares. *)
+let per_rank_phys m =
+  let rd = Config.rank_dpus m.config in
+  rd + max 2 (rd / 4)
+
+let phys_total m = m.config.Config.ranks * per_rank_phys m
+
+let rank_of m p = min (m.config.Config.ranks - 1) (p / per_rank_phys m)
+
+(* The physical home of logical DPU [d] on a fault-free machine: identity
+   within its rank's shard. Single-rank machines keep the plain identity
+   map, bit-identical to the pre-multi-rank model. *)
+let home_phys m d =
+  let rd = Config.rank_dpus m.config in
+  ((d / rd) * per_rank_phys m) + (d mod rd)
 
 (* Assign physical DPUs to a workgroup, skipping permanently-failed ones
-   (the SDK masks them out of the rank at allocation). Fault-free
-   machines keep the identity map — and, like before this fault layer
-   existed, no physical capacity bound is enforced for them. *)
+   (the SDK masks them out of the rank at allocation). Logical DPUs shard
+   contiguously across ranks; a logical DPU only ever lands in its home
+   rank. Fault-free machines keep the per-rank identity map — and, like
+   before this fault layer existed, no physical capacity bound is
+   enforced for them. *)
 let assign_phys m ~dpus =
   match m.faults with
   | Some plan when plan.Fault.rates.Fault.dpu_fail > 0.0 ->
-    let total = phys_total m in
+    let rd = Config.rank_dpus m.config in
+    let per_rank = per_rank_phys m in
     let phys = Array.make dpus 0 in
-    let p = ref 0 in
+    (* per-rank scan pointer over the rank's physical shard *)
+    let ptr = Array.init m.config.Config.ranks (fun r -> r * per_rank) in
     for d = 0 to dpus - 1 do
-      while !p < total && perm_failed m !p do
-        note_masked m !p;
-        incr p
+      let r = min (m.config.Config.ranks - 1) (d / rd) in
+      let hi = (r + 1) * per_rank in
+      while ptr.(r) < hi && perm_failed m ptr.(r) do
+        note_masked m ptr.(r);
+        ptr.(r) <- ptr.(r) + 1
       done;
-      if !p >= total then
+      if ptr.(r) >= hi then
         invalid_arg
           (Printf.sprintf
              "upmem.alloc_dpus: %d DPUs requested but only %d of %d physical \
               DPUs are healthy"
-             dpus d total);
-      phys.(d) <- !p;
-      incr p
+             dpus d (phys_total m));
+      phys.(d) <- ptr.(r);
+      ptr.(r) <- ptr.(r) + 1
     done;
     phys
+  | _ when m.config.Config.ranks > 1 -> Array.init dpus (home_phys m)
   | _ -> Array.init dpus (fun d -> d)
 
 (* A spare physical DPU for remapping, scanning down from the top of the
-   machine so spares don't collide with the low DPUs workgroups occupy. *)
-let take_spare m (w : wg) =
+   failed DPU's own rank so spares don't collide with the low DPUs
+   workgroups occupy — and never leave the rank's fault domain. *)
+let take_spare m (w : wg) ~rank =
+  let lo = rank * per_rank_phys m in
   let in_wg p = Array.exists (fun q -> q = p) w.phys in
   let rec scan p =
-    if p < 0 then
+    if p < lo then
       invalid_arg
         "upmem.launch: no spare DPUs left to replace a permanently-failed DPU"
     else if perm_failed m p then begin
@@ -213,8 +252,8 @@ let take_spare m (w : wg) =
     else if in_wg p then scan (p - 1)
     else p
   in
-  let s = scan m.spare_cursor in
-  m.spare_cursor <- s - 1;
+  let s = scan m.spare_cursors.(rank) in
+  m.spare_cursors.(rank) <- s - 1;
   s
 
 (* Host-side fault pre-pass of one launch, run sequentially in DPU order
@@ -262,8 +301,9 @@ let prepass_faults m (w : wg) ~launch =
         done
       end;
       if failed >= max_attempts then begin
-        (* retries exhausted: treat as a permanent failure and remap *)
-        let spare = take_spare m w in
+        (* retries exhausted: treat as a permanent failure and remap to a
+           spare of the same rank (per-rank fault domains) *)
+        let spare = take_spare m w ~rank:(rank_of m w.phys.(d)) in
         let old = w.phys.(d) in
         w.phys.(d) <- spare;
         m.stats.Stats.failed_dpus <- m.stats.Stats.failed_dpus + 1;
@@ -299,7 +339,8 @@ let prepass_faults m (w : wg) ~launch =
 
 let active_dimms m (w : wg) =
   let dpus = w.wg_shape.(0) in
-  min m.config.Config.dimms
+  min
+    (m.config.Config.ranks * m.config.Config.dimms)
     (Cinm_support.Util.ceil_div dpus m.config.Config.dpus_per_dimm)
 
 let host_transfer m (w : wg) ~bytes ~to_device =
@@ -433,7 +474,7 @@ let exec_dma ~to_wram ctx op (ops : Rtval.t array) =
   p.Profile.dma_transfers <- p.Profile.dma_transfers + 1;
   p.Profile.dma_bytes <- p.Profile.dma_bytes + (count * elem_bytes)
 
-let hook (m : t) : Interp.hook =
+let hook_impl (m : t) : Interp.hook =
  fun ctx op ops ->
   match op.Ir.name with
   | "upmem.alloc_dpus" -> (
@@ -698,6 +739,33 @@ let hook (m : t) : Interp.hook =
     ctx.Interp.profile.Profile.barriers <- ctx.Interp.profile.Profile.barriers + 1;
     Some []
   | _ -> None
+
+(* The public hook: dispatch to [hook_impl] and log one schedule event per
+   timed device op, its duration being exactly the stats-total increment
+   of the op (so the event log sums to the stats buckets bit for bit).
+   Buffer handles carry the RAW hazards: a launch depends on the scatters
+   that filled its buffers, a gather on the launch that produced its
+   buffer — which is what lets the schedule merge overlap the transfer
+   for chunk n+1 with the kernel of chunk n (double buffering). *)
+let hook (m : t) : Interp.hook =
+  let impl = hook_impl m in
+  fun ctx op ops ->
+    match op.Ir.name with
+    | "upmem.scatter" | "upmem.gather" | "upmem.launch" ->
+      let t0 = Stats.total_s m.stats in
+      let r = impl ctx op ops in
+      let dur_s = Stats.total_s m.stats -. t0 in
+      let push kind chan bufs =
+        Vec.push m.events { Schedule.chan; kind; dur_s; bufs; label = op.Ir.name }
+      in
+      (match op.Ir.name with
+      | "upmem.scatter" -> push Schedule.Dma_in "h2d" [ Rtval.as_handle ops.(1) ]
+      | "upmem.gather" -> push Schedule.Dma_out "d2h" [ Rtval.as_handle ops.(0) ]
+      | _ ->
+        push Schedule.Compute "kernel"
+          (List.init (Array.length ops - 1) (fun i -> Rtval.as_handle ops.(i + 1))));
+      r
+    | _ -> impl ctx op ops
 
 (* Return every device buffer's storage to the arena, at the end of a
    run. Callers must guarantee no live value aliases device memory —

@@ -55,7 +55,9 @@ type t = {
   faults : Cinm_support.Fault.plan option;
   mutable launch_seq : int;
   mutable scatter_seq : int;
-  mutable spare_cursor : int;
+  spare_cursors : int array;
+      (** per rank: spares are taken from the failed DPU's own rank, so
+          each rank is an independent fault domain *)
   masked : (int, unit) Hashtbl.t;
   mutable trace_pid : int;
       (** the machine's {!Cinm_support.Trace} device pid; [0] until the
@@ -69,6 +71,11 @@ type t = {
           {!Cinm_support.Trace.device_total} reproduces the stats fields
           bit for bit. All events are emitted host-side, never from pool
           domains: the device track is identical for any [--jobs]. *)
+  events : Cinm_support.Schedule.ev Cinm_support.Vec.t;
+      (** schedule-event log: one entry per timed device op (scatter /
+          launch / gather) whose duration equals that op's stats-total
+          increment; sliced by the async executor to build overlapped
+          schedules *)
 }
 
 and entry
