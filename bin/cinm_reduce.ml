@@ -6,12 +6,18 @@
        '// cinm-opt --passes ...' reproducer header, or --passes — still
        fails with the same diagnostic class (pass + op);
      - --exec mode: the two interpreter backends (tree walker vs closure
-       compiler) disagree on the module's output.
+       compiler) disagree on the module's output;
+     - --exec-backend B: a device backend (arm | upmem | cim | hetero)
+       disagrees with the CPU reference on the module's output;
+     - --exec-faults: the upmem backend under a deterministic fault plan
+       disagrees with its fault-free run (fault-masking bug).
 
    Example:
      cinm_reduce repro/cinm-to-cnm-1.reproducer.mlir -o small.mlir
      cinm_reduce --passes debug-fail-on-gemm big.mlir
      cinm_reduce --exec miscompile.mlir
+     cinm_reduce --exec-backend hetero miscompile.mlir
+     cinm_reduce --exec-faults --fault-seed 54 masking-bug.mlir
 *)
 
 open Cinm_ir
@@ -71,9 +77,31 @@ let backends_disagree m =
     (fun () ->
       exec_outcome Compile.Tree m <> exec_outcome Compile.Compiled m)
 
+(* --exec-backend: the oracle's device-vs-reference differential, through
+   the full driver (lowering pipeline + simulator), not just the two host
+   interpreters. Arguments are the oracle's seeded generator values so a
+   fuzz reproducer reduces under the same inputs that found it. *)
+module Oracle = Cinm_fuzz_lib.Oracle
+
+let device_disagrees ~backend ~seed m =
+  Oracle.exec_outcome ~backend:Cinm_core.Backend.Host_xeon ~seed m
+  <> Oracle.exec_outcome ~backend ~seed m
+
+(* --exec-faults: fault-plan-vs-fault-free differential on the upmem
+   backend; interesting = the fault-tolerance machinery fails to mask the
+   plan (different values, or only one side failing). *)
+let faults_disagree ~seed m =
+  match Oracle.backend_of_name "upmem" with
+  | Error _ -> false
+  | Ok upmem ->
+    Oracle.exec_outcome ~backend:upmem ~seed m
+    <> Oracle.exec_outcome ~backend:upmem
+         ~faults:(Some (Oracle.fault_plan seed)) ~seed m
+
 (* ----- entry point ----- *)
 
-let run input passes_arg exec_mode out max_rounds =
+let run input passes_arg exec_mode exec_backend exec_faults fault_seed out
+    max_rounds =
   let text = read_input input in
   let header_pipeline = Pass.reproducer_pipeline_of_text text in
   let m =
@@ -86,10 +114,28 @@ let run input passes_arg exec_mode out max_rounds =
   (* predicate runs must not litter the reproducer dir with their own
      failures *)
   Pass.set_reproducer_dir None;
+  let exec_differential =
+    if exec_faults then
+      Some ("fault-plan vs fault-free", fun c -> faults_disagree ~seed:fault_seed c)
+    else
+      match exec_backend with
+      | "" -> if exec_mode then Some ("tree vs compiled", backends_disagree) else None
+      | name -> (
+        match Oracle.backend_of_name name with
+        | Error e ->
+          Printf.eprintf "%s\n" e;
+          exit 1
+        | Ok backend ->
+          Some
+            ( name ^ " vs reference",
+              fun c -> device_disagrees ~backend ~seed:fault_seed c ))
+  in
   let interesting, pipeline_names =
-    if exec_mode then
-      ((fun c -> Verifier.verify_module c = [] && backends_disagree c), [])
-    else begin
+    match exec_differential with
+    | Some (_, disagree) ->
+      ((fun c -> Verifier.verify_module c = [] && disagree c), [])
+    | None ->
+      begin
       let names =
         if passes_arg <> "" then
           String.split_on_char ',' passes_arg |> List.filter (fun s -> s <> "")
@@ -124,11 +170,14 @@ let run input passes_arg exec_mode out max_rounds =
           names )
     end
   in
-  if exec_mode && not (interesting m) then begin
+  (match exec_differential with
+  | Some (label, _) when not (interesting m) ->
     Printf.eprintf
-      "input is not interesting: both backends agree on its output\n";
+      "input is not interesting: %s agree on its output\n" label;
     exit 1
-  end;
+  | Some (label, _) ->
+    Printf.eprintf "reducing while preserving a %s mismatch\n%!" label
+  | None -> ());
   let reduced, stats = Reduce.reduce ~max_rounds ~interesting m in
   let body =
     let s = Printer.module_to_string reduced in
@@ -167,6 +216,24 @@ let exec_mode =
                backends disagree on the module's output (with synthesized \
                zero/one inputs), instead of a failing pipeline.")
 
+let exec_backend =
+  Arg.(value & opt string "" & info [ "exec-backend" ] ~docv:"B"
+         ~doc:"Interestingness = device backend $(docv) (arm | upmem | \
+               cim | hetero) disagrees with the CPU reference, through \
+               the full lowering pipeline and simulator.")
+
+let exec_faults =
+  Arg.(value & flag & info [ "exec-faults" ]
+         ~doc:"Interestingness = the upmem backend under the \
+               deterministic fault plan (see --fault-seed) disagrees \
+               with its fault-free run.")
+
+let fault_seed =
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"Seed for --exec-faults' fault plan and for the generated \
+               arguments of the execution differentials (use the \
+               'fuzz-seed' recorded in a fuzz reproducer header).")
+
 let out =
   Arg.(value & opt string "" & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Write the reduced IR to $(docv) (default: stdout).")
@@ -178,6 +245,7 @@ let max_rounds =
 let cmd =
   let doc = "delta-debug CINM IR down to a minimal still-failing module" in
   Cmd.v (Cmd.info "cinm_reduce" ~doc)
-    Term.(const run $ input $ passes_arg $ exec_mode $ out $ max_rounds)
+    Term.(const run $ input $ passes_arg $ exec_mode $ exec_backend
+          $ exec_faults $ fault_seed $ out $ max_rounds)
 
 let () = exit (Cmd.eval' cmd)

@@ -491,4 +491,17 @@ let run ?(fname = "") ?host_model ?config (compiled : compiled)
 (* Compile and run in one step (used by examples and the bench harness). *)
 let compile_and_run ?verify ?fallback ?host_model ?config backend f args =
   let compiled = compile_func ?verify ?fallback ?config backend (Func.clone f) in
-  run ?host_model ?config compiled args
+  match run ?host_model ?config compiled args with
+  | result -> result
+  | exception Usim.Machine.Insufficient_capacity msg
+    when fallback <> Some false ->
+    (* a fault plan failed more DPUs than the allocation can absorb:
+       like a compile-time lowering failure, degrade the request to the
+       host rather than losing it — only this typed capacity error is
+       caught, so genuine kernel bugs still surface *)
+    Log.warn "%s; degrading to host execution" msg;
+    let m = Func.create_module () in
+    Func.add_func m (Func.clone f);
+    Pass.run_pipeline ?verify ?config cpu_fallback_pipeline m;
+    let diag = { Pass.pass = "execute"; op = None; message = msg } in
+    run ?host_model ?config { modul = m; backend; fallback = Some diag } args

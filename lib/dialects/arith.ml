@@ -16,7 +16,7 @@ let dialect = Dialect.register ~name:"arith" ~description:"scalar arithmetic"
 
 let binary_ops =
   [ "addi"; "subi"; "muli"; "divsi"; "remsi"; "minsi"; "maxsi"; "andi"; "ori"; "xori";
-    "shli"; "shrsi"; "addf"; "subf"; "mulf"; "divf" ]
+    "shli"; "shrsi"; "addf"; "subf"; "mulf"; "divf"; "minf"; "maxf" ]
 
 let () =
   List.iter
@@ -88,6 +88,12 @@ let ori b x y = binop b "ori" x y
 let xori b x y = binop b "xori" x y
 let shli b x y = binop b "shli" x y
 let shrsi b x y = binop b "shrsi" x y
+let addf b x y = binop b "addf" x y
+let subf b x y = binop b "subf" x y
+let mulf b x y = binop b "mulf" x y
+let divf b x y = binop b "divf" x y
+let minf b x y = binop b "minf" x y
+let maxf b x y = binop b "maxf" x y
 
 type cmp_pred = Eq | Ne | Slt | Sle | Sgt | Sge
 

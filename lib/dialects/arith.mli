@@ -24,6 +24,12 @@ val ori : Builder.t -> Ir.value -> Ir.value -> Ir.value
 val xori : Builder.t -> Ir.value -> Ir.value -> Ir.value
 val shli : Builder.t -> Ir.value -> Ir.value -> Ir.value
 val shrsi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val addf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val subf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val mulf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val divf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val minf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val maxf : Builder.t -> Ir.value -> Ir.value -> Ir.value
 
 type cmp_pred = Eq | Ne | Slt | Sle | Sgt | Sge
 

@@ -1,0 +1,32 @@
+(* SplitMix64 (Steele/Lea/Flood), the same mix as Fault's site hash. *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+type t = { mutable state : int64 }
+
+let make seed = { state = mix64 (Int64.of_int seed) }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+let split t = { state = mix64 (Int64.logxor (next t) 0x5851F42D4C957F2DL) }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* 62 uniform bits — bias for any realistic n is negligible *)
+  Int64.to_int (Int64.shift_right_logical (next t) 2) mod n
+
+let bool t = Int64.logand (next t) 1L = 1L
+let range t lo hi = lo + int t (hi - lo + 1)
+let pick t arr = arr.(int t (Array.length arr))
+let chance t num den = int t den < num

@@ -1,0 +1,26 @@
+(** Deterministic SplitMix64 stream for the fuzzer. Same chain as
+    {!Cinm_support.Fault}'s site hash, but stateful: the generator wants a
+    cheap sequential stream, not a pure site function. Two streams made
+    from the same seed produce identical draws on every platform, so a
+    seed fully names a generated module. *)
+
+type t
+
+val make : int -> t
+
+(** An independent child stream (for sub-structures generated out of
+    order), derived from the parent's current position. *)
+val split : t -> t
+
+(** Uniform draw in [\[0, n)]. [n] must be positive. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform draw in [\[lo, hi\]] inclusive. *)
+val range : t -> int -> int -> int
+
+val pick : t -> 'a array -> 'a
+
+(** [chance rng num den] is true with probability [num/den]. *)
+val chance : t -> int -> int -> bool

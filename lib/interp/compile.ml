@@ -341,6 +341,8 @@ let float_binop_fn : string -> (float -> float -> float) option = function
   | "arith.subf" -> Some ( -. )
   | "arith.mulf" -> Some ( *. )
   | "arith.divf" -> Some ( /. )
+  | "arith.minf" -> Some Float.min
+  | "arith.maxf" -> Some Float.max
   | _ -> None
 
 let rec compile_op st (op : Ir.op) : instr =
@@ -508,6 +510,11 @@ and compile_alloc st op =
 and compile_indexed_load st op =
   let n_idx = Ir.num_operands op - 1 in
   if n_idx < 0 then raise Punt;
+  (* float elements take the generic path: the specializations below are
+     unboxed-int throughout *)
+  (match (Ir.result op 0).Ir.ty with
+  | Types.Scalar dt when Types.is_float_dtype dt -> raise Punt
+  | _ -> ());
   let m_s = use_slot st op.Ir.operands.(0) in
   let idx_s = Array.init n_idx (fun i -> use_slot st op.Ir.operands.(i + 1)) in
   let r = def_slot st op.Ir.results.(0) in
@@ -596,6 +603,9 @@ and compile_indexed_load st op =
 and compile_store st op =
   let n_idx = Ir.num_operands op - 2 in
   if n_idx < 0 then raise Punt;
+  (match op.Ir.operands.(0).Ir.ty with
+  | Types.Scalar dt when Types.is_float_dtype dt -> raise Punt
+  | _ -> ());
   let v_s = use_slot st op.Ir.operands.(0) in
   let m_s = use_slot st op.Ir.operands.(1) in
   let idx_s = Array.init n_idx (fun i -> use_slot st op.Ir.operands.(i + 2)) in

@@ -301,6 +301,8 @@ and eval_op ctx (op : Ir.op) : unit =
   | "arith.subf" -> float_bin ctx op p ( -. )
   | "arith.mulf" -> float_bin ctx op p ( *. )
   | "arith.divf" -> float_bin ctx op p ( /. )
+  | "arith.minf" -> float_bin ctx op p Float.min
+  | "arith.maxf" -> float_bin ctx op p Float.max
   | "arith.cmpi" ->
     let a = i_operand ctx op 0 and b = i_operand ctx op 1 in
     p.Profile.alu_ops <- p.Profile.alu_ops + 1;
@@ -372,9 +374,13 @@ and eval_op ctx (op : Ir.op) : unit =
   | "tensor.splat" | "linalg.fill" -> (
     match (Ir.result op 0).Ir.ty with
     | Types.Tensor (shape, dt) ->
-      let v = i_operand ctx op 0 in
       account_move p (Util.product_of_shape shape);
-      set_results [ Rtval.Tensor (Tensor.fill_scalar shape dt v) ]
+      let t =
+        if Types.is_float_dtype dt then
+          Tensor.fill_float shape dt (Rtval.as_float (operand ctx op 0))
+        else Tensor.fill_scalar shape dt (i_operand ctx op 0)
+      in
+      set_results [ Rtval.Tensor t ]
     | ty -> err "%s: %s" name (Types.to_string ty))
   | "tensor.extract_slice" ->
     let src = t_operand ctx op 0 in
@@ -393,13 +399,18 @@ and eval_op ctx (op : Ir.op) : unit =
     let src = t_operand ctx op 0 in
     let idx = Array.init (Ir.num_operands op - 1) (fun i -> i_operand ctx op (i + 1)) in
     p.Profile.loads <- p.Profile.loads + 1;
-    set_results [ Rtval.Int (Tensor.get src idx) ]
+    set_results
+      [ (if Types.is_float_dtype src.Tensor.dtype then
+           Rtval.Float (Tensor.get_f src idx)
+         else Rtval.Int (Tensor.get src idx)) ]
   | "tensor.insert" ->
-    let v = i_operand ctx op 0 and dst = t_operand ctx op 1 in
+    let dst = t_operand ctx op 1 in
     let idx = Array.init (Ir.num_operands op - 2) (fun i -> i_operand ctx op (i + 2)) in
     p.Profile.stores <- p.Profile.stores + 1;
     let out = Tensor.copy dst in
-    Tensor.set out idx v;
+    if Types.is_float_dtype out.Tensor.dtype then
+      Tensor.set_f out idx (Rtval.as_float (operand ctx op 0))
+    else Tensor.set out idx (i_operand ctx op 0);
     set_results [ Rtval.Tensor out ]
   | "tensor.reshape" | "cinm.expand" -> (
     let src = t_operand ctx op 0 in
@@ -420,12 +431,16 @@ and eval_op ctx (op : Ir.op) : unit =
     let m = t_operand ctx op 0 in
     let idx = Array.init (Ir.num_operands op - 1) (fun i -> i_operand ctx op (i + 1)) in
     p.Profile.loads <- p.Profile.loads + 1;
-    set_results [ Rtval.Int (Tensor.get m idx) ]
+    set_results
+      [ (if Types.is_float_dtype m.Tensor.dtype then Rtval.Float (Tensor.get_f m idx)
+         else Rtval.Int (Tensor.get m idx)) ]
   | "memref.store" ->
-    let v = i_operand ctx op 0 and m = t_operand ctx op 1 in
+    let m = t_operand ctx op 1 in
     let idx = Array.init (Ir.num_operands op - 2) (fun i -> i_operand ctx op (i + 2)) in
     p.Profile.stores <- p.Profile.stores + 1;
-    Tensor.set m idx v;
+    if Types.is_float_dtype m.Tensor.dtype then
+      Tensor.set_f m idx (Rtval.as_float (operand ctx op 0))
+    else Tensor.set m idx (i_operand ctx op 0);
     set_results []
   | "memref.copy" ->
     let src = t_operand ctx op 0 and dst = t_operand ctx op 1 in
@@ -458,7 +473,9 @@ and eval_op ctx (op : Ir.op) : unit =
   | "linalg.dot" ->
     let a = t_operand ctx op 0 and bt = t_operand ctx op 1 in
     account_matmul p 1 1 (Tensor.num_elements a);
-    set_results [ Rtval.Int (Tensor.dot a bt) ]
+    if Types.is_float_dtype a.Tensor.dtype then
+      set_results [ Rtval.Float (Tensor.dot_f a bt) ]
+    else set_results [ Rtval.Int (Tensor.dot a bt) ]
   | "linalg.conv_2d" ->
     let img = t_operand ctx op 0 and k = t_operand ctx op 1 in
     (match (img.Tensor.shape, k.Tensor.shape) with
@@ -487,9 +504,14 @@ and eval_op ctx (op : Ir.op) : unit =
       let out = Tensor.zeros dst_shape src.Tensor.dtype in
       let n = Tensor.num_elements out and m = Tensor.num_elements src in
       account_move p n;
-      for i = 0 to n - 1 do
-        Tensor.set_int out i (Tensor.get_int src (i mod m))
-      done;
+      if Types.is_float_dtype src.Tensor.dtype then
+        for i = 0 to n - 1 do
+          Tensor.set_float out i (Tensor.get_float src (i mod m))
+        done
+      else
+        for i = 0 to n - 1 do
+          Tensor.set_int out i (Tensor.get_int src (i mod m))
+        done;
       set_results [ Rtval.Tensor out ]
     | None -> err "linalg.broadcast: unshaped result")
   (* ----- shape ops ----- *)
@@ -509,7 +531,9 @@ and eval_op ctx (op : Ir.op) : unit =
     let a = t_operand ctx op 0 in
     let red = Ir.str_attr op "op" in
     account_elementwise p (Tensor.num_elements a);
-    set_results [ Rtval.Int (Tensor.reduce red a) ]
+    if Types.is_float_dtype a.Tensor.dtype then
+      set_results [ Rtval.Float (Tensor.reduce_f red a) ]
+    else set_results [ Rtval.Int (Tensor.reduce red a) ]
   | "cinm.scan" ->
     let a =
       match Ir.attr op "pre_expr" with
@@ -520,14 +544,22 @@ and eval_op ctx (op : Ir.op) : unit =
         let n = Tensor.num_elements inputs.(0) in
         let out = Tensor.zeros inputs.(0).Tensor.shape inputs.(0).Tensor.dtype in
         p.Profile.alu_ops <- p.Profile.alu_ops + (n * List.length tokens / 2);
-        for i = 0 to n - 1 do
-          Tensor.set_int out i
-            (Cinm_dialects.Cinm_d.eval_rpn ~tokens
-               ~input:(fun k -> Tensor.get_int inputs.(k) i)
-               ~const:(fun c -> c)
-               ~apply:(fun name x y ->
-                 Tensor.wrap out.Tensor.dtype (Tensor.int_binop name x y)))
-        done;
+        if Types.is_float_dtype out.Tensor.dtype then
+          for i = 0 to n - 1 do
+            Tensor.set_float out i
+              (Cinm_dialects.Cinm_d.eval_rpn ~tokens
+                 ~input:(fun k -> Tensor.get_float inputs.(k) i)
+                 ~const:float_of_int ~apply:Tensor.float_binop)
+          done
+        else
+          for i = 0 to n - 1 do
+            Tensor.set_int out i
+              (Cinm_dialects.Cinm_d.eval_rpn ~tokens
+                 ~input:(fun k -> Tensor.get_int inputs.(k) i)
+                 ~const:(fun c -> c)
+                 ~apply:(fun name x y ->
+                   Tensor.wrap out.Tensor.dtype (Tensor.int_binop name x y)))
+          done;
         out
       | Some a -> err "cinm.scan: bad pre_expr %s" (Attr.to_string a)
     in
@@ -582,16 +614,24 @@ and eval_op ctx (op : Ir.op) : unit =
     p.Profile.alu_ops <- p.Profile.alu_ops + (n * List.length tokens / 2);
     p.Profile.loads <- p.Profile.loads + (n * Array.length inputs);
     p.Profile.stores <- p.Profile.stores + n;
-    for i = 0 to n - 1 do
-      let v =
-        Cinm_dialects.Cinm_d.eval_rpn ~tokens
-          ~input:(fun k -> Tensor.get_int inputs.(k) i)
-          ~const:(fun c -> c)
-          ~apply:(fun name a bv ->
-            Tensor.wrap out.Tensor.dtype (Tensor.int_binop name a bv))
-      in
-      Tensor.set_int out i v
-    done;
+    if Types.is_float_dtype out.Tensor.dtype then
+      for i = 0 to n - 1 do
+        Tensor.set_float out i
+          (Cinm_dialects.Cinm_d.eval_rpn ~tokens
+             ~input:(fun k -> Tensor.get_float inputs.(k) i)
+             ~const:float_of_int ~apply:Tensor.float_binop)
+      done
+    else
+      for i = 0 to n - 1 do
+        let v =
+          Cinm_dialects.Cinm_d.eval_rpn ~tokens
+            ~input:(fun k -> Tensor.get_int inputs.(k) i)
+            ~const:(fun c -> c)
+            ~apply:(fun name a bv ->
+              Tensor.wrap out.Tensor.dtype (Tensor.int_binop name a bv))
+        in
+        Tensor.set_int out i v
+      done;
     set_results [ Rtval.Tensor out ]
   (* ----- tosa ----- *)
   | "tosa.fully_connected" ->

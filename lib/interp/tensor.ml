@@ -102,6 +102,8 @@ let copy t =
 
 let get t idx = get_int t (Util.linearize t.shape idx)
 let set t idx v = set_int t (Util.linearize t.shape idx) v
+let get_f t idx = get_float t (Util.linearize t.shape idx)
+let set_f t idx v = set_float t (Util.linearize t.shape idx) v
 
 let to_int_array t =
   match t.data with
@@ -228,6 +230,13 @@ let fill_scalar shape dtype v =
     done);
   t
 
+let fill_float shape dtype v =
+  let t = zeros shape dtype in
+  (match t.data with
+  | F a -> Array.fill a 0 (Array.length a) v
+  | I _ | I8 _ | I16 _ -> invalid_arg "Tensor.fill_float: integer dtype");
+  t
+
 (* ----- linear algebra ----- *)
 
 let matmul a b =
@@ -336,13 +345,23 @@ let matvec a v =
   match (a.shape, v.shape) with
   | [| m; n |], [| n' |] when n = n' ->
     let out = zeros [| m |] a.dtype in
-    for i = 0 to m - 1 do
-      let acc = ref 0 in
-      for j = 0 to n - 1 do
-        acc := !acc + (get_int a ((i * n) + j) * get_int v j)
-      done;
-      set_int out i !acc
-    done;
+    (match out.data with
+    | F _ ->
+      for i = 0 to m - 1 do
+        let acc = ref 0.0 in
+        for j = 0 to n - 1 do
+          acc := !acc +. (get_float a ((i * n) + j) *. get_float v j)
+        done;
+        set_float out i !acc
+      done
+    | I _ | I8 _ | I16 _ ->
+      for i = 0 to m - 1 do
+        let acc = ref 0 in
+        for j = 0 to n - 1 do
+          acc := !acc + (get_int a ((i * n) + j) * get_int v j)
+        done;
+        set_int out i !acc
+      done);
     out
   | _ -> invalid_arg "Tensor.matvec: shape mismatch"
 
@@ -354,22 +373,47 @@ let dot a b =
   done;
   wrap a.dtype !acc
 
+let dot_f a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.dot_f: shape mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to num_elements a - 1 do
+    acc := !acc +. (get_float a i *. get_float b i)
+  done;
+  !acc
+
 let conv_2d img kernel =
   match (img.shape, kernel.shape) with
   | [| h; w |], [| kh; kw |] ->
     let oh = h - kh + 1 and ow = w - kw + 1 in
     let out = zeros [| oh; ow |] img.dtype in
-    for i = 0 to oh - 1 do
-      for j = 0 to ow - 1 do
-        let acc = ref 0 in
-        for di = 0 to kh - 1 do
-          for dj = 0 to kw - 1 do
-            acc := !acc + (get_int img (((i + di) * w) + j + dj) * get_int kernel ((di * kw) + dj))
-          done
-        done;
-        set_int out ((i * ow) + j) !acc
+    (match out.data with
+    | F _ ->
+      for i = 0 to oh - 1 do
+        for j = 0 to ow - 1 do
+          let acc = ref 0.0 in
+          for di = 0 to kh - 1 do
+            for dj = 0 to kw - 1 do
+              acc :=
+                !acc
+                +. (get_float img (((i + di) * w) + j + dj)
+                   *. get_float kernel ((di * kw) + dj))
+            done
+          done;
+          set_float out ((i * ow) + j) !acc
+        done
       done
-    done;
+    | I _ | I8 _ | I16 _ ->
+      for i = 0 to oh - 1 do
+        for j = 0 to ow - 1 do
+          let acc = ref 0 in
+          for di = 0 to kh - 1 do
+            for dj = 0 to kw - 1 do
+              acc := !acc + (get_int img (((i + di) * w) + j + dj) * get_int kernel ((di * kw) + dj))
+            done
+          done;
+          set_int out ((i * ow) + j) !acc
+        done
+      done);
     out
   | _ -> invalid_arg "Tensor.conv_2d: rank-2 required"
 
@@ -388,11 +432,16 @@ let transpose t perms =
   done;
   let w = Array.make rank 0 in
   Array.iteri (fun i p -> w.(p) <- ostrides.(i)) perms;
+  let copy_elt =
+    match out.data with
+    | F _ -> fun src dst -> set_float out dst (get_float t src)
+    | I _ | I8 _ | I16 _ -> fun src dst -> set_int out dst (get_int t src)
+  in
   let idx = Array.make rank 0 in
   let ooff = ref 0 in
   let n = num_elements t in
   for off = 0 to n - 1 do
-    set_int out !ooff (get_int t off);
+    copy_elt off !ooff;
     let j = ref (rank - 1) in
     let carry = ref true in
     while !carry && !j >= 0 do
@@ -421,12 +470,31 @@ let reduce op t =
     wrap t.dtype !acc
   end
 
+let reduce_f op t =
+  let n = num_elements t in
+  if n = 0 then 0.0
+  else begin
+    let f = float_binop op in
+    let acc = ref (get_float t 0) in
+    for i = 1 to n - 1 do
+      acc := f !acc (get_float t i)
+    done;
+    !acc
+  end
+
 let scan op t =
   let out = copy t in
   let n = num_elements t in
-  for i = 1 to n - 1 do
-    set_int out i (int_binop op (get_int out (i - 1)) (get_int out i))
-  done;
+  (match out.data with
+  | F a ->
+    let f = float_binop op in
+    for i = 1 to n - 1 do
+      a.(i) <- f a.(i - 1) a.(i)
+    done
+  | I _ | I8 _ | I16 _ ->
+    for i = 1 to n - 1 do
+      set_int out i (int_binop op (get_int out (i - 1)) (get_int out i))
+    done);
   out
 
 let histogram ~bins t =
@@ -570,6 +638,13 @@ let pad t ~low ~high =
   (match (t.data, out.data) with
   | I s, I d when rank > 0 && region_in_bounds out_shape low t.shape ->
     blit_region s t.shape (Array.make rank 0) d out_shape low t.shape
+  | F _, F _ when rank > 0 && region_in_bounds out_shape low t.shape ->
+    let n = num_elements t in
+    for off = 0 to n - 1 do
+      let idx = Util.delinearize t.shape off in
+      let out_idx = Array.init rank (fun i -> idx.(i) + low.(i)) in
+      set_float out (Util.linearize out_shape out_idx) (get_float t off)
+    done
   | _ ->
     let n = num_elements t in
     for off = 0 to n - 1 do
@@ -585,6 +660,13 @@ let extract_slice t ~offsets ~sizes =
   (match (t.data, out.data) with
   | I s, I d when rank > 0 && region_in_bounds t.shape offsets sizes ->
     blit_region s t.shape offsets d sizes (Array.make rank 0) sizes
+  | F _, F _ when rank > 0 && region_in_bounds t.shape offsets sizes ->
+    let n = Util.product_of_shape sizes in
+    for off = 0 to n - 1 do
+      let idx = Util.delinearize sizes off in
+      let src_idx = Array.init rank (fun i -> idx.(i) + offsets.(i)) in
+      set_float out off (get_float t (Util.linearize t.shape src_idx))
+    done
   | _ ->
     let n = Util.product_of_shape sizes in
     for off = 0 to n - 1 do
@@ -604,6 +686,16 @@ let insert_slice src dst ~offsets =
          && src.dtype = dst.dtype
          && region_in_bounds dst.shape offsets src.shape ->
     blit_region s src.shape (Array.make rank 0) d dst.shape offsets src.shape
+  | F _, F _
+    when rank > 0
+         && src.dtype = dst.dtype
+         && region_in_bounds dst.shape offsets src.shape ->
+    let n = num_elements src in
+    for off = 0 to n - 1 do
+      let idx = Util.delinearize src.shape off in
+      let dst_idx = Array.init rank (fun i -> idx.(i) + offsets.(i)) in
+      set_float out (Util.linearize dst.shape dst_idx) (get_float src off)
+    done
   | _ ->
     let n = num_elements src in
     for off = 0 to n - 1 do
@@ -618,13 +710,18 @@ let im2col img ~kh ~kw =
   | [| h; w |] ->
     let oh = h - kh + 1 and ow = w - kw + 1 in
     let out = zeros [| oh * ow; kh * kw |] img.dtype in
+    let copy_elt =
+      match out.data with
+      | F _ -> fun src dst -> set_float out dst (get_float img src)
+      | I _ | I8 _ | I16 _ -> fun src dst -> set_int out dst (get_int img src)
+    in
     for i = 0 to oh - 1 do
       for j = 0 to ow - 1 do
         for di = 0 to kh - 1 do
           for dj = 0 to kw - 1 do
-            set_int out
+            copy_elt
+              (((i + di) * w) + j + dj)
               ((((i * ow) + j) * kh * kw) + (di * kw) + dj)
-              (get_int img (((i + di) * w) + j + dj))
           done
         done
       done
@@ -694,43 +791,67 @@ let einsum ~spec a b =
   let wa_out, wa_red = weights a_idx a.shape in
   let wb_out, wb_red = weights b_idx b.shape in
   let red_pos = Array.make rank_red 0 in
-  (* int-array payloads skip the per-element payload dispatch; the offsets
-     are in range by construction of the stride weights *)
-  let ga, gb =
-    match (a.data, b.data) with
-    | I xa, I xb ->
-      ((fun i -> Array.unsafe_get xa i), fun i -> Array.unsafe_get xb i)
-    | _ -> ((fun i -> get_int a i), fun i -> get_int b i)
+  (* The reduction odometer is shared between the int and float engines:
+     it advances [off_a]/[off_b] by the precomputed stride weights and
+     wraps each exhausted reduction dimension. *)
+  let step off_a off_b =
+    let j = ref (rank_red - 1) in
+    let carry = ref true in
+    while !carry && !j >= 0 do
+      red_pos.(!j) <- red_pos.(!j) + 1;
+      off_a := !off_a + wa_red.(!j);
+      off_b := !off_b + wb_red.(!j);
+      if red_pos.(!j) = red_shape.(!j) then begin
+        red_pos.(!j) <- 0;
+        off_a := !off_a - (wa_red.(!j) * red_shape.(!j));
+        off_b := !off_b - (wb_red.(!j) * red_shape.(!j));
+        decr j
+      end
+      else carry := false
+    done
   in
-  for o = 0 to n_out - 1 do
+  let bases o =
     let out_pos = Util.delinearize out_shape o in
     let base_a = ref 0 and base_b = ref 0 in
     for i = 0 to rank_out - 1 do
       base_a := !base_a + (wa_out.(i) * out_pos.(i));
       base_b := !base_b + (wb_out.(i) * out_pos.(i))
     done;
-    Array.fill red_pos 0 rank_red 0;
-    let off_a = ref !base_a and off_b = ref !base_b in
-    let acc = ref 0 in
-    for _r = 0 to n_red - 1 do
-      acc := !acc + (ga !off_a * gb !off_b);
-      let j = ref (rank_red - 1) in
-      let carry = ref true in
-      while !carry && !j >= 0 do
-        red_pos.(!j) <- red_pos.(!j) + 1;
-        off_a := !off_a + wa_red.(!j);
-        off_b := !off_b + wb_red.(!j);
-        if red_pos.(!j) = red_shape.(!j) then begin
-          red_pos.(!j) <- 0;
-          off_a := !off_a - (wa_red.(!j) * red_shape.(!j));
-          off_b := !off_b - (wb_red.(!j) * red_shape.(!j));
-          decr j
-        end
-        else carry := false
-      done
-    done;
-    set_int out o !acc
-  done;
+    (!base_a, !base_b)
+  in
+  (match out.data with
+  | F _ ->
+    for o = 0 to n_out - 1 do
+      let base_a, base_b = bases o in
+      Array.fill red_pos 0 rank_red 0;
+      let off_a = ref base_a and off_b = ref base_b in
+      let acc = ref 0.0 in
+      for _r = 0 to n_red - 1 do
+        acc := !acc +. (get_float a !off_a *. get_float b !off_b);
+        step off_a off_b
+      done;
+      set_float out o !acc
+    done
+  | I _ | I8 _ | I16 _ ->
+    (* int-array payloads skip the per-element payload dispatch; the
+       offsets are in range by construction of the stride weights *)
+    let ga, gb =
+      match (a.data, b.data) with
+      | I xa, I xb ->
+        ((fun i -> Array.unsafe_get xa i), fun i -> Array.unsafe_get xb i)
+      | _ -> ((fun i -> get_int a i), fun i -> get_int b i)
+    in
+    for o = 0 to n_out - 1 do
+      let base_a, base_b = bases o in
+      Array.fill red_pos 0 rank_red 0;
+      let off_a = ref base_a and off_b = ref base_b in
+      let acc = ref 0 in
+      for _r = 0 to n_red - 1 do
+        acc := !acc + (ga !off_a * gb !off_b);
+        step off_a off_b
+      done;
+      set_int out o !acc
+    done);
   out
 
 (* ----- flat copies (scatter / gather / DMA fast paths) ----- *)
@@ -757,6 +878,7 @@ let blit src soff dst doff len =
     | I a, I b -> Array.blit a soff b doff len
     | I8 a, I8 b -> Bytes.blit a soff b doff len
     | I16 a, I16 b -> Bytes.blit a (2 * soff) b (2 * doff) (2 * len)
+    | F a, F b -> Array.blit a soff b doff len
     | _ -> slow ()
   else slow ()
 
@@ -778,6 +900,10 @@ let blit_strided src soff sstride dst doff len =
     if fits && src.dtype = dst.dtype then
       match (src.data, dst.data) with
       | I a, I b ->
+        for i = 0 to len - 1 do
+          Array.unsafe_set b (doff + i) (Array.unsafe_get a (soff + (i * sstride)))
+        done
+      | F a, F b ->
         for i = 0 to len - 1 do
           Array.unsafe_set b (doff + i) (Array.unsafe_get a (soff + (i * sstride)))
         done

@@ -40,6 +40,8 @@ val set_float : t -> int -> float -> unit
 val get : t -> int array -> int
 
 val set : t -> int array -> int -> unit
+val get_f : t -> int array -> float
+val set_f : t -> int array -> float -> unit
 val to_int_array : t -> int array
 
 (** Structural equality, dtype and shape first: same-data tensors of
@@ -71,17 +73,29 @@ val map2 : string -> t -> t -> t
 val map_not : t -> t
 val fill_scalar : int array -> Types.dtype -> int -> t
 
+(** [fill_float shape dtype v] is a float tensor with every element [v].
+    @raise Invalid_argument on integer dtypes (use {!fill_scalar}). *)
+val fill_float : int array -> Types.dtype -> float -> t
+
 (** {1 Linear algebra} *)
 
 val matmul : t -> t -> t
 val matvec : t -> t -> t
+
+(** Integer dot product (wrapped to the dtype). For float tensors use
+    {!dot_f} — this one truncates every element. *)
 val dot : t -> t -> int
+
+val dot_f : t -> t -> float
 val conv_2d : t -> t -> t
 val transpose : t -> int array -> t
 
 (** {1 Reductions and analytics (cinm Table 1)} *)
 
+(** Integer reduction (wrapped). For float tensors use {!reduce_f}. *)
 val reduce : string -> t -> int
+
+val reduce_f : string -> t -> float
 val scan : string -> t -> t
 val histogram : bins:int -> t -> t
 val pop_count : t -> int

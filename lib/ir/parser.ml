@@ -215,16 +215,37 @@ let lex_number st =
   skip_ws st;
   let start = st.pos in
   if peek_char st = '-' then advance st;
-  let is_num_char c =
-    (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E' || c = '+' || c = '-'
-  in
-  while (not (eof st)) && is_num_char (peek_char st) do
-    advance st
-  done;
-  let text = String.sub st.src start (st.pos - start) in
-  if String.contains text '.' || String.contains text 'e' || String.contains text 'E' then
-    Attr.Float (float_of_string text)
-  else Attr.Int (int_of_string text)
+  (* signed non-finite keywords: the printer emits nan / inf / -inf for
+     the values %.17g cannot otherwise round-trip *)
+  if (not (eof st)) && (peek_char st = 'i' || peek_char st = 'n') then begin
+    let kw_start = st.pos in
+    while (not (eof st)) && peek_char st >= 'a' && peek_char st <= 'z' do
+      advance st
+    done;
+    let neg = st.src.[start] = '-' in
+    match String.sub st.src kw_start (st.pos - kw_start) with
+    | "inf" -> Attr.Float (if neg then neg_infinity else infinity)
+    | "nan" -> Attr.Float nan
+    | kw -> fail st ("bad numeric literal: " ^ kw)
+  end
+  else begin
+    let is_num_char c =
+      (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E' || c = '+' || c = '-'
+    in
+    while (not (eof st)) && is_num_char (peek_char st) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    if String.contains text '.' || String.contains text 'e' || String.contains text 'E'
+    then
+      match float_of_string_opt text with
+      | Some f -> Attr.Float f
+      | None -> fail st ("bad float literal: " ^ text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Attr.Int i
+      | None -> fail st ("bad integer literal: " ^ text)
+  end
 
 let rec parse_attr_value st : Attr.t =
   skip_ws st;
@@ -289,6 +310,10 @@ let rec parse_attr_value st : Attr.t =
     | "true" -> Attr.Bool true
     | "false" -> Attr.Bool false
     | "unit" -> Attr.Unit
+    (* unsigned non-finite floats land here (the '-'-prefixed forms go
+       through lex_number) *)
+    | "nan" -> Attr.Float nan
+    | "inf" -> Attr.Float infinity
     | _ ->
       st.pos <- save;
       Attr.Ty (parse_type st))

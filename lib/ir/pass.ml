@@ -121,6 +121,13 @@ let last_reproducer () = Domain.DLS.get last_repro
    concurrent requests never reuse a filename *)
 let repro_seq = Atomic.make 0
 
+(* When the fuzzer drives a pipeline it records the generating seed here
+   so crash reproducers name the exact cinm_fuzz invocation that replays
+   them; None outside a fuzzing run. *)
+let fuzz_seed : int option Atomic.t = Atomic.make None
+let set_fuzz_seed s = Atomic.set fuzz_seed s
+let current_fuzz_seed () = Atomic.get fuzz_seed
+
 let reproducer_header ~strict ~pipeline =
   let flags = if strict then "--verify-each " else "" in
   Printf.sprintf "// cinm-opt %s--passes %s" flags (String.concat "," pipeline)
@@ -156,31 +163,51 @@ let reproducer_pipeline_of_text text =
 let write_reproducer ?(req_id = "") ~dir ~strict ~pipeline ~(diag : diag) ir_text =
   (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
    with Sys_error _ -> ());
-  let path =
-    Filename.concat dir
-      (Printf.sprintf "%s-%d.reproducer.mlir" diag.pass
-         (Atomic.fetch_and_add repro_seq 1 + 1))
+  (* The sequence number is unique within this process, but several
+     processes sharing one reproducer dir (fuzzer workers, parallel CI
+     shards) can race to the same name — O_EXCL makes creation atomic,
+     and a collision just advances the sequence and retries. *)
+  let rec open_fresh attempts =
+    if attempts = 0 then None
+    else
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s-%d.reproducer.mlir" diag.pass
+             (Atomic.fetch_and_add repro_seq 1 + 1))
+      in
+      match open_out_gen [ Open_wronly; Open_creat; Open_excl ] 0o644 path with
+      | oc -> Some (path, oc)
+      | exception Sys_error _ -> open_fresh (attempts - 1)
   in
-  try
-    let oc = open_out path in
-    output_string oc (reproducer_header ~strict ~pipeline);
-    output_char oc '\n';
-    (* correlate the artifact with the server request that produced it;
-       a leading comment line, so the replay parser is unaffected *)
-    if req_id <> "" then output_string oc ("// req-id: " ^ req_id ^ "\n");
-    List.iter
-      (fun l -> output_string oc ("// failure: " ^ l ^ "\n"))
-      (String.split_on_char '\n' (diag_to_string diag));
-    output_string oc ir_text;
-    close_out oc;
-    let r = { path; pipeline; diag } in
-    Domain.DLS.set last_repro (Some r);
-    Log.warn "wrote crash reproducer %s (replay: cinm_opt --run-reproducer %s)"
-      path path;
-    Some r
-  with Sys_error msg ->
-    Log.warn "could not write crash reproducer in %s: %s" dir msg;
+  match open_fresh 64 with
+  | None ->
+    Log.warn "could not write crash reproducer in %s: no creatable unique name"
+      dir;
     None
+  | Some (path, oc) -> (
+    try
+      output_string oc (reproducer_header ~strict ~pipeline);
+      output_char oc '\n';
+      (* correlate the artifact with the server request that produced it;
+         a leading comment line, so the replay parser is unaffected *)
+      if req_id <> "" then output_string oc ("// req-id: " ^ req_id ^ "\n");
+      (match Atomic.get fuzz_seed with
+      | Some s -> output_string oc (Printf.sprintf "// fuzz-seed: %d\n" s)
+      | None -> ());
+      List.iter
+        (fun l -> output_string oc ("// failure: " ^ l ^ "\n"))
+        (String.split_on_char '\n' (diag_to_string diag));
+      output_string oc ir_text;
+      close_out oc;
+      let r = { path; pipeline; diag } in
+      Domain.DLS.set last_repro (Some r);
+      Log.warn "wrote crash reproducer %s (replay: cinm_opt --run-reproducer %s)"
+        path path;
+      Some r
+    with Sys_error msg ->
+      (try close_out_noerr oc with _ -> ());
+      Log.warn "could not write crash reproducer in %s: %s" dir msg;
+      None)
 
 (* ----- opt-in IR snapshots (mlir's -print-ir-after-* equivalent) ----- *)
 

@@ -65,6 +65,14 @@ type reproducer = { path : string; pipeline : string list; diag : diag }
 
 val set_reproducer_dir : string option -> unit
 
+(** The fuzzing seed to record in reproducer headers ([// fuzz-seed: N]),
+    so an artifact names the exact [cinm_fuzz] invocation that replays
+    it; [None] (the default) outside a fuzzing run. Process-global —
+    set it around a whole campaign, not per concurrent request. *)
+val set_fuzz_seed : int option -> unit
+
+val current_fuzz_seed : unit -> int option
+
 (** The most recent reproducer written {e by the calling domain}
     (domain-local, so a server's concurrent requests — each pinned to one
     pool domain — never observe each other's failures). *)

@@ -26,9 +26,16 @@ let name_param namer i (v : Ir.value) =
   n
 
 let float_literal f =
-  let s = Printf.sprintf "%.17g" f in
-  if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
-  else s ^ ".0"
+  (* Non-finite values get explicit keywords: %.17g prints "nan"/"inf",
+     which the lexer must treat as literals, not identifiers — and the
+     sign of -inf must survive. NaN payloads are not preserved (the IR
+     has a single canonical NaN). *)
+  if f <> f then "nan"
+  else if f = infinity then "inf"
+  else if f = neg_infinity then "-inf"
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
 
 let rec attr_to_string = function
   | Attr.Unit -> "unit"

@@ -9,10 +9,14 @@
         same result types (chunk sizes n/2, n/4, ..., 1), rewiring uses —
         this also deletes whole region bodies when the op owning the
         region goes;
-     3. rewrite operands to fresh constants, decoupling def-use chains so
+     3. ddmin-style chunked operand forwarding: a single-result op whose
+        result type matches an operand is bypassed (uses rewired to the
+        operand) — collapses live accumulator chains constant
+        replacement cannot shorten;
+     4. rewrite operands to fresh constants, decoupling def-use chains so
         the producers die in the cleanup sweep;
-     4. delete pure ops whose results are unused (cleanup sweep);
-     5. textually halve tensor/memref/workgroup shape dimensions.
+     5. delete pure ops whose results are unused (cleanup sweep);
+     6. textually halve tensor/memref/workgroup shape dimensions.
 
    Every move is built on a deep clone of the current best module and
    accepted only if the clone is still interesting, so an invalid or
@@ -104,6 +108,31 @@ let replace_op_with_constants (f : Func.t) (op : Ir.op) : bool =
         Ir.set_block_ops block new_ops;
         true
       end
+
+(* Bypass [op]: rewire its single result's uses to a same-typed operand
+   and drop the op. The workhorse for chains like acc' = add(acc, c),
+   where every link is live so constant replacement never shrinks the
+   path, but forwarding acc through removes a link (and the sweep then
+   reaps the now-unused c). Dominance is preserved: the operand is
+   defined before [op], so it is in scope at every use of the result. *)
+let forward_operand_to_result (f : Func.t) (op : Ir.op) : bool =
+  if is_terminator op || Array.length op.Ir.results <> 1 then false
+  else
+    match op.Ir.parent with
+    | None -> false
+    | Some block -> (
+      let r = op.Ir.results.(0) in
+      match
+        Array.find_opt
+          (fun (v : Ir.value) -> Types.equal v.Ir.ty r.Ir.ty)
+          op.Ir.operands
+      with
+      | None -> false
+      | Some v ->
+        Ir.replace_uses_in_region f.Func.body ~old_v:r ~new_v:v;
+        Ir.set_block_ops block
+          (List.filter (fun o -> not (o == op)) (Ir.block_ops block));
+        true)
 
 (* Rewrite operand [j] of [op] to a fresh constant inserted just before
    it, decoupling the def-use chain so the producer can die in the sweep. *)
@@ -224,28 +253,32 @@ let reduce ?(max_rounds = 16) ~interesting (m0 : Func.modul) :
       c.Func.funcs <- List.filteri (fun i _ -> i <> !fi) c.Func.funcs;
       if try_candidate ~allow_equal:false c then progress := true else incr fi
     done;
-    (* move 2: ddmin chunks of op -> constant replacement, per function *)
-    for fi = 0 to List.length !best.Func.funcs - 1 do
-      let fun_ops () = Array.length (ops_of (List.nth !best.Func.funcs fi)) in
-      let chunk = ref (max 1 (fun_ops () / 2)) in
-      while !chunk >= 1 do
-        let pos = ref 0 in
-        while !pos < fun_ops () do
-          let c = clone_module !best in
-          let f = List.nth c.Func.funcs fi in
-          let ops = ops_of f in
-          let any = ref false in
-          for k = !pos to min (Array.length ops - 1) (!pos + !chunk - 1) do
-            if replace_op_with_constants f ops.(k) then any := true
+    (* moves 2 + 3: ddmin chunks of a per-op mutation, per function *)
+    let ddmin_pass (mutate : Func.t -> Ir.op -> bool) =
+      for fi = 0 to List.length !best.Func.funcs - 1 do
+        let fun_ops () = Array.length (ops_of (List.nth !best.Func.funcs fi)) in
+        let chunk = ref (max 1 (fun_ops () / 2)) in
+        while !chunk >= 1 do
+          let pos = ref 0 in
+          while !pos < fun_ops () do
+            let c = clone_module !best in
+            let f = List.nth c.Func.funcs fi in
+            let ops = ops_of f in
+            let any = ref false in
+            for k = !pos to min (Array.length ops - 1) (!pos + !chunk - 1) do
+              if mutate f ops.(k) then any := true
+            done;
+            if !any then ignore (sweep_unused f);
+            if !any && try_candidate ~allow_equal:false c then progress := true
+            else pos := !pos + !chunk
           done;
-          if !any then ignore (sweep_unused f);
-          if !any && try_candidate ~allow_equal:false c then progress := true
-          else pos := !pos + !chunk
-        done;
-        chunk := !chunk / 2
+          chunk := !chunk / 2
+        done
       done
-    done;
-    (* move 3: decouple all operand chains at once, then sweep *)
+    in
+    ddmin_pass replace_op_with_constants;
+    ddmin_pass forward_operand_to_result;
+    (* move 4: decouple all operand chains at once, then sweep *)
     (let c = clone_module !best in
      let any = ref false in
      List.iter
@@ -259,11 +292,11 @@ let reduce ?(max_rounds = 16) ~interesting (m0 : Func.modul) :
          if !any then ignore (sweep_unused f))
        c.Func.funcs;
      if !any && try_candidate ~allow_equal:false c then progress := true);
-    (* move 4: sweep-only candidate *)
+    (* move 5: sweep-only candidate *)
     (let c = clone_module !best in
      let any = List.exists (fun b -> b) (List.map sweep_unused c.Func.funcs) in
      if any && try_candidate ~allow_equal:false c then progress := true);
-    (* move 5: halve shapes until they stop parsing or stop helping *)
+    (* move 6: halve shapes until they stop parsing or stop helping *)
     let shrinking = ref true in
     while !shrinking do
       shrinking := false;

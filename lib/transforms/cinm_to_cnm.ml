@@ -37,6 +37,49 @@ let shape_of (v : Ir.value) = Option.get (Types.shape_of v.Ir.ty)
 (* C[i,j] = sum_k A[i,k] * B[k,j]. The optimized variant interchanges to
    (i, k, j) with a row accumulator pattern for WRAM locality; both orders
    compute the same values. *)
+let const_zero bb dt =
+  if Types.is_float_dtype dt then Arith.constant_f bb ~ty:(Types.Scalar dt) 0.0
+  else Arith.constant bb ~ty:(Types.Scalar dt) 0
+
+(* An integer literal (e.g. a folded splat in an RPN chain) materialized
+   at the element dtype, so i8/i16 chains don't mix in i32 constants and
+   float chains get a float constant. *)
+let const_of_int bb dt c =
+  if Types.is_float_dtype dt then
+    Arith.constant_f bb ~ty:(Types.Scalar dt) (float_of_int c)
+  else Arith.constant bb ~ty:(Types.Scalar dt) c
+
+(* Scalar op for a named cinm binop, dispatched on the operand dtype:
+   float operands take the f-suffixed arith ops (and/or/xor stay
+   integer-only, matching the cinm verifier). *)
+let scalar_binop bb name x y =
+  let is_f =
+    match Types.element_dtype x.Ir.ty with
+    | Some dt -> Types.is_float_dtype dt
+    | None -> false
+  in
+  if is_f then
+    match name with
+    | "add" -> Arith.addf bb x y
+    | "sub" -> Arith.subf bb x y
+    | "mul" -> Arith.mulf bb x y
+    | "div" -> Arith.divf bb x y
+    | "min" -> Arith.minf bb x y
+    | "max" -> Arith.maxf bb x y
+    | _ -> invalid_arg ("Cinm_to_cnm: no float scalar op for " ^ name)
+  else
+    match name with
+    | "add" -> Arith.addi bb x y
+    | "sub" -> Arith.subi bb x y
+    | "mul" -> Arith.muli bb x y
+    | "div" -> Arith.divsi bb x y
+    | "min" -> Arith.minsi bb x y
+    | "max" -> Arith.maxsi bb x y
+    | "and" -> Arith.andi bb x y
+    | "or" -> Arith.ori bb x y
+    | "xor" -> Arith.xori bb x y
+    | _ -> invalid_arg ("Cinm_to_cnm: no scalar op for " ^ name)
+
 let gemm_body opts ~r ~k_dim ~n bb (args : Ir.value array) =
   let a_m = args.(0) and b_m = args.(1) and c_m = args.(2) in
   let c0 = Arith.const_index bb 0 in
@@ -44,7 +87,7 @@ let gemm_body opts ~r ~k_dim ~n bb (args : Ir.value array) =
   let cr = Arith.const_index bb r in
   let ck = Arith.const_index bb k_dim in
   let cn = Arith.const_index bb n in
-  let zero = Arith.constant bb 0 in
+  let zero = const_zero bb (dtype_of a_m) in
   if opts.optimize then
     (* i, k, j: stream A once, accumulate into the C row *)
     Scf_d.for0 bb ~lb:c0 ~ub:cr ~step:c1 (fun bb i ->
@@ -55,8 +98,8 @@ let gemm_body opts ~r ~k_dim ~n bb (args : Ir.value array) =
             Scf_d.for0 bb ~lb:c0 ~ub:cn ~step:c1 (fun bb j ->
                 let bv = Memref_d.load bb b_m [ k; j ] in
                 let acc = Memref_d.load bb c_m [ i; j ] in
-                let prod = Arith.muli bb a bv in
-                Memref_d.store bb (Arith.addi bb acc prod) c_m [ i; j ])))
+                let prod = scalar_binop bb "mul" a bv in
+                Memref_d.store bb (scalar_binop bb "add" acc prod) c_m [ i; j ])))
   else
     (* i, j, k: dot product per output element *)
     Scf_d.for0 bb ~lb:c0 ~ub:cr ~step:c1 (fun bb i ->
@@ -65,22 +108,9 @@ let gemm_body opts ~r ~k_dim ~n bb (args : Ir.value array) =
               Scf_d.for_ bb ~lb:c0 ~ub:ck ~step:c1 ~init:[ zero ] (fun bb k iters ->
                   let a = Memref_d.load bb a_m [ i; k ] in
                   let bv = Memref_d.load bb b_m [ k; j ] in
-                  [ Arith.addi bb iters.(0) (Arith.muli bb a bv) ])
+                  [ scalar_binop bb "add" iters.(0) (scalar_binop bb "mul" a bv) ])
             in
             Memref_d.store bb (List.hd acc) c_m [ i; j ]))
-
-let scalar_binop bb name x y =
-  match name with
-  | "add" -> Arith.addi bb x y
-  | "sub" -> Arith.subi bb x y
-  | "mul" -> Arith.muli bb x y
-  | "div" -> Arith.divsi bb x y
-  | "min" -> Arith.minsi bb x y
-  | "max" -> Arith.maxsi bb x y
-  | "and" -> Arith.andi bb x y
-  | "or" -> Arith.ori bb x y
-  | "xor" -> Arith.xori bb x y
-  | _ -> invalid_arg ("Cinm_to_cnm: no scalar op for " ^ name)
 
 (* Fused elementwise chain: evaluate the RPN per element; the expression
    is compile-time, so this generates straight-line scalar code. *)
@@ -89,11 +119,12 @@ let ew_expr_body ~tokens ~n_inputs ~l bb (args : Ir.value array) =
   let c1 = Arith.const_index bb 1 in
   let cl = Arith.const_index bb l in
   let out_m = args.(n_inputs) in
+  let dt = dtype_of out_m in
   Scf_d.for0 bb ~lb:c0 ~ub:cl ~step:c1 (fun bb i ->
       let v =
         Cinm_d.eval_rpn ~tokens
           ~input:(fun k -> Memref_d.load bb args.(k) [ i ])
-          ~const:(fun c -> Arith.constant bb c)
+          ~const:(fun c -> const_of_int bb dt c)
           ~apply:(fun name a b2 -> scalar_binop bb name a b2)
       in
       Memref_d.store bb v out_m [ i ])

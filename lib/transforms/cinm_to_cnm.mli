@@ -18,7 +18,16 @@ type options = {
 
 val default_options : options
 
-(** Scalar form of a named cinm/arith binop, for kernel generators.
+(** A zero constant of the given element dtype ([arith.constant] with a
+    float or integer payload as appropriate). *)
+val const_zero : Builder.t -> Types.dtype -> Ir.value
+
+(** An integer literal materialized at the element dtype ([constant_f]
+    with the converted value for float dtypes). *)
+val const_of_int : Builder.t -> Types.dtype -> int -> Ir.value
+
+(** Scalar form of a named cinm binop, dispatched on the operand dtype
+    (float operands take the f-suffixed arith ops).
     @raise Invalid_argument on unknown names. *)
 val scalar_binop : Builder.t -> string -> Ir.value -> Ir.value -> Ir.value
 

@@ -51,7 +51,7 @@ let lower_gemm b x y =
   let cm = Arith.const_index b m in
   let ck = Arith.const_index b k_dim in
   let cn = Arith.const_index b n in
-  let zero = Arith.constant b 0 in
+  let zero = Cinm_to_cnm.const_zero b dt in
   let out =
     Scf_d.for_ b ~lb:c0 ~ub:cm ~step:c1 ~init:[ init ] (fun bb i iters ->
         let row =
@@ -60,7 +60,8 @@ let lower_gemm b x y =
                 Scf_d.for_ bb ~lb:c0 ~ub:ck ~step:c1 ~init:[ zero ] (fun bb k iters ->
                     let a = Tensor_d.extract bb x [ i; k ] in
                     let c = Tensor_d.extract bb y [ k; j ] in
-                    [ Arith.addi bb iters.(0) (Arith.muli bb a c) ])
+                    [ Cinm_to_cnm.scalar_binop bb "add" iters.(0)
+                        (Cinm_to_cnm.scalar_binop bb "mul" a c) ])
               in
               [ Tensor_d.insert bb (List.hd acc) iters.(0) [ i; j ] ])
         in

@@ -44,7 +44,8 @@ let zero_fill bb wram n =
   let c0 = Arith.const_index bb 0 in
   let c1 = Arith.const_index bb 1 in
   let cn = Arith.const_index bb n in
-  let zero = Arith.constant bb 0 in
+  let dt = Option.get (Types.element_dtype wram.Ir.ty) in
+  let zero = Cinm_to_cnm.const_zero bb dt in
   Scf_d.for0 bb ~lb:c0 ~ub:cn ~step:c1 (fun bb i -> Memref_d.store bb zero wram [ i ])
 
 (* GEMM kernel: per-PU tile A[r,k] x B[k,n] -> C[r,n], all in MRAM. *)
@@ -59,7 +60,7 @@ let gemm_kernel opts ~style ~tasklets ~r ~k_dim ~n ~dt bb (args : Ir.value array
     let wram_x = Upmem_d.wram_alloc bb [| k_dim |] dt in
     let wram_row = Upmem_d.wram_alloc bb [| k_dim |] dt in
     let wram_y = Upmem_d.wram_alloc bb [| r |] dt in
-    let zero = Arith.constant bb 0 in
+    let zero = Cinm_to_cnm.const_zero bb dt in
     Upmem_d.mram_read bb ~mram:b_mram ~wram:wram_x ~mram_off:c0 ~wram_off:c0 ~count:k_dim;
     Scf_d.for0 bb ~lb:c0 ~ub:(idx r) ~step:c1 (fun bb i ->
         let row_off = Arith.muli bb i (idx k_dim) in
@@ -69,7 +70,8 @@ let gemm_kernel opts ~style ~tasklets ~r ~k_dim ~n ~dt bb (args : Ir.value array
           Scf_d.for_ bb ~lb:c0 ~ub:(idx k_dim) ~step:c1 ~init:[ zero ] (fun bb k iters ->
               let a = Memref_d.load bb wram_row [ k ] in
               let xv = Memref_d.load bb wram_x [ k ] in
-              [ Arith.addi bb iters.(0) (Arith.muli bb a xv) ])
+              [ Cinm_to_cnm.scalar_binop bb "add" iters.(0)
+                  (Cinm_to_cnm.scalar_binop bb "mul" a xv) ])
         in
         Memref_d.store bb (List.hd acc) wram_y [ i ]);
     Upmem_d.mram_write bb ~wram:wram_y ~mram:c_mram ~mram_off:c0 ~wram_off:c0 ~count:r
@@ -113,8 +115,10 @@ let gemm_kernel opts ~style ~tasklets ~r ~k_dim ~n ~dt bb (args : Ir.value array
                         let bv = Memref_d.load bb wram_b [ k; j ] in
                         let cj = Arith.addi bb c_row j in
                         let acc = Memref_d.load bb wram_c [ cj ] in
-                        Memref_d.store bb (Arith.addi bb acc (Arith.muli bb a bv)) wram_c
-                          [ cj ])));
+                        Memref_d.store bb
+                          (Cinm_to_cnm.scalar_binop bb "add" acc
+                             (Cinm_to_cnm.scalar_binop bb "mul" a bv))
+                          wram_c [ cj ])));
             (* write C block back, row by row (strided in MRAM) *)
             Scf_d.for0 bb ~lb:c0 ~ub:(idx rb) ~step:c1 (fun bb i ->
                 let row = Arith.addi bb i_off i in
@@ -144,7 +148,10 @@ let gemm_kernel opts ~style ~tasklets ~r ~k_dim ~n ~dt bb (args : Ir.value array
             Scf_d.for0 bb ~lb:c0 ~ub:(idx n) ~step:c1 (fun bb j ->
                 let bv = Memref_d.load bb wram_b [ j ] in
                 let acc = Memref_d.load bb wram_c [ j ] in
-                Memref_d.store bb (Arith.addi bb acc (Arith.muli bb a bv)) wram_c [ j ]));
+                Memref_d.store bb
+                  (Cinm_to_cnm.scalar_binop bb "add" acc
+                     (Cinm_to_cnm.scalar_binop bb "mul" a bv))
+                  wram_c [ j ]));
         let c_off = Arith.muli bb i (idx n) in
         Upmem_d.mram_write bb ~wram:wram_c ~mram:c_mram ~mram_off:c_off ~wram_off:c0
           ~count:n)
@@ -198,7 +205,7 @@ let ew_expr_kernel opts ~style ~tasklets ~tokens ~n_inputs ~l ~dt bb
           let v =
             Cinm_d.eval_rpn ~tokens
               ~input:(fun k -> Memref_d.load bb wram_ins.(k) [ i ])
-              ~const:(fun c -> Arith.constant bb c)
+              ~const:(fun c -> Cinm_to_cnm.const_of_int bb dt c)
               ~apply:(fun name a b2 -> Cinm_to_cnm.scalar_binop bb name a b2)
           in
           Memref_d.store bb v wram_out [ i ]);
@@ -257,14 +264,14 @@ let scan_local_kernel opts ~style ~tasklets ~opname ?pre ?(n_inputs = 1) ~l ~dt 
   let wram_t = Upmem_d.wram_alloc bb [| 1 |] dt in
   let c0 = Arith.const_index bb 0 in
   let c1 = Arith.const_index bb 1 in
-  let zero = Arith.constant bb 0 in
+  let zero = Cinm_to_cnm.const_zero bb dt in
   let elem bb i =
     match pre with
     | None -> Memref_d.load bb wram_ins.(0) [ i ]
     | Some tokens ->
       Cinm_d.eval_rpn ~tokens
         ~input:(fun k -> Memref_d.load bb wram_ins.(k) [ i ])
-        ~const:(fun c -> Arith.constant bb c)
+        ~const:(fun c -> Cinm_to_cnm.const_of_int bb dt c)
         ~apply:(fun name a b2 -> Cinm_to_cnm.scalar_binop bb name a b2)
   in
   Memref_d.store bb zero wram_t [ c0 ];

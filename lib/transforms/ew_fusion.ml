@@ -119,6 +119,11 @@ let run_on_func (f : Func.t) =
           else begin
             let leaves = ref [] in
             let tokens = rpn_of leaves (Ir.result op 0) ~is_root:true in
+            if !leaves = [] then op
+              (* every operand folded to a splat literal: a pure-constant
+                 expression has no tensor inputs to carry, and ew_expr
+                 requires at least one — leave it for the canonicalizer *)
+            else
             (* if the chain feeds exactly one cnm scan, fold it into the
                scan (PrIM-style fused predicate + prefix sum) *)
             let scan_consumer =

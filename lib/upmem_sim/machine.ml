@@ -64,10 +64,17 @@ type Interp.device_state += Dpu_lane of lane
    lowest-numbered DPU, independent of domain scheduling. *)
 exception Dpu_failed of { dpu : int; launch : int; message : string }
 
+(* Raised when a fault plan has permanently failed more physical DPUs
+   than the workgroup can spare, so allocation is impossible even after
+   cross-rank spill. Distinct from [Dpu_failed]/[Invalid_argument] so
+   the driver can degrade this case (and only this case) to the host. *)
+exception Insufficient_capacity of string
+
 let () =
   Printexc.register_printer (function
     | Dpu_failed { dpu; launch; message } ->
       Some (Printf.sprintf "Dpu_failed (DPU %d, launch %d): %s" dpu launch message)
+    | Insufficient_capacity msg -> Some ("Insufficient_capacity: " ^ msg)
     | _ -> None)
 
 (* Dispatch attempts per (launch, DPU) before declaring the DPU dead. *)
@@ -203,33 +210,57 @@ let home_phys m d =
 
 (* Assign physical DPUs to a workgroup, skipping permanently-failed ones
    (the SDK masks them out of the rank at allocation). Logical DPUs shard
-   contiguously across ranks; a logical DPU only ever lands in its home
-   rank. Fault-free machines keep the per-rank identity map — and, like
-   before this fault layer existed, no physical capacity bound is
-   enforced for them. *)
+   contiguously across ranks and prefer their home rank; when a rank's
+   shard has too many masked DPUs, allocation spills to the lowest rank
+   that still has healthy spares (trading the home rank's DMA locality
+   for availability, like the SDK's any-rank allocation). Only a machine
+   that is genuinely out of healthy DPUs fails — with
+   {!Insufficient_capacity}, which the driver maps to a host fallback.
+   Fault-free machines keep the per-rank identity map — and, like before
+   this fault layer existed, no physical capacity bound is enforced for
+   them. *)
 let assign_phys m ~dpus =
   match m.faults with
   | Some plan when plan.Fault.rates.Fault.dpu_fail > 0.0 ->
     let rd = Config.rank_dpus m.config in
     let per_rank = per_rank_phys m in
+    let ranks = m.config.Config.ranks in
     let phys = Array.make dpus 0 in
     (* per-rank scan pointer over the rank's physical shard *)
-    let ptr = Array.init m.config.Config.ranks (fun r -> r * per_rank) in
-    for d = 0 to dpus - 1 do
-      let r = min (m.config.Config.ranks - 1) (d / rd) in
+    let ptr = Array.init ranks (fun r -> r * per_rank) in
+    (* next healthy physical DPU in rank [r]'s shard, masking failures
+       in passing; [None] when the shard is exhausted *)
+    let next_in r =
       let hi = (r + 1) * per_rank in
       while ptr.(r) < hi && perm_failed m ptr.(r) do
         note_masked m ptr.(r);
         ptr.(r) <- ptr.(r) + 1
       done;
-      if ptr.(r) >= hi then
-        invalid_arg
-          (Printf.sprintf
-             "upmem.alloc_dpus: %d DPUs requested but only %d of %d physical \
-              DPUs are healthy"
-             dpus d (phys_total m));
-      phys.(d) <- ptr.(r);
-      ptr.(r) <- ptr.(r) + 1
+      if ptr.(r) < hi then Some ptr.(r) else None
+    in
+    for d = 0 to dpus - 1 do
+      let home = min (ranks - 1) (d / rd) in
+      let pick =
+        match next_in home with
+        | Some p -> Some p
+        | None ->
+          let rec scan r =
+            if r >= ranks then None
+            else match next_in r with Some p -> Some p | None -> scan (r + 1)
+          in
+          scan 0
+      in
+      match pick with
+      | Some p ->
+        phys.(d) <- p;
+        ptr.(p / per_rank) <- p + 1
+      | None ->
+        raise
+          (Insufficient_capacity
+             (Printf.sprintf
+                "upmem.alloc_dpus: %d DPUs requested but only %d of %d \
+                 physical DPUs are healthy"
+                dpus d (phys_total m)))
     done;
     phys
   | _ when m.config.Config.ranks > 1 -> Array.init dpus (home_phys m)

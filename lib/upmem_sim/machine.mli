@@ -43,6 +43,12 @@ type Interp.device_state += Dpu_lane of lane
     domain pool scheduled the DPUs. *)
 exception Dpu_failed of { dpu : int; launch : int; message : string }
 
+(** Raised by DPU allocation when a fault plan has permanently failed so
+    many physical DPUs that the request cannot be satisfied even after
+    spilling across ranks. The driver degrades exactly this failure to
+    host execution. *)
+exception Insufficient_capacity of string
+
 type t = {
   config : Config.t;
   stats : Stats.t;

@@ -1,0 +1,29 @@
+// fuzz-seed: 0
+// found: tree interpreter crashed on float tensor.splat (Rtval.as_int on a float scalar)
+module {
+  func.func @main(%arg0: tensor<2x2xf64>) -> (tensor<2x5xf64>, f64) {
+    %0 = "cinm.scan"(%arg0) {op = "max"} : (tensor<2x2xf64>) -> (tensor<2x2xf64>)
+    %1 = "tensor.pad"(%0) {high = [0, 1], low = [2, 0]} : (tensor<2x2xf64>) -> (tensor<4x3xf64>)
+    %2 = "tensor.extract_slice"(%arg0) {offsets = [0, 0], sizes = [2, 2]} : (tensor<2x2xf64>) -> (tensor<2x2xf64>)
+    %3 = "arith.constant"() {value = -2.0} : () -> (f64)
+    %4 = "tensor.splat"(%3) : (f64) -> (tensor<2x1xf64>)
+    %5 = "linalg.matmul"(%0, %4) : (tensor<2x2xf64>, tensor<2x1xf64>) -> (tensor<2x1xf64>)
+    %6 = "arith.constant"() {value = -0.0} : () -> (f64)
+    %7 = "tensor.splat"(%6) : (f64) -> (tensor<2x5xf64>)
+    %8 = "linalg.matmul"(%arg0, %7) : (tensor<2x2xf64>, tensor<2x5xf64>) -> (tensor<2x5xf64>)
+    %9 = "cinm.reduce"(%7) {op = "add"} : (tensor<2x5xf64>) -> (f64)
+    %10 = "cinm.reduce"(%5) {op = "add"} : (tensor<2x1xf64>) -> (f64)
+    %11 = "cinm.reduce"(%4) {op = "add"} : (tensor<2x1xf64>) -> (f64)
+    %12 = "cinm.reduce"(%2) {op = "add"} : (tensor<2x2xf64>) -> (f64)
+    %13 = "cinm.reduce"(%1) {op = "add"} : (tensor<4x3xf64>) -> (f64)
+    %14 = "cinm.reduce"(%0) {op = "add"} : (tensor<2x2xf64>) -> (f64)
+    %15 = "cinm.reduce"(%arg0) {op = "add"} : (tensor<2x2xf64>) -> (f64)
+    %16 = "arith.addf"(%9, %10) : (f64, f64) -> (f64)
+    %17 = "arith.addf"(%16, %11) : (f64, f64) -> (f64)
+    %18 = "arith.addf"(%17, %12) : (f64, f64) -> (f64)
+    %19 = "arith.addf"(%18, %13) : (f64, f64) -> (f64)
+    %20 = "arith.addf"(%19, %14) : (f64, f64) -> (f64)
+    %21 = "arith.addf"(%20, %15) : (f64, f64) -> (f64)
+    "func.return"(%8, %21) : (tensor<2x5xf64>, f64) -> ()
+  }
+}

@@ -1,0 +1,35 @@
+// fuzz-seed: 3
+// found: reference cinm.scan truncated f64 elements to ints (upmem value divergence)
+module {
+  func.func @main(%arg0: tensor<3x4xf64>, %arg1: tensor<2xf64>) -> (tensor<3x4xf64>, f64) {
+    %0 = "arith.constant"() {value = -2.0} : () -> (f64)
+    %1 = "tensor.splat"(%0) : (f64) -> (tensor<2x1xf64>)
+    %2 = "tensor.insert_slice"(%1, %arg0) {offsets = [1, 1]} : (tensor<2x1xf64>, tensor<3x4xf64>) -> (tensor<3x4xf64>)
+    %3 = "arith.constant"() {value = 0.125} : () -> (f64)
+    %4 = "tensor.splat"(%3) : (f64) -> (tensor<3x4xf64>)
+    %5 = "arith.constant"() {value = 0} : () -> (index)
+    %6 = "arith.constant"() {value = 4} : () -> (index)
+    %7 = "arith.constant"() {value = 1} : () -> (index)
+    %8 = "scf.for"(%5, %6, %7, %arg0) ({
+    ^bb0(%9: index, %10: tensor<3x4xf64>):
+      %11 = "cinm.mul"(%10, %4) : (tensor<3x4xf64>, tensor<3x4xf64>) -> (tensor<3x4xf64>)
+      "scf.yield"(%11) : (tensor<3x4xf64>) -> ()
+    }) : (index, index, index, tensor<3x4xf64>) -> (tensor<3x4xf64>)
+    %12 = "cinm.scan"(%8) {op = "add"} : (tensor<3x4xf64>) -> (tensor<3x4xf64>)
+    %13 = "linalg.mul"(%12, %8) : (tensor<3x4xf64>, tensor<3x4xf64>) -> (tensor<3x4xf64>)
+    %14 = "cinm.reduce"(%12) {op = "add"} : (tensor<3x4xf64>) -> (f64)
+    %15 = "cinm.reduce"(%8) {op = "add"} : (tensor<3x4xf64>) -> (f64)
+    %16 = "cinm.reduce"(%4) {op = "add"} : (tensor<3x4xf64>) -> (f64)
+    %17 = "cinm.reduce"(%2) {op = "add"} : (tensor<3x4xf64>) -> (f64)
+    %18 = "cinm.reduce"(%1) {op = "add"} : (tensor<2x1xf64>) -> (f64)
+    %19 = "cinm.reduce"(%arg0) {op = "add"} : (tensor<3x4xf64>) -> (f64)
+    %20 = "cinm.reduce"(%arg1) {op = "add"} : (tensor<2xf64>) -> (f64)
+    %21 = "arith.addf"(%14, %15) : (f64, f64) -> (f64)
+    %22 = "arith.addf"(%21, %16) : (f64, f64) -> (f64)
+    %23 = "arith.addf"(%22, %17) : (f64, f64) -> (f64)
+    %24 = "arith.addf"(%23, %18) : (f64, f64) -> (f64)
+    %25 = "arith.addf"(%24, %19) : (f64, f64) -> (f64)
+    %26 = "arith.addf"(%25, %20) : (f64, f64) -> (f64)
+    "func.return"(%13, %26) : (tensor<3x4xf64>, f64) -> ()
+  }
+}

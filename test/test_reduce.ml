@@ -196,6 +196,109 @@ let test_reduce_shrinks_preserving_failure () =
   Alcotest.(check string) "reduced IR is printable/parsable" text
     (Printer.module_to_string (Parser.parse_module_text text))
 
+let test_reduce_collapses_live_chains () =
+  (* the fuzz generator's checksum idiom: a gemm whose digest is folded
+     through a long accumulator chain into the returned value. Every link
+     is live, so only the operand-forwarding move can shorten the path —
+     constant replacement would sever the gemm from the return. *)
+  Pass.set_reproducer_dir None;
+  let m = Func.create_module () in
+  let f =
+    Func.create ~name:"chain" ~arg_tys:[ tensor [| 2; 2 |]; tensor [| 2; 2 |] ]
+      ~result_tys:[ T.Scalar T.I32 ]
+  in
+  let b = Builder.for_func f in
+  let g = Cinm_d.gemm b (Func.param f 0) (Func.param f 1) in
+  let acc = ref (Cinm_d.reduce b ~op:"add" g) in
+  for i = 1 to 40 do
+    acc := Arith.addi b !acc (Arith.constant b ~ty:(T.Scalar T.I32) i)
+  done;
+  Func_d.return b [ !acc ];
+  Func.add_func m f;
+  let ops_before = Pass.count_ops m in
+  (* interesting = a cinm.gemm still feeds the module (textually), the
+     same shape as the fuzzer's injected-bug shrink predicate *)
+  let interesting c =
+    Verifier.verify_module c = []
+    && (let t = Printer.module_to_string c in
+        let n = String.length t in
+        let rec mem i =
+          i + 9 <= n && (String.sub t i 9 = "cinm.gemm" || mem (i + 1))
+        in
+        mem 0)
+  in
+  let reduced, stats = Reduce.reduce ~interesting m in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain collapsed >= 80%% (%d -> %d)" ops_before
+       stats.Reduce.ops_after)
+    true
+    (stats.Reduce.ops_after * 5 <= ops_before);
+  Alcotest.(check bool) "gemm survives" true (interesting reduced)
+
+(* ----- cinm_reduce execution-differential modes (CLI) ----- *)
+
+(* locate the reducer binary relative to this test binary, so the test
+   works under both `dune runtest` (cwd test/) and `dune exec` (cwd root) *)
+let reduce_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "cinm_reduce.exe"))
+
+let run_reduce_cli args input_text =
+  let dir = Filename.temp_file "cinm-reduce-test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let in_path = Filename.concat dir "in.mlir" in
+  Out_channel.with_open_text in_path (fun oc -> output_string oc input_text);
+  let err_path = Filename.concat dir "err.txt" in
+  let cmd =
+    Printf.sprintf "%s %s %s > /dev/null 2> %s"
+      (Filename.quote reduce_exe) args (Filename.quote in_path)
+      (Filename.quote err_path)
+  in
+  let rc = Sys.command cmd in
+  let err = In_channel.with_open_text err_path In_channel.input_all in
+  (rc, err)
+
+let healthy_module_text =
+  {|module {
+  func.func @main(%arg0: tensor<4x4xi32>, %arg1: tensor<4x4xi32>) -> (i32) {
+    %0 = "cinm.gemm"(%arg0, %arg1) : (tensor<4x4xi32>, tensor<4x4xi32>) -> (tensor<4x4xi32>)
+    %1 = "cinm.reduce"(%0) {op = "add"} : (tensor<4x4xi32>) -> (i32)
+    "func.return"(%1) : (i32) -> ()
+  }
+}
+|}
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub hay i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_exec_backend_agreement_is_not_interesting () =
+  (* a healthy module: the device backends agree with the reference, so
+     each differential mode must refuse to reduce — proving it really ran
+     the two executions and compared them *)
+  List.iter
+    (fun args ->
+      let rc, err = run_reduce_cli args healthy_module_text in
+      Alcotest.(check int) (args ^ ": exits 1") 1 rc;
+      Alcotest.(check bool)
+        (args ^ ": reports agreement, got: " ^ err)
+        true
+        (contains err "input is not interesting"))
+    [ "--exec-backend upmem"; "--exec-backend hetero"; "--exec-faults" ]
+
+let test_exec_backend_rejects_unknown () =
+  let rc, err = run_reduce_cli "--exec-backend warp-drive" healthy_module_text in
+  Alcotest.(check int) "exits 1" 1 rc;
+  Alcotest.(check bool) ("names the backend, got: " ^ err) true
+    (contains err "unknown backend")
+
 let test_reduce_keeps_interesting_input_intact () =
   (* reduction of an already-minimal module is the identity *)
   Pass.set_reproducer_dir None;
@@ -239,7 +342,16 @@ let () =
       ( "reducer",
         [
           Alcotest.test_case "shrinks >= 80%" `Quick test_reduce_shrinks_preserving_failure;
+          Alcotest.test_case "collapses live accumulator chains" `Quick
+            test_reduce_collapses_live_chains;
           Alcotest.test_case "minimal input is a fixpoint" `Quick
             test_reduce_keeps_interesting_input_intact;
+        ] );
+      ( "exec differentials",
+        [
+          Alcotest.test_case "agreement is not interesting" `Quick
+            test_exec_backend_agreement_is_not_interesting;
+          Alcotest.test_case "unknown backend rejected" `Quick
+            test_exec_backend_rejects_unknown;
         ] );
     ]

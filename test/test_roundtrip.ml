@@ -45,6 +45,70 @@ let test_fixture_fixpoints () =
       check_module_fixpoint file (Parser.parse_module_text text))
     fixtures
 
+(* ----- pinned special values (fuzzer-found printer/parser gaps) ----- *)
+
+(* Build a module exercising every float special the fuzzer injects and
+   both signed extremes of the narrow int widths; the text must be a
+   print->parse->print fixpoint AND the reparsed constants must be
+   bit-identical (NaN payloads and -0.0 signs survive, compare-based
+   equality would lie about both). *)
+let test_special_float_attrs () =
+  let m = Func.create_module () in
+  let f = Func.create ~name:"specials" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let specials = [ Float.nan; Float.infinity; Float.neg_infinity; -0.0; 0.0;
+                   1.5e-300; -3.25 ] in
+  List.iter (fun v -> ignore (Cinm_dialects.Arith.constant_f b v)) specials;
+  Cinm_dialects.Func_d.return b [];
+  Func.add_func m f;
+  check_module_fixpoint "float specials" m;
+  let m2 = Parser.parse_module_text (Printer.module_to_string m) in
+  let consts fn =
+    let acc = ref [] in
+    Func.walk
+      (fun op ->
+        if op.Ir.name = "arith.constant" then
+          acc := Ir.float_attr op "value" :: !acc)
+      fn;
+    List.rev !acc
+  in
+  List.iter2
+    (fun orig reparsed ->
+      Alcotest.(check int64)
+        (Printf.sprintf "float %h bit-identical after round-trip" orig)
+        (Int64.bits_of_float orig)
+        (Int64.bits_of_float reparsed))
+    specials
+    (consts (List.hd m2.Func.funcs))
+
+let test_narrow_int_attrs () =
+  let m = Func.create_module () in
+  let f = Func.create ~name:"narrow" ~arg_tys:[] ~result_tys:[] in
+  let b = Builder.for_func f in
+  let cases =
+    [ (Types.I8, -128); (Types.I8, 127); (Types.I8, -1);
+      (Types.I16, -32768); (Types.I16, 32767) ]
+  in
+  List.iter
+    (fun (dt, v) ->
+      ignore (Cinm_dialects.Arith.constant b ~ty:(Types.Scalar dt) v))
+    cases;
+  Cinm_dialects.Func_d.return b [];
+  Func.add_func m f;
+  check_module_fixpoint "i8/i16 boundary constants" m;
+  let m2 = Parser.parse_module_text (Printer.module_to_string m) in
+  let acc = ref [] in
+  Func.walk
+    (fun op ->
+      if op.Ir.name = "arith.constant" then acc := Ir.int_attr op "value" :: !acc)
+    (List.hd m2.Func.funcs);
+  List.iter2
+    (fun (_, v) got ->
+      Alcotest.(check int)
+        (Printf.sprintf "boundary %d preserved" v)
+        v got)
+    cases (List.rev !acc)
+
 (* ----- benchmark modules through every pipeline stage ----- *)
 
 let backends =
@@ -123,6 +187,13 @@ let () =
   Alcotest.run "roundtrip"
     [
       ("fixtures", [ Alcotest.test_case "fixpoint" `Quick test_fixture_fixpoints ]);
+      ( "special values",
+        [
+          Alcotest.test_case "nan/inf/-0.0 float attrs" `Quick
+            test_special_float_attrs;
+          Alcotest.test_case "i8/i16 boundary attrs" `Quick
+            test_narrow_int_attrs;
+        ] );
       ("pipeline stages", bench_tests ());
       ("strict mode", [ Alcotest.test_case "full upmem pipeline" `Quick test_strict_pipeline ]);
     ]
